@@ -1,0 +1,83 @@
+// robustness: the use-case from the paper's introduction — "robustness to
+// random network failures and targeted attacks, the speed of worms
+// spreading" — evaluated on dK-random ensembles. If dK-random graphs at
+// some depth d behave like the measured topology under these protocols,
+// then d is sufficient for protocol studies; this example shows d = 2..3
+// doing exactly that while 0K/1K ensembles mislead.
+//
+//	go run ./examples/robustness
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+)
+
+func main() {
+	orig, err := datasets.Skitter(datasets.SkitterConfig{N: 900, Seed: 31})
+	if err != nil {
+		log.Fatal(err)
+	}
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{{"original", orig}}
+	for d := 0; d <= 3; d++ {
+		rng := rand.New(rand.NewSource(int64(d) + 50))
+		random, err := core.Randomize(orig, d, core.Options{Rng: rng})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gcc, _ := graph.GiantComponent(random)
+		graphs = append(graphs, struct {
+			name string
+			g    *graph.Graph
+		}{fmt.Sprintf("%dK-random", d), gcc})
+	}
+
+	fracs := []float64{0.01, 0.05, 0.10, 0.20}
+	fmt.Println("GCC fraction surviving targeted (highest-degree-first) attack:")
+	fmt.Printf("%-11s", "graph")
+	for _, f := range fracs {
+		fmt.Printf("  rm=%4.0f%%", f*100)
+	}
+	fmt.Println()
+	for _, entry := range graphs {
+		pts, err := netsim.Robustness(entry.g.Static(), fracs, true, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s", entry.name)
+		for _, p := range pts {
+			fmt.Printf("  %7.3f", p.GCCFrac)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nWorm (SI, beta=0.5) rounds to 90% coverage, and greedy-routing success:")
+	fmt.Printf("%-11s  %-14s  %-14s  %s\n", "graph", "rounds to 90%", "routing succ.", "stretch")
+	for _, entry := range graphs {
+		s := entry.g.Static()
+		rng := rand.New(rand.NewSource(7))
+		worm, err := netsim.WormSpread(s, 0.5, 200, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		route, err := netsim.GreedyDegreeRouting(s, 400, 0, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s  %-14d  %-14.2f  %.2f\n",
+			entry.name, worm.RoundsTo(0.9), route.SuccessRate, route.AvgStretch)
+	}
+
+	fmt.Println("\nIf the 2K/3K rows track the original while 0K/1K diverge, the paper's")
+	fmt.Println("prescription holds: use the smallest d whose ensemble reproduces your")
+	fmt.Println("protocol's behavior.")
+}

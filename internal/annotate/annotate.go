@@ -1,0 +1,216 @@
+// Package annotate implements the paper's Section 6 extension: dK-series
+// analysis of graphs whose links carry annotations (e.g. AS business
+// relationships — customer-provider vs. peering — or router link
+// bandwidth classes). The labeled 2K-distribution counts edges per
+// (degree, degree, label) class, and label-preserving rewiring randomizes
+// a graph while holding that labeled JDD fixed, so synthetic topologies
+// retain both their degree correlations and their annotation structure.
+package annotate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dk"
+	"repro/internal/graph"
+)
+
+// Label is a small integer edge annotation (e.g. 0 = customer-provider,
+// 1 = peer-peer).
+type Label int8
+
+// Common AS-relationship labels.
+const (
+	CustomerProvider Label = 0
+	PeerPeer         Label = 1
+)
+
+// EdgeLabels stores one label per canonical edge.
+type EdgeLabels struct {
+	labels map[graph.Edge]Label
+}
+
+// NewEdgeLabels returns an empty label set.
+func NewEdgeLabels() *EdgeLabels {
+	return &EdgeLabels{labels: make(map[graph.Edge]Label)}
+}
+
+// Set labels edge (u,v).
+func (el *EdgeLabels) Set(u, v int, l Label) {
+	el.labels[graph.Edge{U: u, V: v}.Canon()] = l
+}
+
+// Get returns the label of (u,v); unlabeled edges return 0.
+func (el *EdgeLabels) Get(u, v int) Label {
+	return el.labels[graph.Edge{U: u, V: v}.Canon()]
+}
+
+// Delete removes the label of (u,v).
+func (el *EdgeLabels) Delete(u, v int) {
+	delete(el.labels, graph.Edge{U: u, V: v}.Canon())
+}
+
+// Len returns the number of labeled edges.
+func (el *EdgeLabels) Len() int { return len(el.labels) }
+
+// InferASRelationships labels every edge of g by the degree ratio
+// heuristic used in AS-relationship inference: an edge whose endpoint
+// degrees differ by more than ratio is customer-provider (the smaller
+// degree is the customer), otherwise peer-peer.
+func InferASRelationships(g *graph.Graph, ratio float64) *EdgeLabels {
+	el := NewEdgeLabels()
+	for _, e := range g.Edges() {
+		du, dv := float64(g.Degree(e.U)), float64(g.Degree(e.V))
+		hi, lo := du, dv
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		if hi > ratio*lo {
+			el.Set(e.U, e.V, CustomerProvider)
+		} else {
+			el.Set(e.U, e.V, PeerPeer)
+		}
+	}
+	return el
+}
+
+// Class is a labeled joint-degree class: an edge between nodes of degrees
+// K1 <= K2 carrying label L.
+type Class struct {
+	K1, K2 int
+	L      Label
+}
+
+// NewClass canonicalizes the degree pair.
+func NewClass(k1, k2 int, l Label) Class {
+	if k1 > k2 {
+		k1, k2 = k2, k1
+	}
+	return Class{k1, k2, l}
+}
+
+// LabeledJDD is the labeled 2K-distribution: edge counts per Class.
+type LabeledJDD struct {
+	M     int
+	Count map[Class]int
+}
+
+// Extract computes the labeled JDD of g under the given labels.
+func Extract(g *graph.Graph, el *EdgeLabels) *LabeledJDD {
+	out := &LabeledJDD{Count: make(map[Class]int)}
+	for _, e := range g.Edges() {
+		c := NewClass(g.Degree(e.U), g.Degree(e.V), el.Get(e.U, e.V))
+		out.Count[c]++
+		out.M++
+	}
+	return out
+}
+
+// JDD marginalizes the labels away, recovering the plain 2K-distribution
+// (the inclusion property of the annotated series).
+func (lj *LabeledJDD) JDD() *dk.JDD {
+	out := dk.NewJDD()
+	for c, m := range lj.Count {
+		out.Add(c.K1, c.K2, m)
+	}
+	return out
+}
+
+// D2 is the labeled JDD distance: the sum of squared count differences
+// over labeled classes.
+func D2(a, b *LabeledJDD) float64 {
+	var sum float64
+	for c, ma := range a.Count {
+		d := float64(ma - b.Count[c])
+		sum += d * d
+	}
+	for c, mb := range b.Count {
+		if _, seen := a.Count[c]; !seen {
+			sum += float64(mb) * float64(mb)
+		}
+	}
+	return sum
+}
+
+// RandomizeOptions configures labeled rewiring.
+type RandomizeOptions struct {
+	Rng *rand.Rand
+	// SwapFactor scales the accepted-swap target (default 10), as in the
+	// unlabeled Randomize.
+	SwapFactor int
+	// AttemptFactor scales the proposal budget (default 10·SwapFactor).
+	AttemptFactor int
+}
+
+// Randomize performs labeled-2K-preserving randomizing rewiring on a copy
+// of g: double-edge swaps restricted to edge pairs with equal labels and
+// matching endpoint degrees, so both the JDD and the per-label class
+// counts are exactly preserved. It returns the rewired graph and its
+// updated labels.
+func Randomize(g *graph.Graph, el *EdgeLabels, opt RandomizeOptions) (*graph.Graph, *EdgeLabels, error) {
+	if opt.Rng == nil {
+		return nil, nil, fmt.Errorf("annotate: Randomize requires Rng")
+	}
+	if g.M() < 2 {
+		return nil, nil, fmt.Errorf("annotate: graph has %d edges; need at least 2", g.M())
+	}
+	rng := opt.Rng
+	out := g.Clone()
+	labels := NewEdgeLabels()
+	for _, e := range g.Edges() {
+		labels.Set(e.U, e.V, el.Get(e.U, e.V))
+	}
+	deg := out.DegreeSequence()
+
+	swapFactor := opt.SwapFactor
+	if swapFactor <= 0 {
+		swapFactor = 10
+	}
+	attemptFactor := opt.AttemptFactor
+	if attemptFactor <= 0 {
+		attemptFactor = 10 * swapFactor
+	}
+	want := swapFactor * out.M()
+	budget := attemptFactor * out.M()
+	accepted := 0
+	for attempt := 0; attempt < budget && accepted < want; attempt++ {
+		e1 := out.EdgeAt(rng.Intn(out.M()))
+		e2 := out.EdgeAt(rng.Intn(out.M()))
+		u, v := e1.U, e1.V
+		x, y := e2.U, e2.V
+		if rng.Intn(2) == 0 {
+			u, v = v, u
+		}
+		if rng.Intn(2) == 0 {
+			x, y = y, x
+		}
+		if u == x || u == y || v == x || v == y {
+			continue
+		}
+		if out.HasEdge(u, y) || out.HasEdge(x, v) {
+			continue
+		}
+		// Same label and a JDD-preserving degree match.
+		l1 := labels.Get(u, v)
+		if l1 != labels.Get(x, y) {
+			continue
+		}
+		if deg[v] != deg[y] && deg[u] != deg[x] {
+			continue
+		}
+		out.RemoveEdge(u, v)
+		out.RemoveEdge(x, y)
+		if err := out.AddEdge(u, y); err != nil {
+			panic("annotate: " + err.Error())
+		}
+		if err := out.AddEdge(x, v); err != nil {
+			panic("annotate: " + err.Error())
+		}
+		labels.Delete(u, v)
+		labels.Delete(x, y)
+		labels.Set(u, y, l1)
+		labels.Set(x, v, l1)
+		accepted++
+	}
+	return out, labels, nil
+}

@@ -1,0 +1,171 @@
+package annotate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dk"
+	"repro/internal/graph"
+)
+
+func connectedRandom(rng *rand.Rand, n, extra int) *graph.Graph {
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(i, rng.Intn(i)); err != nil {
+			panic(err)
+		}
+	}
+	if cap := n*(n-1)/2 - g.M(); extra > cap {
+		extra = cap
+	}
+	for added := 0; added < extra; {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			panic(err)
+		}
+		added++
+	}
+	return g
+}
+
+func TestEdgeLabelsCanonical(t *testing.T) {
+	el := NewEdgeLabels()
+	el.Set(3, 1, PeerPeer)
+	if el.Get(1, 3) != PeerPeer {
+		t.Error("label not canonical across orientation")
+	}
+	if el.Len() != 1 {
+		t.Errorf("Len = %d", el.Len())
+	}
+	el.Delete(1, 3)
+	if el.Len() != 0 {
+		t.Error("delete failed")
+	}
+	if el.Get(1, 3) != 0 {
+		t.Error("deleted label nonzero")
+	}
+}
+
+func TestInferASRelationships(t *testing.T) {
+	// Star: hub degree 5 vs leaves degree 1 → all customer-provider.
+	g := graph.New(6)
+	for i := 1; i <= 5; i++ {
+		if err := g.AddEdge(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	el := InferASRelationships(g, 2)
+	for i := 1; i <= 5; i++ {
+		if el.Get(0, i) != CustomerProvider {
+			t.Errorf("edge (0,%d) not customer-provider", i)
+		}
+	}
+	// Triangle: equal degrees → all peer-peer.
+	tri := graph.New(3)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		if err := tri.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elt := InferASRelationships(tri, 2)
+	if elt.Get(0, 1) != PeerPeer {
+		t.Error("triangle edge not peer-peer")
+	}
+}
+
+func TestExtractAndMarginalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := connectedRandom(rng, 40, 60)
+	el := InferASRelationships(g, 1.5)
+	lj := Extract(g, el)
+	if lj.M != g.M() {
+		t.Fatalf("labeled JDD M = %d, want %d", lj.M, g.M())
+	}
+	// Marginalizing labels must recover the plain JDD exactly.
+	p, err := dk.ExtractGraph(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := dk.D2(lj.JDD(), p.Joint); d != 0 {
+		t.Errorf("marginalized JDD differs from plain JDD: D2 = %v", d)
+	}
+}
+
+func TestD2Labeled(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := connectedRandom(rng, 30, 40)
+	el := InferASRelationships(g, 1.5)
+	lj := Extract(g, el)
+	if d := D2(lj, lj); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	// Flip one label: distance becomes positive.
+	e := g.EdgeAt(0)
+	el2 := InferASRelationships(g, 1.5)
+	if el2.Get(e.U, e.V) == CustomerProvider {
+		el2.Set(e.U, e.V, PeerPeer)
+	} else {
+		el2.Set(e.U, e.V, CustomerProvider)
+	}
+	lj2 := Extract(g, el2)
+	if d := D2(lj, lj2); d <= 0 {
+		t.Errorf("distance after label flip = %v, want > 0", d)
+	}
+}
+
+func TestRandomizePreservesLabeledJDDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := connectedRandom(rng, 20+rng.Intn(40), 30+rng.Intn(60))
+		el := InferASRelationships(g, 1.0+rng.Float64()*2)
+		before := Extract(g, el)
+		out, outLabels, err := Randomize(g, el, RandomizeOptions{Rng: rng, SwapFactor: 3})
+		if err != nil {
+			return false
+		}
+		after := Extract(out, outLabels)
+		if D2(before, after) != 0 {
+			return false
+		}
+		// Structural invariants.
+		return out.N() == g.N() && out.M() == g.M() && outLabels.Len() == out.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomizeActuallyRewires(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := connectedRandom(rng, 80, 200)
+	el := InferASRelationships(g, 1.5)
+	out, _, err := Randomize(g, el, RandomizeOptions{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Equal(g) {
+		t.Error("labeled randomize changed nothing")
+	}
+	// Input untouched.
+	if g.M() != 200+79 {
+		t.Errorf("input mutated: M = %d", g.M())
+	}
+}
+
+func TestRandomizeValidation(t *testing.T) {
+	g := graph.New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	el := NewEdgeLabels()
+	if _, _, err := Randomize(g, el, RandomizeOptions{}); err == nil {
+		t.Error("missing Rng accepted")
+	}
+	if _, _, err := Randomize(g, el, RandomizeOptions{Rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("single-edge graph accepted")
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dk"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func testGraph(t testing.TB, rng *rand.Rand, n int) *graph.Graph {
+	t.Helper()
+	pl, err := stats.NewPowerLaw(2.2, 1, n/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq []int
+	for {
+		seq = pl.DegreeSequence(rng, n)
+		if dk.Graphical(seq) {
+			break
+		}
+	}
+	g := graph.New(n)
+	// Greedy Havel–Hakimi-ish seeding then randomize lightly — enough for
+	// an exercise graph; correctness of generators is tested in their own
+	// packages.
+	type nd struct{ id, left int }
+	nodes := make([]nd, n)
+	for i, k := range seq {
+		nodes[i] = nd{i, k}
+	}
+	for {
+		// Sort by remaining stubs descending (insertion sort fine).
+		for i := 1; i < len(nodes); i++ {
+			x := nodes[i]
+			j := i - 1
+			for j >= 0 && nodes[j].left < x.left {
+				nodes[j+1] = nodes[j]
+				j--
+			}
+			nodes[j+1] = x
+		}
+		if nodes[0].left == 0 {
+			break
+		}
+		u := nodes[0]
+		placed := false
+		for i := 1; i < len(nodes) && u.left > 0; i++ {
+			if nodes[i].left == 0 {
+				break
+			}
+			if !g.HasEdge(u.id, nodes[i].id) {
+				if err := g.AddEdge(u.id, nodes[i].id); err != nil {
+					t.Fatal(err)
+				}
+				nodes[i].left--
+				u.left--
+				placed = true
+			}
+		}
+		nodes[0] = u
+		if !placed {
+			break
+		}
+	}
+	gcc, _ := graph.GiantComponent(g)
+	return gcc
+}
+
+func TestExtractAndDistance(t *testing.T) {
+	rng := newRng(1)
+	g := testGraph(t, rng, 120)
+	p, err := Extract(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Distance(p, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+}
+
+func TestGenerateAllSupportedCombos(t *testing.T) {
+	rng := newRng(2)
+	src := testGraph(t, rng, 150)
+	p, err := Extract(src, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		d      int
+		method Method
+	}{
+		{0, MethodStochastic},
+		{1, MethodStochastic}, {1, MethodPseudograph}, {1, MethodMatching}, {1, MethodTargeting},
+		{2, MethodStochastic}, {2, MethodPseudograph}, {2, MethodMatching}, {2, MethodTargeting},
+		{3, MethodTargeting},
+	}
+	for _, tc := range cases {
+		t.Run(tc.method.String()+"-"+string(rune('0'+tc.d)), func(t *testing.T) {
+			g, err := Generate(p, tc.d, tc.method, Options{Rng: rng})
+			if err != nil {
+				t.Fatalf("Generate(d=%d, %s): %v", tc.d, tc.method, err)
+			}
+			if g.N() == 0 || g.M() == 0 {
+				t.Fatalf("Generate(d=%d, %s) returned empty graph", tc.d, tc.method)
+			}
+			// Average degree in the right ballpark for all methods.
+			if g.AvgDegree() < 0.3*p.AvgDegree || g.AvgDegree() > 3*p.AvgDegree {
+				t.Errorf("avg degree %v vs target %v", g.AvgDegree(), p.AvgDegree)
+			}
+		})
+	}
+}
+
+func TestGenerateMatchingIsExact(t *testing.T) {
+	rng := newRng(3)
+	src := testGraph(t, rng, 100)
+	p, _ := Extract(src, 2)
+	g, err := Generate(p, 2, MethodMatching, Options{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := Extract(g, 2)
+	if d, _ := Distance(p, q, 2); d != 0 {
+		t.Errorf("matching 2K distance = %v, want 0", d)
+	}
+}
+
+func TestGenerateUnsupported(t *testing.T) {
+	rng := newRng(4)
+	src := testGraph(t, rng, 60)
+	p, _ := Extract(src, 3)
+	if _, err := Generate(p, 3, MethodPseudograph, Options{Rng: rng}); err == nil {
+		t.Error("3K pseudograph accepted")
+	}
+	shallow, _ := Extract(src, 1)
+	if _, err := Generate(shallow, 2, MethodMatching, Options{Rng: rng}); err == nil {
+		t.Error("depth beyond profile accepted")
+	}
+	if _, err := Generate(p, 1, MethodMatching, Options{}); err == nil {
+		t.Error("missing Rng accepted")
+	}
+}
+
+func TestRandomizePreservesProfile(t *testing.T) {
+	rng := newRng(5)
+	src := testGraph(t, rng, 100)
+	p, _ := Extract(src, 2)
+	out, err := Randomize(src, 2, Options{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := Extract(out, 2)
+	if d, _ := Distance(p, q, 2); d != 0 {
+		t.Errorf("2K-randomizing broke JDD: %v", d)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	rng := newRng(6)
+	a := testGraph(t, rng, 90)
+	b := testGraph(t, rng, 90)
+	rep, err := Compare(a, b, Options{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.A.N == 0 || rep.B.N == 0 {
+		t.Error("empty summaries")
+	}
+	if rep.A.LambdaN <= 0 || rep.B.LambdaN <= 0 {
+		t.Error("missing spectra")
+	}
+	if math.IsNaN(rep.A.DBar) || math.IsNaN(rep.B.DBar) {
+		t.Error("NaN distances")
+	}
+	if _, err := Compare(a, b, Options{}); err == nil {
+		t.Error("missing Rng accepted")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	for m, want := range map[Method]string{
+		MethodStochastic:  "stochastic",
+		MethodPseudograph: "pseudograph",
+		MethodMatching:    "matching",
+		MethodTargeting:   "targeting",
+		Method(99):        "Method(99)",
+	} {
+		if got := m.String(); !strings.Contains(got, want) {
+			t.Errorf("Method(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+}

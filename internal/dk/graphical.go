@@ -1,0 +1,62 @@
+package dk
+
+import "sort"
+
+// Graphical reports whether the degree sequence can be realized by a
+// simple undirected graph, by the Erdős–Gallai theorem: with degrees
+// sorted descending d1 >= ... >= dn, the sequence is graphical iff the sum
+// is even and for every k
+//
+//	Σ_{i<=k} d_i  <=  k(k−1) + Σ_{i>k} min(d_i, k).
+//
+// The suffix sums are evaluated in O(n log n) total using a pointer sweep.
+func Graphical(seq []int) bool {
+	n := len(seq)
+	if n == 0 {
+		return true
+	}
+	d := make([]int, n)
+	copy(d, seq)
+	sort.Sort(sort.Reverse(sort.IntSlice(d)))
+	if d[n-1] < 0 || d[0] >= n {
+		return false
+	}
+	total := 0
+	for _, x := range d {
+		total += x
+	}
+	if total%2 != 0 {
+		return false
+	}
+	// suffix[i] = Σ_{j >= i} d_j
+	suffix := make([]int, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + d[i]
+	}
+	left := 0
+	for k := 1; k <= n; k++ {
+		left += d[k-1]
+		// Σ_{i>k} min(d_i, k): entries d_i > k contribute k each; the rest
+		// contribute themselves. Since d is sorted descending, find the
+		// first index >= k (0-based) where d_i <= k.
+		lo, hi := k, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if d[mid] > k {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		right := k*(k-1) + (lo-k)*k + suffix[lo]
+		if left > right {
+			return false
+		}
+	}
+	return true
+}
+
+// GraphicalDist reports whether the degree distribution is graphical.
+func GraphicalDist(dd *DegreeDist) bool {
+	return Graphical(dd.Sequence())
+}

@@ -1,0 +1,183 @@
+package dk
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Rescaling of dK-distributions to arbitrary target sizes is listed as
+// future work in Section 6 of the paper ("appropriate strategies of
+// rescaling the dK-distributions to arbitrary graph sizes"). The
+// implementations here use largest-remainder apportionment so the rescaled
+// distributions are exact integer count forms with the requested totals,
+// followed by small repairs (parity, divisibility) so that the standard
+// generators accept them.
+
+// Rescale1K returns a degree distribution with the same shape as dd but
+// newN nodes. Class sizes are apportioned by largest remainder; the total
+// degree is then made even (a prerequisite for stub matching) by moving
+// one node from the smallest occupied class k to class k+1 if necessary.
+func Rescale1K(dd *DegreeDist, newN int) (*DegreeDist, error) {
+	if newN <= 0 {
+		return nil, fmt.Errorf("dk: rescale to non-positive size %d", newN)
+	}
+	if dd.N == 0 {
+		return nil, fmt.Errorf("dk: rescale of empty distribution")
+	}
+	out := &DegreeDist{N: newN, Count: make(map[int]int)}
+	apportion(dd.Count, dd.N, newN, out.Count, intLess)
+	if out.TotalDegree()%2 != 0 {
+		ks := out.Degrees()
+		k := ks[0]
+		out.Count[k]--
+		if out.Count[k] == 0 {
+			delete(out.Count, k)
+		}
+		out.Count[k+1]++
+	}
+	return out, nil
+}
+
+// Rescale2K returns a JDD rescaled so that the implied node count is
+// approximately newN: edge-class counts are apportioned to
+// M' = round(M·newN/N) by largest remainder, where N is the node total of
+// the JDD's implied degree distribution. Endpoint divisibility is then
+// repaired per degree class by shifting surplus endpoints into the
+// (1, k) class, so DegreeDist() succeeds on the result.
+func Rescale2K(j *JDD, newN int) (*JDD, error) {
+	if newN <= 0 {
+		return nil, fmt.Errorf("dk: rescale to non-positive size %d", newN)
+	}
+	dd, err := j.DegreeDist()
+	if err != nil {
+		return nil, err
+	}
+	if dd.N == 0 || j.M == 0 {
+		return nil, fmt.Errorf("dk: rescale of empty JDD")
+	}
+	newM := int(float64(j.M)*float64(newN)/float64(dd.N) + 0.5)
+	if newM < 1 {
+		newM = 1
+	}
+	out := NewJDD()
+	counts := make(map[DegPair]int, len(j.Count))
+	apportion(j.Count, j.M, newM, counts, pairLess)
+	for p, m := range counts {
+		if m > 0 {
+			out.Add(p.K1, p.K2, m)
+		}
+	}
+	repairDivisibility(out)
+	return out, nil
+}
+
+// repairDivisibility nudges a JDD so every degree class has an endpoint
+// count divisible by its degree. Surplus endpoints of degree k (ends(k)
+// mod k of them) are re-typed as degree-1 endpoints: r edges are moved
+// from the most populous (k, k') class into (1, k'). Degree-1 endpoints
+// are always consistent, so one pass suffices for every k > 1.
+func repairDivisibility(j *JDD) {
+	ends := make(map[int]int)
+	for p, m := range j.Count {
+		if p.K1 == p.K2 {
+			ends[p.K1] += 2 * m
+		} else {
+			ends[p.K1] += m
+			ends[p.K2] += m
+		}
+	}
+	degrees := make([]int, 0, len(ends))
+	for k := range ends {
+		degrees = append(degrees, k)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degrees)))
+	for _, k := range degrees {
+		if k <= 1 {
+			continue
+		}
+		r := ends[k] % k
+		for r > 0 {
+			// Find the class holding the most k-endpoints, breaking count
+			// ties by pair order for determinism.
+			var best DegPair
+			bestCount := 0
+			for p, m := range j.Count {
+				if p.K1 != k && p.K2 != k {
+					continue
+				}
+				if m > bestCount || (m == bestCount && bestCount > 0 && pairLess(p, best)) {
+					best, bestCount = p, m
+				}
+			}
+			if bestCount == 0 {
+				break // nothing to repair; DegreeDist will report the issue
+			}
+			// Re-type exactly one k-endpoint of one edge in the class as a
+			// degree-1 endpoint: (k,k') → (1,k'), and (k,k) → (1,k). Each
+			// move removes exactly one k-endpoint, so r decrements cleanly
+			// even when only (k,k) classes remain.
+			other := best.K1
+			if other == k {
+				other = best.K2
+			}
+			j.Count[best]--
+			if j.Count[best] == 0 {
+				delete(j.Count, best)
+			}
+			j.Count[NewDegPair(1, other)]++
+			r--
+			ends[k]--
+			ends[1]++
+		}
+	}
+}
+
+// apportion distributes newTotal among the keys of src proportionally to
+// their counts (which sum to srcTotal), using the largest-remainder
+// method, writing results into dst. Keys may receive zero. Remainder ties
+// are broken by the provided key ordering so results are deterministic
+// regardless of map iteration order.
+func apportion[K comparable](src map[K]int, srcTotal, newTotal int, dst map[K]int, keyLess func(a, b K) bool) {
+	type rem struct {
+		key  K
+		frac float64
+	}
+	rems := make([]rem, 0, len(src))
+	assigned := 0
+	for k, c := range src {
+		quota := float64(c) * float64(newTotal) / float64(srcTotal)
+		base := int(quota)
+		dst[k] = base
+		assigned += base
+		rems = append(rems, rem{k, quota - float64(base)})
+	}
+	sort.Slice(rems, func(i, j int) bool {
+		if rems[i].frac != rems[j].frac {
+			return rems[i].frac > rems[j].frac
+		}
+		return keyLess(rems[i].key, rems[j].key)
+	})
+	for i := 0; assigned < newTotal && i < len(rems); i++ {
+		dst[rems[i].key]++
+		assigned++
+	}
+	// Guard against pathological rounding: dump any remaining deficit on
+	// the first (largest-remainder) class.
+	if assigned < newTotal && len(rems) > 0 {
+		dst[rems[0].key] += newTotal - assigned
+	}
+	for k, v := range dst {
+		if v == 0 {
+			delete(dst, k)
+		}
+	}
+}
+
+func intLess(a, b int) bool { return a < b }
+
+func pairLess(a, b DegPair) bool {
+	if a.K1 != b.K1 {
+		return a.K1 < b.K1
+	}
+	return a.K2 < b.K2
+}

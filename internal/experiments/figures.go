@@ -1,0 +1,417 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dk"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// namedGraph pairs a column label with a graph variant (always the GCC).
+type namedGraph struct {
+	name string
+	g    *graph.Graph
+}
+
+// gccOf returns the giant component of g.
+func gccOf(g *graph.Graph) *graph.Graph {
+	gcc, _ := graph.GiantComponent(g)
+	return gcc
+}
+
+// variants2K builds one GCC per 2K construction technique (Fig. 5a/5b).
+func (l *Lab) variants2K(ref *graph.Graph, p *dk.Profile, purpose int64) ([]namedGraph, error) {
+	out := make([]namedGraph, 0, len(twoKMethods))
+	for mi, method := range twoKMethods {
+		g, err := generate2K(ref, p, method, l.Rng(purpose+int64(mi)))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", method, err)
+		}
+		out = append(out, namedGraph{method, gccOf(g)})
+	}
+	return out, nil
+}
+
+// variantsDK builds the 0K..3K dK-random GCCs of a reference
+// (Figs. 6, 8, 9).
+func (l *Lab) variantsDK(ref *graph.Graph, purpose int64) ([]namedGraph, error) {
+	out := make([]namedGraph, 0, 4)
+	for d := 0; d <= 3; d++ {
+		g, err := generateDKRandom(ref, d, l.Rng(purpose+int64(d)))
+		if err != nil {
+			return nil, fmt.Errorf("depth %d: %w", d, err)
+		}
+		out = append(out, namedGraph{fmt.Sprintf("%dK-random", d), gccOf(g)})
+	}
+	return out, nil
+}
+
+// distanceSeries renders a hop-distance PDF series for graph variants
+// plus the original — the shape plotted in Figures 5b, 5c, 6a and 8.
+func distanceSeries(id, title string, variants []namedGraph, orig *graph.Graph) *Series {
+	variants = append(variants, namedGraph{"original", gccOf(orig)})
+	pdfs := make([][]float64, len(variants))
+	maxLen := 0
+	for i, v := range variants {
+		pdfs[i] = metrics.Distances(v.g.Static()).PDF()
+		if len(pdfs[i]) > maxLen {
+			maxLen = len(pdfs[i])
+		}
+	}
+	s := &Series{
+		ID:     id,
+		Title:  title,
+		XLabel: "distance (hops)",
+	}
+	for _, v := range variants {
+		s.Columns = append(s.Columns, v.name)
+	}
+	for x := 1; x < maxLen; x++ {
+		row := make([]float64, len(variants))
+		for i := range variants {
+			if x < len(pdfs[i]) {
+				row[i] = pdfs[i][x]
+			} // else zero: no pairs at this distance
+		}
+		s.X = append(s.X, float64(x))
+		s.Y = append(s.Y, row)
+	}
+	return s
+}
+
+// degreeBins returns geometric degree-bin lower bounds covering maxDeg:
+// 1, 2, 4, 8, ... — the log-x axis of the paper's C(k) and betweenness
+// plots.
+func degreeBins(maxDeg int) []int {
+	var bins []int
+	for b := 1; b <= maxDeg; b *= 2 {
+		bins = append(bins, b)
+	}
+	return bins
+}
+
+// binnedByDegree averages per-node values into geometric degree bins,
+// weighting every node equally; returns bin lower bound → mean.
+func binnedByDegree(s *graph.Static, values []float64, restrict func(deg int) bool) map[int]float64 {
+	sums := make(map[int]float64)
+	cnts := make(map[int]int)
+	for v, x := range values {
+		d := s.Degree(v)
+		if restrict != nil && !restrict(d) {
+			continue
+		}
+		b := 1
+		for b*2 <= d {
+			b *= 2
+		}
+		sums[b] += x
+		cnts[b]++
+	}
+	out := make(map[int]float64, len(sums))
+	for b := range sums {
+		out[b] = sums[b] / float64(cnts[b])
+	}
+	return out
+}
+
+// perDegreeSeries builds a degree-binned series across variants from a
+// per-node metric extractor.
+func perDegreeSeries(id, title, what string, variants []namedGraph, orig *graph.Graph,
+	perNode func(s *graph.Static, rng *rand.Rand) []float64,
+	restrict func(deg int) bool, rng *rand.Rand) *Series {
+	variants = append(variants, namedGraph{"original", gccOf(orig)})
+	binned := make([]map[int]float64, len(variants))
+	maxDeg := 0
+	for i, v := range variants {
+		st := v.g.Static()
+		binned[i] = binnedByDegree(st, perNode(st, rng), restrict)
+		if d := st.MaxDegree(); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	s := &Series{ID: id, Title: title, XLabel: "degree (bin lower bound)"}
+	for _, v := range variants {
+		s.Columns = append(s.Columns, v.name)
+	}
+	for _, b := range degreeBins(maxDeg) {
+		row := make([]float64, len(variants))
+		any := false
+		for i := range variants {
+			if val, ok := binned[i][b]; ok {
+				row[i] = val
+				any = true
+			} else {
+				row[i] = math.NaN()
+			}
+		}
+		if any {
+			s.X = append(s.X, float64(b))
+			s.Y = append(s.Y, row)
+		}
+	}
+	_ = what
+	return s
+}
+
+func clusteringPerNode(s *graph.Static, _ *rand.Rand) []float64 {
+	return metrics.LocalClustering(s)
+}
+
+// betweennessPerNode returns normalized betweenness, sampling sources on
+// larger graphs to keep figure regeneration fast.
+func betweennessPerNode(s *graph.Static, rng *rand.Rand) []float64 {
+	const exactLimit = 2500
+	var bc []float64
+	if s.N() <= exactLimit {
+		bc = metrics.Betweenness(s)
+	} else {
+		bc = metrics.SampledBetweenness(s, exactLimit, rng)
+	}
+	norm := float64(s.N()) * float64(s.N()-1) / 2
+	for i := range bc {
+		bc[i] /= norm
+	}
+	return bc
+}
+
+// Fig5a reproduces Figure 5(a): clustering C(k) of the skitter-like graph
+// under the five 2K-construction techniques.
+func (l *Lab) Fig5a() (*Series, error) {
+	sk, err := l.Skitter()
+	if err != nil {
+		return nil, err
+	}
+	p, err := l.SkitterProfile()
+	if err != nil {
+		return nil, err
+	}
+	vars, err := l.variants2K(sk, p, 5100)
+	if err != nil {
+		return nil, err
+	}
+	return perDegreeSeries("fig5a", "Clustering C(k) in skitter-like graphs for 2K algorithms",
+		"clustering", vars, sk, clusteringPerNode, func(d int) bool { return d >= 2 }, l.Rng(5190)), nil
+}
+
+// Fig5b reproduces Figure 5(b): the distance distribution of the HOT
+// graph under the five 2K-construction techniques.
+func (l *Lab) Fig5b() (*Series, error) {
+	hot, err := l.HOT()
+	if err != nil {
+		return nil, err
+	}
+	p, err := l.HOTProfile()
+	if err != nil {
+		return nil, err
+	}
+	vars, err := l.variants2K(hot, p, 5200)
+	if err != nil {
+		return nil, err
+	}
+	return distanceSeries("fig5b", "Distance distribution in HOT for 2K algorithms", vars, hot), nil
+}
+
+// Fig5c reproduces Figure 5(c): the distance distribution of the HOT
+// graph under 3K-randomizing and 3K-targeting rewiring.
+func (l *Lab) Fig5c() (*Series, error) {
+	hot, err := l.HOT()
+	if err != nil {
+		return nil, err
+	}
+	p, err := l.HOTProfile()
+	if err != nil {
+		return nil, err
+	}
+	var vars []namedGraph
+	for mi, method := range []string{"3K-randomizing", "3K-targeting"} {
+		g, err := generate3K(hot, p, method, l.Rng(5300+int64(mi)))
+		if err != nil {
+			return nil, err
+		}
+		vars = append(vars, namedGraph{method, gccOf(g)})
+	}
+	return distanceSeries("fig5c", "Distance distribution in HOT for 3K algorithms", vars, hot), nil
+}
+
+// Fig6a reproduces Figure 6(a): distance distributions of dK-random
+// graphs versus the skitter-like original.
+func (l *Lab) Fig6a() (*Series, error) {
+	sk, err := l.Skitter()
+	if err != nil {
+		return nil, err
+	}
+	vars, err := l.variantsDK(sk, 6100)
+	if err != nil {
+		return nil, err
+	}
+	return distanceSeries("fig6a", "Distance distribution: dK-random vs skitter-like", vars, sk), nil
+}
+
+// Fig6b reproduces Figure 6(b): normalized node betweenness versus degree
+// for dK-random graphs and the skitter-like original.
+func (l *Lab) Fig6b() (*Series, error) {
+	sk, err := l.Skitter()
+	if err != nil {
+		return nil, err
+	}
+	vars, err := l.variantsDK(sk, 6200)
+	if err != nil {
+		return nil, err
+	}
+	return perDegreeSeries("fig6b", "Normalized betweenness vs degree: dK-random vs skitter-like",
+		"betweenness", vars, sk, betweennessPerNode, nil, l.Rng(6290)), nil
+}
+
+// Fig6c reproduces Figure 6(c): clustering C(k) for dK-random graphs and
+// the skitter-like original.
+func (l *Lab) Fig6c() (*Series, error) {
+	sk, err := l.Skitter()
+	if err != nil {
+		return nil, err
+	}
+	vars, err := l.variantsDK(sk, 6300)
+	if err != nil {
+		return nil, err
+	}
+	return perDegreeSeries("fig6c", "Clustering C(k): dK-random vs skitter-like",
+		"clustering", vars, sk, clusteringPerNode, func(d int) bool { return d >= 2 }, l.Rng(6390)), nil
+}
+
+// Fig7 reproduces Figure 7: C(k) with clustering maximized and minimized
+// by 2K-preserving exploration, versus 2K-random and the original.
+func (l *Lab) Fig7() (*Series, error) {
+	sk, err := l.Skitter()
+	if err != nil {
+		return nil, err
+	}
+	budget := 40 * sk.M()
+	var vars []namedGraph
+	for _, v := range []struct {
+		name string
+		max  bool
+	}{{"2K max-C̄", true}, {"2K min-C̄", false}} {
+		res, err := exploreClustering(sk, v.max, budget, l.Rng(7000+int64(len(vars))))
+		if err != nil {
+			return nil, err
+		}
+		vars = append(vars, namedGraph{v.name, gccOf(res)})
+	}
+	rnd, err := generateDKRandom(sk, 2, l.Rng(7090))
+	if err != nil {
+		return nil, err
+	}
+	vars = append(vars, namedGraph{"2K-random", gccOf(rnd)})
+	return perDegreeSeries("fig7", "Varying clustering in 2K-graphs (skitter-like)",
+		"clustering", vars, sk, clusteringPerNode, func(d int) bool { return d >= 2 }, l.Rng(7099)), nil
+}
+
+// Fig8 reproduces Figure 8: distance distributions of dK-random graphs
+// versus the HOT original.
+func (l *Lab) Fig8() (*Series, error) {
+	hot, err := l.HOT()
+	if err != nil {
+		return nil, err
+	}
+	vars, err := l.variantsDK(hot, 8100)
+	if err != nil {
+		return nil, err
+	}
+	return distanceSeries("fig8", "Distance distribution: dK-random vs HOT", vars, hot), nil
+}
+
+// Fig9 reproduces Figure 9: betweenness versus degree for dK-random
+// graphs and the HOT original.
+func (l *Lab) Fig9() (*Series, error) {
+	hot, err := l.HOT()
+	if err != nil {
+		return nil, err
+	}
+	vars, err := l.variantsDK(hot, 9100)
+	if err != nil {
+		return nil, err
+	}
+	return perDegreeSeries("fig9", "Normalized betweenness vs degree: dK-random vs HOT",
+		"betweenness", vars, hot, betweennessPerNode, nil, l.Rng(9190)), nil
+}
+
+// Fig3 quantifies what the paper's Figure 3 visualizations show: where
+// the hubs sit. For each dK-random variant (and the original) it reports
+// the mean closeness ratio of the top-degree nodes — the average
+// distance from the 5 highest-degree nodes to everything else, divided by
+// the graph's mean pairwise distance. Ratios well below 1 mean hubs in
+// the core (0K/1K-random); ratios near or above 1 mean hubs pushed to the
+// periphery, the HOT signature that emerges at 2K and locks in at 3K.
+func (l *Lab) Fig3() (*Table, error) {
+	hot, err := l.HOT()
+	if err != nil {
+		return nil, err
+	}
+	vars, err := l.variantsDK(hot, 3100)
+	if err != nil {
+		return nil, err
+	}
+	vars = append(vars, namedGraph{"original", gccOf(hot)})
+	rows := make([][]string, 0, len(vars))
+	for _, v := range vars {
+		ratio, ecc := hubPlacement(v.g.Static())
+		rows = append(rows, []string{v.name, f(ratio), f(ecc)})
+	}
+	return &Table{
+		ID:     "fig3",
+		Title:  "Hub placement in dK-random vs HOT (closeness ratio of top-5 hubs; >1 = peripheral)",
+		Header: []string{"graph", "hub distance ratio", "mean hub eccentricity"},
+		Rows:   rows,
+	}, nil
+}
+
+// hubPlacement returns (mean distance from top-5-degree nodes to all
+// nodes) / (overall mean distance), and the hubs' mean eccentricity.
+func hubPlacement(s *graph.Static) (ratio, meanEcc float64) {
+	n := s.N()
+	type nd struct{ id, deg int }
+	nodes := make([]nd, n)
+	for i := range nodes {
+		nodes[i] = nd{i, s.Degree(i)}
+	}
+	sort.Slice(nodes, func(a, b int) bool { return nodes[a].deg > nodes[b].deg })
+	top := 5
+	if top > n {
+		top = n
+	}
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	var hubSum, hubCnt float64
+	for _, h := range nodes[:top] {
+		graph.BFS(s, h.id, dist, queue)
+		ecc := 0
+		for _, d := range dist {
+			if d > 0 {
+				hubSum += float64(d)
+				hubCnt++
+				if int(d) > ecc {
+					ecc = int(d)
+				}
+			}
+		}
+		meanEcc += float64(ecc)
+	}
+	meanEcc /= float64(top)
+	overall := metrics.SampledDistances(s, min(n, 400), rand.New(rand.NewSource(1))).Mean()
+	if overall == 0 || hubCnt == 0 {
+		return 0, meanEcc
+	}
+	return (hubSum / hubCnt) / overall, meanEcc
+}
+
+// exploreClustering is a tiny wrapper used by Fig7 and Table7.
+func exploreClustering(g *graph.Graph, maximize bool, budget int, rng *rand.Rand) (*graph.Graph, error) {
+	res, err := exploreMetricGraph(g, maximize, budget, rng)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

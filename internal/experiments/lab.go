@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/datasets"
+	"repro/internal/dk"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+// Experiment scales.
+const (
+	// ScaleSmall shrinks the reference graphs (~1200-node skitter-like,
+	// default HOT) so the full suite runs in minutes on one core;
+	// convergence shapes are unchanged.
+	ScaleSmall Scale = iota
+	// ScalePaper uses the paper's sizes (9204-node skitter-like,
+	// 939-node HOT).
+	ScalePaper
+)
+
+// Config parametrizes an experiment run.
+type Config struct {
+	Scale Scale
+	// Seeds is the number of generated graphs averaged per table cell
+	// (the paper uses 100; defaults: 3 small, 5 paper).
+	Seeds int
+	// Seed is the base RNG seed; every derived generator seeds from it.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seeds == 0 {
+		if c.Scale == ScalePaper {
+			c.Seeds = 5
+		} else {
+			c.Seeds = 3
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Lab caches the reference topologies and their profiles across the
+// experiments of one run.
+type Lab struct {
+	Cfg Config
+
+	skitter        *graph.Graph
+	skitterProfile *dk.Profile
+	hot            *graph.Graph
+	hotProfile     *dk.Profile
+}
+
+// NewLab prepares a lazily-populated lab.
+func NewLab(cfg Config) *Lab {
+	return &Lab{Cfg: cfg.withDefaults()}
+}
+
+// Rng derives a deterministic per-purpose random source.
+func (l *Lab) Rng(purpose int64) *rand.Rand {
+	return rand.New(rand.NewSource(l.Cfg.Seed*1_000_003 + purpose))
+}
+
+// Skitter returns the AS-like reference graph (GCC, connected).
+func (l *Lab) Skitter() (*graph.Graph, error) {
+	if l.skitter != nil {
+		return l.skitter, nil
+	}
+	cfg := datasets.SkitterConfig{Seed: l.Cfg.Seed}
+	if l.Cfg.Scale == ScalePaper {
+		cfg = datasets.PaperScaleSkitter(l.Cfg.Seed)
+	} else {
+		cfg.N = 1200
+	}
+	g, err := datasets.Skitter(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building skitter-like graph: %w", err)
+	}
+	l.skitter = g
+	return g, nil
+}
+
+// SkitterProfile returns the depth-3 dK-profile of the skitter-like graph.
+func (l *Lab) SkitterProfile() (*dk.Profile, error) {
+	if l.skitterProfile != nil {
+		return l.skitterProfile, nil
+	}
+	g, err := l.Skitter()
+	if err != nil {
+		return nil, err
+	}
+	p, err := dk.ExtractGraph(g, 3)
+	if err != nil {
+		return nil, err
+	}
+	l.skitterProfile = p
+	return p, nil
+}
+
+// HOT returns the router-like reference graph (connected by
+// construction).
+func (l *Lab) HOT() (*graph.Graph, error) {
+	if l.hot != nil {
+		return l.hot, nil
+	}
+	g, _, err := datasets.HOT(datasets.PaperScaleHOT(l.Cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building HOT-like graph: %w", err)
+	}
+	l.hot = g
+	return g, nil
+}
+
+// HOTProfile returns the depth-3 dK-profile of the HOT-like graph.
+func (l *Lab) HOTProfile() (*dk.Profile, error) {
+	if l.hotProfile != nil {
+		return l.hotProfile, nil
+	}
+	g, err := l.HOT()
+	if err != nil {
+		return nil, err
+	}
+	p, err := dk.ExtractGraph(g, 3)
+	if err != nil {
+		return nil, err
+	}
+	l.hotProfile = p
+	return p, nil
+}
+
+// summarizeGCC computes the scalar metrics of g's giant component.
+func summarizeGCC(g *graph.Graph, spectral bool, rng *rand.Rand) (metrics.Summary, error) {
+	gcc, _ := graph.GiantComponent(g)
+	return metrics.Summarize(gcc.Static(), metrics.SummaryOptions{
+		Spectral: spectral,
+		Rng:      rng,
+	})
+}
+
+// meanSummaryOver generates Seeds graphs via gen and averages their GCC
+// summaries.
+func (l *Lab) meanSummaryOver(spectral bool, purpose int64, gen func(rng *rand.Rand) (*graph.Graph, error)) (metrics.Summary, error) {
+	sums := make([]metrics.Summary, 0, l.Cfg.Seeds)
+	for s := 0; s < l.Cfg.Seeds; s++ {
+		rng := l.Rng(purpose*1000 + int64(s))
+		g, err := gen(rng)
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		sum, err := summarizeGCC(g, spectral, rng)
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		sums = append(sums, sum)
+	}
+	return metrics.MeanSummaries(sums), nil
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Renderable is anything an experiment can return (Table or Series).
+type Renderable interface {
+	Render(w io.Writer) error
+}
+
+// Runner executes one experiment against a Lab.
+type Runner func(l *Lab) (Renderable, error)
+
+// Registry maps experiment ids (paper table/figure names) to runners.
+var Registry = map[string]Runner{
+	"table1": func(l *Lab) (Renderable, error) { return l.Table1() },
+	"table3": func(l *Lab) (Renderable, error) { return l.Table3() },
+	"table4": func(l *Lab) (Renderable, error) { return l.Table4() },
+	"table5": func(l *Lab) (Renderable, error) { return l.Table5() },
+	"table6": func(l *Lab) (Renderable, error) { return l.Table6() },
+	"table7": func(l *Lab) (Renderable, error) { return l.Table7() },
+	"table8": func(l *Lab) (Renderable, error) { return l.Table8() },
+	"fig3":   func(l *Lab) (Renderable, error) { return l.Fig3() },
+	"fig5a":  func(l *Lab) (Renderable, error) { return l.Fig5a() },
+	"fig5b":  func(l *Lab) (Renderable, error) { return l.Fig5b() },
+	"fig5c":  func(l *Lab) (Renderable, error) { return l.Fig5c() },
+	"fig6a":  func(l *Lab) (Renderable, error) { return l.Fig6a() },
+	"fig6b":  func(l *Lab) (Renderable, error) { return l.Fig6b() },
+	"fig6c":  func(l *Lab) (Renderable, error) { return l.Fig6c() },
+	"fig7":   func(l *Lab) (Renderable, error) { return l.Fig7() },
+	"fig8":   func(l *Lab) (Renderable, error) { return l.Fig8() },
+	"fig9":   func(l *Lab) (Renderable, error) { return l.Fig9() },
+	// Extensions beyond the paper's own artifacts (see DESIGN.md §5).
+	"size4":    func(l *Lab) (Renderable, error) { return l.Size4() },
+	"appsim":   func(l *Lab) (Renderable, error) { return l.AppSim() },
+	"sexplore": func(l *Lab) (Renderable, error) { return l.SExplore() },
+}
+
+// IDs returns the registered experiment ids in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id and writes its rendering to w.
+func Run(l *Lab, id string, w io.Writer) error {
+	runner, ok := Registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	r, err := runner(l)
+	if err != nil {
+		return fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	return r.Render(w)
+}
+
+// RunAll executes every experiment in sorted id order.
+func RunAll(l *Lab, w io.Writer) error {
+	for _, id := range IDs() {
+		if err := Run(l, id, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

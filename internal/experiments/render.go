@@ -1,0 +1,94 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5) on the synthetic reference topologies, plus the
+// Table 1 maximum-entropy checks and the ablations called out in
+// DESIGN.md. Each experiment returns a structured Table or Series that
+// renders to text; cmd/dkrepro is the CLI front end and bench_test.go
+// wraps each experiment in a benchmark.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a rendered-paper-table equivalent: labeled rows × columns.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Series is a rendered-paper-figure equivalent: one X column and several
+// named Y columns. Missing points are NaN and render as "-".
+type Series struct {
+	ID      string
+	Title   string
+	XLabel  string
+	Columns []string
+	X       []float64
+	Y       [][]float64 // Y[i][j]: column j at X[i]
+}
+
+// Render writes the series as an aligned text matrix.
+func (s *Series) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", s.ID, s.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\t%s\n", s.XLabel, strings.Join(s.Columns, "\t"))
+	for i, x := range s.X {
+		cells := make([]string, 0, len(s.Columns)+1)
+		cells = append(cells, trimFloat(x))
+		for j := range s.Columns {
+			v := math.NaN()
+			if j < len(s.Y[i]) {
+				v = s.Y[i][j]
+			}
+			if math.IsNaN(v) {
+				cells = append(cells, "-")
+			} else {
+				cells = append(cells, fmt.Sprintf("%.4g", v))
+			}
+		}
+		fmt.Fprintln(tw, strings.Join(cells, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%.4g", x)
+}
+
+// f formats a float for table cells.
+func f(x float64) string { return fmt.Sprintf("%.3g", x) }
+
+// fi formats an int for table cells.
+func fi(x int64) string { return fmt.Sprintf("%d", x) }

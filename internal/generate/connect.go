@@ -1,0 +1,80 @@
+package generate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// ConnectViaSwaps makes the non-isolated part of g connected (in place)
+// without changing any node's degree, using the reconnection technique of
+// Viger–Latapy (the paper's reference [31]): swap a *cycle* (non-bridge)
+// edge (u,v) of one component with any edge (x,y) of another, rewiring to
+// (u,y),(x,v). Removing a non-bridge leaves its component whole, and the
+// two new edges tie every piece of the other component to it, so each
+// swap reduces the number of edge-bearing components by exactly one.
+//
+// Degree-preserving connection is possible iff the total edge count is at
+// least (non-isolated nodes − 1); equivalently, whenever two or more
+// edge-bearing components remain, at least one of them contains a cycle.
+// A forest input therefore returns an error. Isolated (degree-0) nodes
+// can never be attached by degree-preserving moves; their count is
+// returned.
+func ConnectViaSwaps(g *graph.Graph, rng *rand.Rand) (isolated int, err error) {
+	if rng == nil {
+		return 0, fmt.Errorf("generate: ConnectViaSwaps requires rng")
+	}
+	for {
+		s := g.Static()
+		comp, sizes := graph.Components(s)
+		isolated = 0
+		for u := 0; u < g.N(); u++ {
+			if g.Degree(u) == 0 {
+				isolated++
+			}
+		}
+		if len(sizes)-isolated <= 1 {
+			return isolated, nil
+		}
+		// Pick a cycle edge: any edge that is not a bridge.
+		bridges := graph.BridgeSet(s)
+		var cycleEdges []graph.Edge
+		for _, e := range g.Edges() {
+			if !bridges[e] {
+				cycleEdges = append(cycleEdges, e)
+			}
+		}
+		if len(cycleEdges) == 0 {
+			return isolated, fmt.Errorf(
+				"generate: cannot connect: %d components but no cycles (m < n-1 over non-isolated nodes)",
+				len(sizes)-isolated)
+		}
+		e1 := cycleEdges[rng.Intn(len(cycleEdges))]
+		// Any edge in a different component.
+		var otherEdges []graph.Edge
+		for _, e := range g.Edges() {
+			if comp[e.U] != comp[e1.U] {
+				otherEdges = append(otherEdges, e)
+			}
+		}
+		if len(otherEdges) == 0 {
+			// The cyclic component already holds every edge; only
+			// isolated nodes remain outside, which the check above
+			// would have caught.
+			return isolated, fmt.Errorf("generate: internal error: no cross-component edge")
+		}
+		e2 := otherEdges[rng.Intn(len(otherEdges))]
+		u, v := e1.U, e1.V
+		x, y := e2.U, e2.V
+		if rng.Intn(2) == 0 {
+			x, y = y, x
+		}
+		// Endpoints lie in different components, so all four are distinct
+		// and neither (u,y) nor (x,v) can already exist.
+		g.RemoveEdge(u, v)
+		g.RemoveEdge(x, y)
+		mustAdd(g, u, y)
+		mustAdd(g, x, v)
+	}
+}

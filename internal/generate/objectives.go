@@ -1,0 +1,464 @@
+package generate
+
+import (
+	"fmt"
+
+	"repro/internal/dk"
+	"repro/internal/graph"
+	"repro/internal/subgraphs"
+)
+
+// Objective scores candidate rewiring moves incrementally. The Rewirer
+// calls Begin, then WillRemove/WillAdd immediately before each edge
+// mutation of the candidate (so the objective sees the adjacency state
+// right before the change), then reads Delta and finally either Commits or
+// Rolls back. Objectives must be cheap: they are evaluated once per
+// proposal.
+type Objective interface {
+	Init(g *graph.Graph) error
+	Begin()
+	WillRemove(g *graph.Graph, u, v int)
+	WillAdd(g *graph.Graph, u, v int)
+	Delta() float64
+	Commit()
+	Rollback()
+}
+
+// --- D1: degree-distribution distance (1K-targeting, 0K-preserving) ---
+
+// DegreeDistObjective tracks D1 = Σ_k (n_cur(k) − n_tgt(k))² under moves
+// that change node degrees (depth-0 rewiring).
+type DegreeDistObjective struct {
+	target  map[int]int
+	current map[int]int
+	pending map[int]int // degree class → count delta of the candidate
+	delta   float64
+}
+
+// NewDegreeDistObjective targets the given degree distribution.
+func NewDegreeDistObjective(target *dk.DegreeDist) *DegreeDistObjective {
+	return &DegreeDistObjective{target: target.Count}
+}
+
+// Init snapshots g's degree distribution.
+func (o *DegreeDistObjective) Init(g *graph.Graph) error {
+	o.current = make(map[int]int)
+	for u := 0; u < g.N(); u++ {
+		o.current[g.Degree(u)]++
+	}
+	o.pending = make(map[int]int)
+	return nil
+}
+
+// Begin resets the candidate accumulator.
+func (o *DegreeDistObjective) Begin() {
+	clear(o.pending)
+	o.delta = 0
+}
+
+func (o *DegreeDistObjective) moveNode(from, to int) {
+	o.bump(from, -1)
+	o.bump(to, +1)
+}
+
+// bump applies a ±1 change to class k, updating the running D1 delta:
+// for a count change c → c+s against target t, the squared-error change
+// is s·(2(c−t)+s) with c the count including previously pending changes.
+func (o *DegreeDistObjective) bump(k, s int) {
+	c := float64(o.current[k] + o.pending[k])
+	t := float64(o.target[k])
+	o.delta += float64(s) * (2*(c-t) + float64(s))
+	o.pending[k] += s
+}
+
+// WillRemove lowers both endpoint degrees by one.
+func (o *DegreeDistObjective) WillRemove(g *graph.Graph, u, v int) {
+	du, dv := g.Degree(u), g.Degree(v)
+	o.moveNode(du, du-1)
+	o.moveNode(dv, dv-1)
+}
+
+// WillAdd raises both endpoint degrees by one.
+func (o *DegreeDistObjective) WillAdd(g *graph.Graph, u, v int) {
+	du, dv := g.Degree(u), g.Degree(v)
+	o.moveNode(du, du+1)
+	o.moveNode(dv, dv+1)
+}
+
+// Delta returns the candidate's D1 change.
+func (o *DegreeDistObjective) Delta() float64 { return o.delta }
+
+// Commit folds the pending changes into the tracked distribution.
+func (o *DegreeDistObjective) Commit() {
+	for k, s := range o.pending {
+		o.current[k] += s
+	}
+}
+
+// Rollback discards the pending changes.
+func (o *DegreeDistObjective) Rollback() {}
+
+// Current returns the tracked D1 value recomputed from state (test hook).
+func (o *DegreeDistObjective) Current() float64 {
+	var sum float64
+	seen := make(map[int]bool)
+	for k, c := range o.current {
+		d := float64(c - o.target[k])
+		sum += d * d
+		seen[k] = true
+	}
+	for k, t := range o.target {
+		if !seen[k] {
+			sum += float64(t) * float64(t)
+		}
+	}
+	return sum
+}
+
+// --- D2: JDD distance (2K-targeting, 1K-preserving) ---
+
+// JDDObjective tracks the paper's D2 = Σ (m_cur(k1,k2) − m_tgt(k1,k2))²
+// under degree-preserving moves.
+type JDDObjective struct {
+	target  map[dk.DegPair]int
+	current map[dk.DegPair]int
+	pending map[dk.DegPair]int
+	deg     []int
+	delta   float64
+}
+
+// NewJDDObjective targets the given joint degree distribution.
+func NewJDDObjective(target *dk.JDD) *JDDObjective {
+	return &JDDObjective{target: target.Count}
+}
+
+// Init snapshots g's JDD and degree sequence.
+func (o *JDDObjective) Init(g *graph.Graph) error {
+	p, err := dk.ExtractGraph(g, 2)
+	if err != nil {
+		return err
+	}
+	o.current = p.Joint.Count
+	o.pending = make(map[dk.DegPair]int)
+	o.deg = g.DegreeSequence()
+	return nil
+}
+
+// Begin resets the candidate accumulator.
+func (o *JDDObjective) Begin() {
+	clear(o.pending)
+	o.delta = 0
+}
+
+func (o *JDDObjective) bump(u, v, s int) {
+	p := dk.NewDegPair(o.deg[u], o.deg[v])
+	c := float64(o.current[p] + o.pending[p])
+	t := float64(o.target[p])
+	o.delta += float64(s) * (2*(c-t) + float64(s))
+	o.pending[p] += s
+}
+
+// WillRemove decrements the edge's degree-pair class.
+func (o *JDDObjective) WillRemove(g *graph.Graph, u, v int) { o.bump(u, v, -1) }
+
+// WillAdd increments the edge's degree-pair class.
+func (o *JDDObjective) WillAdd(g *graph.Graph, u, v int) { o.bump(u, v, +1) }
+
+// Delta returns the candidate's D2 change.
+func (o *JDDObjective) Delta() float64 { return o.delta }
+
+// Commit folds the pending changes into the tracked JDD.
+func (o *JDDObjective) Commit() {
+	for p, s := range o.pending {
+		o.current[p] += s
+	}
+}
+
+// Rollback discards the pending changes.
+func (o *JDDObjective) Rollback() {}
+
+// Current recomputes D2 from tracked state (test hook).
+func (o *JDDObjective) Current() float64 {
+	var sum float64
+	seen := make(map[dk.DegPair]bool)
+	for p, c := range o.current {
+		d := float64(c - o.target[p])
+		sum += d * d
+		seen[p] = true
+	}
+	for p, t := range o.target {
+		if !seen[p] {
+			sum += float64(t) * float64(t)
+		}
+	}
+	return sum
+}
+
+// --- D3: wedge/triangle census distance (3K-targeting, 2K-preserving) ---
+
+// CensusObjective tracks the paper's D3 — squared count differences over
+// wedge and triangle classes — under degree-preserving moves, using the
+// incremental census deltas from internal/subgraphs.
+type CensusObjective struct {
+	target  *subgraphs.Census
+	current *subgraphs.Census
+	pend    *subgraphs.Delta
+	deg     []int
+}
+
+// NewCensusObjective targets the given wedge/triangle census.
+func NewCensusObjective(target *subgraphs.Census) *CensusObjective {
+	return &CensusObjective{target: target}
+}
+
+// Init counts g's census.
+func (o *CensusObjective) Init(g *graph.Graph) error {
+	o.current = subgraphs.Count(g.Static())
+	o.pend = subgraphs.NewDelta()
+	o.deg = g.DegreeSequence()
+	return nil
+}
+
+// Begin resets the candidate delta.
+func (o *CensusObjective) Begin() { o.pend.Reset() }
+
+// WillRemove accumulates the census change of deleting (u,v).
+func (o *CensusObjective) WillRemove(g *graph.Graph, u, v int) {
+	o.pend.RemoveEdge(g, o.deg, u, v)
+}
+
+// WillAdd accumulates the census change of inserting (u,v).
+func (o *CensusObjective) WillAdd(g *graph.Graph, u, v int) {
+	o.pend.AddEdge(g, o.deg, u, v)
+}
+
+// Delta returns the candidate's D3 change: for each class with pending
+// change δ against current count c and target t, the squared-error change
+// is δ·(2(c−t)+δ).
+func (o *CensusObjective) Delta() float64 {
+	var sum float64
+	for k, d := range o.pend.Wedges {
+		c := float64(o.current.Wedges[k])
+		t := float64(o.target.Wedges[k])
+		sum += float64(d) * (2*(c-t) + float64(d))
+	}
+	for k, d := range o.pend.Triangles {
+		c := float64(o.current.Triangles[k])
+		t := float64(o.target.Triangles[k])
+		sum += float64(d) * (2*(c-t) + float64(d))
+	}
+	return sum
+}
+
+// Commit folds the pending delta into the tracked census.
+func (o *CensusObjective) Commit() { o.pend.ApplyTo(o.current) }
+
+// Rollback discards the pending delta.
+func (o *CensusObjective) Rollback() {}
+
+// Current recomputes D3 from tracked state (test hook).
+func (o *CensusObjective) Current() float64 {
+	return dk.D3(o.current, o.target)
+}
+
+// --- Scalar exploration objectives ---
+
+// LikelihoodObjective scores moves by the likelihood S = Σ_E d_u·d_v,
+// the 1K-space exploration metric of Section 4.3. Degree-preserving moves
+// only.
+type LikelihoodObjective struct {
+	deg   []int
+	delta float64
+}
+
+// Init caches the degree sequence.
+func (o *LikelihoodObjective) Init(g *graph.Graph) error {
+	o.deg = g.DegreeSequence()
+	return nil
+}
+
+// Begin resets the candidate accumulator.
+func (o *LikelihoodObjective) Begin() { o.delta = 0 }
+
+// WillRemove subtracts the removed edge's degree product.
+func (o *LikelihoodObjective) WillRemove(g *graph.Graph, u, v int) {
+	o.delta -= float64(o.deg[u]) * float64(o.deg[v])
+}
+
+// WillAdd adds the inserted edge's degree product.
+func (o *LikelihoodObjective) WillAdd(g *graph.Graph, u, v int) {
+	o.delta += float64(o.deg[u]) * float64(o.deg[v])
+}
+
+// Delta returns the candidate's S change.
+func (o *LikelihoodObjective) Delta() float64 { return o.delta }
+
+// Commit is a no-op: S is fully determined by the graph.
+func (o *LikelihoodObjective) Commit() {}
+
+// Rollback is a no-op.
+func (o *LikelihoodObjective) Rollback() {}
+
+// S2Objective scores moves by the second-order likelihood
+// S2 = Σ_{open wedges} d_end1·d_end2, via the census delta. Degree-
+// preserving moves only.
+type S2Objective struct {
+	pend *subgraphs.Delta
+	deg  []int
+}
+
+// Init prepares the delta accumulator.
+func (o *S2Objective) Init(g *graph.Graph) error {
+	o.pend = subgraphs.NewDelta()
+	o.deg = g.DegreeSequence()
+	return nil
+}
+
+// Begin resets the candidate delta.
+func (o *S2Objective) Begin() { o.pend.Reset() }
+
+// WillRemove accumulates the census change of deleting (u,v).
+func (o *S2Objective) WillRemove(g *graph.Graph, u, v int) {
+	o.pend.RemoveEdge(g, o.deg, u, v)
+}
+
+// WillAdd accumulates the census change of inserting (u,v).
+func (o *S2Objective) WillAdd(g *graph.Graph, u, v int) {
+	o.pend.AddEdge(g, o.deg, u, v)
+}
+
+// Delta returns the candidate's S2 change: Σ over wedge classes of
+// δ·K_lo·K_hi.
+func (o *S2Objective) Delta() float64 {
+	var sum float64
+	for k, d := range o.pend.Wedges {
+		sum += float64(d) * float64(k.KLo) * float64(k.KHi)
+	}
+	return sum
+}
+
+// Commit is a no-op: S2 is fully determined by the graph.
+func (o *S2Objective) Commit() {}
+
+// Rollback is a no-op.
+func (o *S2Objective) Rollback() {}
+
+// ClusteringObjective scores moves by the mean clustering C̄ (average of
+// c(v) = tri(v)/C(d_v,2) over nodes with degree ≥ 2). It maintains exact
+// per-node triangle counts; degree-preserving moves only, so the set of
+// degree-≥2 nodes — and hence the normalization — is constant.
+type ClusteringObjective struct {
+	tri     []int64
+	pending map[int]int64
+	deg     []int
+	invPair []float64 // 2/(d·(d−1)) per node, 0 for degree < 2
+	n2      float64   // number of nodes with degree >= 2
+}
+
+// Init counts triangles per node.
+func (o *ClusteringObjective) Init(g *graph.Graph) error {
+	s := g.Static()
+	o.deg = g.DegreeSequence()
+	o.tri = make([]int64, g.N())
+	o.invPair = make([]float64, g.N())
+	o.pending = make(map[int]int64)
+	o.n2 = 0
+	for v, d := range o.deg {
+		if d >= 2 {
+			o.invPair[v] = 2 / (float64(d) * float64(d-1))
+			o.n2++
+		}
+	}
+	if o.n2 == 0 {
+		return fmt.Errorf("generate: clustering objective needs a node of degree >= 2")
+	}
+	// One triangle pass.
+	for u := 0; u < s.N(); u++ {
+		for _, v32 := range s.Neighbors(u) {
+			v := int(v32)
+			if v <= u {
+				continue
+			}
+			a, b := u, v
+			if s.Degree(a) > s.Degree(b) {
+				a, b = b, a
+			}
+			for _, w32 := range s.Neighbors(a) {
+				w := int(w32)
+				if w <= v {
+					continue
+				}
+				if s.HasEdge(b, w) {
+					o.tri[u]++
+					o.tri[v]++
+					o.tri[w]++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Begin resets the candidate accumulator.
+func (o *ClusteringObjective) Begin() { clear(o.pending) }
+
+func (o *ClusteringObjective) edgeChange(g *graph.Graph, u, v int, sign int64) {
+	small, large := u, v
+	if g.Degree(small) > g.Degree(large) {
+		small, large = large, small
+	}
+	g.VisitNeighbors(small, func(w int) bool {
+		if w != large && g.HasEdge(w, large) {
+			o.pending[u] += sign
+			o.pending[v] += sign
+			o.pending[w] += sign
+		}
+		return true
+	})
+}
+
+// WillRemove accumulates triangle losses through common neighbors.
+func (o *ClusteringObjective) WillRemove(g *graph.Graph, u, v int) {
+	o.edgeChange(g, u, v, -1)
+}
+
+// WillAdd accumulates triangle gains through common neighbors.
+func (o *ClusteringObjective) WillAdd(g *graph.Graph, u, v int) {
+	o.edgeChange(g, u, v, +1)
+}
+
+// Delta returns the candidate's C̄ change. The pending contributions are
+// summed in sorted node order: float addition is not associative, and
+// map-order summation would make otherwise identical runs diverge at
+// near-zero deltas, breaking seed determinism.
+func (o *ClusteringObjective) Delta() float64 {
+	keys := make([]int, 0, len(o.pending))
+	for v := range o.pending {
+		keys = append(keys, v)
+	}
+	sortInts(keys)
+	var sum float64
+	for _, v := range keys {
+		sum += float64(o.pending[v]) * o.invPair[v]
+	}
+	return sum / o.n2
+}
+
+// Commit folds the pending per-node triangle changes in.
+func (o *ClusteringObjective) Commit() {
+	for v, d := range o.pending {
+		o.tri[v] += d
+	}
+}
+
+// Rollback discards pending changes.
+func (o *ClusteringObjective) Rollback() {}
+
+// Current returns the tracked C̄ value (test hook).
+func (o *ClusteringObjective) Current() float64 {
+	var sum float64
+	for v, t := range o.tri {
+		sum += float64(t) * o.invPair[v]
+	}
+	return sum / o.n2
+}

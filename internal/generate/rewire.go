@@ -1,0 +1,335 @@
+package generate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/subgraphs"
+)
+
+// Move is one dK-preserving rewiring step, expressed as edge removals
+// followed by edge insertions.
+//
+//	depth 0:  remove (U,V),           add (X,Y)           — preserves k̄
+//	depth 1+: remove (U,V) and (X,Y), add (U,Y) and (X,V) — preserves P(k)
+//
+// For depth 2 the proposal additionally requires deg(V) = deg(Y) or
+// deg(U) = deg(X) (Figure 4 of the paper), which preserves the JDD; for
+// depth 3 the engine also verifies that the wedge/triangle census is
+// unchanged.
+type Move struct {
+	U, V, X, Y int
+	Depth      int
+}
+
+// RewireStats reports what a rewiring run did.
+type RewireStats struct {
+	Attempts int // candidate proposals examined
+	Accepted int // moves applied (and kept)
+	Reverted int // moves applied and rolled back by constraints/objective
+}
+
+// Rewirer performs dK-preserving rewiring on a mutable graph with an
+// optional Objective scoring each candidate move and an acceptance Policy
+// deciding from the objective delta. A nil objective with the default
+// policy yields pure dK-randomizing rewiring.
+type Rewirer struct {
+	G     *graph.Graph
+	Depth int // preserved depth d: 0, 1, 2 or 3
+	Rng   *rand.Rand
+	// Obj scores candidate moves; nil accepts unconditionally (subject to
+	// the structural constraints of Depth).
+	Obj Objective
+	// Accept decides from the objective delta; nil accepts everything.
+	Accept Policy
+	// PreserveConnectivity rejects moves that disconnect the graph
+	// (checked by BFS after each accepted move — expensive; the paper
+	// itself does not check and extracts GCCs afterwards).
+	PreserveConnectivity bool
+
+	deg      []int
+	censusOK bool // Depth==3 machinery initialized
+	delta    *subgraphs.Delta
+}
+
+// Policy maps an objective delta to an accept/reject decision.
+type Policy func(rng *rand.Rand, delta float64) bool
+
+// PolicyAlways accepts every structurally valid move (randomizing).
+func PolicyAlways(*rand.Rand, float64) bool { return true }
+
+// PolicyMinimize accepts strictly improving (negative-delta) moves.
+func PolicyMinimize(_ *rand.Rand, d float64) bool { return d < 0 }
+
+// PolicyMaximize accepts strictly increasing moves.
+func PolicyMaximize(_ *rand.Rand, d float64) bool { return d > 0 }
+
+// PolicyMetropolis returns the simulated-annealing acceptance rule of
+// Section 4.1.4 at fixed temperature T: improving moves always pass,
+// worsening moves pass with probability exp(−Δ/T). T = 0 degenerates to
+// PolicyMinimize (the paper's zero-temperature targeting).
+func PolicyMetropolis(T float64) Policy {
+	return func(rng *rand.Rand, d float64) bool {
+		if d < 0 {
+			return true
+		}
+		if T <= 0 {
+			return false
+		}
+		return rng.Float64() < math.Exp(-d/T)
+	}
+}
+
+// NewRewirer validates and prepares a rewiring run over g.
+func NewRewirer(g *graph.Graph, depth int, rng *rand.Rand) (*Rewirer, error) {
+	if depth < 0 || depth > 3 {
+		return nil, fmt.Errorf("generate: rewiring depth %d outside 0..3", depth)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("generate: rewiring requires a random source")
+	}
+	if g.M() < 2 {
+		return nil, fmt.Errorf("generate: graph has %d edges; need at least 2", g.M())
+	}
+	r := &Rewirer{G: g, Depth: depth, Rng: rng}
+	r.deg = g.DegreeSequence()
+	if depth == 3 {
+		r.delta = subgraphs.NewDelta()
+		r.censusOK = true
+	}
+	return r, nil
+}
+
+// propose draws a structurally valid candidate move for the configured
+// depth, or ok = false if the draw failed (caller retries).
+func (r *Rewirer) propose() (Move, bool) {
+	g, rng := r.G, r.Rng
+	if r.Depth == 0 {
+		e := g.EdgeAt(rng.Intn(g.M()))
+		x, y := rng.Intn(g.N()), rng.Intn(g.N())
+		if x == y || g.HasEdge(x, y) {
+			return Move{}, false
+		}
+		return Move{U: e.U, V: e.V, X: x, Y: y, Depth: 0}, true
+	}
+	e1 := g.EdgeAt(rng.Intn(g.M()))
+	e2 := g.EdgeAt(rng.Intn(g.M()))
+	u, v := e1.U, e1.V
+	x, y := e2.U, e2.V
+	if rng.Intn(2) == 0 {
+		u, v = v, u
+	}
+	if rng.Intn(2) == 0 {
+		x, y = y, x
+	}
+	// Candidate swap: (u,v),(x,y) → (u,y),(x,v).
+	if u == x || u == y || v == x || v == y {
+		return Move{}, false
+	}
+	if g.HasEdge(u, y) || g.HasEdge(x, v) {
+		return Move{}, false
+	}
+	if r.Depth >= 2 {
+		// JDD preservation: the multiset {(du,dv),(dx,dy)} must equal
+		// {(du,dy),(dx,dv)}, which holds iff dv = dy or du = dx.
+		if r.deg[v] != r.deg[y] && r.deg[u] != r.deg[x] {
+			return Move{}, false
+		}
+	}
+	return Move{U: u, V: v, X: x, Y: y, Depth: r.Depth}, true
+}
+
+// apply performs the move's edge operations, routing each through the
+// objective (and, at depth 3, the census delta).
+func (r *Rewirer) apply(m Move) {
+	g := r.G
+	if r.Obj != nil {
+		r.Obj.Begin()
+	}
+	if r.censusOK {
+		r.delta.Reset()
+	}
+	remove := func(a, b int) {
+		if r.Obj != nil {
+			r.Obj.WillRemove(g, a, b)
+		}
+		if r.censusOK {
+			r.delta.RemoveEdge(g, r.deg, a, b)
+		}
+		g.RemoveEdge(a, b)
+	}
+	add := func(a, b int) {
+		if r.Obj != nil {
+			r.Obj.WillAdd(g, a, b)
+		}
+		if r.censusOK {
+			r.delta.AddEdge(g, r.deg, a, b)
+		}
+		mustAdd(g, a, b)
+	}
+	if m.Depth == 0 {
+		remove(m.U, m.V)
+		add(m.X, m.Y)
+		return
+	}
+	remove(m.U, m.V)
+	remove(m.X, m.Y)
+	add(m.U, m.Y)
+	add(m.X, m.V)
+}
+
+// revert undoes a move applied by apply (inverse operations in reverse
+// order), bypassing objective callbacks; callers pair it with
+// Obj.Rollback.
+func (r *Rewirer) revert(m Move) {
+	g := r.G
+	if m.Depth == 0 {
+		g.RemoveEdge(m.X, m.Y)
+		mustAdd(g, m.U, m.V)
+		return
+	}
+	g.RemoveEdge(m.X, m.V)
+	g.RemoveEdge(m.U, m.Y)
+	mustAdd(g, m.X, m.Y)
+	mustAdd(g, m.U, m.V)
+}
+
+// Step proposes and evaluates one candidate move. It reports whether a
+// move was accepted; attempts that fail structural constraints return
+// (false, nil).
+func (r *Rewirer) Step() (bool, error) {
+	m, ok := r.propose()
+	if !ok {
+		return false, nil
+	}
+	r.apply(m)
+	// Depth-3 structural constraint: census must be unchanged.
+	if r.censusOK && !r.delta.IsZero() {
+		r.revert(m)
+		if r.Obj != nil {
+			r.Obj.Rollback()
+		}
+		return false, nil
+	}
+	if r.Obj != nil {
+		delta := r.Obj.Delta()
+		accept := r.Accept
+		if accept == nil {
+			accept = PolicyAlways
+		}
+		if !accept(r.Rng, delta) {
+			r.revert(m)
+			r.Obj.Rollback()
+			return false, nil
+		}
+	}
+	if r.PreserveConnectivity && !graph.IsConnected(r.G.Static()) {
+		r.revert(m)
+		if r.Obj != nil {
+			r.Obj.Rollback()
+		}
+		return false, nil
+	}
+	if r.Obj != nil {
+		r.Obj.Commit()
+	}
+	// Depth-0 moves change degrees; keep the cache honest.
+	if m.Depth == 0 {
+		r.deg[m.U]--
+		r.deg[m.V]--
+		r.deg[m.X]++
+		r.deg[m.Y]++
+	}
+	return true, nil
+}
+
+// Run performs up to maxAttempts proposals, stopping early after accepted
+// moves reach wantAccepted (0 means no acceptance target) or after
+// patience consecutive rejections (0 means unlimited patience).
+func (r *Rewirer) Run(wantAccepted, maxAttempts, patience int) (RewireStats, error) {
+	var st RewireStats
+	sinceAccept := 0
+	for st.Attempts = 0; st.Attempts < maxAttempts; st.Attempts++ {
+		ok, err := r.Step()
+		if err != nil {
+			return st, err
+		}
+		if ok {
+			st.Accepted++
+			sinceAccept = 0
+			if wantAccepted > 0 && st.Accepted >= wantAccepted {
+				st.Attempts++
+				break
+			}
+		} else {
+			sinceAccept++
+			if patience > 0 && sinceAccept >= patience {
+				st.Attempts++
+				break
+			}
+		}
+	}
+	return st, nil
+}
+
+// RandomizeOptions configures dK-randomizing rewiring.
+type RandomizeOptions struct {
+	Rng *rand.Rand
+	// SwapFactor scales the accepted-swap target: SwapFactor·M successful
+	// swaps (default 10, following the paper's 10× convention and the
+	// O(m) mixing result it cites).
+	SwapFactor int
+	// AttemptFactor scales the proposal budget: AttemptFactor·M proposals
+	// (default 40·SwapFactor for depth 3 — whose acceptance rate is tiny
+	// by design — and 10·SwapFactor otherwise).
+	AttemptFactor int
+	// PatienceFactor stops the run after PatienceFactor·M consecutive
+	// rejected proposals (default 10; negative disables). Depth-3 runs on
+	// heavily constrained graphs converge by exhausting their tiny set of
+	// census-preserving swaps, which this bounds cleanly.
+	PatienceFactor int
+	// PreserveConnectivity rejects disconnecting moves (expensive).
+	PreserveConnectivity bool
+}
+
+// Randomize applies dK-preserving randomizing rewiring (Section 4.1.4) to
+// a copy of g, returning the rewired graph. The input graph is unchanged.
+func Randomize(g *graph.Graph, depth int, opt RandomizeOptions) (*graph.Graph, RewireStats, error) {
+	if opt.Rng == nil {
+		return nil, RewireStats{}, fmt.Errorf("generate: Randomize requires Rng")
+	}
+	out := g.Clone()
+	r, err := NewRewirer(out, depth, opt.Rng)
+	if err != nil {
+		return nil, RewireStats{}, err
+	}
+	r.PreserveConnectivity = opt.PreserveConnectivity
+	swapFactor := opt.SwapFactor
+	if swapFactor <= 0 {
+		swapFactor = 10
+	}
+	attemptFactor := opt.AttemptFactor
+	if attemptFactor <= 0 {
+		attemptFactor = 10 * swapFactor
+		if depth == 3 {
+			attemptFactor = 40 * swapFactor
+		}
+	}
+	patienceFactor := opt.PatienceFactor
+	if patienceFactor == 0 {
+		patienceFactor = 10
+	}
+	patience := 0
+	if patienceFactor > 0 {
+		patience = patienceFactor * g.M()
+	}
+	want := swapFactor * g.M()
+	budget := attemptFactor * g.M()
+	st, err := r.Run(want, budget, patience)
+	if err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}

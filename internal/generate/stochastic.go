@@ -1,0 +1,142 @@
+package generate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dk"
+	"repro/internal/graph"
+)
+
+// classes groups node ids by their target degree, assigning ids densely:
+// nodes of the same expected degree are interchangeable, which lets all
+// stochastic constructions sample whole class-pair blocks at constant
+// probability.
+type classes struct {
+	degrees []int   // distinct degrees, ascending
+	nodes   [][]int // nodes[i] = node ids with target degree degrees[i]
+	n       int
+}
+
+func classesFromDist(dd *dk.DegreeDist) classes {
+	var c classes
+	for _, k := range dd.Degrees() {
+		cnt := dd.Count[k]
+		if cnt <= 0 {
+			continue
+		}
+		ids := make([]int, cnt)
+		for i := range ids {
+			ids[i] = c.n
+			c.n++
+		}
+		c.degrees = append(c.degrees, k)
+		c.nodes = append(c.nodes, ids)
+	}
+	return c
+}
+
+// Stochastic1K is the Chung–Lu construction: nodes are labeled with
+// expected degrees q_i drawn as the exact class sizes of dd, and each pair
+// (i,j) is connected with probability p = min(1, q_i·q_j/(n·q̄)). The
+// degree distribution is reproduced in expectation; the paper's §4.1.1
+// discussion of its high variance is reproduced by the experiments.
+func Stochastic1K(dd *dk.DegreeDist, opt Options) (*graph.Graph, error) {
+	rng, err := opt.rng()
+	if err != nil {
+		return nil, err
+	}
+	cls := classesFromDist(dd)
+	if cls.n == 0 {
+		return nil, fmt.Errorf("generate: empty degree distribution")
+	}
+	sumQ := float64(dd.TotalDegree()) // n·q̄
+	if sumQ == 0 {
+		return graph.New(cls.n), nil
+	}
+	g := graph.New(cls.n)
+	add := func(u, v int) {
+		if err := g.AddEdge(u, v); err != nil {
+			panic("generate: stochastic1K duplicate: " + err.Error())
+		}
+	}
+	for a := range cls.degrees {
+		for b := a; b < len(cls.degrees); b++ {
+			p := float64(cls.degrees[a]) * float64(cls.degrees[b]) / sumQ
+			sampleClassPair(rng, cls.nodes[a], cls.nodes[b], a == b, p, add)
+		}
+	}
+	return g, nil
+}
+
+// Stochastic2K is the hidden-variable construction reproducing the joint
+// degree distribution in expectation: nodes are labeled with target
+// degrees implied by the JDD, and class pair (k1,k2) blocks are sampled
+// with probability m(k1,k2)/n(k1)·n(k2) (within-class: m(k,k)/C(n(k),2)).
+// This matches the paper's p_2K(q1,q2) = (q̄/n)·P(q1,q2)/(P(q1)P(q2)) in
+// count form.
+func Stochastic2K(jdd *dk.JDD, opt Options) (*graph.Graph, error) {
+	rng, err := opt.rng()
+	if err != nil {
+		return nil, err
+	}
+	dd, err := jdd.DegreeDist()
+	if err != nil {
+		return nil, fmt.Errorf("generate: stochastic2K: %w", err)
+	}
+	cls := classesFromDist(dd)
+	if cls.n == 0 {
+		return nil, fmt.Errorf("generate: empty JDD")
+	}
+	classIdx := make(map[int]int, len(cls.degrees))
+	for i, k := range cls.degrees {
+		classIdx[k] = i
+	}
+	g := graph.New(cls.n)
+	add := func(u, v int) {
+		if err := g.AddEdge(u, v); err != nil {
+			panic("generate: stochastic2K duplicate: " + err.Error())
+		}
+	}
+	for pair, m := range jdd.Count {
+		if m <= 0 {
+			continue
+		}
+		a := classIdx[pair.K1]
+		b := classIdx[pair.K2]
+		var pairs float64
+		same := pair.K1 == pair.K2
+		na, nb := len(cls.nodes[a]), len(cls.nodes[b])
+		if same {
+			pairs = float64(na) * float64(na-1) / 2
+		} else {
+			pairs = float64(na) * float64(nb)
+		}
+		if pairs == 0 {
+			continue
+		}
+		p := float64(m) / pairs
+		sampleClassPair(rng, cls.nodes[a], cls.nodes[b], same, p, add)
+	}
+	return g, nil
+}
+
+// sampleClassPair samples edges between two node classes (or within one
+// when same is true) at constant probability p.
+func sampleClassPair(rng *rand.Rand, A, B []int, same bool, p float64, add func(u, v int)) {
+	if same {
+		n := len(A)
+		total := int64(n) * int64(n-1) / 2
+		blockSample(rng, total, p,
+			func(idx int64) (int, int) {
+				i, j := unrankSamePair(idx, n)
+				return A[i], A[j]
+			}, add)
+		return
+	}
+	total := int64(len(A)) * int64(len(B))
+	blockSample(rng, total, p,
+		func(idx int64) (int, int) {
+			return A[idx/int64(len(B))], B[idx%int64(len(B))]
+		}, add)
+}

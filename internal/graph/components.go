@@ -1,0 +1,117 @@
+package graph
+
+// Components labels the connected components of s. It returns a node→
+// component-id slice (ids are dense, assigned in discovery order) and the
+// size of each component.
+func Components(s *Static) (comp []int32, sizes []int) {
+	n := s.N()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	next := int32(0)
+	for root := 0; root < n; root++ {
+		if comp[root] >= 0 {
+			continue
+		}
+		id := next
+		next++
+		size := 1
+		comp[root] = id
+		queue = append(queue[:0], int32(root))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range s.Neighbors(int(u)) {
+				if comp[v] < 0 {
+					comp[v] = id
+					size++
+					queue = append(queue, v)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	return comp, sizes
+}
+
+// IsConnected reports whether s is connected (the empty graph counts as
+// connected).
+func IsConnected(s *Static) bool {
+	if s.N() == 0 {
+		return true
+	}
+	_, sizes := Components(s)
+	return len(sizes) == 1
+}
+
+// GiantComponent returns the subgraph induced by the largest connected
+// component of g, together with a mapping from new node ids to the
+// original ids. Ties are broken by the smallest original root node, which
+// makes the result deterministic.
+func GiantComponent(g *Graph) (*Graph, []int) {
+	s := g.Static()
+	comp, sizes := Components(s)
+	if len(sizes) == 0 {
+		return New(0), nil
+	}
+	best := 0
+	for id, sz := range sizes {
+		if sz > sizes[best] {
+			best = id
+		}
+	}
+	return inducedSubgraph(g, comp, int32(best), sizes[best])
+}
+
+// Subgraph returns the subgraph induced by the given node set and the
+// new→old node id mapping. Nodes outside the set and edges with an
+// endpoint outside the set are dropped.
+func Subgraph(g *Graph, nodes []int) (*Graph, []int) {
+	mark := make([]bool, g.N())
+	for _, u := range nodes {
+		mark[u] = true
+	}
+	oldToNew := make([]int, g.N())
+	newToOld := make([]int, 0, len(nodes))
+	for u := 0; u < g.N(); u++ {
+		if mark[u] {
+			oldToNew[u] = len(newToOld)
+			newToOld = append(newToOld, u)
+		} else {
+			oldToNew[u] = -1
+		}
+	}
+	sub := New(len(newToOld))
+	for _, e := range g.edges {
+		if mark[e.U] && mark[e.V] {
+			if err := sub.AddEdge(oldToNew[e.U], oldToNew[e.V]); err != nil {
+				panic("graph: corrupt edge list: " + err.Error())
+			}
+		}
+	}
+	return sub, newToOld
+}
+
+func inducedSubgraph(g *Graph, comp []int32, id int32, size int) (*Graph, []int) {
+	nodes := make([]int, 0, size)
+	for u, c := range comp {
+		if c == id {
+			nodes = append(nodes, u)
+		}
+	}
+	return Subgraph(g, nodes)
+}
+
+// DropIsolated returns the subgraph with all degree-0 nodes removed and the
+// new→old node id mapping.
+func DropIsolated(g *Graph) (*Graph, []int) {
+	nodes := make([]int, 0, g.N())
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u) > 0 {
+			nodes = append(nodes, u)
+		}
+	}
+	return Subgraph(g, nodes)
+}

@@ -1,0 +1,167 @@
+package graph
+
+// Static is an immutable compressed-sparse-row (CSR) snapshot of a graph.
+// Neighbor lists are stored contiguously and sorted, which makes the
+// traversal-heavy metric computations (all-pairs BFS, Brandes betweenness,
+// triangle counting, Lanczos iterations) both cache-friendly and
+// allocation-free.
+type Static struct {
+	offsets []int32 // len N+1; neighbors of u are neigh[offsets[u]:offsets[u+1]]
+	neigh   []int32 // len 2M, sorted within each node's window
+	m       int
+}
+
+// Static builds a CSR snapshot of g. Mutating g afterwards does not affect
+// the snapshot.
+func (g *Graph) Static() *Static {
+	n := g.N()
+	s := &Static{
+		offsets: make([]int32, n+1),
+		neigh:   make([]int32, 2*len(g.edges)),
+		m:       len(g.edges),
+	}
+	for u := 0; u < n; u++ {
+		s.offsets[u+1] = s.offsets[u] + int32(len(g.adj[u]))
+	}
+	fill := make([]int32, n)
+	copy(fill, s.offsets[:n])
+	for _, e := range g.edges {
+		s.neigh[fill[e.U]] = int32(e.V)
+		fill[e.U]++
+		s.neigh[fill[e.V]] = int32(e.U)
+		fill[e.V]++
+	}
+	for u := 0; u < n; u++ {
+		w := s.neigh[s.offsets[u]:s.offsets[u+1]]
+		sortInt32(w)
+	}
+	return s
+}
+
+// N returns the number of nodes.
+func (s *Static) N() int { return len(s.offsets) - 1 }
+
+// M returns the number of edges.
+func (s *Static) M() int { return s.m }
+
+// Degree returns the degree of node u.
+func (s *Static) Degree(u int) int {
+	return int(s.offsets[u+1] - s.offsets[u])
+}
+
+// Neighbors returns the sorted neighbor list of u as a shared subslice.
+// Callers must not modify it.
+func (s *Static) Neighbors(u int) []int32 {
+	return s.neigh[s.offsets[u]:s.offsets[u+1]]
+}
+
+// HasEdge reports whether (u,v) is an edge, by binary search in u's
+// (sorted) neighbor window.
+func (s *Static) HasEdge(u, v int) bool {
+	w := s.Neighbors(u)
+	lo, hi := 0, len(w)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(w[mid]) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(w) && int(w[lo]) == v
+}
+
+// AvgDegree returns 2m/n, or 0 for an empty graph.
+func (s *Static) AvgDegree() float64 {
+	if s.N() == 0 {
+		return 0
+	}
+	return 2 * float64(s.m) / float64(s.N())
+}
+
+// MaxDegree returns the largest node degree, or 0 for an empty graph.
+func (s *Static) MaxDegree() int {
+	max := 0
+	for u := 0; u < s.N(); u++ {
+		if d := s.Degree(u); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Edges returns a newly allocated canonical edge list (U < V).
+func (s *Static) Edges() []Edge {
+	out := make([]Edge, 0, s.m)
+	for u := 0; u < s.N(); u++ {
+		for _, v := range s.Neighbors(u) {
+			if int(v) > u {
+				out = append(out, Edge{u, int(v)})
+			}
+		}
+	}
+	return out
+}
+
+// Graph converts the snapshot back into a mutable Graph.
+func (s *Static) Graph() *Graph {
+	g := New(s.N())
+	for u := 0; u < s.N(); u++ {
+		for _, v := range s.Neighbors(u) {
+			if int(v) > u {
+				// Edges in a Static are unique and in range by construction.
+				if err := g.AddEdge(u, int(v)); err != nil {
+					panic("graph: corrupt Static snapshot: " + err.Error())
+				}
+			}
+		}
+	}
+	return g
+}
+
+// sortInt32 sorts small int32 slices with insertion sort and falls back to
+// a bottom-up heapsort for longer ones. Neighbor windows of power-law
+// graphs are mostly tiny, so this outruns the reflection-based sort.Slice.
+func sortInt32(a []int32) {
+	if len(a) < 24 {
+		for i := 1; i < len(a); i++ {
+			x := a[i]
+			j := i - 1
+			for j >= 0 && a[j] > x {
+				a[j+1] = a[j]
+				j--
+			}
+			a[j+1] = x
+		}
+		return
+	}
+	heapSortInt32(a)
+}
+
+func heapSortInt32(a []int32) {
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownInt32(a, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftDownInt32(a, 0, end)
+	}
+}
+
+func siftDownInt32(a []int32, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}

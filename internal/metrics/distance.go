@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// DistanceDistribution holds the hop-distance histogram of a graph:
+// Count[x] is the number of ordered node pairs (u,v), u ≠ v, at shortest-
+// path distance x (index 0 is unused and zero). Unreachable pairs are
+// tallied separately. When built by sampling, counts cover only the
+// sampled sources but remain an unbiased estimator of the pair fractions.
+type DistanceDistribution struct {
+	Count       []int64
+	Unreachable int64
+	Sources     int // number of BFS sources used
+}
+
+// Distances computes the exact distance distribution by running a BFS from
+// every node. Cost is O(n·m).
+func Distances(s *graph.Static) *DistanceDistribution {
+	return distances(s, nil, nil)
+}
+
+// SampledDistances estimates the distribution using BFS from `sources`
+// random distinct source nodes. If sources >= n the computation is exact.
+func SampledDistances(s *graph.Static, sources int, rng *rand.Rand) *DistanceDistribution {
+	n := s.N()
+	if sources >= n {
+		return Distances(s)
+	}
+	perm := rng.Perm(n)[:sources]
+	return distances(s, perm, rng)
+}
+
+func distances(s *graph.Static, srcs []int, _ *rand.Rand) *DistanceDistribution {
+	n := s.N()
+	dd := &DistanceDistribution{Count: make([]int64, 2)}
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	run := func(src int) {
+		reached := graph.BFS(s, src, dist, queue)
+		dd.Unreachable += int64(n - reached)
+		for _, d := range dist {
+			if d <= 0 {
+				continue
+			}
+			for int(d) >= len(dd.Count) {
+				dd.Count = append(dd.Count, 0)
+			}
+			dd.Count[d]++
+		}
+	}
+	if srcs == nil {
+		for src := 0; src < n; src++ {
+			run(src)
+		}
+		dd.Sources = n
+	} else {
+		for _, src := range srcs {
+			run(src)
+		}
+		dd.Sources = len(srcs)
+	}
+	return dd
+}
+
+// TotalPairs returns the number of ordered reachable pairs counted.
+func (dd *DistanceDistribution) TotalPairs() int64 {
+	var t int64
+	for _, c := range dd.Count {
+		t += c
+	}
+	return t
+}
+
+// Mean returns the average distance d̄ over reachable ordered pairs.
+func (dd *DistanceDistribution) Mean() float64 {
+	t := dd.TotalPairs()
+	if t == 0 {
+		return 0
+	}
+	var sum float64
+	for x, c := range dd.Count {
+		sum += float64(x) * float64(c)
+	}
+	return sum / float64(t)
+}
+
+// StdDev returns σd, the standard deviation of the distance distribution.
+func (dd *DistanceDistribution) StdDev() float64 {
+	t := dd.TotalPairs()
+	if t == 0 {
+		return 0
+	}
+	mean := dd.Mean()
+	var sum float64
+	for x, c := range dd.Count {
+		d := float64(x) - mean
+		sum += d * d * float64(c)
+	}
+	return math.Sqrt(sum / float64(t))
+}
+
+// PDF returns the distribution normalized over reachable pairs: PDF()[x]
+// is the fraction of pairs at distance x. This is the series plotted in
+// Figures 5(b,c), 6(a) and 8 of the paper.
+func (dd *DistanceDistribution) PDF() []float64 {
+	t := dd.TotalPairs()
+	out := make([]float64, len(dd.Count))
+	if t == 0 {
+		return out
+	}
+	for x, c := range dd.Count {
+		out[x] = float64(c) / float64(t)
+	}
+	return out
+}
+
+// MaxDistance returns the largest observed distance (the diameter when the
+// distribution is exact and the graph connected).
+func (dd *DistanceDistribution) MaxDistance() int {
+	for x := len(dd.Count) - 1; x > 0; x-- {
+		if dd.Count[x] > 0 {
+			return x
+		}
+	}
+	return 0
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"repro/internal/graph"
+)
+
+// EdgeBetweenness computes edge betweenness centrality — the paper's
+// "link value" analogue — with the edge variant of Brandes' algorithm:
+// for each edge, the sum over node pairs of the fraction of shortest
+// paths crossing it. Each unordered pair is counted once. The result maps
+// canonical edges to values.
+func EdgeBetweenness(s *graph.Static) map[graph.Edge]float64 {
+	n := s.N()
+	out := make(map[graph.Edge]float64, s.M())
+	dist := make([]int32, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	stack := make([]int32, 0, n)
+	queue := make([]int32, 0, n)
+
+	for src := 0; src < n; src++ {
+		for i := 0; i < n; i++ {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+		}
+		dist[src] = 0
+		sigma[src] = 1
+		stack = stack[:0]
+		queue = append(queue[:0], int32(src))
+		head := 0
+		for head < len(queue) {
+			u := queue[head]
+			head++
+			stack = append(stack, u)
+			du := dist[u]
+			for _, v := range s.Neighbors(int(u)) {
+				if dist[v] < 0 {
+					dist[v] = du + 1
+					queue = append(queue, v)
+				}
+				if dist[v] == du+1 {
+					sigma[v] += sigma[u]
+				}
+			}
+		}
+		for i := len(stack) - 1; i > 0; i-- {
+			w := stack[i]
+			coeff := (1 + delta[w]) / sigma[w]
+			dw := dist[w]
+			for _, v := range s.Neighbors(int(w)) {
+				if dist[v] == dw-1 {
+					c := sigma[v] * coeff
+					delta[v] += c
+					e := graph.Edge{U: int(v), V: int(w)}.Canon()
+					out[e] += c
+				}
+			}
+		}
+	}
+	// Each unordered pair contributed twice (once per endpoint as
+	// source).
+	for e := range out {
+		out[e] /= 2
+	}
+	return out
+}
+
+// DegreeCorrelationAtDistance returns the Pearson correlation of the
+// degrees of node pairs at exactly hop-distance d — the first of the two
+// "extreme metrics" of Section 4.3 (at d = 1 it is the assortativity
+// coefficient computed over edges; at d = 2 it summarizes the same
+// information as S2). Returns 0 when fewer than two pairs exist or the
+// degree variance vanishes.
+func DegreeCorrelationAtDistance(s *graph.Static, d int) float64 {
+	if d < 1 {
+		return 0
+	}
+	n := s.N()
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	var cnt, sumX, sumY, sumXY, sumX2, sumY2 float64
+	for src := 0; src < n; src++ {
+		graph.BFS(s, src, dist, queue)
+		dx := float64(s.Degree(src))
+		for v := src + 1; v < n; v++ {
+			if int(dist[v]) != d {
+				continue
+			}
+			dy := float64(s.Degree(v))
+			cnt++
+			sumX += dx
+			sumY += dy
+			sumXY += dx * dy
+			sumX2 += dx * dx
+			sumY2 += dy * dy
+		}
+	}
+	if cnt < 2 {
+		return 0
+	}
+	// Symmetrize: each unordered pair contributes (dx,dy) once here, but
+	// correlation over unordered pairs should be orientation-free; use
+	// the symmetric sums.
+	sx := (sumX + sumY) / 2
+	sxx := (sumX2 + sumY2) / 2
+	num := sumXY/cnt - (sx/cnt)*(sx/cnt)
+	den := sxx/cnt - (sx/cnt)*(sx/cnt)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/spectral"
+)
+
+// Summary bundles the scalar metrics reported in Tables 2–8 of the paper.
+type Summary struct {
+	N, M      int
+	AvgDegree float64 // k̄
+	R         float64 // assortativity coefficient r
+	CBar      float64 // mean clustering C̄
+	DBar      float64 // average distance d̄
+	SigmaD    float64 // std-dev of the distance distribution σd
+	S         float64 // likelihood Σ d_u·d_v over edges
+	S2        float64 // second-order likelihood
+	Lambda1   float64 // smallest nonzero eigenvalue of the normalized Laplacian
+	LambdaN   float64 // largest eigenvalue of the normalized Laplacian
+}
+
+// SummaryOptions tunes the potentially expensive parts of Summarize.
+type SummaryOptions struct {
+	// Spectral enables λ1/λ_{n−1} computation (requires a connected graph).
+	Spectral bool
+	// DistanceSources bounds the number of BFS sources for the distance
+	// distribution; 0 means exact (all sources).
+	DistanceSources int
+	// SkipS2 skips the second-order likelihood (the most expensive scalar
+	// on hub-heavy graphs).
+	SkipS2 bool
+	// Rng drives sampling and the Lanczos start vector; required when
+	// DistanceSources > 0 or Spectral is set.
+	Rng *rand.Rand
+}
+
+// Summarize computes the scalar metric suite on s. Metrics in the paper
+// are reported for giant connected components; pass the GCC.
+func Summarize(s *graph.Static, opt SummaryOptions) (Summary, error) {
+	sum := Summary{
+		N:         s.N(),
+		M:         s.M(),
+		AvgDegree: s.AvgDegree(),
+		R:         Assortativity(s),
+		CBar:      MeanClustering(s),
+		S:         LikelihoodS(s),
+	}
+	if !opt.SkipS2 {
+		sum.S2 = S2(s)
+	}
+	var dd *DistanceDistribution
+	if opt.DistanceSources > 0 {
+		if opt.Rng == nil {
+			return sum, fmt.Errorf("metrics: DistanceSources > 0 requires Rng")
+		}
+		dd = SampledDistances(s, opt.DistanceSources, opt.Rng)
+	} else {
+		dd = Distances(s)
+	}
+	sum.DBar = dd.Mean()
+	sum.SigmaD = dd.StdDev()
+	if opt.Spectral {
+		rng := opt.Rng
+		if rng == nil {
+			return sum, fmt.Errorf("metrics: Spectral requires Rng")
+		}
+		l1, ln, err := spectral.Extremes(s, rng, 0)
+		if err != nil {
+			return sum, fmt.Errorf("metrics: spectrum: %w", err)
+		}
+		sum.Lambda1, sum.LambdaN = l1, ln
+	}
+	return sum, nil
+}
+
+// MeanSummaries averages a set of summaries field-wise (integer fields are
+// averaged and rounded); used for the "average over 100 graphs" rows of
+// the paper's tables.
+func MeanSummaries(ss []Summary) Summary {
+	if len(ss) == 0 {
+		return Summary{}
+	}
+	var out Summary
+	nf := float64(len(ss))
+	var n, m float64
+	for _, s := range ss {
+		n += float64(s.N)
+		m += float64(s.M)
+		out.AvgDegree += s.AvgDegree
+		out.R += s.R
+		out.CBar += s.CBar
+		out.DBar += s.DBar
+		out.SigmaD += s.SigmaD
+		out.S += s.S
+		out.S2 += s.S2
+		out.Lambda1 += s.Lambda1
+		out.LambdaN += s.LambdaN
+	}
+	out.N = int(n/nf + 0.5)
+	out.M = int(m/nf + 0.5)
+	out.AvgDegree /= nf
+	out.R /= nf
+	out.CBar /= nf
+	out.DBar /= nf
+	out.SigmaD /= nf
+	out.S /= nf
+	out.S2 /= nf
+	out.Lambda1 /= nf
+	out.LambdaN /= nf
+	return out
+}

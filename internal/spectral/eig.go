@@ -1,0 +1,118 @@
+package spectral
+
+import (
+	"math"
+	"sort"
+)
+
+// TridiagEigenvalues returns the eigenvalues (sorted ascending) of the
+// symmetric tridiagonal matrix with diagonal d (length n) and
+// off-diagonal e (length n−1), using the implicit QL algorithm with
+// Wilkinson shifts — the standard "tqli" routine, eigenvalues only.
+func TridiagEigenvalues(d, e []float64) []float64 {
+	n := len(d)
+	dd := append([]float64(nil), d...)
+	ee := make([]float64, n)
+	copy(ee, e)
+	if n == 0 {
+		return nil
+	}
+	for l := 0; l < n; l++ {
+		for iter := 0; iter < 50; iter++ {
+			// Find a small off-diagonal element to split at.
+			m := l
+			for ; m < n-1; m++ {
+				s := math.Abs(dd[m]) + math.Abs(dd[m+1])
+				if math.Abs(ee[m]) <= 1e-300 || math.Abs(ee[m]) <= 1e-15*s {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			// Wilkinson shift.
+			g := (dd[l+1] - dd[l]) / (2 * ee[l])
+			r := math.Hypot(g, 1)
+			g = dd[m] - dd[l] + ee[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * ee[i]
+				b := c * ee[i]
+				r = math.Hypot(f, g)
+				ee[i+1] = r
+				if r == 0 {
+					dd[i+1] -= p
+					ee[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = dd[i+1] - p
+				r = (dd[i]-g)*s + 2*c*b
+				p = s * r
+				dd[i+1] = g + p
+				g = c*r - b
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			dd[l] -= p
+			ee[l] = g
+			ee[m] = 0
+		}
+	}
+	out := dd[:n]
+	sort.Float64s(out)
+	return out
+}
+
+// Jacobi computes all eigenvalues (sorted ascending) of a symmetric dense
+// matrix by cyclic Jacobi rotations. The input matrix is not modified.
+// Intended for small matrices (tests and graphs of a few hundred nodes).
+func Jacobi(a [][]float64) []float64 {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	for sweep := 0; sweep < 100; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-300 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply rotation G(p,q,θ) on both sides.
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k][p], m[k][q]
+					m[k][p] = c*mkp - s*mkq
+					m[k][q] = s*mkp + c*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p][k], m[q][k]
+					m[p][k] = c*mpk - s*mqk
+					m[q][k] = s*mpk + c*mqk
+				}
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = m[i][i]
+	}
+	sort.Float64s(out)
+	return out
+}

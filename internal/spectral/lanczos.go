@@ -1,0 +1,116 @@
+package spectral
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// lanczosExtremes runs the Lanczos iteration on the normalized Laplacian
+// restricted to the orthogonal complement of its known nullvector, with
+// full reorthogonalization for numerical robustness. The extreme Ritz
+// values of the resulting tridiagonal matrix converge to λ1 (bottom) and
+// λ_{n−1} (top).
+func lanczosExtremes(l *Laplacian, rng *rand.Rand, maxIter int) (lo, hi float64, err error) {
+	n := l.N()
+	if maxIter <= 0 {
+		maxIter = 400
+	}
+	if maxIter > n-1 {
+		maxIter = n - 1
+	}
+	null := l.NullVector()
+
+	// Start vector: random, orthogonal to the nullvector.
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64() - 0.5
+	}
+	orthogonalize(v, null)
+	if nrm := norm(v); nrm == 0 {
+		return 0, 0, fmt.Errorf("spectral: degenerate start vector")
+	} else {
+		scale(v, 1/nrm)
+	}
+
+	basis := make([][]float64, 0, maxIter)
+	var alphas, betas []float64 // tridiagonal entries; betas[i] couples i and i+1
+	w := make([]float64, n)
+	prevLo, prevHi := math.Inf(1), math.Inf(-1)
+	const tol = 1e-10
+
+	for iter := 0; iter < maxIter; iter++ {
+		basis = append(basis, append([]float64(nil), v...))
+		l.MatVec(v, w)
+		alpha := dot(w, v)
+		alphas = append(alphas, alpha)
+		// w ← w − α·v − β·v_prev, then full reorthogonalization against
+		// the nullvector and the whole basis (twice is enough).
+		axpy(w, v, -alpha)
+		if len(betas) > 0 {
+			axpy(w, basis[len(basis)-2], -betas[len(betas)-1])
+		}
+		for pass := 0; pass < 2; pass++ {
+			orthogonalize(w, null)
+			for _, b := range basis {
+				orthogonalize(w, b)
+			}
+		}
+		beta := norm(w)
+		if beta < 1e-14 {
+			// Invariant subspace exhausted: the tridiagonal spectrum is
+			// exact for the deflated operator.
+			break
+		}
+		betas = append(betas, beta)
+		for i := range v {
+			v[i] = w[i] / beta
+		}
+		// Convergence check on the extreme Ritz values every few steps.
+		if iter >= 8 && iter%4 == 0 {
+			ev := TridiagEigenvalues(alphas, betas[:len(betas)-1])
+			curLo, curHi := ev[0], ev[len(ev)-1]
+			if math.Abs(curLo-prevLo) < tol && math.Abs(curHi-prevHi) < tol {
+				return curLo, curHi, nil
+			}
+			prevLo, prevHi = curLo, curHi
+		}
+	}
+	nb := len(alphas) - 1
+	if nb < 0 {
+		return 0, 0, fmt.Errorf("spectral: Lanczos made no progress")
+	}
+	ev := TridiagEigenvalues(alphas, betas[:min(nb, len(betas))])
+	return ev[0], ev[len(ev)-1], nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+func scale(a []float64, c float64) {
+	for i := range a {
+		a[i] *= c
+	}
+}
+
+// axpy computes a ← a + c·b.
+func axpy(a, b []float64, c float64) {
+	for i := range a {
+		a[i] += c * b[i]
+	}
+}
+
+// orthogonalize removes from a its component along unit vector u.
+func orthogonalize(a, u []float64) {
+	c := dot(a, u)
+	if c != 0 {
+		axpy(a, u, -c)
+	}
+}

@@ -1,0 +1,279 @@
+// Package stats provides the small probability and statistics toolkit the
+// dK-series pipeline relies on: integer histograms, discrete power-law
+// sampling for synthetic degree sequences, reference probability mass
+// functions (Poisson, binomial), entropy, and distribution distances.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// IntHistogram counts occurrences of non-negative integer values.
+type IntHistogram struct {
+	count map[int]int
+	total int
+}
+
+// NewIntHistogram returns an empty histogram.
+func NewIntHistogram() *IntHistogram {
+	return &IntHistogram{count: make(map[int]int)}
+}
+
+// Add increments the count of value v by 1.
+func (h *IntHistogram) Add(v int) { h.AddN(v, 1) }
+
+// AddN increments the count of value v by n.
+func (h *IntHistogram) AddN(v, n int) {
+	h.count[v] += n
+	h.total += n
+}
+
+// Count returns the number of observations of v.
+func (h *IntHistogram) Count(v int) int { return h.count[v] }
+
+// Total returns the number of observations.
+func (h *IntHistogram) Total() int { return h.total }
+
+// Values returns the observed values in increasing order.
+func (h *IntHistogram) Values() []int {
+	out := make([]int, 0, len(h.count))
+	for v := range h.count {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// P returns the empirical probability of v.
+func (h *IntHistogram) P(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.count[v]) / float64(h.total)
+}
+
+// Mean returns the empirical mean.
+func (h *IntHistogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	sum := 0.0
+	for v, c := range h.count {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// Variance returns the (population) variance.
+func (h *IntHistogram) Variance() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	mean := h.Mean()
+	sum := 0.0
+	for v, c := range h.count {
+		d := float64(v) - mean
+		sum += d * d * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// Entropy returns the Shannon entropy in nats.
+func (h *IntHistogram) Entropy() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	e := 0.0
+	for _, c := range h.count {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(h.total)
+		e -= p * math.Log(p)
+	}
+	return e
+}
+
+// CDF returns the observed values and their cumulative probabilities.
+func (h *IntHistogram) CDF() (values []int, cum []float64) {
+	values = h.Values()
+	cum = make([]float64, len(values))
+	run := 0
+	for i, v := range values {
+		run += h.count[v]
+		cum[i] = float64(run) / float64(h.total)
+	}
+	return values, cum
+}
+
+// KSDistance returns the Kolmogorov–Smirnov distance between the empirical
+// CDFs of a and b: the maximum absolute difference between them over all
+// integer points.
+func KSDistance(a, b *IntHistogram) float64 {
+	if a.Total() == 0 || b.Total() == 0 {
+		return 1
+	}
+	points := map[int]bool{}
+	for v := range a.count {
+		points[v] = true
+	}
+	for v := range b.count {
+		points[v] = true
+	}
+	xs := make([]int, 0, len(points))
+	for v := range points {
+		xs = append(xs, v)
+	}
+	sort.Ints(xs)
+	ca, cb, maxD := 0, 0, 0.0
+	for _, x := range xs {
+		ca += a.count[x]
+		cb += b.count[x]
+		d := math.Abs(float64(ca)/float64(a.total) - float64(cb)/float64(b.total))
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// Mean returns the arithmetic mean of xs, or 0 if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// PoissonPMF returns P(X = k) for X ~ Poisson(lambda), computed in log
+// space to stay stable for large k.
+func PoissonPMF(lambda float64, k int) float64 {
+	if k < 0 || lambda <= 0 {
+		if k == 0 && lambda == 0 {
+			return 1
+		}
+		return 0
+	}
+	lg, _ := math.Lgamma(float64(k) + 1)
+	return math.Exp(float64(k)*math.Log(lambda) - lambda - lg)
+}
+
+// BinomialPMF returns P(X = k) for X ~ Binomial(n, p).
+func BinomialPMF(n int, p float64, k int) float64 {
+	if k < 0 || k > n || p < 0 || p > 1 {
+		return 0
+	}
+	if p == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lgN, _ := math.Lgamma(float64(n) + 1)
+	lgK, _ := math.Lgamma(float64(k) + 1)
+	lgNK, _ := math.Lgamma(float64(n-k) + 1)
+	return math.Exp(lgN - lgK - lgNK + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p))
+}
+
+// PowerLaw samples from the discrete power law P(k) ∝ k^(-gamma) on
+// [kMin, kMax] by inverse-transform sampling over the precomputed CDF.
+type PowerLaw struct {
+	kMin int
+	cum  []float64 // cum[i] = P(K <= kMin+i)
+}
+
+// NewPowerLaw builds a sampler for P(k) ∝ k^(-gamma), k in [kMin, kMax].
+func NewPowerLaw(gamma float64, kMin, kMax int) (*PowerLaw, error) {
+	if kMin < 1 || kMax < kMin {
+		return nil, fmt.Errorf("stats: invalid power-law support [%d,%d]", kMin, kMax)
+	}
+	cum := make([]float64, kMax-kMin+1)
+	run := 0.0
+	for k := kMin; k <= kMax; k++ {
+		run += math.Pow(float64(k), -gamma)
+		cum[k-kMin] = run
+	}
+	for i := range cum {
+		cum[i] /= run
+	}
+	return &PowerLaw{kMin: kMin, cum: cum}, nil
+}
+
+// Sample draws one value.
+func (p *PowerLaw) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(p.cum)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(p.cum) {
+		lo = len(p.cum) - 1
+	}
+	return p.kMin + lo
+}
+
+// Mean returns the exact mean of the distribution.
+func (p *PowerLaw) Mean() float64 {
+	mean := 0.0
+	prev := 0.0
+	for i, c := range p.cum {
+		mean += float64(p.kMin+i) * (c - prev)
+		prev = c
+	}
+	return mean
+}
+
+// DegreeSequence draws n degrees and adjusts the sequence minimally so the
+// total degree is even (a prerequisite for stub matching): if the sum is
+// odd it increments one random minimum-degree entry.
+func (p *PowerLaw) DegreeSequence(rng *rand.Rand, n int) []int {
+	seq := make([]int, n)
+	sum := 0
+	for i := range seq {
+		seq[i] = p.Sample(rng)
+		sum += seq[i]
+	}
+	if sum%2 == 1 {
+		// Bump a random minimal entry by one.
+		minIdx := 0
+		for i, k := range seq {
+			if k < seq[minIdx] {
+				minIdx = i
+			}
+		}
+		seq[minIdx]++
+	}
+	return seq
+}

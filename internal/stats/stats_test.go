@@ -1,0 +1,227 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestIntHistogramBasics(t *testing.T) {
+	h := NewIntHistogram()
+	h.Add(1)
+	h.Add(2)
+	h.Add(2)
+	h.AddN(5, 3)
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", h.Total())
+	}
+	if h.Count(2) != 2 {
+		t.Errorf("Count(2) = %d, want 2", h.Count(2))
+	}
+	if got := h.P(5); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("P(5) = %v, want 0.5", got)
+	}
+	want := (1.0 + 2 + 2 + 15) / 6
+	if got := h.Mean(); !almostEqual(got, want, 1e-12) {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	vals := h.Values()
+	if len(vals) != 3 || vals[0] != 1 || vals[1] != 2 || vals[2] != 5 {
+		t.Errorf("Values = %v, want [1 2 5]", vals)
+	}
+}
+
+func TestIntHistogramVariance(t *testing.T) {
+	h := NewIntHistogram()
+	for _, v := range []int{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Add(v)
+	}
+	// Known example: mean 5, variance 4.
+	if got := h.Mean(); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := h.Variance(); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+}
+
+func TestEntropyUniform(t *testing.T) {
+	h := NewIntHistogram()
+	for v := 0; v < 8; v++ {
+		h.Add(v)
+	}
+	if got := h.Entropy(); !almostEqual(got, math.Log(8), 1e-12) {
+		t.Errorf("Entropy = %v, want ln 8 = %v", got, math.Log(8))
+	}
+	single := NewIntHistogram()
+	single.AddN(3, 10)
+	if got := single.Entropy(); got != 0 {
+		t.Errorf("Entropy of point mass = %v, want 0", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	h := NewIntHistogram()
+	h.AddN(1, 1)
+	h.AddN(2, 1)
+	h.AddN(4, 2)
+	vals, cum := h.CDF()
+	if len(vals) != 3 {
+		t.Fatalf("CDF values = %v", vals)
+	}
+	wantCum := []float64{0.25, 0.5, 1.0}
+	for i := range cum {
+		if !almostEqual(cum[i], wantCum[i], 1e-12) {
+			t.Errorf("cum[%d] = %v, want %v", i, cum[i], wantCum[i])
+		}
+	}
+}
+
+func TestKSDistance(t *testing.T) {
+	a := NewIntHistogram()
+	b := NewIntHistogram()
+	for v := 0; v < 10; v++ {
+		a.Add(v)
+		b.Add(v)
+	}
+	if got := KSDistance(a, b); got != 0 {
+		t.Errorf("KS of identical = %v, want 0", got)
+	}
+	c := NewIntHistogram()
+	c.AddN(100, 10)
+	if got := KSDistance(a, c); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("KS of disjoint = %v, want 1", got)
+	}
+	if got := KSDistance(a, NewIntHistogram()); got != 1 {
+		t.Errorf("KS with empty = %v, want 1", got)
+	}
+}
+
+func TestPoissonPMF(t *testing.T) {
+	// Sum over support approx 1; mean lambda.
+	lambda := 3.7
+	sum, mean := 0.0, 0.0
+	for k := 0; k < 100; k++ {
+		p := PoissonPMF(lambda, k)
+		sum += p
+		mean += float64(k) * p
+	}
+	if !almostEqual(sum, 1, 1e-9) {
+		t.Errorf("Poisson pmf sums to %v", sum)
+	}
+	if !almostEqual(mean, lambda, 1e-6) {
+		t.Errorf("Poisson mean = %v, want %v", mean, lambda)
+	}
+	if PoissonPMF(lambda, -1) != 0 {
+		t.Error("P(X=-1) != 0")
+	}
+}
+
+func TestBinomialPMF(t *testing.T) {
+	n, p := 20, 0.3
+	sum, mean := 0.0, 0.0
+	for k := 0; k <= n; k++ {
+		q := BinomialPMF(n, p, k)
+		sum += q
+		mean += float64(k) * q
+	}
+	if !almostEqual(sum, 1, 1e-9) {
+		t.Errorf("Binomial pmf sums to %v", sum)
+	}
+	if !almostEqual(mean, float64(n)*p, 1e-6) {
+		t.Errorf("Binomial mean = %v, want %v", mean, float64(n)*p)
+	}
+	if got := BinomialPMF(5, 0, 0); got != 1 {
+		t.Errorf("BinomialPMF(5,0,0) = %v, want 1", got)
+	}
+	if got := BinomialPMF(5, 1, 5); got != 1 {
+		t.Errorf("BinomialPMF(5,1,5) = %v, want 1", got)
+	}
+	if got := BinomialPMF(5, 0.5, 6); got != 0 {
+		t.Errorf("BinomialPMF(5,.5,6) = %v, want 0", got)
+	}
+}
+
+func TestPowerLawValidation(t *testing.T) {
+	if _, err := NewPowerLaw(2.1, 0, 5); err == nil {
+		t.Error("kMin=0 accepted")
+	}
+	if _, err := NewPowerLaw(2.1, 5, 4); err == nil {
+		t.Error("kMax<kMin accepted")
+	}
+}
+
+func TestPowerLawSampleRange(t *testing.T) {
+	pl, err := NewPowerLaw(2.1, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		k := pl.Sample(rng)
+		if k < 1 || k > 50 {
+			t.Fatalf("sample %d outside [1,50]", k)
+		}
+	}
+}
+
+func TestPowerLawEmpiricalMean(t *testing.T) {
+	pl, err := NewPowerLaw(2.5, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	h := NewIntHistogram()
+	for i := 0; i < 200000; i++ {
+		h.Add(pl.Sample(rng))
+	}
+	if !almostEqual(h.Mean(), pl.Mean(), 0.05) {
+		t.Errorf("empirical mean %v vs exact %v", h.Mean(), pl.Mean())
+	}
+	// Heavier tail must be rarer: monotone decreasing pmf.
+	if h.P(1) <= h.P(2) || h.P(2) <= h.P(4) {
+		t.Errorf("pmf not decreasing: P(1)=%v P(2)=%v P(4)=%v", h.P(1), h.P(2), h.P(4))
+	}
+}
+
+func TestDegreeSequenceEvenSum(t *testing.T) {
+	pl, err := NewPowerLaw(2.1, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(seed%97+97)%97
+		seq := pl.DegreeSequence(rng, n)
+		if len(seq) != n {
+			return false
+		}
+		sum := 0
+		for _, k := range seq {
+			if k < 1 {
+				return false
+			}
+			sum += k
+		}
+		return sum%2 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Mean(xs); !almostEqual(got, 2.5, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(1.25), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty-slice mean/stddev not 0")
+	}
+}

@@ -1,0 +1,283 @@
+// Package subgraphs implements exact censuses of small connected subgraphs
+// keyed by the degrees of their nodes — the raw material of the paper's
+// 3K-distribution — together with incremental census deltas for
+// single-edge changes, which make 3K-preserving and 3K-targeting rewiring
+// tractable (a full recount per rewiring step would be hopeless).
+//
+// Wedges are counted as induced open two-paths: a path a–c–b where a and b
+// are not adjacent. Triangles are 3-cliques. With this convention the
+// paper's inclusion identity holds exactly: summing wedge and triangle
+// counts around an edge recovers the joint degree distribution (each
+// (k1,k2)-edge is covered (k1−1) times from its k1 side).
+package subgraphs
+
+import (
+	"repro/internal/graph"
+)
+
+// WedgeKey identifies a wedge class by node degrees: a path end–center–end
+// with end degrees KLo <= KHi (swapping the two ends is an isomorphism, so
+// the key is canonical).
+type WedgeKey struct {
+	KLo, KCenter, KHi int
+}
+
+// NewWedgeKey canonicalizes (end1, center, end2) degree arguments.
+func NewWedgeKey(kEnd1, kCenter, kEnd2 int) WedgeKey {
+	if kEnd1 > kEnd2 {
+		kEnd1, kEnd2 = kEnd2, kEnd1
+	}
+	return WedgeKey{kEnd1, kCenter, kEnd2}
+}
+
+// TriangleKey identifies a triangle class by sorted node degrees
+// K1 <= K2 <= K3.
+type TriangleKey struct {
+	K1, K2, K3 int
+}
+
+// NewTriangleKey canonicalizes three degree arguments.
+func NewTriangleKey(a, b, c int) TriangleKey {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return TriangleKey{a, b, c}
+}
+
+// Census holds degree-keyed counts of wedges and triangles — the paper's
+// 3K-distribution in count form.
+type Census struct {
+	Wedges    map[WedgeKey]int64
+	Triangles map[TriangleKey]int64
+}
+
+// NewCensus returns an empty census.
+func NewCensus() *Census {
+	return &Census{
+		Wedges:    make(map[WedgeKey]int64),
+		Triangles: make(map[TriangleKey]int64),
+	}
+}
+
+// TotalWedges returns the total number of wedges across all classes.
+func (c *Census) TotalWedges() int64 {
+	var t int64
+	for _, v := range c.Wedges {
+		t += v
+	}
+	return t
+}
+
+// TotalTriangles returns the total number of triangles across all classes.
+func (c *Census) TotalTriangles() int64 {
+	var t int64
+	for _, v := range c.Triangles {
+		t += v
+	}
+	return t
+}
+
+// Clone returns a deep copy.
+func (c *Census) Clone() *Census {
+	out := &Census{
+		Wedges:    make(map[WedgeKey]int64, len(c.Wedges)),
+		Triangles: make(map[TriangleKey]int64, len(c.Triangles)),
+	}
+	for k, v := range c.Wedges {
+		out.Wedges[k] = v
+	}
+	for k, v := range c.Triangles {
+		out.Triangles[k] = v
+	}
+	return out
+}
+
+// Equal reports whether two censuses have identical nonzero counts.
+func (c *Census) Equal(o *Census) bool {
+	if !equalCounts(c.Wedges, o.Wedges) {
+		return false
+	}
+	return equalCounts(c.Triangles, o.Triangles)
+}
+
+func equalCounts[K comparable](a, b map[K]int64) bool {
+	for k, v := range a {
+		if v != 0 && b[k] != v {
+			return false
+		}
+	}
+	for k, v := range b {
+		if v != 0 && a[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Count computes the exact wedge/triangle census of s.
+//
+// Triangles: for every canonical edge (u,v) the common neighbors w > v are
+// found by merging sorted adjacency windows, so each triangle {u<v<w} is
+// counted exactly once. Wedges: for every center node, every unordered
+// neighbor pair that is not adjacent contributes one wedge. The total work
+// is O(sum_c deg(c)^2 · log) in the worst case, which is fine as a
+// one-time extraction even for hub-heavy power-law graphs.
+func Count(s *graph.Static) *Census {
+	c := NewCensus()
+	n := s.N()
+	deg := make([]int, n)
+	for u := 0; u < n; u++ {
+		deg[u] = s.Degree(u)
+	}
+	for center := 0; center < n; center++ {
+		nbrs := s.Neighbors(center)
+		for i := 0; i < len(nbrs); i++ {
+			a := int(nbrs[i])
+			for j := i + 1; j < len(nbrs); j++ {
+				b := int(nbrs[j])
+				if s.HasEdge(a, b) {
+					// Triangle {center,a,b}: count once from its smallest node.
+					if center < a {
+						c.Triangles[NewTriangleKey(deg[center], deg[a], deg[b])]++
+					}
+				} else {
+					c.Wedges[NewWedgeKey(deg[a], deg[center], deg[b])]++
+				}
+			}
+		}
+	}
+	return c
+}
+
+// Delta accumulates signed census changes from a sequence of edge
+// insertions and removals performed at fixed node degrees. It is the
+// workhorse of 3K-preserving and 3K-targeting rewiring: a degree-preserving
+// double-edge swap applies four single-edge changes whose deltas telescope
+// to exactly (census after − census before).
+//
+// The degree slice passed to the mutation methods must be the (constant)
+// degree sequence of the graph before and after the whole swap; the
+// intermediate graph states have different instantaneous degrees, but the
+// census keys of the initial and final graphs both use deg, so the
+// telescoped sum is exact.
+type Delta struct {
+	Wedges    map[WedgeKey]int64
+	Triangles map[TriangleKey]int64
+}
+
+// NewDelta returns an empty delta.
+func NewDelta() *Delta {
+	return &Delta{
+		Wedges:    make(map[WedgeKey]int64),
+		Triangles: make(map[TriangleKey]int64),
+	}
+}
+
+// Reset clears the delta for reuse.
+func (d *Delta) Reset() {
+	clear(d.Wedges)
+	clear(d.Triangles)
+}
+
+// IsZero reports whether every accumulated count change is zero — i.e.
+// whether the edge changes recorded so far preserve the 3K-distribution.
+func (d *Delta) IsZero() bool {
+	for _, v := range d.Wedges {
+		if v != 0 {
+			return false
+		}
+	}
+	for _, v := range d.Triangles {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *Delta) addWedge(kEnd1, kCenter, kEnd2 int, sign int64) {
+	k := NewWedgeKey(kEnd1, kCenter, kEnd2)
+	if v := d.Wedges[k] + sign; v == 0 {
+		delete(d.Wedges, k)
+	} else {
+		d.Wedges[k] = v
+	}
+}
+
+func (d *Delta) addTriangle(a, b, c int, sign int64) {
+	k := NewTriangleKey(a, b, c)
+	if v := d.Triangles[k] + sign; v == 0 {
+		delete(d.Triangles, k)
+	} else {
+		d.Triangles[k] = v
+	}
+}
+
+// RemoveEdge records the census change caused by deleting edge (u,v) from
+// g. It must be called while the edge is still present; the caller then
+// performs g.RemoveEdge(u, v).
+func (d *Delta) RemoveEdge(g *graph.Graph, deg []int, u, v int) {
+	d.edgeChange(g, deg, u, v, -1)
+}
+
+// AddEdge records the census change caused by inserting edge (u,v) into g.
+// It must be called while the edge is still absent; the caller then
+// performs g.AddEdge(u, v).
+func (d *Delta) AddEdge(g *graph.Graph, deg []int, u, v int) {
+	d.edgeChange(g, deg, u, v, +1)
+}
+
+// edgeChange enumerates the wedges and triangles whose existence toggles
+// with edge (u,v): triangles through each common neighbor w (which trade
+// places with the u–w–v wedge centered at w), wedges centered at u ending
+// at v, and wedges centered at v ending at u.
+func (d *Delta) edgeChange(g *graph.Graph, deg []int, u, v int, sign int64) {
+	du, dv := deg[u], deg[v]
+	g.VisitNeighbors(u, func(w int) bool {
+		if w == v {
+			return true
+		}
+		if g.HasEdge(w, v) {
+			// Common neighbor: triangle {u,v,w} toggles on, wedge u–w–v
+			// (centered at w) toggles off, or vice versa.
+			d.addTriangle(du, dv, deg[w], sign)
+			d.addWedge(du, deg[w], dv, -sign)
+		} else {
+			// Wedge v–u–w centered at u.
+			d.addWedge(dv, du, deg[w], sign)
+		}
+		return true
+	})
+	g.VisitNeighbors(v, func(w int) bool {
+		if w == u || g.HasEdge(w, u) {
+			return true // common neighbors already handled from u's side
+		}
+		// Wedge u–v–w centered at v.
+		d.addWedge(du, dv, deg[w], sign)
+		return true
+	})
+}
+
+// ApplyTo folds the delta into census c in place.
+func (d *Delta) ApplyTo(c *Census) {
+	for k, v := range d.Wedges {
+		if nv := c.Wedges[k] + v; nv == 0 {
+			delete(c.Wedges, k)
+		} else {
+			c.Wedges[k] = nv
+		}
+	}
+	for k, v := range d.Triangles {
+		if nv := c.Triangles[k] + v; nv == 0 {
+			delete(c.Triangles, k)
+		} else {
+			c.Triangles[k] = nv
+		}
+	}
+}
