@@ -11,6 +11,7 @@ package repro_test
 import (
 	"io"
 	"math/rand"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"repro/internal/generate"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 )
 
 // benchLab builds a fresh small-scale lab per benchmark (datasets are
@@ -281,6 +283,119 @@ func BenchmarkAllPairsBFS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		metrics.Distances(st)
 	}
+}
+
+// --- Serial vs parallel (DESIGN.md §3) ---
+//
+// Every Benchmark<X>Workers runs the identical computation at workers=1
+// (serial baseline) and workers=GOMAXPROCS; outputs are bit-identical by
+// the determinism guarantee, so the sub-benchmark ratio is pure speedup.
+
+// workerCounts returns the serial baseline plus the machine's full width
+// (and a mid point when they are far apart, to expose scaling shape).
+func workerCounts() []int {
+	max := runtime.GOMAXPROCS(0)
+	counts := []int{1}
+	if max >= 4 {
+		counts = append(counts, max/2)
+	}
+	if max > 1 {
+		counts = append(counts, max)
+	}
+	return counts
+}
+
+func benchWorkers(b *testing.B, run func(b *testing.B)) {
+	for _, w := range workerCounts() {
+		b.Run("workers="+strconv.Itoa(w), func(b *testing.B) {
+			parallel.SetWorkers(w)
+			defer parallel.SetWorkers(0)
+			run(b)
+		})
+	}
+}
+
+func BenchmarkBetweennessWorkers(b *testing.B) {
+	lab := benchLab(b)
+	sk, err := lab.Skitter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := sk.Static()
+	benchWorkers(b, func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			metrics.Betweenness(st)
+		}
+	})
+}
+
+func BenchmarkAllPairsBFSWorkers(b *testing.B) {
+	lab := benchLab(b)
+	sk, err := lab.Skitter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := sk.Static()
+	benchWorkers(b, func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			metrics.Distances(st)
+		}
+	})
+}
+
+func BenchmarkEdgeBetweennessWorkers(b *testing.B) {
+	lab := benchLab(b)
+	sk, err := lab.Skitter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := sk.Static()
+	benchWorkers(b, func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			metrics.EdgeBetweenness(st)
+		}
+	})
+}
+
+// BenchmarkTable6Workers exercises the full experiment stack — replica
+// generation fan-out, metric sweeps, spectral bounds — at both worker
+// counts. Table 6 is the most expensive table (four dK depths with
+// spectral metrics), so it is the headline number for experiment-level
+// scaling.
+func BenchmarkTable6Workers(b *testing.B) {
+	lab := benchLab(b)
+	if _, err := lab.Skitter(); err != nil {
+		b.Fatal(err)
+	}
+	benchWorkers(b, func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := experiments.Run(lab, "table6", io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRandomizeReplicasWorkers measures the generation-layer replica
+// fan-out: 8 independent 2K-randomizing runs of the skitter-like graph.
+func BenchmarkRandomizeReplicasWorkers(b *testing.B) {
+	lab := benchLab(b)
+	sk, err := lab.Skitter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWorkers(b, func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := generate.RandomizeReplicas(sk, 2, 8, int64(i), generate.RandomizeOptions{SwapFactor: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func mustSummary(b *testing.B, g *graph.Graph) metrics.Summary {

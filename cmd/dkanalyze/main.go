@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dkanalyze [-d depth] [-spectral] [-sample n] [-seed s] graph.txt
+//	dkanalyze [-d depth] [-spectral] [-sample n] [-seed s] [-workers w] graph.txt
 //
 // The input is a whitespace-separated edge list ("u v" per line, #
 // comments allowed). Metrics are computed on the giant connected
@@ -17,10 +17,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"repro/internal/dk"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -28,7 +30,9 @@ func main() {
 	spectral := flag.Bool("spectral", false, "compute normalized-Laplacian spectrum bounds λ1, λ_{n−1}")
 	sample := flag.Int("sample", 0, "BFS source sample size for distance metrics (0 = exact)")
 	seed := flag.Int64("seed", 1, "random seed for sampling and Lanczos")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the metric sweeps (results are identical for any value)")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dkanalyze [flags] graph.txt")
 		flag.PrintDefaults()

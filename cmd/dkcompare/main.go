@@ -11,18 +11,22 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/dk"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 )
 
 func main() {
 	depth := flag.Int("d", 3, "maximum dK depth to compare (0..3)")
 	spectral := flag.Bool("spectral", false, "include Laplacian spectrum bounds")
 	seed := flag.Int64("seed", 1, "random seed for Lanczos")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the metric sweeps (results are identical for any value)")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: dkcompare [flags] a.txt b.txt")
 		flag.PrintDefaults()

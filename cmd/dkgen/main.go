@@ -15,6 +15,12 @@
 //
 // With -dot the output is Graphviz DOT (hubs highlighted) instead of an
 // edge list, which regenerates the raw material of the paper's Figure 3.
+//
+// With -replicas N > 1 it generates an ensemble of N independent graphs
+// concurrently (one derived seed per replica — deterministic for a given
+// -seed at any -workers value) and writes them to <out>.0, <out>.1, …:
+//
+//	dkgen -dataset hot -d 2 -method randomize -replicas 100 -out ens.txt
 package main
 
 import (
@@ -23,11 +29,14 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/dk"
 	"repro/internal/generate"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -36,32 +45,64 @@ func main() {
 	in := flag.String("in", "", "input edge-list file (omit to use -dataset)")
 	dataset := flag.String("dataset", "skitter", "synthetic input when -in is omitted: skitter | hot | paw | petersen")
 	skitterN := flag.Int("skitter-n", 2000, "node count for the synthetic skitter-like dataset")
-	out := flag.String("out", "-", "output file (- = stdout)")
+	out := flag.String("out", "-", "output file (- = stdout); with -replicas > 1, files <out>.<i>")
 	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of an edge list")
 	hubThreshold := flag.Int("hub-threshold", 10, "DOT: highlight nodes with degree >= threshold (0 = off)")
 	connect := flag.Bool("connect", false, "reconnect the result with degree-preserving swaps (Viger–Latapy)")
 	seed := flag.Int64("seed", 1, "random seed")
+	replicas := flag.Int("replicas", 1, "number of independent graphs to generate (ensemble fan-out)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the replica fan-out (results are identical for any value)")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
-	if err := run(*depth, *method, *in, *dataset, *skitterN, *out, *dot, *hubThreshold, *connect, *seed); err != nil {
+	if err := run(*depth, *method, *in, *dataset, *skitterN, *out, *dot, *hubThreshold, *connect, *seed, *replicas); err != nil {
 		fmt.Fprintln(os.Stderr, "dkgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(depth int, method, in, dataset string, skitterN int, out string, dot bool, hubThreshold int, connect bool, seed int64) error {
+func run(depth int, method, in, dataset string, skitterN int, out string, dot bool, hubThreshold int, connect bool, seed int64, replicas int) error {
 	g, err := loadInput(in, dataset, skitterN, seed)
 	if err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(seed))
-	opt := core.Options{Rng: rng}
+	// buildOne produces one graph from its own RNG stream; with
+	// -replicas > 1 it runs concurrently across replicas.
+	buildOne, err := builder(g, depth, method, connect)
+	if err != nil {
+		return err
+	}
+	if replicas <= 1 {
+		result, err := buildOne(rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return err
+		}
+		return writeResult(out, result, dot, depth, hubThreshold)
+	}
+	if out == "" || out == "-" {
+		return fmt.Errorf("-replicas %d needs -out (stdout cannot hold an ensemble)", replicas)
+	}
+	// Stream the ensemble: each replica is derived, written to its own
+	// file and dropped inside the fan-out, so peak memory is one graph
+	// per worker instead of the whole ensemble. Seeds are derived exactly
+	// like generate.Replicas, so outputs match the library fan-out.
+	return parallel.ForErr(replicas, func(i int) error {
+		rng := rand.New(rand.NewSource(parallel.SubSeed(seed, i)))
+		result, err := buildOne(rng)
+		if err != nil {
+			return err
+		}
+		return writeResult(fmt.Sprintf("%s.%d", out, i), result, dot, depth, hubThreshold)
+	})
+}
 
-	var result *graph.Graph
-	if method == "randomize" {
-		result, err = core.Randomize(g, depth, opt)
-	} else {
-		var m core.Method
+// builder returns a single-replica construction closure for the chosen
+// method. The closure is safe for concurrent calls with distinct Rngs:
+// profile extraction happens once, up front.
+func builder(g *graph.Graph, depth int, method string, connect bool) (func(rng *rand.Rand) (*graph.Graph, error), error) {
+	var m core.Method
+	var profile *dk.Profile
+	if method != "randomize" {
 		switch method {
 		case "stochastic":
 			m = core.MethodStochastic
@@ -72,30 +113,42 @@ func run(depth int, method, in, dataset string, skitterN int, out string, dot bo
 		case "targeting":
 			m = core.MethodTargeting
 		default:
-			return fmt.Errorf("unknown method %q", method)
+			return nil, fmt.Errorf("unknown method %q", method)
 		}
-		profile, err2 := core.Extract(g, depth)
-		if err2 != nil {
-			return err2
-		}
-		if err2 := profile.Validate(); err2 != nil {
-			return fmt.Errorf("extracted profile invalid: %w", err2)
-		}
-		result, err = core.Generate(profile, depth, m, opt)
-	}
-	if err != nil {
-		return err
-	}
-	if connect {
-		isolated, err := generate.ConnectViaSwaps(result, rng)
+		p, err := core.Extract(g, depth)
 		if err != nil {
-			return fmt.Errorf("reconnect: %w", err)
+			return nil, err
 		}
-		if isolated > 0 {
-			fmt.Fprintf(os.Stderr, "dkgen: %d isolated nodes cannot be attached degree-preservingly\n", isolated)
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("extracted profile invalid: %w", err)
 		}
+		profile = p
 	}
+	return func(rng *rand.Rand) (*graph.Graph, error) {
+		var result *graph.Graph
+		var err error
+		if method == "randomize" {
+			result, err = core.Randomize(g, depth, core.Options{Rng: rng})
+		} else {
+			result, err = core.Generate(profile, depth, m, core.Options{Rng: rng})
+		}
+		if err != nil {
+			return nil, err
+		}
+		if connect {
+			isolated, err := generate.ConnectViaSwaps(result, rng)
+			if err != nil {
+				return nil, fmt.Errorf("reconnect: %w", err)
+			}
+			if isolated > 0 {
+				fmt.Fprintf(os.Stderr, "dkgen: %d isolated nodes cannot be attached degree-preservingly\n", isolated)
+			}
+		}
+		return result, nil
+	}, nil
+}
 
+func writeResult(out string, result *graph.Graph, dot bool, depth, hubThreshold int) error {
 	w, closeFn, err := openOutput(out)
 	if err != nil {
 		return err

@@ -5,6 +5,7 @@
 //	dkrepro -exp table6,fig8     # selected experiments
 //	dkrepro -scale paper         # paper-sized graphs (slow)
 //	dkrepro -seeds 10 -seed 99   # averaging width and base seed
+//	dkrepro -workers 4           # bound the worker pool (default: all cores)
 //
 // Output is plain text: tables match the paper's table rows; figures are
 // printed as aligned x/series matrices ready for plotting. EXPERIMENTS.md
@@ -16,10 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -27,8 +30,10 @@ func main() {
 	scale := flag.String("scale", "small", "small | paper")
 	seeds := flag.Int("seeds", 0, "graphs averaged per cell (0 = scale default)")
 	seed := flag.Int64("seed", 42, "base random seed")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for metric sweeps and seed/topology fan-out (results are identical for any value)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	if *list {
 		for _, id := range experiments.IDs() {

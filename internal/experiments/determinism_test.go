@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/generate"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+)
+
+func withWorkers(w int, fn func()) {
+	parallel.SetWorkers(w)
+	defer parallel.SetWorkers(0)
+	fn()
+}
+
+// TestMeanSummaryDeterministicAcrossWorkers pins the experiment engine's
+// determinism guarantee at the averaging-seed level: a multi-seed run
+// must produce the exact same mean summary at workers=1 and workers=8,
+// because every seed derives its own RNG stream from (purpose, index)
+// and summaries are reduced in index order.
+func TestMeanSummaryDeterministicAcrossWorkers(t *testing.T) {
+	gen := func(rng *rand.Rand) (*graph.Graph, error) {
+		return generate.Stochastic0K(250, 6, generate.Options{Rng: rng})
+	}
+	run := func(workers int) metrics.Summary {
+		var sum metrics.Summary
+		var err error
+		withWorkers(workers, func() {
+			l := NewLab(Config{Scale: ScaleSmall, Seeds: 8, Seed: 77})
+			sum, err = l.meanSummaryOver(false, 55, gen)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	serial, par := run(1), run(8)
+	if serial != par {
+		t.Fatalf("mean summary differs:\nworkers=1: %+v\nworkers=8: %+v", serial, par)
+	}
+}
+
+// TestExperimentDeterministicAcrossWorkers runs a full registry
+// experiment — generation fan-out, metric sweeps, rendering — at two
+// worker counts and requires byte-identical output.
+func TestExperimentDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []byte {
+		var buf bytes.Buffer
+		withWorkers(workers, func() {
+			l := NewLab(Config{Scale: ScaleSmall, Seeds: 2, Seed: 7})
+			if err := Run(l, "fig3", &buf); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return buf.Bytes()
+	}
+	serial, par := run(1), run(8)
+	if !bytes.Equal(serial, par) {
+		t.Fatalf("fig3 rendering differs across worker counts:\n-- workers=1 --\n%s\n-- workers=8 --\n%s", serial, par)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dk"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 )
 
 // namedGraph pairs a column label with a graph variant (always the GCC).
@@ -24,28 +25,39 @@ func gccOf(g *graph.Graph) *graph.Graph {
 }
 
 // variants2K builds one GCC per 2K construction technique (Fig. 5a/5b).
+// The five constructions are independent (per-method RNG streams), so
+// they run concurrently on the worker pool.
 func (l *Lab) variants2K(ref *graph.Graph, p *dk.Profile, purpose int64) ([]namedGraph, error) {
-	out := make([]namedGraph, 0, len(twoKMethods))
-	for mi, method := range twoKMethods {
+	out := make([]namedGraph, len(twoKMethods))
+	err := parallel.ForErr(len(twoKMethods), func(mi int) error {
+		method := twoKMethods[mi]
 		g, err := generate2K(ref, p, method, l.Rng(purpose+int64(mi)))
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", method, err)
+			return fmt.Errorf("%s: %w", method, err)
 		}
-		out = append(out, namedGraph{method, gccOf(g)})
+		out[mi] = namedGraph{method, gccOf(g)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // variantsDK builds the 0K..3K dK-random GCCs of a reference
-// (Figs. 6, 8, 9).
+// (Figs. 6, 8, 9), one rewiring run per depth, concurrently.
 func (l *Lab) variantsDK(ref *graph.Graph, purpose int64) ([]namedGraph, error) {
-	out := make([]namedGraph, 0, 4)
-	for d := 0; d <= 3; d++ {
+	out := make([]namedGraph, 4)
+	err := parallel.ForErr(4, func(d int) error {
 		g, err := generateDKRandom(ref, d, l.Rng(purpose+int64(d)))
 		if err != nil {
-			return nil, fmt.Errorf("depth %d: %w", d, err)
+			return fmt.Errorf("depth %d: %w", d, err)
 		}
-		out = append(out, namedGraph{fmt.Sprintf("%dK-random", d), gccOf(g)})
+		out[d] = namedGraph{fmt.Sprintf("%dK-random", d), gccOf(g)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -55,9 +67,13 @@ func (l *Lab) variantsDK(ref *graph.Graph, purpose int64) ([]namedGraph, error) 
 func distanceSeries(id, title string, variants []namedGraph, orig *graph.Graph) *Series {
 	variants = append(variants, namedGraph{"original", gccOf(orig)})
 	pdfs := make([][]float64, len(variants))
+	// Per-variant all-pairs BFS sweeps are independent; fan them out on
+	// top of the already-parallel metrics.Distances.
+	parallel.For(len(variants), func(i int) {
+		pdfs[i] = metrics.Distances(variants[i].g.Static()).PDF()
+	})
 	maxLen := 0
-	for i, v := range variants {
-		pdfs[i] = metrics.Distances(v.g.Static()).PDF()
+	for i := range pdfs {
 		if len(pdfs[i]) > maxLen {
 			maxLen = len(pdfs[i])
 		}
@@ -119,17 +135,23 @@ func binnedByDegree(s *graph.Static, values []float64, restrict func(deg int) bo
 }
 
 // perDegreeSeries builds a degree-binned series across variants from a
-// per-node metric extractor.
+// per-node metric extractor. Variants are processed concurrently; each
+// gets its own index-derived rand.Rand (rngAt), so sampled extractors
+// like betweennessPerNode stay deterministic at any worker count.
 func perDegreeSeries(id, title, what string, variants []namedGraph, orig *graph.Graph,
 	perNode func(s *graph.Static, rng *rand.Rand) []float64,
-	restrict func(deg int) bool, rng *rand.Rand) *Series {
+	restrict func(deg int) bool, rngAt func(i int) *rand.Rand) *Series {
 	variants = append(variants, namedGraph{"original", gccOf(orig)})
 	binned := make([]map[int]float64, len(variants))
+	maxDegs := make([]int, len(variants))
+	parallel.For(len(variants), func(i int) {
+		st := variants[i].g.Static()
+		binned[i] = binnedByDegree(st, perNode(st, rngAt(i)), restrict)
+		maxDegs[i] = st.MaxDegree()
+	})
 	maxDeg := 0
-	for i, v := range variants {
-		st := v.g.Static()
-		binned[i] = binnedByDegree(st, perNode(st, rng), restrict)
-		if d := st.MaxDegree(); d > maxDeg {
+	for _, d := range maxDegs {
+		if d > maxDeg {
 			maxDeg = d
 		}
 	}
@@ -155,6 +177,12 @@ func perDegreeSeries(id, title, what string, variants []namedGraph, orig *graph.
 	}
 	_ = what
 	return s
+}
+
+// rngsFrom returns a per-variant RNG factory: variant i draws from the
+// deterministic purpose id purpose+i.
+func (l *Lab) rngsFrom(purpose int64) func(i int) *rand.Rand {
+	return func(i int) *rand.Rand { return l.Rng(purpose + int64(i)) }
 }
 
 func clusteringPerNode(s *graph.Static, _ *rand.Rand) []float64 {
@@ -194,7 +222,7 @@ func (l *Lab) Fig5a() (*Series, error) {
 		return nil, err
 	}
 	return perDegreeSeries("fig5a", "Clustering C(k) in skitter-like graphs for 2K algorithms",
-		"clustering", vars, sk, clusteringPerNode, func(d int) bool { return d >= 2 }, l.Rng(5190)), nil
+		"clustering", vars, sk, clusteringPerNode, func(d int) bool { return d >= 2 }, l.rngsFrom(5190)), nil
 }
 
 // Fig5b reproduces Figure 5(b): the distance distribution of the HOT
@@ -226,13 +254,18 @@ func (l *Lab) Fig5c() (*Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	var vars []namedGraph
-	for mi, method := range []string{"3K-randomizing", "3K-targeting"} {
-		g, err := generate3K(hot, p, method, l.Rng(5300+int64(mi)))
+	methods := []string{"3K-randomizing", "3K-targeting"}
+	vars := make([]namedGraph, len(methods))
+	err = parallel.ForErr(len(methods), func(mi int) error {
+		g, err := generate3K(hot, p, methods[mi], l.Rng(5300+int64(mi)))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		vars = append(vars, namedGraph{method, gccOf(g)})
+		vars[mi] = namedGraph{methods[mi], gccOf(g)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return distanceSeries("fig5c", "Distance distribution in HOT for 3K algorithms", vars, hot), nil
 }
@@ -263,7 +296,7 @@ func (l *Lab) Fig6b() (*Series, error) {
 		return nil, err
 	}
 	return perDegreeSeries("fig6b", "Normalized betweenness vs degree: dK-random vs skitter-like",
-		"betweenness", vars, sk, betweennessPerNode, nil, l.Rng(6290)), nil
+		"betweenness", vars, sk, betweennessPerNode, nil, l.rngsFrom(6290)), nil
 }
 
 // Fig6c reproduces Figure 6(c): clustering C(k) for dK-random graphs and
@@ -278,7 +311,7 @@ func (l *Lab) Fig6c() (*Series, error) {
 		return nil, err
 	}
 	return perDegreeSeries("fig6c", "Clustering C(k): dK-random vs skitter-like",
-		"clustering", vars, sk, clusteringPerNode, func(d int) bool { return d >= 2 }, l.Rng(6390)), nil
+		"clustering", vars, sk, clusteringPerNode, func(d int) bool { return d >= 2 }, l.rngsFrom(6390)), nil
 }
 
 // Fig7 reproduces Figure 7: C(k) with clustering maximized and minimized
@@ -289,16 +322,21 @@ func (l *Lab) Fig7() (*Series, error) {
 		return nil, err
 	}
 	budget := 40 * sk.M()
-	var vars []namedGraph
-	for _, v := range []struct {
+	climbs := []struct {
 		name string
 		max  bool
-	}{{"2K max-C̄", true}, {"2K min-C̄", false}} {
-		res, err := exploreClustering(sk, v.max, budget, l.Rng(7000+int64(len(vars))))
+	}{{"2K max-C̄", true}, {"2K min-C̄", false}}
+	vars := make([]namedGraph, len(climbs))
+	err = parallel.ForErr(len(climbs), func(vi int) error {
+		res, err := exploreClustering(sk, climbs[vi].max, budget, l.Rng(7000+int64(vi)))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		vars = append(vars, namedGraph{v.name, gccOf(res)})
+		vars[vi] = namedGraph{climbs[vi].name, gccOf(res)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	rnd, err := generateDKRandom(sk, 2, l.Rng(7090))
 	if err != nil {
@@ -306,7 +344,7 @@ func (l *Lab) Fig7() (*Series, error) {
 	}
 	vars = append(vars, namedGraph{"2K-random", gccOf(rnd)})
 	return perDegreeSeries("fig7", "Varying clustering in 2K-graphs (skitter-like)",
-		"clustering", vars, sk, clusteringPerNode, func(d int) bool { return d >= 2 }, l.Rng(7099)), nil
+		"clustering", vars, sk, clusteringPerNode, func(d int) bool { return d >= 2 }, l.rngsFrom(7099)), nil
 }
 
 // Fig8 reproduces Figure 8: distance distributions of dK-random graphs
@@ -335,7 +373,7 @@ func (l *Lab) Fig9() (*Series, error) {
 		return nil, err
 	}
 	return perDegreeSeries("fig9", "Normalized betweenness vs degree: dK-random vs HOT",
-		"betweenness", vars, hot, betweennessPerNode, nil, l.Rng(9190)), nil
+		"betweenness", vars, hot, betweennessPerNode, nil, l.rngsFrom(9190)), nil
 }
 
 // Fig3 quantifies what the paper's Figure 3 visualizations show: where

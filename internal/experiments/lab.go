@@ -3,11 +3,13 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/datasets"
 	"repro/internal/dk"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 )
 
 // Scale selects experiment sizing.
@@ -49,19 +51,57 @@ func (c Config) withDefaults() Config {
 }
 
 // Lab caches the reference topologies and their profiles across the
-// experiments of one run.
+// experiments of one run. All methods are safe for concurrent use:
+// experiments and averaging seeds fan out over the worker pool, and the
+// caches are built exactly once (sync.OnceValues) no matter how many
+// goroutines ask first — errors are cached alongside values.
 type Lab struct {
 	Cfg Config
 
-	skitter        *graph.Graph
-	skitterProfile *dk.Profile
-	hot            *graph.Graph
-	hotProfile     *dk.Profile
+	skitter        func() (*graph.Graph, error)
+	skitterProfile func() (*dk.Profile, error)
+	hot            func() (*graph.Graph, error)
+	hotProfile     func() (*dk.Profile, error)
 }
 
 // NewLab prepares a lazily-populated lab.
 func NewLab(cfg Config) *Lab {
-	return &Lab{Cfg: cfg.withDefaults()}
+	l := &Lab{Cfg: cfg.withDefaults()}
+	l.skitter = sync.OnceValues(func() (*graph.Graph, error) {
+		cfg := datasets.SkitterConfig{Seed: l.Cfg.Seed}
+		if l.Cfg.Scale == ScalePaper {
+			cfg = datasets.PaperScaleSkitter(l.Cfg.Seed)
+		} else {
+			cfg.N = 1200
+		}
+		g, err := datasets.Skitter(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building skitter-like graph: %w", err)
+		}
+		return g, nil
+	})
+	l.skitterProfile = sync.OnceValues(func() (*dk.Profile, error) {
+		g, err := l.Skitter()
+		if err != nil {
+			return nil, err
+		}
+		return dk.ExtractGraph(g, 3)
+	})
+	l.hot = sync.OnceValues(func() (*graph.Graph, error) {
+		g, _, err := datasets.HOT(datasets.PaperScaleHOT(l.Cfg.Seed))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building HOT-like graph: %w", err)
+		}
+		return g, nil
+	})
+	l.hotProfile = sync.OnceValues(func() (*dk.Profile, error) {
+		g, err := l.HOT()
+		if err != nil {
+			return nil, err
+		}
+		return dk.ExtractGraph(g, 3)
+	})
+	return l
 }
 
 // Rng derives a deterministic per-purpose random source.
@@ -70,71 +110,17 @@ func (l *Lab) Rng(purpose int64) *rand.Rand {
 }
 
 // Skitter returns the AS-like reference graph (GCC, connected).
-func (l *Lab) Skitter() (*graph.Graph, error) {
-	if l.skitter != nil {
-		return l.skitter, nil
-	}
-	cfg := datasets.SkitterConfig{Seed: l.Cfg.Seed}
-	if l.Cfg.Scale == ScalePaper {
-		cfg = datasets.PaperScaleSkitter(l.Cfg.Seed)
-	} else {
-		cfg.N = 1200
-	}
-	g, err := datasets.Skitter(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: building skitter-like graph: %w", err)
-	}
-	l.skitter = g
-	return g, nil
-}
+func (l *Lab) Skitter() (*graph.Graph, error) { return l.skitter() }
 
 // SkitterProfile returns the depth-3 dK-profile of the skitter-like graph.
-func (l *Lab) SkitterProfile() (*dk.Profile, error) {
-	if l.skitterProfile != nil {
-		return l.skitterProfile, nil
-	}
-	g, err := l.Skitter()
-	if err != nil {
-		return nil, err
-	}
-	p, err := dk.ExtractGraph(g, 3)
-	if err != nil {
-		return nil, err
-	}
-	l.skitterProfile = p
-	return p, nil
-}
+func (l *Lab) SkitterProfile() (*dk.Profile, error) { return l.skitterProfile() }
 
 // HOT returns the router-like reference graph (connected by
 // construction).
-func (l *Lab) HOT() (*graph.Graph, error) {
-	if l.hot != nil {
-		return l.hot, nil
-	}
-	g, _, err := datasets.HOT(datasets.PaperScaleHOT(l.Cfg.Seed))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: building HOT-like graph: %w", err)
-	}
-	l.hot = g
-	return g, nil
-}
+func (l *Lab) HOT() (*graph.Graph, error) { return l.hot() }
 
 // HOTProfile returns the depth-3 dK-profile of the HOT-like graph.
-func (l *Lab) HOTProfile() (*dk.Profile, error) {
-	if l.hotProfile != nil {
-		return l.hotProfile, nil
-	}
-	g, err := l.HOT()
-	if err != nil {
-		return nil, err
-	}
-	p, err := dk.ExtractGraph(g, 3)
-	if err != nil {
-		return nil, err
-	}
-	l.hotProfile = p
-	return p, nil
-}
+func (l *Lab) HOTProfile() (*dk.Profile, error) { return l.hotProfile() }
 
 // summarizeGCC computes the scalar metrics of g's giant component.
 func summarizeGCC(g *graph.Graph, spectral bool, rng *rand.Rand) (metrics.Summary, error) {
@@ -146,20 +132,29 @@ func summarizeGCC(g *graph.Graph, spectral bool, rng *rand.Rand) (metrics.Summar
 }
 
 // meanSummaryOver generates Seeds graphs via gen and averages their GCC
-// summaries.
+// summaries. The averaging seeds are independent — each derives its own
+// rand.Rand from (purpose, seed index) — so they run concurrently on the
+// worker pool; summaries land in a slice indexed by seed and are averaged
+// in index order, making the mean identical at every worker count. gen
+// must therefore be safe for concurrent calls (every generator in
+// internal/generate is, given distinct Rngs).
 func (l *Lab) meanSummaryOver(spectral bool, purpose int64, gen func(rng *rand.Rand) (*graph.Graph, error)) (metrics.Summary, error) {
-	sums := make([]metrics.Summary, 0, l.Cfg.Seeds)
-	for s := 0; s < l.Cfg.Seeds; s++ {
+	sums := make([]metrics.Summary, l.Cfg.Seeds)
+	err := parallel.ForErr(l.Cfg.Seeds, func(s int) error {
 		rng := l.Rng(purpose*1000 + int64(s))
 		g, err := gen(rng)
 		if err != nil {
-			return metrics.Summary{}, err
+			return err
 		}
 		sum, err := summarizeGCC(g, spectral, rng)
 		if err != nil {
-			return metrics.Summary{}, err
+			return err
 		}
-		sums = append(sums, sum)
+		sums[s] = sum
+		return nil
+	})
+	if err != nil {
+		return metrics.Summary{}, err
 	}
 	return metrics.MeanSummaries(sums), nil
 }

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // Renderable is anything an experiment can return (Table or Series).
@@ -62,10 +65,21 @@ func Run(l *Lab, id string, w io.Writer) error {
 	return r.Render(w)
 }
 
-// RunAll executes every experiment in sorted id order.
+// RunAll executes every experiment concurrently on the worker pool and
+// writes the renderings to w in sorted id order. Each experiment derives
+// its randomness from its own purpose ids, so the combined output is
+// identical to a serial run; on failure the error of the first id (in
+// sorted order) is returned and nothing is written.
 func RunAll(l *Lab, w io.Writer) error {
-	for _, id := range IDs() {
-		if err := Run(l, id, w); err != nil {
+	ids := IDs()
+	bufs := make([]bytes.Buffer, len(ids))
+	if err := parallel.ForErr(len(ids), func(i int) error {
+		return Run(l, ids[i], &bufs[i])
+	}); err != nil {
+		return err
+	}
+	for i := range bufs {
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
 			return err
 		}
 	}

@@ -4,6 +4,12 @@
 // DESIGN.md. Each experiment returns a structured Table or Series that
 // renders to text; cmd/dkrepro is the CLI front end and bench_test.go
 // wraps each experiment in a benchmark.
+//
+// Averaging seeds, the independent topologies of each table/figure, and
+// whole experiments (RunAll) execute concurrently on the worker pool of
+// internal/parallel. Every replica derives its RNG stream from a
+// (purpose, index) pair and results reduce in index order, so a run's
+// output is bit-identical for any -workers value (DESIGN.md §3).
 package experiments
 
 import (

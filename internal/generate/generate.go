@@ -14,7 +14,10 @@
 //   - exploration: dK-space exploration by maximizing/minimizing scalar
 //     metrics (S, S2, C̄) under dK-preserving rewiring.
 //
-// All generators are deterministic given the caller-supplied *rand.Rand.
+// All generators are deterministic given the caller-supplied *rand.Rand,
+// and each runs single-threaded; ensemble workloads parallelize across
+// replicas instead (Replicas, RandomizeReplicas), with one seed-derived
+// RNG stream per replica so results are worker-count independent.
 package generate
 
 import (

@@ -98,7 +98,11 @@ func Stochastic2K(jdd *dk.JDD, opt Options) (*graph.Graph, error) {
 			panic("generate: stochastic2K duplicate: " + err.Error())
 		}
 	}
-	for pair, m := range jdd.Count {
+	// Iterate classes in sorted order, not map order: every block consumes
+	// rng draws, so the iteration order is part of the random stream and
+	// must be deterministic.
+	for _, pair := range jdd.Pairs() {
+		m := jdd.Count[pair]
 		if m <= 0 {
 			continue
 		}

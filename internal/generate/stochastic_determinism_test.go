@@ -1,0 +1,38 @@
+package generate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dk"
+)
+
+// TestStochastic2KDeterministic guards against RNG draws being consumed
+// in map-iteration order: two same-seeded runs over a many-class JDD
+// must build the identical graph. (Regression: Stochastic2K used to
+// range over jdd.Count directly, which randomized the edge sample per
+// process run.)
+func TestStochastic2KDeterministic(t *testing.T) {
+	// Extract a real JDD with enough distinct classes that map iteration
+	// order varies from run to run.
+	g := replicaTestGraph(t)
+	p, err := dk.ExtractGraph(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jdd := p.Joint
+	if len(jdd.Count) < 5 {
+		t.Fatalf("test graph too uniform: %d JDD classes", len(jdd.Count))
+	}
+	a, err := Stochastic2K(jdd, Options{Rng: rand.New(rand.NewSource(5))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Stochastic2K(jdd, Options{Rng: rand.New(rand.NewSource(5))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("Stochastic2K not deterministic for a fixed seed")
+	}
+}

@@ -1,5 +1,7 @@
 // Package graph implements the undirected simple-graph substrate used by
-// every other package in this repository.
+// every other package in this repository — the two workloads of the
+// paper's pipeline: edge rewiring (the §4.1.4 construction engines) and
+// traversal-heavy metric sweeps (the §2 metric suite, §5 evaluation).
 //
 // Two representations are provided:
 //

@@ -4,7 +4,90 @@ import (
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
+
+// accumChunks bounds the number of chunks a parallel per-source sweep is
+// split into — and therefore the maximum useful worker count for one
+// sweep. The chunk split is a fixed policy (a function of the source
+// count only — see parallel.Chunks) and partial accumulators are merged
+// in chunk order via parallel.OrderedReduce, so the floating-point
+// summation order is independent of the worker count: workers=1 and
+// workers=N produce bit-identical results. The streaming merge holds
+// only the out-of-order window of partials (≈ the active worker count)
+// live at once, so a high chunk count costs allocation churn, not
+// resident memory.
+const accumChunks = 256
+
+// brandesScratch is the per-worker reusable state of one Brandes
+// single-source pass. Each pool worker owns one instance; instances are
+// never shared across goroutines.
+type brandesScratch struct {
+	dist         []int32
+	sigma, delta []float64 // shortest-path counts, dependency accumulator
+	stack, queue []int32
+}
+
+func newBrandesScratch(n int) *brandesScratch {
+	return &brandesScratch{
+		dist:  make([]int32, n),
+		sigma: make([]float64, n),
+		delta: make([]float64, n),
+		stack: make([]int32, 0, n),
+		queue: make([]int32, 0, n),
+	}
+}
+
+// forward runs the shared first phase of a Brandes pass from src: BFS
+// with shortest-path counting, filling dist, sigma, delta (zeroed) and
+// the traversal stack. The node and edge variants differ only in their
+// backward dependency loops.
+func (sc *brandesScratch) forward(s *graph.Static, src int) {
+	n := s.N()
+	for i := 0; i < n; i++ {
+		sc.dist[i] = -1
+		sc.sigma[i] = 0
+		sc.delta[i] = 0
+	}
+	sc.dist[src] = 0
+	sc.sigma[src] = 1
+	sc.stack = sc.stack[:0]
+	sc.queue = append(sc.queue[:0], int32(src))
+	head := 0
+	for head < len(sc.queue) {
+		u := sc.queue[head]
+		head++
+		sc.stack = append(sc.stack, u)
+		du := sc.dist[u]
+		for _, v := range s.Neighbors(int(u)) {
+			if sc.dist[v] < 0 {
+				sc.dist[v] = du + 1
+				sc.queue = append(sc.queue, v)
+			}
+			if sc.dist[v] == du+1 {
+				sc.sigma[v] += sc.sigma[u]
+			}
+		}
+	}
+}
+
+// accumulate runs one Brandes pass from src, adding the source's
+// dependency contributions into bc.
+func (sc *brandesScratch) accumulate(s *graph.Static, src int, bc []float64) {
+	sc.forward(s, src)
+	// Dependency accumulation in reverse BFS order.
+	for i := len(sc.stack) - 1; i > 0; i-- {
+		w := sc.stack[i]
+		coeff := (1 + sc.delta[w]) / sc.sigma[w]
+		dw := sc.dist[w]
+		for _, v := range s.Neighbors(int(w)) {
+			if sc.dist[v] == dw-1 {
+				sc.delta[v] += sc.sigma[v] * coeff
+			}
+		}
+		bc[w] += sc.delta[w]
+	}
+}
 
 // Betweenness computes exact node betweenness centrality with Brandes'
 // algorithm in O(n·m). The returned values count, for each node v, the
@@ -31,65 +114,36 @@ func SampledBetweenness(s *graph.Static, sources int, rng *rand.Rand) []float64 
 	return bc
 }
 
+// betweenness fans the per-source Brandes passes out over the worker
+// pool. Sources are split into fixed chunks; each chunk accumulates into
+// its own partial vector and partials are merged in chunk order, so the
+// result is bit-identical at every worker count (see accumChunks).
 func betweenness(s *graph.Static, srcs []int) []float64 {
 	n := s.N()
+	srcAt := func(i int) int { return i }
+	nsrc := n
+	if srcs != nil {
+		srcAt = func(i int) int { return srcs[i] }
+		nsrc = len(srcs)
+	}
 	bc := make([]float64, n)
-	// Reusable per-source state.
-	dist := make([]int32, n)
-	sigma := make([]float64, n) // number of shortest paths
-	delta := make([]float64, n) // dependency accumulator
-	stack := make([]int32, 0, n)
-	queue := make([]int32, 0, n)
-
-	accumulate := func(src int) {
-		for i := 0; i < n; i++ {
-			dist[i] = -1
-			sigma[i] = 0
-			delta[i] = 0
-		}
-		dist[src] = 0
-		sigma[src] = 1
-		stack = stack[:0]
-		queue = append(queue[:0], int32(src))
-		head := 0
-		for head < len(queue) {
-			u := queue[head]
-			head++
-			stack = append(stack, u)
-			du := dist[u]
-			for _, v := range s.Neighbors(int(u)) {
-				if dist[v] < 0 {
-					dist[v] = du + 1
-					queue = append(queue, v)
-				}
-				if dist[v] == du+1 {
-					sigma[v] += sigma[u]
-				}
+	scratch := make([]*brandesScratch, parallel.Workers())
+	parallel.OrderedReduce(nsrc, accumChunks,
+		func(worker, lo, hi int) []float64 {
+			if scratch[worker] == nil {
+				scratch[worker] = newBrandesScratch(n)
 			}
-		}
-		// Dependency accumulation in reverse BFS order.
-		for i := len(stack) - 1; i > 0; i-- {
-			w := stack[i]
-			coeff := (1 + delta[w]) / sigma[w]
-			dw := dist[w]
-			for _, v := range s.Neighbors(int(w)) {
-				if dist[v] == dw-1 {
-					delta[v] += sigma[v] * coeff
-				}
+			partial := make([]float64, n)
+			for i := lo; i < hi; i++ {
+				scratch[worker].accumulate(s, srcAt(i), partial)
 			}
-			bc[w] += delta[w]
-		}
-	}
-
-	if srcs == nil {
-		for src := 0; src < n; src++ {
-			accumulate(src)
-		}
-	} else {
-		for _, src := range srcs {
-			accumulate(src)
-		}
-	}
+			return partial
+		},
+		func(partial []float64) {
+			for i, x := range partial {
+				bc[i] += x
+			}
+		})
 	// Each unordered pair {s,t} was counted twice (once from s, once from
 	// t) in the exact case; halve for the undirected convention. Sampled
 	// runs approximate the same quantity after the caller's n/sources

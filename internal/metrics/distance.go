@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 // DistanceDistribution holds the hop-distance histogram of a graph:
@@ -35,35 +36,63 @@ func SampledDistances(s *graph.Static, sources int, rng *rand.Rand) *DistanceDis
 	return distances(s, perm, rng)
 }
 
+// bfsScratch is the reusable per-worker state of one BFS pass, shared by
+// the distance and degree-correlation sweeps.
+type bfsScratch struct{ dist, queue []int32 }
+
+// bfsScratchFor lazily initializes the calling worker's scratch slot.
+func bfsScratchFor(scratch []*bfsScratch, worker, n int) *bfsScratch {
+	if scratch[worker] == nil {
+		scratch[worker] = &bfsScratch{
+			dist:  make([]int32, n),
+			queue: make([]int32, 0, n),
+		}
+	}
+	return scratch[worker]
+}
+
+// distances fans the per-source BFS sweeps out over the worker pool.
+// Each chunk of sources tallies into its own histogram; histograms hold
+// integer counts, so merging them (in chunk order, for uniformity with
+// the float-valued metrics) is exact and worker-count independent.
 func distances(s *graph.Static, srcs []int, _ *rand.Rand) *DistanceDistribution {
 	n := s.N()
-	dd := &DistanceDistribution{Count: make([]int64, 2)}
-	dist := make([]int32, n)
-	queue := make([]int32, 0, n)
-	run := func(src int) {
-		reached := graph.BFS(s, src, dist, queue)
-		dd.Unreachable += int64(n - reached)
-		for _, d := range dist {
-			if d <= 0 {
-				continue
-			}
-			for int(d) >= len(dd.Count) {
-				dd.Count = append(dd.Count, 0)
-			}
-			dd.Count[d]++
-		}
+	srcAt := func(i int) int { return i }
+	nsrc := n
+	if srcs != nil {
+		srcAt = func(i int) int { return srcs[i] }
+		nsrc = len(srcs)
 	}
-	if srcs == nil {
-		for src := 0; src < n; src++ {
-			run(src)
-		}
-		dd.Sources = n
-	} else {
-		for _, src := range srcs {
-			run(src)
-		}
-		dd.Sources = len(srcs)
-	}
+	dd := &DistanceDistribution{Count: make([]int64, 2), Sources: nsrc}
+	scratch := make([]*bfsScratch, parallel.Workers())
+	parallel.OrderedReduce(nsrc, accumChunks,
+		func(worker, lo, hi int) *DistanceDistribution {
+			sc := bfsScratchFor(scratch, worker, n)
+			part := &DistanceDistribution{Count: make([]int64, 2)}
+			for i := lo; i < hi; i++ {
+				reached := graph.BFS(s, srcAt(i), sc.dist, sc.queue)
+				part.Unreachable += int64(n - reached)
+				for _, d := range sc.dist {
+					if d <= 0 {
+						continue
+					}
+					for int(d) >= len(part.Count) {
+						part.Count = append(part.Count, 0)
+					}
+					part.Count[d]++
+				}
+			}
+			return part
+		},
+		func(part *DistanceDistribution) {
+			dd.Unreachable += part.Unreachable
+			for x, cnt := range part.Count {
+				for x >= len(dd.Count) {
+					dd.Count = append(dd.Count, 0)
+				}
+				dd.Count[x] += cnt
+			}
+		})
 	return dd
 }
 

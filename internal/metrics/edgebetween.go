@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 // EdgeBetweenness computes edge betweenness centrality — the paper's
@@ -9,55 +10,45 @@ import (
 // for each edge, the sum over node pairs of the fraction of shortest
 // paths crossing it. Each unordered pair is counted once. The result maps
 // canonical edges to values.
+//
+// The per-source passes fan out over the worker pool; each fixed chunk of
+// sources accumulates into its own map and the maps are merged in chunk
+// order, so every edge's value is summed in a worker-count-independent
+// order and the result is bit-identical at any parallelism level.
 func EdgeBetweenness(s *graph.Static) map[graph.Edge]float64 {
 	n := s.N()
 	out := make(map[graph.Edge]float64, s.M())
-	dist := make([]int32, n)
-	sigma := make([]float64, n)
-	delta := make([]float64, n)
-	stack := make([]int32, 0, n)
-	queue := make([]int32, 0, n)
-
-	for src := 0; src < n; src++ {
-		for i := 0; i < n; i++ {
-			dist[i] = -1
-			sigma[i] = 0
-			delta[i] = 0
+	scratch := make([]*brandesScratch, parallel.Workers())
+	parallel.OrderedReduce(n, accumChunks, func(worker, lo, hi int) map[graph.Edge]float64 {
+		if scratch[worker] == nil {
+			scratch[worker] = newBrandesScratch(n)
 		}
-		dist[src] = 0
-		sigma[src] = 1
-		stack = stack[:0]
-		queue = append(queue[:0], int32(src))
-		head := 0
-		for head < len(queue) {
-			u := queue[head]
-			head++
-			stack = append(stack, u)
-			du := dist[u]
-			for _, v := range s.Neighbors(int(u)) {
-				if dist[v] < 0 {
-					dist[v] = du + 1
-					queue = append(queue, v)
-				}
-				if dist[v] == du+1 {
-					sigma[v] += sigma[u]
+		sc := scratch[worker]
+		part := make(map[graph.Edge]float64)
+		for src := lo; src < hi; src++ {
+			sc.forward(s, src)
+			// Dependency accumulation in reverse BFS order, attributing
+			// each contribution to the edge it crosses.
+			for i := len(sc.stack) - 1; i > 0; i-- {
+				w := sc.stack[i]
+				coeff := (1 + sc.delta[w]) / sc.sigma[w]
+				dw := sc.dist[w]
+				for _, v := range s.Neighbors(int(w)) {
+					if sc.dist[v] == dw-1 {
+						contrib := sc.sigma[v] * coeff
+						sc.delta[v] += contrib
+						e := graph.Edge{U: int(v), V: int(w)}.Canon()
+						part[e] += contrib
+					}
 				}
 			}
 		}
-		for i := len(stack) - 1; i > 0; i-- {
-			w := stack[i]
-			coeff := (1 + delta[w]) / sigma[w]
-			dw := dist[w]
-			for _, v := range s.Neighbors(int(w)) {
-				if dist[v] == dw-1 {
-					c := sigma[v] * coeff
-					delta[v] += c
-					e := graph.Edge{U: int(v), V: int(w)}.Canon()
-					out[e] += c
-				}
-			}
+		return part
+	}, func(part map[graph.Edge]float64) {
+		for e, v := range part {
+			out[e] += v
 		}
-	}
+	})
 	// Each unordered pair contributed twice (once per endpoint as
 	// source).
 	for e := range out {
@@ -71,41 +62,56 @@ func EdgeBetweenness(s *graph.Static) map[graph.Edge]float64 {
 // "extreme metrics" of Section 4.3 (at d = 1 it is the assortativity
 // coefficient computed over edges; at d = 2 it summarizes the same
 // information as S2). Returns 0 when fewer than two pairs exist or the
-// degree variance vanishes.
+// degree variance vanishes. The per-source BFS sweep is parallelized with
+// chunk-ordered partial sums, so it is deterministic at any worker count.
 func DegreeCorrelationAtDistance(s *graph.Static, d int) float64 {
 	if d < 1 {
 		return 0
 	}
 	n := s.N()
-	dist := make([]int32, n)
-	queue := make([]int32, 0, n)
-	var cnt, sumX, sumY, sumXY, sumX2, sumY2 float64
-	for src := 0; src < n; src++ {
-		graph.BFS(s, src, dist, queue)
-		dx := float64(s.Degree(src))
-		for v := src + 1; v < n; v++ {
-			if int(dist[v]) != d {
-				continue
+	type sums struct{ cnt, sumX, sumY, sumXY, sumX2, sumY2 float64 }
+	var t sums
+	scratch := make([]*bfsScratch, parallel.Workers())
+	parallel.OrderedReduce(n, accumChunks,
+		func(worker, lo, hi int) sums {
+			sc := bfsScratchFor(scratch, worker, n)
+			var p sums
+			for src := lo; src < hi; src++ {
+				graph.BFS(s, src, sc.dist, sc.queue)
+				dx := float64(s.Degree(src))
+				for v := src + 1; v < n; v++ {
+					if int(sc.dist[v]) != d {
+						continue
+					}
+					dy := float64(s.Degree(v))
+					p.cnt++
+					p.sumX += dx
+					p.sumY += dy
+					p.sumXY += dx * dy
+					p.sumX2 += dx * dx
+					p.sumY2 += dy * dy
+				}
 			}
-			dy := float64(s.Degree(v))
-			cnt++
-			sumX += dx
-			sumY += dy
-			sumXY += dx * dy
-			sumX2 += dx * dx
-			sumY2 += dy * dy
-		}
-	}
-	if cnt < 2 {
+			return p
+		},
+		func(p sums) {
+			t.cnt += p.cnt
+			t.sumX += p.sumX
+			t.sumY += p.sumY
+			t.sumXY += p.sumXY
+			t.sumX2 += p.sumX2
+			t.sumY2 += p.sumY2
+		})
+	if t.cnt < 2 {
 		return 0
 	}
 	// Symmetrize: each unordered pair contributes (dx,dy) once here, but
 	// correlation over unordered pairs should be orientation-free; use
 	// the symmetric sums.
-	sx := (sumX + sumY) / 2
-	sxx := (sumX2 + sumY2) / 2
-	num := sumXY/cnt - (sx/cnt)*(sx/cnt)
-	den := sxx/cnt - (sx/cnt)*(sx/cnt)
+	sx := (t.sumX + t.sumY) / 2
+	sxx := (t.sumX2 + t.sumY2) / 2
+	num := t.sumXY/t.cnt - (sx/t.cnt)*(sx/t.cnt)
+	den := sxx/t.cnt - (sx/t.cnt)*(sx/t.cnt)
 	if den == 0 {
 		return 0
 	}

@@ -8,6 +8,12 @@
 // All functions take the immutable CSR snapshot graph.Static; metric
 // comparisons in the paper are made on giant connected components, which
 // callers extract first via graph.GiantComponent.
+//
+// The O(n·m) per-source sweeps (betweenness, distance distributions,
+// degree correlations) fan their BFS sources out over the worker pool of
+// internal/parallel. Partial results are accumulated per fixed chunk of
+// sources and merged in chunk order, so every function returns
+// bit-identical values at any worker count — see DESIGN.md §3.
 package metrics
 
 import (

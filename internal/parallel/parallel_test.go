@@ -1,0 +1,227 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 8, 33} {
+		for _, n := range []int{0, 1, 7, 100, 1000} {
+			visits := make([]int32, n)
+			ForWorkers(w, n, func(_, i int) {
+				atomic.AddInt32(&visits[i], 1)
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("w=%d n=%d: index %d visited %d times", w, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestForWorkersIDsStableAndClamped(t *testing.T) {
+	const n = 5
+	ForWorkers(100, n, func(worker, i int) {
+		if worker < 0 || worker >= n {
+			t.Errorf("worker id %d out of range [0,%d)", worker, n)
+		}
+	})
+}
+
+// TestForWorkersScratchExclusive checks the per-worker-scratch contract:
+// a worker id never runs two bodies concurrently, so indexing scratch by
+// worker id is race-free. Run with -race to enforce it.
+func TestForWorkersScratchExclusive(t *testing.T) {
+	const w, n = 4, 400
+	scratch := make([][]int, w) // plain non-atomic access, race detector is the assertion
+	ForWorkers(w, n, func(worker, i int) {
+		if scratch[worker] == nil {
+			scratch[worker] = make([]int, 8)
+		}
+		for k := range scratch[worker] {
+			scratch[worker][k] += i
+		}
+	})
+}
+
+func TestForErrReturnsLowestFailingIndex(t *testing.T) {
+	failAt := map[int]bool{3: true, 17: true, 64: true}
+	for _, w := range []int{1, 8} {
+		SetWorkers(w)
+		err := ForErr(100, func(i int) error {
+			if failAt[i] {
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		})
+		SetWorkers(0)
+		if err == nil || err.Error() != "boom at 3" {
+			t.Fatalf("w=%d: got %v, want boom at 3", w, err)
+		}
+	}
+	if err := ForErr(10, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic in body not re-raised")
+		}
+	}()
+	ForWorkers(4, 64, func(_, i int) {
+		if i == 13 {
+			panic(errors.New("worker panic"))
+		}
+	})
+}
+
+func TestSetWorkersAndDefault(t *testing.T) {
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Errorf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Errorf("default Workers() = %d, want >= 1", Workers())
+	}
+	SetWorkers(-5)
+	if Workers() < 1 {
+		t.Errorf("Workers() = %d after SetWorkers(-5), want GOMAXPROCS default", Workers())
+	}
+}
+
+func TestSubSeedDecorrelated(t *testing.T) {
+	seen := make(map[int64]int)
+	for _, base := range []int64{0, 1, 42, -7} {
+		for i := 0; i < 4096; i++ {
+			s := SubSeed(base, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: base=%d i=%d collides with earlier %d", base, i, prev)
+			}
+			seen[s] = i
+			if s == base {
+				t.Fatalf("SubSeed(%d,%d) returned the base seed", base, i)
+			}
+		}
+	}
+	// Derived streams must be a pure function of (base, i).
+	if SubSeed(42, 7) != SubSeed(42, 7) {
+		t.Fatal("SubSeed not deterministic")
+	}
+}
+
+func TestChunksFixedPolicy(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 1000} {
+		for _, c := range []int{1, 4, 32, 2000} {
+			b := Chunks(n, c)
+			if b[0] != 0 || b[len(b)-1] != n {
+				t.Fatalf("Chunks(%d,%d) bounds %v do not cover [0,%d)", n, c, b, n)
+			}
+			for i := 1; i < len(b); i++ {
+				if b[i] <= b[i-1] && n > 0 {
+					t.Fatalf("Chunks(%d,%d): empty or inverted chunk in %v", n, c, b)
+				}
+			}
+		}
+	}
+	// The split must not depend on anything but (n, maxChunks).
+	a, b := Chunks(977, 32), Chunks(977, 32)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Chunks not deterministic")
+		}
+	}
+}
+
+// TestOrderedReduceMergesInChunkOrder: merge must see partials strictly
+// in chunk order at any worker count, and cover every item exactly once.
+func TestOrderedReduceMergesInChunkOrder(t *testing.T) {
+	for _, w := range []int{1, 8} {
+		SetWorkers(w)
+		var got []int
+		covered := make([]int32, 1000)
+		OrderedReduce(1000, 32,
+			func(_, lo, hi int) int {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&covered[i], 1)
+				}
+				return lo
+			},
+			func(lo int) { got = append(got, lo) })
+		SetWorkers(0)
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Fatalf("w=%d: merge out of chunk order: %v", w, got)
+			}
+		}
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("w=%d: item %d produced %d times", w, i, c)
+			}
+		}
+	}
+}
+
+// TestNestedPoolsBounded: nesting parallel loops must not multiply the
+// goroutine fleet — the global helper bound keeps the total near
+// Workers() and inner loops degrade to inline execution when saturated.
+func TestNestedPoolsBounded(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	var peak atomic.Int32
+	var cur atomic.Int32
+	For(16, func(i int) {
+		For(16, func(j int) {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			cur.Add(-1)
+		})
+	})
+	// Callers participate at each nesting level, so the concurrent body
+	// count can slightly exceed Workers(), but it must stay near it —
+	// not Workers()^2 = 16.
+	if p := peak.Load(); p > 8 {
+		t.Fatalf("peak concurrent bodies %d, want <= 8 with Workers()=4", p)
+	}
+}
+
+// TestPoolRaceSmoke exercises nested pools with per-item RNG streams the
+// way the experiment layer does — run with -race to validate the
+// concurrency discipline end to end.
+func TestPoolRaceSmoke(t *testing.T) {
+	var total atomic.Int64
+	results := make([]int64, 16)
+	For(16, func(i int) {
+		rng := rand.New(rand.NewSource(SubSeed(99, i)))
+		inner := make([]int64, 8)
+		ForWorkers(4, 8, func(_, j int) {
+			inner[j] = int64(j)
+		})
+		var s int64
+		for _, v := range inner {
+			s += v
+		}
+		results[i] = s + int64(rng.Intn(1))
+		total.Add(1)
+	})
+	if total.Load() != 16 {
+		t.Fatalf("ran %d items, want 16", total.Load())
+	}
+	for i, r := range results {
+		if r != 28 {
+			t.Fatalf("results[%d] = %d, want 28", i, r)
+		}
+	}
+}

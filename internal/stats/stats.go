@@ -1,7 +1,9 @@
 // Package stats provides the small probability and statistics toolkit the
 // dK-series pipeline relies on: integer histograms, discrete power-law
-// sampling for synthetic degree sequences, reference probability mass
-// functions (Poisson, binomial), entropy, and distribution distances.
+// sampling for the synthetic degree sequences of internal/datasets,
+// reference probability mass functions (Poisson for the paper's §4.1.1
+// stochastic constructions, binomial), entropy, and the distribution
+// distances behind the D_d metrics of §4.1.4 targeting.
 package stats
 
 import (
