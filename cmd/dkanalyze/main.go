@@ -19,6 +19,7 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/core"
 	"repro/internal/dk"
 	"repro/internal/graph"
 	"repro/internal/metrics"
@@ -31,7 +32,12 @@ func main() {
 	sample := flag.Int("sample", 0, "BFS source sample size for distance metrics (0 = exact)")
 	seed := flag.Int64("seed", 1, "random seed for sampling and Lanczos")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the metric sweeps (results are identical for any value)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(core.VersionLine("dkanalyze"))
+		return
+	}
 	parallel.SetWorkers(*workers)
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dkanalyze [flags] graph.txt")

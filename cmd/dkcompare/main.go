@@ -25,7 +25,12 @@ func main() {
 	spectral := flag.Bool("spectral", false, "include Laplacian spectrum bounds")
 	seed := flag.Int64("seed", 1, "random seed for Lanczos")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the metric sweeps (results are identical for any value)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(core.VersionLine("dkcompare"))
+		return
+	}
 	parallel.SetWorkers(*workers)
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: dkcompare [flags] a.txt b.txt")

@@ -52,7 +52,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	replicas := flag.Int("replicas", 1, "number of independent graphs to generate (ensemble fan-out)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the replica fan-out (results are identical for any value)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(core.VersionLine("dkgen"))
+		return
+	}
 	parallel.SetWorkers(*workers)
 
 	if err := run(*depth, *method, *in, *dataset, *skitterN, *out, *dot, *hubThreshold, *connect, *seed, *replicas); err != nil {

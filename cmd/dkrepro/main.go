@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
 )
@@ -32,7 +33,12 @@ func main() {
 	seed := flag.Int64("seed", 42, "base random seed")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for metric sweeps and seed/topology fan-out (results are identical for any value)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(core.VersionLine("dkrepro"))
+		return
+	}
 	parallel.SetWorkers(*workers)
 
 	if *list {

@@ -1,0 +1,93 @@
+// Command dkserved is the dK topology service: a long-running HTTP
+// server exposing the full pipeline of the paper — profile extraction,
+// dK-random graph generation, and topology comparison — with a
+// content-addressed profile cache and an asynchronous job queue.
+//
+//	dkserved -addr :8080 -workers 8
+//
+// Endpoints (see docs/API.md for the full reference):
+//
+//	POST /v1/extract            edge list → dK-profile (+ metrics)
+//	POST /v1/generate           profile/graph → replica ensemble (async)
+//	GET  /v1/jobs/{id}          poll job status and result summary
+//	GET  /v1/jobs/{id}/result   stream replica edge lists
+//	POST /v1/compare            D_d distances + metric side-by-side
+//	GET  /v1/datasets           built-in reference topologies
+//	GET  /v1/stats              version, cache and job-engine counters
+//
+// The -workers flag bounds the process-wide worker budget shared by the
+// job engine and every parallel metric sweep; as everywhere in this
+// repository, worker count never changes results, only wall-clock time.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "process-wide worker budget shared by jobs and metric sweeps")
+	cacheEntries := flag.Int("cache", 64, "content-addressed graph cache capacity (entries)")
+	maxBody := flag.Int64("max-body", 32<<20, "request body size limit in bytes")
+	maxReplicas := flag.Int("max-replicas", 128, "replica cap per generate job")
+	jobRunners := flag.Int("job-runners", 0, "concurrent job executors (0 = worker budget)")
+	jobQueue := flag.Int("job-queue", 64, "queued-job bound (full queue returns 429)")
+	jobRetain := flag.Int("job-retain", 256, "finished jobs retained for polling")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(core.VersionLine("dkserved"))
+		return
+	}
+	parallel.SetWorkers(*workers)
+
+	srv := service.New(service.Options{
+		CacheEntries: *cacheEntries,
+		MaxBodyBytes: *maxBody,
+		MaxReplicas:  *maxReplicas,
+		JobRunners:   *jobRunners,
+		JobQueue:     *jobQueue,
+		JobRetain:    *jobRetain,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shutdownCtx, done := context.WithTimeout(context.Background(), 10*time.Second)
+		defer done()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("dkserved %s listening on %s (workers=%d)", core.Version, *addr, parallel.Workers())
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("dkserved: %v", err)
+	}
+	// ListenAndServe returns as soon as Shutdown begins; wait for the
+	// drain to finish before tearing the process down.
+	cancel()
+	<-drained
+}

@@ -1,0 +1,13 @@
+package core
+
+// Version is the single authoritative release string of the dK toolkit.
+// Every binary reports it through its -version flag and the HTTP service
+// exposes it on GET /v1/stats, so one constant answers "which build is
+// this?" across the whole surface.
+const Version = "0.2.0"
+
+// VersionLine formats the conventional "-version" output for a named
+// binary, e.g. "dkserved 0.2.0".
+func VersionLine(binary string) string {
+	return binary + " " + Version
+}

@@ -2,12 +2,33 @@ package graph
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
 	"strings"
 )
+
+// ErrLimit marks inputs rejected by a ReadLimits bound. Callers that
+// accept untrusted input (the HTTP service's upload path) match it with
+// errors.Is to map oversized graphs to a "payload too large" response
+// instead of a generic parse failure.
+var ErrLimit = errors.New("input exceeds limit")
+
+// ReadLimits bounds ReadEdgeListLimit when parsing untrusted input. The
+// zero value imposes no limits, which is what ReadEdgeList uses for
+// trusted local files.
+type ReadLimits struct {
+	// MaxBytes caps the total input size in bytes (0 = unlimited).
+	// Parsing stops — streaming, without buffering the whole input —
+	// as soon as the limit is crossed.
+	MaxBytes int64
+	// MaxEdges caps the number of edges (0 = unlimited).
+	MaxEdges int
+	// MaxNodes caps the number of distinct node labels (0 = unlimited).
+	MaxNodes int
+}
 
 // ReadEdgeList parses a whitespace-separated edge list, one edge per line:
 //
@@ -20,7 +41,21 @@ import (
 // maps dense id → original label. Duplicate edges and self-loops are
 // rejected with an error naming the offending line.
 func ReadEdgeList(r io.Reader) (g *Graph, labels []int, err error) {
-	sc := bufio.NewScanner(r)
+	return ReadEdgeListLimit(r, ReadLimits{})
+}
+
+// ReadEdgeListLimit is ReadEdgeList with resource bounds, for parsing
+// edge lists from untrusted sources (network request bodies). The input
+// is consumed as a stream: an input crossing a bound fails fast with an
+// error wrapping ErrLimit rather than being read to the end.
+func ReadEdgeListLimit(r io.Reader, lim ReadLimits) (g *Graph, labels []int, err error) {
+	cr := &countingReader{r: r}
+	if lim.MaxBytes > 0 {
+		// Read at most one byte past the cap so "exactly at the limit"
+		// still parses while anything longer is detected exactly.
+		cr.r = io.LimitReader(r, lim.MaxBytes+1)
+	}
+	sc := bufio.NewScanner(cr)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	idOf := make(map[int]int)
 	g = New(0)
@@ -36,6 +71,9 @@ func ReadEdgeList(r io.Reader) (g *Graph, labels []int, err error) {
 	}
 	for sc.Scan() {
 		lineNo++
+		if lim.MaxBytes > 0 && cr.n > lim.MaxBytes {
+			return nil, nil, fmt.Errorf("graph: %w: more than %d bytes", ErrLimit, lim.MaxBytes)
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -58,11 +96,35 @@ func ReadEdgeList(r io.Reader) (g *Graph, labels []int, err error) {
 		if err := g.AddEdge(intern(a), intern(b)); err != nil {
 			return nil, nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
 		}
+		if lim.MaxNodes > 0 && g.N() > lim.MaxNodes {
+			return nil, nil, fmt.Errorf("graph: line %d: %w: more than %d nodes", lineNo, ErrLimit, lim.MaxNodes)
+		}
+		if lim.MaxEdges > 0 && g.M() > lim.MaxEdges {
+			return nil, nil, fmt.Errorf("graph: line %d: %w: more than %d edges", lineNo, ErrLimit, lim.MaxEdges)
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, fmt.Errorf("graph: read: %v", err)
+		// Wrap (not flatten) so callers can still match the underlying
+		// reader's error, e.g. http.MaxBytesError from a capped body.
+		return nil, nil, fmt.Errorf("graph: read: %w", err)
+	}
+	if lim.MaxBytes > 0 && cr.n > lim.MaxBytes {
+		return nil, nil, fmt.Errorf("graph: %w: more than %d bytes", ErrLimit, lim.MaxBytes)
 	}
 	return g, labels, nil
+}
+
+// countingReader counts bytes delivered to the scanner so byte limits are
+// enforced on actual input size, not on buffer capacity.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // WriteEdgeList writes the graph as a sorted "u v" edge list, suitable for

@@ -9,17 +9,20 @@ import (
 )
 
 // Summary bundles the scalar metrics reported in Tables 2–8 of the paper.
+// The JSON field names are part of the HTTP service's public API
+// (docs/API.md); being a flat struct, the encoding is stable as-is.
 type Summary struct {
-	N, M      int
-	AvgDegree float64 // k̄
-	R         float64 // assortativity coefficient r
-	CBar      float64 // mean clustering C̄
-	DBar      float64 // average distance d̄
-	SigmaD    float64 // std-dev of the distance distribution σd
-	S         float64 // likelihood Σ d_u·d_v over edges
-	S2        float64 // second-order likelihood
-	Lambda1   float64 // smallest nonzero eigenvalue of the normalized Laplacian
-	LambdaN   float64 // largest eigenvalue of the normalized Laplacian
+	N         int     `json:"n"`
+	M         int     `json:"m"`
+	AvgDegree float64 `json:"avg_degree"` // k̄
+	R         float64 `json:"r"`          // assortativity coefficient r
+	CBar      float64 `json:"c_bar"`      // mean clustering C̄
+	DBar      float64 `json:"d_bar"`      // average distance d̄
+	SigmaD    float64 `json:"sigma_d"`    // std-dev of the distance distribution σd
+	S         float64 `json:"s"`          // likelihood Σ d_u·d_v over edges
+	S2        float64 `json:"s2"`         // second-order likelihood
+	Lambda1   float64 `json:"lambda1"`    // smallest nonzero eigenvalue of the normalized Laplacian
+	LambdaN   float64 `json:"lambda_n"`   // largest eigenvalue of the normalized Laplacian
 }
 
 // SummaryOptions tunes the potentially expensive parts of Summarize.

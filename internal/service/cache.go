@@ -1,0 +1,246 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/dk"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// Hash is a content address of a graph: "sha256:" plus the hex digest of
+// its canonical edge list (see CanonicalHash). Two uploads with the same
+// edge set — regardless of line order, comments, whitespace, or the order
+// node labels first appear — map to the same Hash.
+type Hash string
+
+// CanonicalHash computes the content address of a parsed graph. The
+// canonical form is the list of label pairs "a b" with a <= b, sorted
+// lexicographically by (a, b), one per line. labels maps the graph's dense
+// node ids back to the labels of the original input; pass nil to use the
+// dense ids themselves.
+func CanonicalHash(g *graph.Graph, labels []int) Hash {
+	type pair struct{ a, b int }
+	pairs := make([]pair, 0, g.M())
+	for _, e := range g.Edges() {
+		a, b := e.U, e.V
+		if labels != nil {
+			a, b = labels[a], labels[b]
+		}
+		if a > b {
+			a, b = b, a
+		}
+		pairs = append(pairs, pair{a, b})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	h := sha256.New()
+	var buf [32]byte
+	for _, p := range pairs {
+		line := buf[:0]
+		line = strconv.AppendInt(line, int64(p.a), 10)
+		line = append(line, ' ')
+		line = strconv.AppendInt(line, int64(p.b), 10)
+		line = append(line, '\n')
+		h.Write(line)
+	}
+	return Hash("sha256:" + hex.EncodeToString(h.Sum(nil)))
+}
+
+// summaryKey identifies one metric-summary configuration of a cached
+// graph, so summaries with different options coexist in the same entry.
+type summaryKey struct {
+	spectral bool
+	sources  int
+	seed     int64
+}
+
+// Entry is one cached graph with its lazily computed derivatives. All
+// methods are safe for concurrent use; expensive computations run under a
+// per-entry lock so concurrent requests for the same topology do not
+// duplicate work (single-flight per entry).
+type Entry struct {
+	hash Hash
+
+	mu        sync.Mutex
+	g         *graph.Graph
+	static    *graph.Static
+	gcc       *graph.Static
+	profile   *dk.Profile // deepest extraction so far
+	summaries map[summaryKey]metrics.Summary
+}
+
+// Hash returns the entry's content address.
+func (e *Entry) Hash() Hash { return e.hash }
+
+// Graph returns the parsed graph. Callers must treat it as read-only:
+// every rewiring entry point in internal/generate works on a copy, so
+// passing it straight to Randomize or TargetRewire is safe.
+func (e *Entry) Graph() *graph.Graph { return e.g }
+
+// Size returns the graph's node and edge counts.
+func (e *Entry) Size() (n, m int) { return e.g.N(), e.g.M() }
+
+// Static returns the CSR form of the graph, built once and reused.
+func (e *Entry) Static() *graph.Static {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.static == nil {
+		e.static = e.g.Static()
+	}
+	return e.static
+}
+
+// Profile returns the dK-profile of the graph at depth d, extracting it
+// on first use. Deeper extractions subsume shallower ones via the
+// inclusion property, so the entry stores only the deepest profile seen
+// and answers shallower requests with Restrict. The second result reports
+// whether the profile was already available at depth >= d (a cache hit
+// for instrumentation purposes).
+func (e *Entry) Profile(d int) (*dk.Profile, bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.profile != nil && e.profile.D >= d {
+		if e.profile.D == d {
+			return e.profile, true, nil
+		}
+		p, err := e.profile.Restrict(d)
+		return p, true, err
+	}
+	p, err := dk.ExtractGraph(e.g, d)
+	if err != nil {
+		return nil, false, err
+	}
+	e.profile = p
+	return p, false, nil
+}
+
+// Summary returns the scalar metric suite of the graph's giant connected
+// component (the paper's convention), computing and caching it per
+// (spectral, sources, seed) configuration. The second result reports
+// whether the summary was served from cache.
+func (e *Entry) Summary(spectral bool, sources int, seed int64) (metrics.Summary, bool, error) {
+	key := summaryKey{spectral, sources, seed}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.summaries[key]; ok {
+		return s, true, nil
+	}
+	if e.gcc == nil {
+		gcc, _ := graph.GiantComponent(e.g)
+		e.gcc = gcc.Static()
+	}
+	s, err := metrics.Summarize(e.gcc, metrics.SummaryOptions{
+		Spectral:        spectral,
+		DistanceSources: sources,
+		Rng:             rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		return metrics.Summary{}, false, err
+	}
+	if e.summaries == nil {
+		e.summaries = make(map[summaryKey]metrics.Summary)
+	}
+	e.summaries[key] = s
+	return s, false, nil
+}
+
+// CacheStats counts cache traffic. Hits and Misses count Intern calls
+// that found (respectively created) an entry; Lookups counts Get calls
+// for an existing hash; Extractions counts actual dk.Extract runs, which
+// a repeated request for an already-profiled topology must not increase.
+type CacheStats struct {
+	Entries     int   `json:"entries"`
+	MaxEntries  int   `json:"max_entries"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	Extractions int64 `json:"extractions"`
+}
+
+// Cache is the content-addressed graph/profile cache behind the service:
+// an LRU-bounded map from CanonicalHash to Entry. Interning the same
+// topology twice returns the same Entry, so its extracted profiles and
+// computed metric summaries are shared across requests and the
+// Brandes/census recomputation is skipped.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used; values are *Entry
+	byHash  map[Hash]*list.Element
+	stats   CacheStats
+	extract int64 // lifetime dk.Extract count (instrumentation)
+}
+
+// NewCache returns a cache bounded to max entries (minimum 1).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{max: max, ll: list.New(), byHash: make(map[Hash]*list.Element)}
+}
+
+// Intern returns the cache entry for g, creating it if the topology has
+// not been seen (or was evicted). The boolean reports whether the entry
+// already existed. labels is the dense-id→label mapping from parsing; nil
+// means dense ids are the labels.
+func (c *Cache) Intern(g *graph.Graph, labels []int) (*Entry, bool) {
+	h := CanonicalHash(g, labels)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byHash[h]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		return el.Value.(*Entry), true
+	}
+	c.stats.Misses++
+	e := &Entry{hash: h, g: g}
+	c.byHash[h] = c.ll.PushFront(e)
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byHash, oldest.Value.(*Entry).hash)
+		c.stats.Evictions++
+	}
+	return e, false
+}
+
+// Get returns the entry for a previously interned hash, or nil if the
+// hash is unknown or has been evicted.
+func (c *Cache) Get(h Hash) *Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byHash[h]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*Entry)
+	}
+	return nil
+}
+
+// noteExtraction records one dk.Extract run for Stats.
+func (c *Cache) noteExtraction() {
+	c.mu.Lock()
+	c.extract++
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	s.MaxEntries = c.max
+	s.Extractions = c.extract
+	return s
+}

@@ -1,0 +1,283 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/dk"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// GraphRef identifies a graph in a request body, by exactly one of three
+// means: a content hash of a previously uploaded graph ("hash"), an
+// inline edge list ("edges"), or a built-in dataset name ("dataset",
+// with optional "seed"/"n" synthesis parameters).
+type GraphRef struct {
+	Hash    string `json:"hash,omitempty"`
+	Edges   string `json:"edges,omitempty"`
+	Dataset string `json:"dataset,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
+	N       int    `json:"n,omitempty"`
+}
+
+// GraphInfo describes a resolved graph in responses.
+type GraphInfo struct {
+	Hash string `json:"hash"`
+	N    int    `json:"n"`
+	M    int    `json:"m"`
+}
+
+// ExtractResponse is the body of a successful POST /v1/extract.
+type ExtractResponse struct {
+	Graph   GraphInfo        `json:"graph"`
+	Cached  bool             `json:"cached"`
+	Profile *dk.Profile      `json:"profile"`
+	Summary *metrics.Summary `json:"summary,omitempty"`
+}
+
+// GenerateRequest is the body of POST /v1/generate.
+type GenerateRequest struct {
+	// Source is the topology to extract the target distribution from
+	// (and, for method "randomize", the rewiring start point).
+	Source GraphRef `json:"source"`
+	// D is the dK depth (0..3, default 2).
+	D *int `json:"d,omitempty"`
+	// Method is one of randomize, stochastic, pseudograph, matching,
+	// targeting (default randomize).
+	Method string `json:"method,omitempty"`
+	// Replicas is the ensemble size (default 1, bounded by the server's
+	// MaxReplicas option).
+	Replicas int `json:"replicas,omitempty"`
+	// Seed drives all randomness; replica i derives its own independent
+	// stream, so the ensemble is a pure function of (seed, replicas).
+	Seed int64 `json:"seed,omitempty"`
+	// Compare adds the D_d distance of every replica to the source
+	// profile in the job result.
+	Compare bool `json:"compare,omitempty"`
+}
+
+// ReplicaInfo summarizes one generated replica in a job result.
+type ReplicaInfo struct {
+	Index    int      `json:"index"`
+	N        int      `json:"n"`
+	M        int      `json:"m"`
+	Distance *float64 `json:"distance,omitempty"`
+}
+
+// GenerateResult is the result summary of a finished generate job; the
+// replica edge lists themselves stream from /v1/jobs/{id}/result.
+type GenerateResult struct {
+	Source   GraphInfo     `json:"source"`
+	D        int           `json:"d"`
+	Method   string        `json:"method"`
+	Seed     int64         `json:"seed"`
+	Replicas []ReplicaInfo `json:"replicas"`
+}
+
+// GenerateAccepted is the 202 body of POST /v1/generate.
+type GenerateAccepted struct {
+	JobID     string `json:"job_id"`
+	StatusURL string `json:"status_url"`
+}
+
+// CompareRequest is the body of POST /v1/compare.
+type CompareRequest struct {
+	A GraphRef `json:"a"`
+	B GraphRef `json:"b"`
+	// D is the maximum dK depth to compare (0..3, default 3); D_d is
+	// reported for every d up to it.
+	D *int `json:"d,omitempty"`
+	// Spectral includes the Laplacian spectrum bounds in the summaries.
+	Spectral bool `json:"spectral,omitempty"`
+	// Sample bounds the BFS sources for the distance metrics (0 =
+	// exact, as in /v1/extract's ?sample); essential for large graphs,
+	// where exact all-pairs distances are O(N·M).
+	Sample int `json:"sample,omitempty"`
+	// Seed drives Lanczos and any sampled metrics (default 1).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// DistanceEntry is one D_d value in a compare response.
+type DistanceEntry struct {
+	D     int     `json:"d"`
+	Value float64 `json:"value"`
+}
+
+// CompareResponse is the body of a successful POST /v1/compare.
+type CompareResponse struct {
+	A         GraphInfo       `json:"a"`
+	B         GraphInfo       `json:"b"`
+	Distances []DistanceEntry `json:"distances"`
+	SummaryA  metrics.Summary `json:"summary_a"`
+	SummaryB  metrics.Summary `json:"summary_b"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Version       string      `json:"version"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Workers       int         `json:"workers"`
+	Cache         CacheStats  `json:"cache"`
+	Jobs          EngineStats `json:"jobs"`
+}
+
+// ErrorResponse is the uniform error envelope of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// Error codes used in ErrorResponse.Code.
+const (
+	CodeBadRequest = "bad_request" // malformed input or parameters
+	CodeNotFound   = "not_found"   // unknown hash, job, or dataset
+	CodeTooLarge   = "too_large"   // body or graph exceeds a limit
+	CodeQueueFull  = "queue_full"  // job queue at capacity
+	CodeConflict   = "conflict"    // job not in a state serving the request
+	CodeInternal   = "internal"    // unexpected server-side failure
+)
+
+// writeJSON writes v with the given status. Encoding failures after the
+// status line is out cannot be reported to the client and are dropped.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError writes the uniform error envelope.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// classifyGraphError maps a graph-input failure to its API error: limit
+// violations (ReadLimits or a capped request body) are 413, everything
+// else is a 400 parse error. This is the single source of that policy —
+// both the direct-body and graph-reference paths go through it.
+func classifyGraphError(err error) *apiError {
+	var mbe *http.MaxBytesError
+	if errors.Is(err, graph.ErrLimit) || errors.As(err, &mbe) {
+		return &apiError{http.StatusRequestEntityTooLarge, CodeTooLarge, err.Error()}
+	}
+	return &apiError{http.StatusBadRequest, CodeBadRequest, err.Error()}
+}
+
+// writeGraphError writes a graph-input failure with classifyGraphError's
+// status mapping.
+func writeGraphError(w http.ResponseWriter, err error) {
+	writeAPIError(w, classifyGraphError(err))
+}
+
+// readLimits are the per-graph parse bounds from the server options.
+func (s *Server) readLimits() graph.ReadLimits {
+	return graph.ReadLimits{
+		MaxBytes: s.opts.MaxBodyBytes,
+		MaxNodes: s.opts.MaxNodes,
+		MaxEdges: s.opts.MaxEdges,
+	}
+}
+
+// resolveRef turns a GraphRef into a cache entry. Inline edge lists and
+// datasets are parsed/synthesized and interned; hashes must already be
+// cached. The error is pre-classified via errStatus.
+func (s *Server) resolveRef(ref GraphRef) (*Entry, error) {
+	set := 0
+	for _, ok := range []bool{ref.Hash != "", ref.Edges != "", ref.Dataset != ""} {
+		if ok {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, &apiError{http.StatusBadRequest, CodeBadRequest,
+			"graph reference must set exactly one of hash, edges, dataset"}
+	}
+	switch {
+	case ref.Hash != "":
+		e := s.cache.Get(Hash(ref.Hash))
+		if e == nil {
+			return nil, &apiError{http.StatusNotFound, CodeNotFound,
+				fmt.Sprintf("hash %s not in cache (evicted or never uploaded); re-upload the edge list", ref.Hash)}
+		}
+		return e, nil
+	case ref.Edges != "":
+		g, labels, err := graph.ReadEdgeListLimit(strings.NewReader(ref.Edges), s.readLimits())
+		if err != nil {
+			return nil, classifyGraphError(err)
+		}
+		e, _ := s.cache.Intern(g, labels)
+		return e, nil
+	default:
+		g, err := s.datasetGraph(ref.Dataset, ref.Seed, ref.N)
+		if err != nil {
+			return nil, err // datasetGraph pre-classifies its errors
+		}
+		e, _ := s.cache.Intern(g, nil)
+		return e, nil
+	}
+}
+
+// apiError carries a pre-classified HTTP status and code with a message.
+type apiError struct {
+	status int
+	code   string
+	msg    string
+}
+
+// Error implements error.
+func (e *apiError) Error() string { return e.msg }
+
+// writeAPIError writes err as its carried status if it is an apiError,
+// or as a 500 otherwise.
+func writeAPIError(w http.ResponseWriter, err error) {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		writeError(w, ae.status, ae.code, "%s", ae.msg)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
+}
+
+// info builds the response descriptor of a cache entry.
+func info(e *Entry) GraphInfo {
+	n, m := e.Size()
+	return GraphInfo{Hash: string(e.Hash()), N: n, M: m}
+}
+
+// queryInt parses an integer query parameter with a default.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s=%q is not an integer", name, v)
+	}
+	return n, nil
+}
+
+// queryInt64 parses an int64 query parameter with a default.
+func queryInt64(r *http.Request, name string, def int64) (int64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s=%q is not an integer", name, v)
+	}
+	return n, nil
+}
+
+// queryBool parses a boolean query parameter ("1"/"true" = true).
+func queryBool(r *http.Request, name string) bool {
+	v := r.URL.Query().Get(name)
+	return v == "1" || strings.EqualFold(v, "true")
+}

@@ -1,0 +1,404 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dk"
+	"repro/internal/generate"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// handleExtract implements POST /v1/extract: parse the edge list in the
+// request body (or synthesize ?dataset=name), intern it in the cache,
+// and return its dK-profile at depth ?d (default 3). ?metrics=1 adds the
+// scalar metric summary of the giant component; ?spectral=1 and
+// ?sample=N tune it. The response's "cached" field reports whether the
+// profile was served without recomputation.
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	d, err := queryInt(r, "d", 3)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	if d < 0 || d > 3 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "depth d=%d outside 0..3", d)
+		return
+	}
+	seed, err := queryInt64(r, "seed", 1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	sample, err := queryInt(r, "sample", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+
+	n, err := queryInt(r, "n", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+
+	var entry *Entry
+	if name := r.URL.Query().Get("dataset"); name != "" {
+		g, err := s.datasetGraph(name, seed, n)
+		if err != nil {
+			writeAPIError(w, err)
+			return
+		}
+		entry, _ = s.cache.Intern(g, nil)
+	} else {
+		body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+		g, labels, err := graph.ReadEdgeListLimit(body, s.readLimits())
+		if err != nil {
+			writeGraphError(w, err)
+			return
+		}
+		if g.N() == 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				"empty edge list; POST a 'u v' per line body or pass ?dataset=")
+			return
+		}
+		entry, _ = s.cache.Intern(g, labels)
+	}
+
+	profile, hit, err := entry.Profile(d)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "extract: %v", err)
+		return
+	}
+	if !hit {
+		s.cache.noteExtraction()
+	}
+	resp := ExtractResponse{Graph: info(entry), Cached: hit, Profile: profile}
+	if queryBool(r, "metrics") {
+		sum, _, err := entry.Summary(queryBool(r, "spectral"), sample, seed)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, CodeInternal, "metrics: %v", err)
+			return
+		}
+		resp.Summary = &sum
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseMethod maps the wire method name to a construction method;
+// "randomize" (dK-preserving rewiring of the source graph) is flagged
+// separately because it needs the graph, not just the profile.
+func parseMethod(name string) (m core.Method, randomize bool, err error) {
+	switch name {
+	case "", "randomize":
+		return 0, true, nil
+	case "stochastic":
+		return core.MethodStochastic, false, nil
+	case "pseudograph":
+		return core.MethodPseudograph, false, nil
+	case "matching":
+		return core.MethodMatching, false, nil
+	case "targeting":
+		return core.MethodTargeting, false, nil
+	default:
+		return 0, false, fmt.Errorf("unknown method %q (want randomize|stochastic|pseudograph|matching|targeting)", name)
+	}
+}
+
+// handleGenerate implements POST /v1/generate: resolve the source graph,
+// validate the request synchronously, and enqueue an asynchronous job
+// that builds the replica ensemble. Responds 202 with the job id, 429
+// when the queue is full.
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req GenerateRequest
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeGraphError(w, err)
+		return
+	}
+	d := 2
+	if req.D != nil {
+		d = *req.D
+	}
+	if d < 0 || d > 3 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "depth d=%d outside 0..3", d)
+		return
+	}
+	method, randomize, err := parseMethod(req.Method)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	methodName := req.Method
+	if methodName == "" {
+		methodName = "randomize"
+	}
+	replicas := req.Replicas
+	if replicas == 0 {
+		replicas = 1
+	}
+	if replicas < 1 || replicas > s.opts.MaxReplicas {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"replicas=%d outside 1..%d", replicas, s.opts.MaxReplicas)
+		return
+	}
+	// Reject invalid (depth, method) combinations before paying for
+	// resolution or extraction — a doomed d=3 request must not trigger
+	// a full census of a large graph first.
+	if !randomize && d == 3 && method != core.MethodTargeting {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"d=3 generation from a distribution supports only method=targeting or method=randomize")
+		return
+	}
+	entry, err := s.resolveRef(req.Source)
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	seed := req.Seed
+	compare := req.Compare
+	// Extract the target profile up front when the job will need it
+	// (construction from a distribution, or per-replica distances):
+	// failures surface synchronously and the cache is warmed for the
+	// job body. Pure randomize-without-compare never reads the profile,
+	// so a potentially expensive census must not run in the handler.
+	var profile *dk.Profile
+	if !randomize || compare {
+		p, hit, err := entry.Profile(d)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, CodeInternal, "extract: %v", err)
+			return
+		}
+		if !hit {
+			s.cache.noteExtraction()
+		}
+		profile = p
+	}
+	src := entry.Graph()
+	job, err := s.jobs.Submit("generate", func() (any, StreamFunc, error) {
+		graphs, err := generate.Replicas(replicas, seed, func(i int, rng *rand.Rand) (*graph.Graph, error) {
+			if randomize {
+				out, _, err := generate.Randomize(src, d, generate.RandomizeOptions{Rng: rng})
+				return out, err
+			}
+			return core.Generate(profile, d, method, core.Options{Rng: rng})
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		result := GenerateResult{
+			Source:   info(entry),
+			D:        d,
+			Method:   methodName,
+			Seed:     seed,
+			Replicas: make([]ReplicaInfo, len(graphs)),
+		}
+		for i, g := range graphs {
+			ri := ReplicaInfo{Index: i, N: g.N(), M: g.M()}
+			if compare {
+				got, err := dk.ExtractGraph(g, d)
+				if err != nil {
+					return nil, nil, err
+				}
+				dist, err := dk.Distance(profile, got, d)
+				if err != nil {
+					return nil, nil, err
+				}
+				ri.Distance = &dist
+			}
+			result.Replicas[i] = ri
+		}
+		stream := func(w io.Writer) error {
+			for i, g := range graphs {
+				if _, err := fmt.Fprintf(w, "# replica %d\n", i); err != nil {
+					return err
+				}
+				if err := graph.WriteEdgeList(w, g); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return result, stream, nil
+	})
+	if errors.Is(err, ErrQueueFull) {
+		writeError(w, http.StatusTooManyRequests, CodeQueueFull,
+			"job queue full (%d queued); retry later", s.opts.JobQueue)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, GenerateAccepted{
+		JobID:     job.ID(),
+		StatusURL: "/v1/jobs/" + job.ID(),
+	})
+}
+
+// handleCompare implements POST /v1/compare: resolve both graphs, report
+// D_d for every depth up to d, and the scalar metric summaries of both
+// giant components.
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	var req CompareRequest
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeGraphError(w, err)
+		return
+	}
+	d := 3
+	if req.D != nil {
+		d = *req.D
+	}
+	if d < 0 || d > 3 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "depth d=%d outside 0..3", d)
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	ea, err := s.resolveRef(req.A)
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	eb, err := s.resolveRef(req.B)
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	resp := CompareResponse{A: info(ea), B: info(eb)}
+	profiles := make([]*dk.Profile, 2)
+	for i, e := range []*Entry{ea, eb} {
+		p, hit, err := e.Profile(d)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, CodeInternal, "extract: %v", err)
+			return
+		}
+		if !hit {
+			s.cache.noteExtraction()
+		}
+		profiles[i] = p
+	}
+	pa, pb := profiles[0], profiles[1]
+	for dd := 0; dd <= d; dd++ {
+		v, err := dk.Distance(pa, pb, dd)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, CodeInternal, "distance: %v", err)
+			return
+		}
+		resp.Distances = append(resp.Distances, DistanceEntry{D: dd, Value: v})
+	}
+	sa, _, err := ea.Summary(req.Spectral, req.Sample, seed)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "metrics: %v", err)
+		return
+	}
+	sb, _, err := eb.Summary(req.Spectral, req.Sample, seed)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "metrics: %v", err)
+		return
+	}
+	resp.SummaryA, resp.SummaryB = sa, sb
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleJobList implements GET /v1/jobs.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.jobs.List())
+}
+
+// handleJobGet implements GET /v1/jobs/{id}: the polling endpoint. Done
+// jobs carry their result summary and, when bulk output exists, a
+// result_url for streaming it.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job := s.jobs.Get(id)
+	if job == nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+// handleJobResult implements GET /v1/jobs/{id}/result: stream the bulk
+// result (concatenated replica edge lists, text/plain) of a done job.
+// Returns 409 while the job is still queued or running.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job := s.jobs.Get(id)
+	if job == nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown job %q", id)
+		return
+	}
+	view := job.View()
+	switch view.Status {
+	case JobQueued, JobRunning:
+		writeError(w, http.StatusConflict, CodeConflict,
+			"job %s is %s; poll %s until done", id, view.Status, "/v1/jobs/"+id)
+		return
+	case JobFailed:
+		writeError(w, http.StatusConflict, CodeConflict, "job %s failed: %s", id, view.Error)
+		return
+	}
+	stream := job.Stream()
+	if stream == nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, "job %s has no bulk result", id)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	// Mid-stream failures can only abort the connection; the status line
+	// is already out.
+	_ = stream(w)
+}
+
+// handleDatasetList implements GET /v1/datasets.
+func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, builtinDatasets)
+}
+
+// handleDatasetGet implements GET /v1/datasets/{name}: synthesize the
+// dataset (?seed=, ?n= where applicable) and return its edge list as
+// text/plain, ready to pipe into POST /v1/extract.
+func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	seed, err := queryInt64(r, "seed", 1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	n, err := queryInt(r, "n", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	g, err := s.datasetGraph(name, seed, n)
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = graph.WriteEdgeList(w, g)
+}
+
+// handleStats implements GET /v1/stats: version, uptime, worker budget,
+// cache counters, and job-engine counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Version:       version,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Workers:       parallel.Workers(),
+		Cache:         s.cache.Stats(),
+		Jobs:          s.jobs.Stats(),
+	})
+}

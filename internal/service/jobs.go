@@ -1,0 +1,371 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ErrQueueFull is returned by Engine.Submit when the bounded job queue
+// has no room; the HTTP layer maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// JobStatus is the lifecycle state of an asynchronous job.
+type JobStatus string
+
+// Job lifecycle states. A job moves queued → running → done | failed;
+// there are no other transitions.
+const (
+	JobQueued  JobStatus = "queued"
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// StreamFunc writes a job's bulk result (replica edge lists) to w. It is
+// invoked once per GET /v1/jobs/{id}/result request, after the job is
+// done, possibly concurrently with other streams of the same job — it
+// must not mutate job state.
+type StreamFunc func(w io.Writer) error
+
+// JobFunc is the body of a job. It returns a JSON-marshalable result
+// summary and an optional bulk-result streamer.
+type JobFunc func() (result any, stream StreamFunc, err error)
+
+// Job is one asynchronous unit of work tracked by the Engine. All fields
+// are private; use View for a snapshot.
+type Job struct {
+	id   string
+	kind string
+	run  JobFunc
+
+	mu        sync.Mutex
+	status    JobStatus
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	err       error
+	result    any
+	stream    StreamFunc
+	doneCh    chan struct{}
+}
+
+// ID returns the job's identifier ("j" + zero-padded sequence number).
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.doneCh }
+
+// Stream returns the bulk-result streamer, or nil if the job is not done
+// or produced no streamable result.
+func (j *Job) Stream() StreamFunc {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != JobDone {
+		return nil
+	}
+	return j.stream
+}
+
+// JobView is the JSON snapshot of a job, served by GET /v1/jobs/{id}.
+type JobView struct {
+	ID        string     `json:"id"`
+	Kind      string     `json:"kind"`
+	Status    JobStatus  `json:"status"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Result    any        `json:"result,omitempty"`
+	ResultURL string     `json:"result_url,omitempty"`
+}
+
+// View snapshots the job for serialization.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.id,
+		Kind:      j.kind,
+		Status:    j.status,
+		Submitted: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if j.status == JobDone {
+		v.Result = j.result
+		if j.stream != nil {
+			v.ResultURL = "/v1/jobs/" + j.id + "/result"
+		}
+	}
+	return v
+}
+
+// EngineStats counts job-engine traffic. MaxRunning is the high-water
+// mark of concurrently executing jobs — with R runners it can never
+// exceed R, which is how tests verify the engine respects the worker
+// budget it was built with.
+type EngineStats struct {
+	Runners    int   `json:"runners"`
+	Queued     int   `json:"queued"`
+	Running    int   `json:"running"`
+	MaxRunning int   `json:"max_running"`
+	Completed  int64 `json:"completed"`
+	Failed     int64 `json:"failed"`
+	Rejected   int64 `json:"rejected"`
+}
+
+// Engine executes jobs asynchronously on a fixed pool of runner
+// goroutines with a bounded queue. The runner count is the engine's share
+// of the process worker budget: generation work inside a job fans out
+// further through internal/parallel, whose process-global helper bound
+// keeps (runners × inner parallelism) from oversubscribing the machine —
+// inner loops degrade to inline execution once the global fleet is
+// saturated.
+type Engine struct {
+	runners int
+	queue   chan *Job
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	jobs    map[string]*Job
+	order   []string // submission order, for retention eviction
+	retain  int
+	seq     int64
+	stats   EngineStats
+	running int
+}
+
+// NewEngine starts an engine with the given runner pool size (minimum 1),
+// queue capacity (minimum 1), and retained-job bound (minimum 1;
+// terminal jobs beyond the bound are evicted oldest-first).
+func NewEngine(runners, queueCap, retain int) *Engine {
+	if runners < 1 {
+		runners = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	if retain < 1 {
+		retain = 1
+	}
+	e := &Engine{
+		runners: runners,
+		queue:   make(chan *Job, queueCap),
+		stop:    make(chan struct{}),
+		jobs:    make(map[string]*Job),
+		retain:  retain,
+	}
+	e.wg.Add(runners)
+	for i := 0; i < runners; i++ {
+		go e.runLoop()
+	}
+	return e
+}
+
+// Close stops the runner pool after in-flight jobs finish. Queued jobs
+// that have not started are marked failed; later Submits are rejected.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.stop)
+	e.wg.Wait()
+	// Fail whatever is still queued so pollers are not left hanging.
+	// Submit enqueues under the mutex, so every send either happened
+	// before the closed flag was set (and is drained here) or observed
+	// the flag and was rejected — no job can be enqueued after this.
+	for {
+		select {
+		case j := <-e.queue:
+			j.finish(nil, nil, errors.New("service: engine shut down"))
+		default:
+			return
+		}
+	}
+}
+
+// Submit enqueues a job. It never blocks: if the queue is full the job is
+// rejected with ErrQueueFull; after Close it is rejected outright.
+func (e *Engine) Submit(kind string, run JobFunc) (*Job, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		e.stats.Rejected++
+		return nil, errors.New("service: engine shut down")
+	}
+	e.seq++
+	j := &Job{
+		id:        fmt.Sprintf("j%06d", e.seq),
+		kind:      kind,
+		run:       run,
+		status:    JobQueued,
+		submitted: time.Now().UTC(),
+		doneCh:    make(chan struct{}),
+	}
+	select {
+	case e.queue <- j:
+	default:
+		e.stats.Rejected++
+		return nil, ErrQueueFull
+	}
+	e.jobs[j.id] = j
+	e.order = append(e.order, j.id)
+	e.evictLocked()
+	return j, nil
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention bound.
+// Queued and running jobs are never evicted.
+func (e *Engine) evictLocked() {
+	excess := len(e.jobs) - e.retain
+	if excess <= 0 {
+		return
+	}
+	kept := e.order[:0]
+	for _, id := range e.order {
+		j := e.jobs[id]
+		if j == nil {
+			continue
+		}
+		j.mu.Lock()
+		terminal := j.status == JobDone || j.status == JobFailed
+		j.mu.Unlock()
+		if excess > 0 && terminal {
+			delete(e.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	e.order = kept
+}
+
+// Get returns a tracked job by id, or nil.
+func (e *Engine) Get(id string) *Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.jobs[id]
+}
+
+// List snapshots all tracked jobs in submission order.
+func (e *Engine) List() []JobView {
+	e.mu.Lock()
+	ids := append([]string(nil), e.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		if j := e.jobs[id]; j != nil {
+			jobs = append(jobs, j)
+		}
+	}
+	e.mu.Unlock()
+	out := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.View()
+	}
+	return out
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	s.Runners = e.runners
+	s.Queued = len(e.queue)
+	s.Running = e.running
+	return s
+}
+
+// runLoop is one runner goroutine: it drains the queue until Close.
+func (e *Engine) runLoop() {
+	defer e.wg.Done()
+	for {
+		// Check stop first on its own: a two-case select picks randomly
+		// when both are ready, which would let a runner start a queued
+		// job after Close began instead of leaving it for Close's
+		// drain-and-fail pass.
+		select {
+		case <-e.stop:
+			return
+		default:
+		}
+		select {
+		case <-e.stop:
+			return
+		case j := <-e.queue:
+			e.execute(j)
+		}
+	}
+}
+
+// execute runs one job, tracking the concurrent-running high-water mark.
+func (e *Engine) execute(j *Job) {
+	j.mu.Lock()
+	j.status = JobRunning
+	j.started = time.Now().UTC()
+	j.mu.Unlock()
+
+	e.mu.Lock()
+	e.running++
+	if e.running > e.stats.MaxRunning {
+		e.stats.MaxRunning = e.running
+	}
+	e.mu.Unlock()
+
+	result, stream, err := runSafely(j.run)
+	j.finish(result, stream, err)
+
+	e.mu.Lock()
+	e.running--
+	if err != nil {
+		e.stats.Failed++
+	} else {
+		e.stats.Completed++
+	}
+	e.mu.Unlock()
+}
+
+// runSafely converts a panicking job body into a failed job rather than
+// letting it take down the runner goroutine (and with it the server).
+func runSafely(run JobFunc) (result any, stream StreamFunc, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			result, stream, err = nil, nil, fmt.Errorf("service: job panicked: %v", r)
+		}
+	}()
+	return run()
+}
+
+// finish moves the job to its terminal state and wakes pollers.
+func (j *Job) finish(result any, stream StreamFunc, err error) {
+	j.mu.Lock()
+	j.finished = time.Now().UTC()
+	if err != nil {
+		j.status = JobFailed
+		j.err = err
+	} else {
+		j.status = JobDone
+		j.result = result
+		j.stream = stream
+	}
+	j.mu.Unlock()
+	close(j.doneCh)
+}

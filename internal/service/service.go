@@ -1,0 +1,226 @@
+// Package service exposes the full dK pipeline of the paper — extract a
+// dK-profile, generate dK-random replicas, compare topologies — as a
+// long-running HTTP API, turning the batch CLIs into a topology-analysis
+// service (see docs/API.md for the wire reference).
+//
+// The service is built around two pieces of shared state:
+//
+//   - A content-addressed profile cache (Cache): uploaded graphs are
+//     interned under the SHA-256 of their canonical edge list, and their
+//     extracted profiles and computed metric summaries live with the
+//     entry. Repeated requests against the same topology — the dominant
+//     pattern for ensemble sampling and robustness sweeps — skip the
+//     Brandes/census recomputation entirely and can reference the graph
+//     by hash instead of re-uploading it.
+//
+//   - A bounded asynchronous job engine (Engine): generation work runs
+//     on a fixed runner pool fed by a bounded queue, polled via
+//     GET /v1/jobs/{id} with bulk results streamed from
+//     GET /v1/jobs/{id}/result. The runner pool shares the process-wide
+//     worker budget of internal/parallel, so concurrent jobs cannot
+//     oversubscribe the machine: inner parallel loops degrade to inline
+//     execution once the global helper fleet is saturated.
+//
+// Endpoints (all under /v1): POST /extract, POST /generate, POST
+// /compare, GET /jobs, GET /jobs/{id}, GET /jobs/{id}/result, GET
+// /datasets, GET /datasets/{name}, GET /stats.
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Options configures a Server. The zero value selects production-sensible
+// defaults; fields are independent.
+type Options struct {
+	// CacheEntries bounds the content-addressed graph cache (default 64).
+	CacheEntries int
+	// MaxBodyBytes caps request body size in bytes (default 32 MiB).
+	MaxBodyBytes int64
+	// MaxNodes and MaxEdges bound any single uploaded graph
+	// (defaults 1e6 nodes, 4e6 edges).
+	MaxNodes, MaxEdges int
+	// MaxReplicas caps the replica count of one generate job (default 128).
+	MaxReplicas int
+	// JobRunners is the job-engine pool size (default: the process
+	// worker budget, parallel.Workers()).
+	JobRunners int
+	// JobQueue bounds the number of jobs waiting to run (default 64).
+	JobQueue int
+	// JobRetain bounds retained terminal jobs (default 256).
+	JobRetain int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 64
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 1_000_000
+	}
+	if o.MaxEdges == 0 {
+		o.MaxEdges = 4_000_000
+	}
+	if o.MaxReplicas == 0 {
+		o.MaxReplicas = 128
+	}
+	if o.JobRunners == 0 {
+		o.JobRunners = parallel.Workers()
+	}
+	if o.JobQueue == 0 {
+		o.JobQueue = 64
+	}
+	if o.JobRetain == 0 {
+		o.JobRetain = 256
+	}
+	return o
+}
+
+// Server is the dK topology service: an http.Handler wiring the cache,
+// the job engine, and the dataset registry to the /v1 endpoints.
+type Server struct {
+	opts    Options
+	cache   *Cache
+	jobs    *Engine
+	mux     *http.ServeMux
+	started time.Time
+
+	dsMu    sync.Mutex
+	dsMemo  map[string]*dsEntry
+	dsOrder []string // insertion order, for memo eviction
+}
+
+// dsEntry is one memoized dataset synthesis with per-key single-flight:
+// the map lock is held only to find or create the entry, while the
+// (possibly slow) synthesis runs under the entry's once — so a slow
+// skitter build does not block requests for other datasets.
+type dsEntry struct {
+	once sync.Once
+	g    *graph.Graph
+	err  error
+}
+
+// dsMemoMax bounds the dataset memo: (name, seed, n) keys are
+// client-controlled, so without a bound the memo would be an unbounded
+// memory leak. Oldest entries are evicted first.
+const dsMemoMax = 32
+
+// New builds a Server with the given options and starts its job engine.
+// Call Close when done to stop the runner pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		cache:   NewCache(opts.CacheEntries),
+		jobs:    NewEngine(opts.JobRunners, opts.JobQueue, opts.JobRetain),
+		mux:     http.NewServeMux(),
+		started: time.Now().UTC(),
+		dsMemo:  make(map[string]*dsEntry),
+	}
+	s.mux.HandleFunc("POST /v1/extract", s.handleExtract)
+	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
+	s.mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
+	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleDatasetGet)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP dispatches to the /v1 routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops the job engine. In-flight jobs finish; queued jobs fail.
+func (s *Server) Close() {
+	s.jobs.Close()
+}
+
+// CacheStats exposes cache instrumentation (also served on /v1/stats);
+// tests use it to verify repeated extractions hit the cache.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// JobStats exposes job-engine instrumentation (also served on /v1/stats);
+// tests use it to verify the concurrent-job high-water mark respects the
+// runner budget.
+func (s *Server) JobStats() EngineStats { return s.jobs.Stats() }
+
+// DatasetInfo describes one built-in dataset on GET /v1/datasets.
+type DatasetInfo struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	Params      []string `json:"params,omitempty"`
+	Slow        bool     `json:"slow,omitempty"`
+}
+
+// builtinDatasets is the registry behind GET /v1/datasets, backed by
+// internal/datasets.
+var builtinDatasets = []DatasetInfo{
+	{Name: "paw", Description: "the paper's §3 worked example: a triangle with one pendant node (4 nodes)"},
+	{Name: "petersen", Description: "the Petersen graph (3-regular, girth 5) — a metric-validation fixture"},
+	{Name: "hot", Description: "router-like HOT topology: hierarchical core/gateway/access/host graph, hubs at the periphery", Params: []string{"seed"}},
+	{Name: "skitter", Description: "AS-like topology: power-law degrees, disassortative, strongly clustered", Params: []string{"seed", "n"}, Slow: true},
+}
+
+// datasetGraph synthesizes (or returns the memoized copy of) a built-in
+// dataset. n is only meaningful for skitter; seed for hot and skitter.
+// Synthesis is single-flighted per (name, seed, n) and the memo is
+// bounded (dsMemoMax, oldest-first eviction). Errors come back
+// pre-classified: unknown names are 404, parameter-limit violations are
+// 413, synthesis failures are 500.
+func (s *Server) datasetGraph(name string, seed int64, n int) (*graph.Graph, error) {
+	switch name {
+	case "paw", "petersen", "hot", "skitter":
+	default:
+		// Reject unknown names before touching the memo so garbage
+		// requests cannot churn real entries out of it.
+		return nil, &apiError{http.StatusNotFound, CodeNotFound, fmt.Sprintf("unknown dataset %q", name)}
+	}
+	if name == "skitter" && n > 10_000 {
+		return nil, &apiError{http.StatusRequestEntityTooLarge, CodeTooLarge,
+			fmt.Sprintf("skitter n=%d exceeds the service bound of 10000", n)}
+	}
+	key := fmt.Sprintf("%s/%d/%d", name, seed, n)
+	s.dsMu.Lock()
+	e, ok := s.dsMemo[key]
+	if !ok {
+		e = &dsEntry{}
+		s.dsMemo[key] = e
+		s.dsOrder = append(s.dsOrder, key)
+		for len(s.dsMemo) > dsMemoMax {
+			delete(s.dsMemo, s.dsOrder[0])
+			s.dsOrder = s.dsOrder[1:]
+		}
+	}
+	s.dsMu.Unlock()
+	e.once.Do(func() {
+		switch name {
+		case "paw":
+			e.g = datasets.Paw()
+		case "petersen":
+			e.g = datasets.Petersen()
+		case "hot":
+			e.g, _, e.err = datasets.HOT(datasets.HOTConfig{Seed: seed})
+		case "skitter":
+			e.g, e.err = datasets.Skitter(datasets.SkitterConfig{N: n, Seed: seed})
+		}
+	})
+	return e.g, e.err
+}
+
+// version is re-exported for the stats handler.
+const version = core.Version
