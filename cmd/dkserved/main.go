@@ -3,7 +3,13 @@
 // dK-random graph generation, and topology comparison — with a
 // content-addressed profile cache and an asynchronous job queue.
 //
-//	dkserved -addr :8080 -workers 8
+//	dkserved -addr :8080 -workers 8 -data-dir /var/lib/dkserved
+//
+// With -data-dir set, the cache gains a persistent disk tier (uploaded
+// graphs and extracted profiles survive restarts as binary artifacts)
+// and the job engine journals every state transition, re-queuing
+// incomplete jobs on startup; see docs/STORAGE.md. Empty -data-dir keeps
+// the historical in-memory behavior.
 //
 // Endpoints (see docs/API.md for the full reference):
 //
@@ -36,11 +42,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/parallel"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "process-wide worker budget shared by jobs and metric sweeps")
+	dataDir := flag.String("data-dir", "", "persistent artifact store directory (empty = in-memory only; see docs/STORAGE.md)")
 	cacheEntries := flag.Int("cache", 64, "content-addressed graph cache capacity (entries)")
 	maxBody := flag.Int64("max-body", 32<<20, "request body size limit in bytes")
 	maxReplicas := flag.Int("max-replicas", 128, "replica cap per generate job")
@@ -55,6 +63,21 @@ func main() {
 	}
 	parallel.SetWorkers(*workers)
 
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(*dataDir)
+		if err != nil {
+			log.Fatalf("dkserved: %v", err)
+		}
+		defer st.Close()
+		if !st.Exclusive() {
+			log.Fatalf("dkserved: data dir %s is in use by another process (journal lock held)", *dataDir)
+		}
+		stats := st.Stats()
+		log.Printf("dkserved: artifact store %s: %d graphs, %d profiles", *dataDir, stats.Graphs, stats.Profiles)
+	}
+
 	srv := service.New(service.Options{
 		CacheEntries: *cacheEntries,
 		MaxBodyBytes: *maxBody,
@@ -62,8 +85,14 @@ func main() {
 		JobRunners:   *jobRunners,
 		JobQueue:     *jobQueue,
 		JobRetain:    *jobRetain,
+		Store:        st,
 	})
 	defer srv.Close()
+	if st != nil {
+		if recovered := srv.JobStats().Recovered; recovered > 0 {
+			log.Printf("dkserved: recovered %d incomplete jobs from the journal", recovered)
+		}
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,127 @@
+package dk
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// binTestGraph builds a reproducible random simple graph.
+func binTestGraph(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for g.M() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func TestProfileBinaryRoundTrip(t *testing.T) {
+	g := binTestGraph(60, 150, 1)
+	for d := 0; d <= 3; d++ {
+		p, err := ExtractGraph(g, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteProfileBinary(&buf, p); err != nil {
+			t.Fatalf("d=%d: encode: %v", d, err)
+		}
+		got, err := ReadProfileBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("d=%d: decode: %v", d, err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(p)) {
+			t.Fatalf("d=%d: round trip changed the profile", d)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("d=%d: decoded profile invalid: %v", d, err)
+		}
+	}
+}
+
+// normalize strips empty-vs-nil map differences irrelevant to equality.
+func normalize(p *Profile) *Profile {
+	q := *p
+	if q.Degrees != nil && len(q.Degrees.Count) == 0 {
+		q.Degrees = &DegreeDist{N: q.Degrees.N}
+	}
+	return &q
+}
+
+// TestProfileBinaryCanonical: extraction order and map iteration cannot
+// change the encoded bytes.
+func TestProfileBinaryCanonical(t *testing.T) {
+	g := binTestGraph(40, 90, 2)
+	var prev []byte
+	for i := 0; i < 5; i++ {
+		p, err := ExtractGraph(g, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteProfileBinary(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && !bytes.Equal(prev, buf.Bytes()) {
+			t.Fatal("same profile encoded to different bytes")
+		}
+		prev = buf.Bytes()
+	}
+}
+
+// TestProfileBinaryCorruption: single-byte flips and truncations are
+// rejected.
+func TestProfileBinaryCorruption(t *testing.T) {
+	g := binTestGraph(30, 70, 3)
+	p, err := ExtractGraph(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteProfileBinary(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	for i := 5; i < len(enc); i++ {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0x20
+		if _, err := ReadProfileBinary(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+	}
+	for i := 0; i < len(enc); i++ {
+		if _, err := ReadProfileBinary(bytes.NewReader(enc[:i])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", i, len(enc))
+		}
+	}
+	if _, err := ReadProfileBinary(bytes.NewReader([]byte("XXXX\x01"))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err=%v, want ErrCorrupt", err)
+	}
+}
+
+// TestDistBinaryRejects: structural garbage in the sub-codecs is caught
+// even when checksums are not in play.
+func TestDistBinaryRejects(t *testing.T) {
+	var dd DegreeDist
+	// nClasses=2 with a zero gap on the second class: not strictly
+	// increasing.
+	if err := dd.UnmarshalBinary([]byte{4, 2, 1, 2, 0, 2}); err == nil {
+		t.Fatal("non-increasing degree classes accepted")
+	}
+	var j JDD
+	// One class with k2 < k1 after canonical check: k1=3 (gap 3), k2=1.
+	if err := j.UnmarshalBinary([]byte{1, 3, 1, 1}); err == nil {
+		t.Fatal("non-canonical JDD pair accepted")
+	}
+}

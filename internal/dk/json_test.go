@@ -100,8 +100,8 @@ func TestProfileJSONDepthConsistency(t *testing.T) {
 	cases := []string{
 		`{"d":4,"n":1,"m":0,"avg_degree":0}`,
 		`{"d":-1,"n":1,"m":0,"avg_degree":0}`,
-		`{"d":1,"n":1,"m":0,"avg_degree":0}`,                                       // degrees missing
-		`{"d":2,"n":1,"m":0,"avg_degree":0,"degrees":{"n":1,"classes":[]}}`,        // joint missing
+		`{"d":1,"n":1,"m":0,"avg_degree":0}`,                                                           // degrees missing
+		`{"d":2,"n":1,"m":0,"avg_degree":0,"degrees":{"n":1,"classes":[]}}`,                            // joint missing
 		`{"d":1,"n":2,"m":0,"avg_degree":0,"degrees":{"n":2,"classes":[{"k":0,"n":1},{"k":0,"n":1}]}}`, // dup class
 	}
 	for _, in := range cases {

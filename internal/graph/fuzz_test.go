@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzLimits keeps fuzz inputs cheap: the properties under test are
+// "never panic, never over-allocate, reject garbage cleanly", not
+// capacity.
+var fuzzLimits = ReadLimits{MaxBytes: 1 << 16, MaxNodes: 1 << 10, MaxEdges: 1 << 12}
+
+// FuzzReadEdgeList hardens the text edge-list parser against malformed
+// input: arbitrary bytes must either parse into a well-formed graph that
+// round-trips through the binary codec, or fail with an error — never
+// panic and never allocate beyond the input-proportional bound.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n\n  7   9 \n9 7000000\n")
+	f.Add("0 1 extra fields ignored\n")
+	f.Add("a b\n")
+	f.Add("1\n")
+	f.Add("-1 2\n")
+	f.Add("0 0\n")
+	f.Add("0 1\n0 1\n")
+	f.Add("999999999999999999999 1\n")
+	f.Add(strings.Repeat("0 1\n", 3))
+	f.Fuzz(func(t *testing.T, input string) {
+		g, labels, err := ReadEdgeListLimit(strings.NewReader(input), fuzzLimits)
+		if err != nil {
+			return
+		}
+		if g == nil {
+			t.Fatal("nil graph with nil error")
+		}
+		if labels != nil && len(labels) != g.N() {
+			t.Fatalf("%d labels for %d nodes", len(labels), g.N())
+		}
+		// A successfully parsed graph must survive the binary round trip
+		// exactly, labels included.
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g, labels); err != nil {
+			t.Fatalf("binary encode of parsed graph: %v", err)
+		}
+		got, gotLabels, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("binary decode of own encoding: %v", err)
+		}
+		if !got.Equal(g) {
+			t.Fatal("binary round trip changed the graph")
+		}
+		for i := range labels {
+			if gotLabels[i] != labels[i] {
+				t.Fatal("binary round trip changed the labels")
+			}
+		}
+		// Content addresses are a pure function of the edge set, so the
+		// round trip preserves them.
+		if ContentHash(got, gotLabels) != ContentHash(g, labels) {
+			t.Fatal("binary round trip changed the content hash")
+		}
+	})
+}

@@ -230,6 +230,39 @@ func (g *Graph) AvgDegree() float64 {
 	return 2 * float64(len(g.edges)) / float64(len(g.adj))
 }
 
+// EdgesCanonicallyOrdered reports whether the internal edge list is in
+// sorted canonical order — the order EdgeAt exposes. Binary-decoded
+// graphs are always in this order; parsed graphs follow input order.
+func (g *Graph) EdgesCanonicallyOrdered() bool {
+	for i := 1; i < len(g.edges); i++ {
+		a, b := g.edges[i-1], g.edges[i]
+		if a.U > b.U || (a.U == b.U && a.V >= b.V) {
+			return false
+		}
+	}
+	return true
+}
+
+// CanonicalClone returns a copy of g whose internal edge list is in
+// sorted canonical order, so index-addressed edge draws (EdgeAt) are a
+// pure function of the edge set rather than of construction order.
+// Consumers that need run-to-run determinism independent of how a graph
+// was loaded (text parse vs binary decode) normalize through this.
+func (g *Graph) CanonicalClone() *Graph {
+	edges := g.SortedEdges()
+	c := &Graph{adj: make([]map[int]int, len(g.adj)), edges: edges}
+	for u, m := range g.adj {
+		if m != nil {
+			c.adj[u] = make(map[int]int, len(m))
+		}
+	}
+	for i, e := range edges {
+		c.adj[e.U][e.V] = i
+		c.adj[e.V][e.U] = i
+	}
+	return c
+}
+
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{

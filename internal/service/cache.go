@@ -2,16 +2,14 @@ package service
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
 	"math/rand"
-	"sort"
-	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dk"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/store"
 )
 
 // Hash is a content address of a graph: "sha256:" plus the hex digest of
@@ -21,40 +19,13 @@ import (
 type Hash string
 
 // CanonicalHash computes the content address of a parsed graph. The
-// canonical form is the list of label pairs "a b" with a <= b, sorted
-// lexicographically by (a, b), one per line. labels maps the graph's dense
-// node ids back to the labels of the original input; pass nil to use the
-// dense ids themselves.
+// canonical form is defined by graph.ContentHash; it is also the key of
+// the persistent artifact store, so the memory and disk tiers of the
+// cache address the same topology identically. labels maps the graph's
+// dense node ids back to the labels of the original input; pass nil to
+// use the dense ids themselves.
 func CanonicalHash(g *graph.Graph, labels []int) Hash {
-	type pair struct{ a, b int }
-	pairs := make([]pair, 0, g.M())
-	for _, e := range g.Edges() {
-		a, b := e.U, e.V
-		if labels != nil {
-			a, b = labels[a], labels[b]
-		}
-		if a > b {
-			a, b = b, a
-		}
-		pairs = append(pairs, pair{a, b})
-	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].a != pairs[j].a {
-			return pairs[i].a < pairs[j].a
-		}
-		return pairs[i].b < pairs[j].b
-	})
-	h := sha256.New()
-	var buf [32]byte
-	for _, p := range pairs {
-		line := buf[:0]
-		line = strconv.AppendInt(line, int64(p.a), 10)
-		line = append(line, ' ')
-		line = strconv.AppendInt(line, int64(p.b), 10)
-		line = append(line, '\n')
-		h.Write(line)
-	}
-	return Hash("sha256:" + hex.EncodeToString(h.Sum(nil)))
+	return Hash(graph.ContentHash(g, labels))
 }
 
 // summaryKey identifies one metric-summary configuration of a cached
@@ -70,7 +41,8 @@ type summaryKey struct {
 // per-entry lock so concurrent requests for the same topology do not
 // duplicate work (single-flight per entry).
 type Entry struct {
-	hash Hash
+	hash  Hash
+	cache *Cache // owning cache; carries the optional disk tier
 
 	mu        sync.Mutex
 	g         *graph.Graph
@@ -104,9 +76,12 @@ func (e *Entry) Static() *graph.Static {
 // Profile returns the dK-profile of the graph at depth d, extracting it
 // on first use. Deeper extractions subsume shallower ones via the
 // inclusion property, so the entry stores only the deepest profile seen
-// and answers shallower requests with Restrict. The second result reports
-// whether the profile was already available at depth >= d (a cache hit
-// for instrumentation purposes).
+// and answers shallower requests with Restrict. With a disk tier
+// configured, a memory miss probes the store before recomputing, and a
+// fresh extraction is written through — so a profile computed before a
+// restart is fetched, not recomputed, after it. The second result reports
+// whether the profile was served without an extraction run (from either
+// tier).
 func (e *Entry) Profile(d int) (*dk.Profile, bool, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -117,11 +92,28 @@ func (e *Entry) Profile(d int) (*dk.Profile, bool, error) {
 		p, err := e.profile.Restrict(d)
 		return p, true, err
 	}
+	if disk := e.cache.diskTier(); disk != nil {
+		if p, err := disk.GetProfile(string(e.hash), d); err == nil {
+			e.cache.diskHits.Add(1)
+			e.profile = p
+			if p.D == d {
+				return p, true, nil
+			}
+			q, err := p.Restrict(d)
+			return q, true, err
+		}
+		e.cache.diskMisses.Add(1)
+	}
 	p, err := dk.ExtractGraph(e.g, d)
 	if err != nil {
 		return nil, false, err
 	}
 	e.profile = p
+	if disk := e.cache.diskTier(); disk != nil {
+		if disk.PutProfile(string(e.hash), p) == nil {
+			e.cache.diskProfileWrites.Add(1)
+		}
+	}
 	return p, false, nil
 }
 
@@ -156,23 +148,36 @@ func (e *Entry) Summary(spectral bool, sources int, seed int64) (metrics.Summary
 }
 
 // CacheStats counts cache traffic. Hits and Misses count Intern calls
-// that found (respectively created) an entry; Lookups counts Get calls
-// for an existing hash; Extractions counts actual dk.Extract runs, which
-// a repeated request for an already-profiled topology must not increase.
+// that found (respectively created) an entry; Extractions counts actual
+// dk.Extract runs, which a repeated request for an already-profiled
+// topology must not increase. The Disk* counters instrument the
+// persistent tier: DiskHits counts artifacts (graphs or profiles) served
+// from disk instead of being reparsed or recomputed, DiskMisses counts
+// disk probes that found nothing, and the write counters count
+// write-through traffic.
 type CacheStats struct {
-	Entries     int   `json:"entries"`
-	MaxEntries  int   `json:"max_entries"`
-	Hits        int64 `json:"hits"`
-	Misses      int64 `json:"misses"`
-	Evictions   int64 `json:"evictions"`
-	Extractions int64 `json:"extractions"`
+	Entries           int   `json:"entries"`
+	MaxEntries        int   `json:"max_entries"`
+	Hits              int64 `json:"hits"`
+	Misses            int64 `json:"misses"`
+	Evictions         int64 `json:"evictions"`
+	Extractions       int64 `json:"extractions"`
+	DiskTier          bool  `json:"disk_tier"`
+	DiskHits          int64 `json:"disk_hits"`
+	DiskMisses        int64 `json:"disk_misses"`
+	DiskGraphWrites   int64 `json:"disk_graph_writes"`
+	DiskProfileWrites int64 `json:"disk_profile_writes"`
 }
 
 // Cache is the content-addressed graph/profile cache behind the service:
-// an LRU-bounded map from CanonicalHash to Entry. Interning the same
-// topology twice returns the same Entry, so its extracted profiles and
-// computed metric summaries are shared across requests and the
-// Brandes/census recomputation is skipped.
+// an LRU-bounded map from CanonicalHash to Entry, optionally backed by a
+// persistent disk tier (internal/store). Interning the same topology
+// twice returns the same Entry, so its extracted profiles and computed
+// metric summaries are shared across requests and the Brandes/census
+// recomputation is skipped. With a disk tier, interned graphs and
+// extracted profiles are written through, LRU eviction only sheds the
+// memory copy, and both Get and Profile fall back to disk — the cache
+// survives restarts.
 type Cache struct {
 	mu      sync.Mutex
 	max     int
@@ -180,9 +185,15 @@ type Cache struct {
 	byHash  map[Hash]*list.Element
 	stats   CacheStats
 	extract int64 // lifetime dk.Extract count (instrumentation)
+
+	disk              *store.Store // nil = memory-only
+	diskHits          atomic.Int64
+	diskMisses        atomic.Int64
+	diskGraphWrites   atomic.Int64
+	diskProfileWrites atomic.Int64
 }
 
-// NewCache returns a cache bounded to max entries (minimum 1).
+// NewCache returns a memory-only cache bounded to max entries (minimum 1).
 func NewCache(max int) *Cache {
 	if max < 1 {
 		max = 1
@@ -190,21 +201,67 @@ func NewCache(max int) *Cache {
 	return &Cache{max: max, ll: list.New(), byHash: make(map[Hash]*list.Element)}
 }
 
+// NewTieredCache returns a cache of max memory entries backed by the
+// given persistent store.
+func NewTieredCache(max int, disk *store.Store) *Cache {
+	c := NewCache(max)
+	c.disk = disk
+	return c
+}
+
+// diskTier returns the persistent tier, or nil for a memory-only cache.
+// The field is immutable after construction, so no lock is needed.
+func (c *Cache) diskTier() *store.Store { return c.disk }
+
 // Intern returns the cache entry for g, creating it if the topology has
-// not been seen (or was evicted). The boolean reports whether the entry
-// already existed. labels is the dense-id→label mapping from parsing; nil
-// means dense ids are the labels.
+// not been seen (or was evicted from memory). The boolean reports whether
+// the entry already existed. labels is the dense-id→label mapping from
+// parsing; nil means dense ids are the labels. New graphs are written
+// through to the disk tier outside the cache lock.
+//
+// Cached graphs are always in canonical edge order: index-addressed
+// edge draws (the randomize rewiring loop) must be a pure function of
+// (edge set, seed), not of whether the graph arrived via text parse,
+// binary decode, or dataset synthesis — otherwise the same generate
+// request would yield different replicas before and after a restart.
+// Binary-decoded graphs are already canonical; others are normalized
+// through a clone, which also keeps shared dataset-memo graphs
+// untouched.
 func (c *Cache) Intern(g *graph.Graph, labels []int) (*Entry, bool) {
+	if !g.EdgesCanonicallyOrdered() {
+		g = g.CanonicalClone()
+	}
 	h := CanonicalHash(g, labels)
+	e, existed := c.intern(h, g, true)
+	if !existed && c.disk != nil {
+		// Write-through is idempotent: the artifact is content-addressed,
+		// so re-interning after a memory eviction finds it already on
+		// disk and PutGraph skips the write.
+		if !c.disk.HasGraph(string(h)) && c.disk.PutGraph(string(h), g, labels) == nil {
+			c.diskGraphWrites.Add(1)
+		}
+	}
+	return e, existed
+}
+
+// intern is the memory-tier insert. count selects whether the hit/miss
+// counters move (Intern counts; disk promotions do not double-count).
+// The dense-id→label table is not retained: the hash already encodes it,
+// and the disk artifact is the durable copy.
+func (c *Cache) intern(h Hash, g *graph.Graph, count bool) (*Entry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byHash[h]; ok {
 		c.ll.MoveToFront(el)
-		c.stats.Hits++
+		if count {
+			c.stats.Hits++
+		}
 		return el.Value.(*Entry), true
 	}
-	c.stats.Misses++
-	e := &Entry{hash: h, g: g}
+	if count {
+		c.stats.Misses++
+	}
+	e := &Entry{hash: h, cache: c, g: g}
 	c.byHash[h] = c.ll.PushFront(e)
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
@@ -215,16 +272,29 @@ func (c *Cache) Intern(g *graph.Graph, labels []int) (*Entry, bool) {
 	return e, false
 }
 
-// Get returns the entry for a previously interned hash, or nil if the
-// hash is unknown or has been evicted.
+// Get returns the entry for a previously interned hash. On a memory miss
+// it falls back to the disk tier, promoting a stored graph back into the
+// LRU — so references by hash keep resolving across restarts and
+// evictions. Returns nil if the hash is unknown to both tiers.
 func (c *Cache) Get(h Hash) *Entry {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.byHash[h]; ok {
 		c.ll.MoveToFront(el)
+		c.mu.Unlock()
 		return el.Value.(*Entry)
 	}
-	return nil
+	c.mu.Unlock()
+	if c.disk == nil {
+		return nil
+	}
+	g, _, err := c.disk.GetGraph(string(h), graph.ReadLimits{})
+	if err != nil {
+		c.diskMisses.Add(1)
+		return nil
+	}
+	c.diskHits.Add(1)
+	e, _ := c.intern(h, g, false)
+	return e
 }
 
 // noteExtraction records one dk.Extract run for Stats.
@@ -237,10 +307,15 @@ func (c *Cache) noteExtraction() {
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	s := c.stats
 	s.Entries = c.ll.Len()
 	s.MaxEntries = c.max
 	s.Extractions = c.extract
+	c.mu.Unlock()
+	s.DiskTier = c.disk != nil
+	s.DiskHits = c.diskHits.Load()
+	s.DiskMisses = c.diskMisses.Load()
+	s.DiskGraphWrites = c.diskGraphWrites.Load()
+	s.DiskProfileWrites = c.diskProfileWrites.Load()
 	return s
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/dk"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/store"
 )
 
 // GraphRef identifies a graph in a request body, by exactly one of three
@@ -117,13 +118,15 @@ type CompareResponse struct {
 	SummaryB  metrics.Summary `json:"summary_b"`
 }
 
-// StatsResponse is the body of GET /v1/stats.
+// StatsResponse is the body of GET /v1/stats. Store is present only when
+// the server runs with a persistent data directory.
 type StatsResponse struct {
-	Version       string      `json:"version"`
-	UptimeSeconds float64     `json:"uptime_seconds"`
-	Workers       int         `json:"workers"`
-	Cache         CacheStats  `json:"cache"`
-	Jobs          EngineStats `json:"jobs"`
+	Version       string       `json:"version"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Workers       int          `json:"workers"`
+	Cache         CacheStats   `json:"cache"`
+	Jobs          EngineStats  `json:"jobs"`
+	Store         *store.Stats `json:"store,omitempty"`
 }
 
 // ErrorResponse is the uniform error envelope of every non-2xx response.

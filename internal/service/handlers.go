@@ -167,11 +167,11 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	// Extract the target profile up front when the job will need it
 	// (construction from a distribution, or per-replica distances):
 	// failures surface synchronously and the cache is warmed for the
-	// job body. Pure randomize-without-compare never reads the profile,
-	// so a potentially expensive census must not run in the handler.
-	var profile *dk.Profile
+	// job body, which re-fetches it as a pure cache hit. Pure
+	// randomize-without-compare never reads the profile, so a potentially
+	// expensive census must not run in the handler.
 	if !randomize || compare {
-		p, hit, err := entry.Profile(d)
+		_, hit, err := entry.Profile(d)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, CodeInternal, "extract: %v", err)
 			return
@@ -179,35 +179,92 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		if !hit {
 			s.cache.noteExtraction()
 		}
-		profile = p
 	}
+	params := genParams{
+		d: d, method: method, methodName: methodName,
+		randomize: randomize, compare: compare,
+		replicas: replicas, seed: seed,
+	}
+	// The journaled spec references the source by content hash only: the
+	// graph artifact is already written through to the disk tier, so the
+	// spec stays small and resolvable after a restart even when the
+	// original request carried inline edges.
+	spec, _ := json.Marshal(GenerateRequest{
+		Source: GraphRef{Hash: string(entry.Hash())}, D: &d, Method: methodName,
+		Replicas: replicas, Seed: seed, Compare: compare,
+	})
+	job, err := s.jobs.SubmitSpec("generate", spec, s.generateJobFunc(entry, params))
+	if errors.Is(err, ErrQueueFull) {
+		writeError(w, http.StatusTooManyRequests, CodeQueueFull,
+			"job queue full (%d queued); retry later", s.opts.JobQueue)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, GenerateAccepted{
+		JobID:     job.ID(),
+		StatusURL: "/v1/jobs/" + job.ID(),
+	})
+}
+
+// genParams are the validated parameters of one generate job.
+type genParams struct {
+	d          int
+	method     core.Method
+	methodName string
+	randomize  bool
+	compare    bool
+	replicas   int
+	seed       int64
+}
+
+// generateJobFunc builds the body of a generate job. It is shared by the
+// HTTP submission path and journal recovery: everything it needs beyond
+// the cache entry is in params, which round-trips through the journaled
+// GenerateRequest spec. The target profile is resolved inside the job —
+// a warm-cache hit when the handler pre-extracted it, a disk fetch or
+// fresh extraction when the job was recovered after a restart.
+func (s *Server) generateJobFunc(entry *Entry, p genParams) JobFunc {
 	src := entry.Graph()
-	job, err := s.jobs.Submit("generate", func() (any, StreamFunc, error) {
-		graphs, err := generate.Replicas(replicas, seed, func(i int, rng *rand.Rand) (*graph.Graph, error) {
-			if randomize {
-				out, _, err := generate.Randomize(src, d, generate.RandomizeOptions{Rng: rng})
+	return func() (any, StreamFunc, error) {
+		var profile *dk.Profile
+		if !p.randomize || p.compare {
+			prof, hit, err := entry.Profile(p.d)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !hit {
+				s.cache.noteExtraction()
+			}
+			profile = prof
+		}
+		graphs, err := generate.Replicas(p.replicas, p.seed, func(i int, rng *rand.Rand) (*graph.Graph, error) {
+			if p.randomize {
+				out, _, err := generate.Randomize(src, p.d, generate.RandomizeOptions{Rng: rng})
 				return out, err
 			}
-			return core.Generate(profile, d, method, core.Options{Rng: rng})
+			return core.Generate(profile, p.d, p.method, core.Options{Rng: rng})
 		})
 		if err != nil {
 			return nil, nil, err
 		}
 		result := GenerateResult{
 			Source:   info(entry),
-			D:        d,
-			Method:   methodName,
-			Seed:     seed,
+			D:        p.d,
+			Method:   p.methodName,
+			Seed:     p.seed,
 			Replicas: make([]ReplicaInfo, len(graphs)),
 		}
 		for i, g := range graphs {
 			ri := ReplicaInfo{Index: i, N: g.N(), M: g.M()}
-			if compare {
-				got, err := dk.ExtractGraph(g, d)
+			if p.compare {
+				got, err := dk.ExtractGraph(g, p.d)
 				if err != nil {
 					return nil, nil, err
 				}
-				dist, err := dk.Distance(profile, got, d)
+				dist, err := dk.Distance(profile, got, p.d)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -227,20 +284,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			return nil
 		}
 		return result, stream, nil
-	})
-	if errors.Is(err, ErrQueueFull) {
-		writeError(w, http.StatusTooManyRequests, CodeQueueFull,
-			"job queue full (%d queued); retry later", s.opts.JobQueue)
-		return
 	}
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusAccepted, GenerateAccepted{
-		JobID:     job.ID(),
-		StatusURL: "/v1/jobs/" + job.ID(),
-	})
 }
 
 // handleCompare implements POST /v1/compare: resolve both graphs, report
@@ -392,13 +436,19 @@ func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStats implements GET /v1/stats: version, uptime, worker budget,
-// cache counters, and job-engine counters.
+// cache counters, job-engine counters, and — when a data directory is
+// configured — artifact-store contents and traffic.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Version:       version,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Workers:       parallel.Workers(),
 		Cache:         s.cache.Stats(),
 		Jobs:          s.jobs.Stats(),
-	})
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Store = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,11 +1,16 @@
 package service
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/store"
 )
 
 // ErrQueueFull is returned by Engine.Submit when the bounded job queue
@@ -40,6 +45,8 @@ type Job struct {
 	id   string
 	kind string
 	run  JobFunc
+	eng  *Engine         // owner, for journaling terminal transitions; may be nil
+	spec json.RawMessage // serialized request, journaled for recovery
 
 	mu        sync.Mutex
 	status    JobStatus
@@ -115,7 +122,8 @@ func (j *Job) View() JobView {
 // EngineStats counts job-engine traffic. MaxRunning is the high-water
 // mark of concurrently executing jobs — with R runners it can never
 // exceed R, which is how tests verify the engine respects the worker
-// budget it was built with.
+// budget it was built with. Recovered counts jobs re-queued from the
+// journal of a previous process at startup.
 type EngineStats struct {
 	Runners    int   `json:"runners"`
 	Queued     int   `json:"queued"`
@@ -124,6 +132,7 @@ type EngineStats struct {
 	Completed  int64 `json:"completed"`
 	Failed     int64 `json:"failed"`
 	Rejected   int64 `json:"rejected"`
+	Recovered  int64 `json:"recovered"`
 }
 
 // Engine executes jobs asynchronously on a fixed pool of runner
@@ -138,6 +147,7 @@ type Engine struct {
 	queue   chan *Job
 	stop    chan struct{}
 	wg      sync.WaitGroup
+	journal *store.Journal // immutable after construction; nil = no journal
 
 	mu      sync.Mutex
 	closed  bool
@@ -153,6 +163,15 @@ type Engine struct {
 // queue capacity (minimum 1), and retained-job bound (minimum 1;
 // terminal jobs beyond the bound are evicted oldest-first).
 func NewEngine(runners, queueCap, retain int) *Engine {
+	return NewJournaledEngine(runners, queueCap, retain, nil, 0)
+}
+
+// NewJournaledEngine is NewEngine with a restart journal: every job state
+// transition is appended to it, best-effort (journal write failures never
+// fail the job). seqFloor advances the id sequence past ids a previous
+// process already journaled, so job ids stay unique across restarts.
+// Pass a nil journal for a memory-only engine.
+func NewJournaledEngine(runners, queueCap, retain int, journal *store.Journal, seqFloor int64) *Engine {
 	if runners < 1 {
 		runners = 1
 	}
@@ -168,12 +187,62 @@ func NewEngine(runners, queueCap, retain int) *Engine {
 		stop:    make(chan struct{}),
 		jobs:    make(map[string]*Job),
 		retain:  retain,
+		journal: journal,
+		seq:     seqFloor,
 	}
 	e.wg.Add(runners)
 	for i := 0; i < runners; i++ {
 		go e.runLoop()
 	}
 	return e
+}
+
+// note appends a job-state record to the journal, best-effort. It takes
+// no engine lock (the journal field is immutable and has its own mutex),
+// so it is safe to call from any state-transition site.
+func (e *Engine) note(rec store.JobRecord) {
+	if e == nil || e.journal == nil {
+		return
+	}
+	_ = e.journal.Record(rec)
+}
+
+// jobSeq parses the sequence number out of a "j%06d" job id; malformed
+// ids yield 0. Used to advance the id sequence past a replayed journal.
+func jobSeq(id string) int64 {
+	num, ok := strings.CutPrefix(id, "j")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// MaxJournaledSeq returns the highest job sequence number appearing in
+// the replayed states, for use as a NewJournaledEngine seqFloor.
+func MaxJournaledSeq(states []store.JobState) int64 {
+	var max int64
+	for _, st := range states {
+		if n := jobSeq(st.ID); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// countNonTerminal counts replayed jobs that recovery will re-queue,
+// used to size the engine queue so recovery never overflows it.
+func countNonTerminal(states []store.JobState) int {
+	n := 0
+	for _, st := range states {
+		if !st.Terminal() {
+			n++
+		}
+	}
+	return n
 }
 
 // Close stops the runner pool after in-flight jobs finish. Queued jobs
@@ -205,29 +274,96 @@ func (e *Engine) Close() {
 // Submit enqueues a job. It never blocks: if the queue is full the job is
 // rejected with ErrQueueFull; after Close it is rejected outright.
 func (e *Engine) Submit(kind string, run JobFunc) (*Job, error) {
+	return e.SubmitSpec(kind, nil, run)
+}
+
+// SubmitSpec is Submit with a serialized request spec that is written to
+// the journal alongside the queued record, making the job recoverable:
+// after a crash, the spec is what a fresh process re-queues from.
+func (e *Engine) SubmitSpec(kind string, spec json.RawMessage, run JobFunc) (*Job, error) {
+	return e.submit("", kind, spec, run, false)
+}
+
+// Resubmit re-queues a job recovered from a previous process's journal
+// under its original id, so clients polling that id across the restart
+// find their job again. It fails if the id is already tracked.
+func (e *Engine) Resubmit(id, kind string, spec json.RawMessage, run JobFunc) (*Job, error) {
+	return e.submit(id, kind, spec, run, true)
+}
+
+// RegisterFailed tracks a job in a terminal failed state without ever
+// running it — the close-out for journal jobs whose spec no longer
+// resolves. Registering (rather than only journaling) keeps the poll
+// contract: GET /v1/jobs/{id} answers "failed" with the reason instead
+// of 404. Already-tracked ids are left alone.
+func (e *Engine) RegisterFailed(id, kind string, spec json.RawMessage, msg string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed || e.jobs[id] != nil {
+		return
+	}
+	now := time.Now().UTC()
+	j := &Job{
+		id:        id,
+		kind:      kind,
+		eng:       e,
+		spec:      spec,
+		status:    JobFailed,
+		submitted: now,
+		finished:  now,
+		err:       errors.New(msg),
+		doneCh:    make(chan struct{}),
+	}
+	close(j.doneCh)
+	e.jobs[id] = j
+	e.order = append(e.order, id)
+	e.stats.Failed++
+	e.evictLocked()
+}
+
+func (e *Engine) submit(id, kind string, spec json.RawMessage, run JobFunc, recovered bool) (*Job, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
 		e.stats.Rejected++
 		return nil, errors.New("service: engine shut down")
 	}
-	e.seq++
+	if id == "" {
+		e.seq++
+		id = fmt.Sprintf("j%06d", e.seq)
+	} else if e.jobs[id] != nil {
+		return nil, fmt.Errorf("service: job %s already tracked", id)
+	}
 	j := &Job{
-		id:        fmt.Sprintf("j%06d", e.seq),
+		id:        id,
 		kind:      kind,
 		run:       run,
+		eng:       e,
+		spec:      spec,
 		status:    JobQueued,
 		submitted: time.Now().UTC(),
 		doneCh:    make(chan struct{}),
 	}
+	// Journal the queued record (which carries the recoverable spec)
+	// BEFORE the job becomes visible to runners: a runner can dequeue
+	// and journal "running" the instant the send completes, and a crash
+	// between the two appends would leave a spec-less running record
+	// that recovery could only close out as failed. A queue-full
+	// rejection after the fact is closed with a failed record, so the
+	// journal never carries a phantom queued job.
+	e.note(store.JobRecord{ID: j.id, Status: store.JobQueued, Kind: kind, Spec: spec})
 	select {
 	case e.queue <- j:
 	default:
 		e.stats.Rejected++
+		e.note(store.JobRecord{ID: j.id, Status: store.JobFailed, Error: "rejected: queue full"})
 		return nil, ErrQueueFull
 	}
 	e.jobs[j.id] = j
 	e.order = append(e.order, j.id)
+	if recovered {
+		e.stats.Recovered++
+	}
 	e.evictLocked()
 	return j, nil
 }
@@ -322,6 +458,7 @@ func (e *Engine) execute(j *Job) {
 	j.status = JobRunning
 	j.started = time.Now().UTC()
 	j.mu.Unlock()
+	e.note(store.JobRecord{ID: j.id, Status: store.JobRunning})
 
 	e.mu.Lock()
 	e.running++
@@ -354,7 +491,8 @@ func runSafely(run JobFunc) (result any, stream StreamFunc, err error) {
 	return run()
 }
 
-// finish moves the job to its terminal state and wakes pollers.
+// finish moves the job to its terminal state, journals it, and wakes
+// pollers.
 func (j *Job) finish(result any, stream StreamFunc, err error) {
 	j.mu.Lock()
 	j.finished = time.Now().UTC()
@@ -367,5 +505,10 @@ func (j *Job) finish(result any, stream StreamFunc, err error) {
 		j.stream = stream
 	}
 	j.mu.Unlock()
+	if err != nil {
+		j.eng.note(store.JobRecord{ID: j.id, Status: store.JobFailed, Error: err.Error()})
+	} else {
+		j.eng.note(store.JobRecord{ID: j.id, Status: store.JobDone})
+	}
 	close(j.doneCh)
 }

@@ -32,10 +32,13 @@ import (
 	"sync"
 	"time"
 
+	"encoding/json"
+
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/graph"
 	"repro/internal/parallel"
+	"repro/internal/store"
 )
 
 // Options configures a Server. The zero value selects production-sensible
@@ -57,6 +60,10 @@ type Options struct {
 	JobQueue int
 	// JobRetain bounds retained terminal jobs (default 256).
 	JobRetain int
+	// Store is the persistent artifact store backing the cache's disk
+	// tier and the job journal (nil = memory-only, the historical
+	// behavior). The caller owns it: close it after Close.
+	Store *store.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +100,7 @@ type Server struct {
 	opts    Options
 	cache   *Cache
 	jobs    *Engine
+	store   *store.Store // nil = memory-only
 	mux     *http.ServeMux
 	started time.Time
 
@@ -117,17 +125,52 @@ type dsEntry struct {
 const dsMemoMax = 32
 
 // New builds a Server with the given options and starts its job engine.
-// Call Close when done to stop the runner pool.
+// With a persistent store configured, the profile cache becomes
+// write-through over the store's disk tier and the job journal of a
+// previous process is replayed: jobs that never reached a terminal state
+// are re-queued under their original ids before the server takes
+// traffic. Call Close when done to stop the runner pool.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
+	var (
+		journal  *store.Journal
+		replayed []store.JobState
+	)
+	// Only the journal's lock owner may replay and append: a second
+	// server on the same data dir would re-run the owner's in-flight
+	// jobs and mint colliding ids. Without the lock the job engine runs
+	// memory-only while the (concurrency-safe, content-addressed)
+	// artifact tier stays active. dkserved refuses to start in that
+	// state; embedders get the degraded mode.
+	if opts.Store != nil && opts.Store.Exclusive() {
+		journal = opts.Store.Journal()
+		// Replay errors degrade to an empty journal: a damaged journal
+		// must not stop the service from starting.
+		replayed, _ = journal.Replay()
+		// Startup is the one moment the lock owner knows compaction is
+		// safe; without this, a long-lived server's journal (2-3 records
+		// per job) would grow without bound and every restart would fold
+		// the entire history.
+		_, _ = journal.Compact()
+	}
+	// Recovery must never convert a recoverable job into a permanent
+	// failure just because the configured queue is smaller than the
+	// journal backlog, so the queue is sized to hold every job being
+	// re-queued.
+	queueCap := opts.JobQueue
+	if n := countNonTerminal(replayed); n > queueCap {
+		queueCap = n
+	}
 	s := &Server{
 		opts:    opts,
-		cache:   NewCache(opts.CacheEntries),
-		jobs:    NewEngine(opts.JobRunners, opts.JobQueue, opts.JobRetain),
+		cache:   NewTieredCache(opts.CacheEntries, opts.Store),
+		jobs:    NewJournaledEngine(opts.JobRunners, queueCap, opts.JobRetain, journal, MaxJournaledSeq(replayed)),
+		store:   opts.Store,
 		mux:     http.NewServeMux(),
 		started: time.Now().UTC(),
 		dsMemo:  make(map[string]*dsEntry),
 	}
+	s.recoverJobs(replayed)
 	s.mux.HandleFunc("POST /v1/extract", s.handleExtract)
 	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
 	s.mux.HandleFunc("POST /v1/compare", s.handleCompare)
@@ -138,6 +181,60 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleDatasetGet)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
+}
+
+// recoverJobs re-queues journaled jobs that never reached a terminal
+// state in the previous process. Each recovered job keeps its original
+// id, so a client polling across the restart finds it again. Jobs whose
+// spec no longer resolves (e.g. the graph artifact was GC'd) are closed
+// out — journaled failed AND registered in the engine as failed, so the
+// poll answers with the reason rather than 404.
+func (s *Server) recoverJobs(states []store.JobState) {
+	for _, st := range states {
+		if st.Terminal() {
+			continue
+		}
+		fail := func(format string, args ...any) {
+			msg := fmt.Sprintf(format, args...)
+			s.jobs.note(store.JobRecord{ID: st.ID, Status: store.JobFailed, Error: msg})
+			s.jobs.RegisterFailed(st.ID, st.Kind, st.Spec, msg)
+		}
+		if st.Kind != "generate" {
+			fail("recovery: unknown job kind %q", st.Kind)
+			continue
+		}
+		var req GenerateRequest
+		if err := json.Unmarshal(st.Spec, &req); err != nil {
+			fail("recovery: bad spec: %v", err)
+			continue
+		}
+		d := 2
+		if req.D != nil {
+			d = *req.D
+		}
+		method, randomize, err := parseMethod(req.Method)
+		if err != nil || d < 0 || d > 3 || req.Replicas < 1 {
+			fail("recovery: invalid spec (d=%d replicas=%d method=%q)", d, req.Replicas, req.Method)
+			continue
+		}
+		entry, err := s.resolveRef(req.Source)
+		if err != nil {
+			fail("recovery: source: %v", err)
+			continue
+		}
+		methodName := req.Method
+		if methodName == "" {
+			methodName = "randomize"
+		}
+		params := genParams{
+			d: d, method: method, methodName: methodName,
+			randomize: randomize, compare: req.Compare,
+			replicas: req.Replicas, seed: req.Seed,
+		}
+		if _, err := s.jobs.Resubmit(st.ID, "generate", st.Spec, s.generateJobFunc(entry, params)); err != nil {
+			fail("recovery: %v", err)
+		}
+	}
 }
 
 // ServeHTTP dispatches to the /v1 routes.
@@ -158,6 +255,15 @@ func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 // tests use it to verify the concurrent-job high-water mark respects the
 // runner budget.
 func (s *Server) JobStats() EngineStats { return s.jobs.Stats() }
+
+// StoreStats exposes artifact-store instrumentation (also served on
+// /v1/stats). The boolean reports whether a store is configured.
+func (s *Server) StoreStats() (store.Stats, bool) {
+	if s.store == nil {
+		return store.Stats{}, false
+	}
+	return s.store.Stats(), true
+}
 
 // DatasetInfo describes one built-in dataset on GET /v1/datasets.
 type DatasetInfo struct {

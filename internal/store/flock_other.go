@@ -1,0 +1,7 @@
+//go:build !unix
+
+package store
+
+// tryFlock is a no-op where flock is unavailable; compaction safety then
+// relies on the operator not racing a live server.
+func tryFlock(fd uintptr) bool { return true }

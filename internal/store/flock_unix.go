@@ -1,0 +1,13 @@
+//go:build unix
+
+package store
+
+import "syscall"
+
+// tryFlock takes a non-blocking exclusive advisory lock on fd, reporting
+// success. A dkserved process holds its journal's lock for its lifetime,
+// which is what stops `dkstore gc` from compacting (rename-replacing)
+// the journal out from under a live server's append handle.
+func tryFlock(fd uintptr) bool {
+	return syscall.Flock(int(fd), syscall.LOCK_EX|syscall.LOCK_NB) == nil
+}

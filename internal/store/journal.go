@@ -1,0 +1,234 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// journalName is the journal file under the store's jobs/ directory.
+const journalName = "journal.jsonl"
+
+// ErrJournalLocked marks a refused compaction: another process (a live
+// dkserved) owns the journal's advisory lock. Callers treat it as
+// "skipped", not as a failure — see Store.GC.
+var ErrJournalLocked = errors.New("store: journal is locked by another process")
+
+// Job journal states. Queued and running are non-terminal: a journal
+// whose last record for a job is one of them describes work a crashed
+// process never finished, which the service re-queues on startup (a
+// recovered job keeps its id, so its fresh queued record supersedes the
+// stale state).
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobRecord is one append-only journal line. A job's first (queued)
+// record carries its kind and request spec; later records only move its
+// state, so replay folds records per id with last-state-wins.
+type JobRecord struct {
+	Time   time.Time       `json:"time"`
+	ID     string          `json:"id"`
+	Status string          `json:"status"`
+	Kind   string          `json:"kind,omitempty"`
+	Spec   json.RawMessage `json:"spec,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// JobState is the folded view of one job after replay: its identity and
+// spec from the queued record, its latest status, and the error of a
+// failed terminal record.
+type JobState struct {
+	ID     string
+	Kind   string
+	Status string
+	Spec   json.RawMessage
+	Error  string
+}
+
+// Terminal reports whether the state needs no recovery action.
+func (s JobState) Terminal() bool {
+	return s.Status == JobDone || s.Status == JobFailed
+}
+
+// Journal is an append-only JSONL job log. Appends are serialized by a
+// mutex and flushed per record: each line is one write syscall, so a
+// crash can truncate at most the final line, which replay tolerates.
+//
+// The opener that wins the file's advisory lock (normally the dkserved
+// process) is the journal's exclusive owner; a second opener (dkstore
+// run against a live server) can still append and replay, but Compact —
+// which rename-replaces the file and would detach the owner's append
+// handle — is refused without the lock.
+type Journal struct {
+	mu        sync.Mutex
+	path      string
+	f         *os.File
+	exclusive bool
+}
+
+// openJournal opens (creating if needed) the journal at path for append.
+func openJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: journal: %w", err)
+	}
+	return &Journal{path: path, f: f, exclusive: tryFlock(f.Fd())}, nil
+}
+
+// Exclusive reports whether this process owns the journal's advisory
+// lock. A server must not replay/recover (or serve) a journal it does
+// not own: a second dkserved on the same data dir would re-run the live
+// owner's in-flight jobs and mint colliding job ids.
+func (j *Journal) Exclusive() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.exclusive
+}
+
+// Record appends one record. The timestamp is filled in if unset.
+func (j *Journal) Record(rec JobRecord) error {
+	if rec.Time.IsZero() {
+		rec.Time = time.Now().UTC()
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: journal: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("store: journal closed")
+	}
+	_, err = j.f.Write(line)
+	return err
+}
+
+// Close syncs and releases the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// Replay folds the journal into per-job states, sorted by id. Unparseable
+// lines (at worst the torn final line of a crashed process) are skipped.
+func (j *Journal) Replay() ([]JobState, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return replayFile(j.path)
+}
+
+func replayFile(path string) ([]JobState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: journal: %w", err)
+	}
+	defer f.Close()
+	byID := make(map[string]*JobState)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var rec JobRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil || rec.ID == "" {
+			continue
+		}
+		st, ok := byID[rec.ID]
+		if !ok {
+			st = &JobState{ID: rec.ID}
+			byID[rec.ID] = st
+			order = append(order, rec.ID)
+		}
+		if rec.Kind != "" {
+			st.Kind = rec.Kind
+		}
+		if len(rec.Spec) > 0 {
+			st.Spec = rec.Spec
+		}
+		st.Status = rec.Status
+		st.Error = rec.Error
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: journal: %w", err)
+	}
+	out := make([]JobState, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out, nil
+}
+
+// Compact rewrites the journal keeping only non-terminal jobs (one
+// queued-style record each) and returns how many terminal jobs were
+// dropped. The rewrite is atomic and the append handle is reopened on the
+// new file.
+func (j *Journal) Compact() (dropped int, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.exclusive {
+		return 0, ErrJournalLocked
+	}
+	states, err := replayFile(j.path)
+	if err != nil {
+		return 0, err
+	}
+	kept := states[:0]
+	for _, st := range states {
+		if st.Terminal() {
+			dropped++
+			continue
+		}
+		kept = append(kept, st)
+	}
+	err = atomicWrite(j.path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		for _, st := range kept {
+			rec := JobRecord{
+				Time: time.Now().UTC(), ID: st.ID, Status: st.Status,
+				Kind: st.Kind, Spec: st.Spec, Error: st.Error,
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Reopen the append handle on the replacement file; the old handle
+	// points at the unlinked inode. Re-acquire the lock on the new inode.
+	if j.f != nil {
+		j.f.Close()
+		j.f, err = os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			j.f = nil
+			return dropped, fmt.Errorf("store: journal: %w", err)
+		}
+		j.exclusive = tryFlock(j.f.Fd())
+	}
+	return dropped, nil
+}

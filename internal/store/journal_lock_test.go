@@ -1,0 +1,60 @@
+//go:build unix
+
+package store
+
+import "testing"
+
+// TestJournalLockGuardsCompaction: the first opener of a data dir owns
+// the journal; a second opener (dkstore gc against a live dkserved) can
+// append and replay but must be refused compaction, which would detach
+// the owner's append handle.
+func TestJournalLockGuardsCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Journal().Record(JobRecord{ID: "j000001", Status: JobQueued, Kind: "generate"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Journal().Record(JobRecord{ID: "j000001", Status: JobDone}); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if _, err := st2.Journal().Compact(); err == nil {
+		t.Fatal("second opener compacted the journal out from under the owner")
+	}
+	// Appending and replaying remain available to the second opener.
+	if err := st2.Journal().Record(JobRecord{ID: "j000002", Status: JobQueued, Kind: "generate"}); err != nil {
+		t.Fatal(err)
+	}
+	states, err := st2.Journal().Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 2 {
+		t.Fatalf("replayed %d states, want 2", len(states))
+	}
+
+	// Once the owner closes, a fresh opener gets the lock and compacts.
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	dropped, err := st3.Journal().Compact()
+	if err != nil {
+		t.Fatalf("compaction with the lock free: %v", err)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped %d, want 1 (the done job)", dropped)
+	}
+}

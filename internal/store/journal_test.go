@@ -1,0 +1,110 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestJournalReplayFold(t *testing.T) {
+	st := openTestStore(t)
+	j := st.Journal()
+	spec := json.RawMessage(`{"replicas":3}`)
+	recs := []JobRecord{
+		{ID: "j000001", Status: JobQueued, Kind: "generate", Spec: spec},
+		{ID: "j000001", Status: JobRunning},
+		{ID: "j000001", Status: JobDone},
+		{ID: "j000002", Status: JobQueued, Kind: "generate", Spec: spec},
+		{ID: "j000002", Status: JobRunning},
+		{ID: "j000003", Status: JobQueued, Kind: "generate", Spec: spec},
+	}
+	for _, r := range recs {
+		if err := j.Record(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	states, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 3 {
+		t.Fatalf("replayed %d states, want 3", len(states))
+	}
+	want := map[string]string{"j000001": JobDone, "j000002": JobRunning, "j000003": JobQueued}
+	for _, s := range states {
+		if s.Status != want[s.ID] {
+			t.Fatalf("job %s folded to %q, want %q", s.ID, s.Status, want[s.ID])
+		}
+		if s.Kind != "generate" || string(s.Spec) != string(spec) {
+			t.Fatalf("job %s lost kind/spec: %+v", s.ID, s)
+		}
+		if s.Terminal() != (s.ID == "j000001") {
+			t.Fatalf("job %s Terminal()=%v", s.ID, s.Terminal())
+		}
+	}
+}
+
+// TestJournalTornTail: a crash can truncate the final line mid-record;
+// replay must skip it and keep everything before it.
+func TestJournalTornTail(t *testing.T) {
+	st := openTestStore(t)
+	j := st.Journal()
+	if err := j.Record(JobRecord{ID: "j000001", Status: JobQueued, Kind: "generate"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(st.Dir(), "jobs", journalName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":"j000002","sta`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	states, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 || states[0].ID != "j000001" {
+		t.Fatalf("states %+v, want only the intact record", states)
+	}
+}
+
+func TestJournalCompact(t *testing.T) {
+	st := openTestStore(t)
+	j := st.Journal()
+	for _, r := range []JobRecord{
+		{ID: "j000001", Status: JobQueued, Kind: "generate"},
+		{ID: "j000001", Status: JobDone},
+		{ID: "j000002", Status: JobQueued, Kind: "generate"},
+		{ID: "j000003", Status: JobQueued, Kind: "generate"},
+		{ID: "j000003", Status: JobFailed, Error: "boom"},
+	} {
+		if err := j.Record(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dropped, err := j.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 2 {
+		t.Fatalf("dropped %d, want 2 (done + failed)", dropped)
+	}
+	states, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 || states[0].ID != "j000002" || states[0].Status != JobQueued {
+		t.Fatalf("states %+v, want only j000002 queued", states)
+	}
+	// The journal stays appendable on the rewritten file.
+	if err := j.Record(JobRecord{ID: "j000004", Status: JobQueued, Kind: "generate"}); err != nil {
+		t.Fatal(err)
+	}
+	states, _ = j.Replay()
+	if len(states) != 2 {
+		t.Fatalf("post-compact append lost: %+v", states)
+	}
+}

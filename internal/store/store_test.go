@@ -1,0 +1,255 @@
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dk"
+	"repro/internal/graph"
+)
+
+// testGraph builds a reproducible random simple graph.
+func testGraph(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for g.M() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func openTestStore(t *testing.T) *Store {
+	t.Helper()
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func TestGraphPutGet(t *testing.T) {
+	st := openTestStore(t)
+	g := testGraph(50, 120, 1)
+	labels := make([]int, g.N())
+	for i := range labels {
+		labels[i] = 1000 + 3*i
+	}
+	hash := graph.ContentHash(g, labels)
+	if st.HasGraph(hash) {
+		t.Fatal("graph present before put")
+	}
+	if err := st.PutGraph(hash, g, labels); err != nil {
+		t.Fatal(err)
+	}
+	if !st.HasGraph(hash) {
+		t.Fatal("graph absent after put")
+	}
+	got, gotLabels, err := st.GetGraph(hash, graph.ReadLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(g) {
+		t.Fatal("stored graph differs")
+	}
+	if graph.ContentHash(got, gotLabels) != hash {
+		t.Fatal("stored graph re-hashes differently")
+	}
+	// Idempotent re-put must not bump the write counter.
+	writes := st.Stats().GraphWrites
+	if err := st.PutGraph(hash, g, labels); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().GraphWrites != writes {
+		t.Fatal("re-put of existing artifact counted as a write")
+	}
+}
+
+func TestGraphNotFoundAndBadHash(t *testing.T) {
+	st := openTestStore(t)
+	_, _, err := st.GetGraph("sha256:"+strings.Repeat("ab", 32), graph.ReadLimits{})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err=%v, want ErrNotFound", err)
+	}
+	for _, bad := range []string{"", "sha256:short", "md5:abcd", "sha256:../../../../etc/passwd0000000000000000000000000000000000000000000"} {
+		if _, _, err := st.GetGraph(bad, graph.ReadLimits{}); err == nil || errors.Is(err, ErrNotFound) {
+			t.Fatalf("hash %q: err=%v, want validation failure", bad, err)
+		}
+		if st.HasGraph(bad) {
+			t.Fatalf("hash %q reported present", bad)
+		}
+	}
+}
+
+func TestProfileDepthSelection(t *testing.T) {
+	st := openTestStore(t)
+	g := testGraph(40, 90, 2)
+	hash := graph.ContentHash(g, nil)
+	p2, err := dk.ExtractGraph(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutProfile(hash, p2); err != nil {
+		t.Fatal(err)
+	}
+	// A depth-2 artifact answers d=0..2 but not d=3.
+	for d := 0; d <= 2; d++ {
+		got, err := st.GetProfile(hash, d)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if got.D != 2 {
+			t.Fatalf("d=%d: stored depth %d, want the depth-2 artifact", d, got.D)
+		}
+	}
+	if _, err := st.GetProfile(hash, 3); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("d=3: err=%v, want ErrNotFound", err)
+	}
+	// After storing d=3, the deeper artifact wins.
+	p3, err := dk.ExtractGraph(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutProfile(hash, p3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.GetProfile(hash, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.D != 3 {
+		t.Fatalf("stored depth %d, want 3 (deepest wins)", got.D)
+	}
+	if depths := st.ProfileDepths(hash); len(depths) != 2 || depths[0] != 2 || depths[1] != 3 {
+		t.Fatalf("depths %v, want [2 3]", depths)
+	}
+}
+
+func TestListGraphsAndStats(t *testing.T) {
+	st := openTestStore(t)
+	for seed := int64(1); seed <= 3; seed++ {
+		g := testGraph(20, 40, seed)
+		hash := graph.ContentHash(g, nil)
+		if err := st.PutGraph(hash, g, nil); err != nil {
+			t.Fatal(err)
+		}
+		if seed == 1 {
+			p, _ := dk.ExtractGraph(g, 1)
+			if err := st.PutProfile(hash, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	infos, err := st.ListGraphs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 3 {
+		t.Fatalf("listed %d graphs, want 3", len(infos))
+	}
+	withProfiles := 0
+	for _, gi := range infos {
+		if gi.N != 20 || gi.M != 40 {
+			t.Fatalf("listing %+v, want n=20 m=40", gi)
+		}
+		if len(gi.ProfileDepths) > 0 {
+			withProfiles++
+		}
+	}
+	if withProfiles != 1 {
+		t.Fatalf("%d graphs with profiles, want 1", withProfiles)
+	}
+	stats := st.Stats()
+	if stats.Graphs != 3 || stats.Profiles != 1 {
+		t.Fatalf("stats %+v, want 3 graphs / 1 profile", stats)
+	}
+	if stats.GraphBytes <= 0 || stats.ProfileBytes <= 0 {
+		t.Fatalf("stats %+v, want positive byte totals", stats)
+	}
+}
+
+func TestGC(t *testing.T) {
+	st := openTestStore(t)
+	g := testGraph(25, 50, 4)
+	hash := graph.ContentHash(g, nil)
+	if err := st.PutGraph(hash, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := dk.ExtractGraph(g, 2)
+	if err := st.PutProfile(hash, p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt graph: valid prefix, flipped byte.
+	g2 := testGraph(25, 50, 5)
+	hash2 := graph.ContentHash(g2, nil)
+	if err := st.PutGraph(hash2, g2, nil); err != nil {
+		t.Fatal(err)
+	}
+	hex2, _ := hashHex(hash2)
+	path2 := st.graphPath(hex2)
+	data, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path2, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Its profile becomes an orphan once GC removes the corrupt graph.
+	p2, _ := dk.ExtractGraph(g2, 1)
+	if err := st.PutProfile(hash2, p2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted-write leftovers (backdated past gcTmpAge — fresh temp
+	// files are spared as possibly in-flight), a fresh temp file, and a
+	// foreign file.
+	staleTmp := filepath.Join(st.Dir(), "graphs", "x.dkg.123.tmp")
+	if err := os.WriteFile(staleTmp, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * gcTmpAge)
+	if err := os.Chtimes(staleTmp, old, old); err != nil {
+		t.Fatal(err)
+	}
+	freshTmp := filepath.Join(st.Dir(), "graphs", "y.dkg.456.tmp")
+	if err := os.WriteFile(freshTmp, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(st.Dir(), "graphs", "notes.txt"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := st.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CorruptGraphs != 1 || rep.OrphanProfiles != 1 || rep.TempFiles != 1 || rep.ForeignFiles != 1 {
+		t.Fatalf("report %+v, want 1 corrupt graph, 1 orphan profile, 1 temp, 1 foreign", rep)
+	}
+	if _, err := os.Stat(freshTmp); err != nil {
+		t.Fatal("GC removed a fresh (possibly in-flight) temp file")
+	}
+	// The healthy artifacts survived.
+	if !st.HasGraph(hash) {
+		t.Fatal("GC removed a healthy graph")
+	}
+	if _, err := st.GetProfile(hash, 2); err != nil {
+		t.Fatalf("GC broke a healthy profile: %v", err)
+	}
+	if st.HasGraph(hash2) {
+		t.Fatal("GC kept the corrupt graph")
+	}
+}

@@ -1,0 +1,168 @@
+package subgraphs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// The binary form of a census is the 3K section of a stored dK-profile
+// (see internal/dk's profile container for the framing and checksum):
+// wedge and triangle class records as plain uvarints, sorted by canonical
+// degree key so the same census always encodes to the same bytes.
+//
+//	nWedges   uvarint
+//	per wedge, sorted by (KCenter, KLo, KHi):
+//	  kCenter kLo kHi count   (4 uvarints, count >= 1)
+//	nTriangles uvarint
+//	per triangle, sorted by (K1, K2, K3):
+//	  k1 k2 k3 count          (4 uvarints, count >= 1)
+
+// MarshalBinary encodes the census in its canonical binary form.
+// Zero-count classes are omitted.
+func (c *Census) MarshalBinary() ([]byte, error) {
+	return c.AppendBinary(nil), nil
+}
+
+// AppendBinary appends the canonical binary encoding of c to dst and
+// returns the extended slice.
+func (c *Census) AppendBinary(dst []byte) []byte {
+	wedges := make([]WedgeKey, 0, len(c.Wedges))
+	for k, v := range c.Wedges {
+		if v != 0 {
+			wedges = append(wedges, k)
+		}
+	}
+	sort.Slice(wedges, func(i, j int) bool {
+		a, b := wedges[i], wedges[j]
+		if a.KCenter != b.KCenter {
+			return a.KCenter < b.KCenter
+		}
+		if a.KLo != b.KLo {
+			return a.KLo < b.KLo
+		}
+		return a.KHi < b.KHi
+	})
+	dst = binary.AppendUvarint(dst, uint64(len(wedges)))
+	for _, k := range wedges {
+		dst = binary.AppendUvarint(dst, uint64(k.KCenter))
+		dst = binary.AppendUvarint(dst, uint64(k.KLo))
+		dst = binary.AppendUvarint(dst, uint64(k.KHi))
+		dst = binary.AppendUvarint(dst, uint64(c.Wedges[k]))
+	}
+	tris := make([]TriangleKey, 0, len(c.Triangles))
+	for k, v := range c.Triangles {
+		if v != 0 {
+			tris = append(tris, k)
+		}
+	}
+	sort.Slice(tris, func(i, j int) bool {
+		a, b := tris[i], tris[j]
+		if a.K1 != b.K1 {
+			return a.K1 < b.K1
+		}
+		if a.K2 != b.K2 {
+			return a.K2 < b.K2
+		}
+		return a.K3 < b.K3
+	})
+	dst = binary.AppendUvarint(dst, uint64(len(tris)))
+	for _, k := range tris {
+		dst = binary.AppendUvarint(dst, uint64(k.K1))
+		dst = binary.AppendUvarint(dst, uint64(k.K2))
+		dst = binary.AppendUvarint(dst, uint64(k.K3))
+		dst = binary.AppendUvarint(dst, uint64(c.Triangles[k]))
+	}
+	return dst
+}
+
+// UnmarshalBinary decodes the encoding produced by MarshalBinary. Keys are
+// re-canonicalized on the way in; duplicate classes and zero counts are
+// rejected so every valid encoding has exactly one decoded form.
+func (c *Census) UnmarshalBinary(data []byte) error {
+	d := binDecoder{buf: data}
+	nw := d.count("wedge classes")
+	c.Wedges = make(map[WedgeKey]int64, min(nw, 1<<16))
+	for i := 0; i < nw && d.err == nil; i++ {
+		kc := d.count("wedge center degree")
+		lo := d.count("wedge end degree")
+		hi := d.count("wedge end degree")
+		n := d.count64("wedge count")
+		if d.err != nil {
+			break
+		}
+		key := NewWedgeKey(lo, kc, hi)
+		if _, dup := c.Wedges[key]; dup {
+			return fmt.Errorf("subgraphs: duplicate wedge class %+v", key)
+		}
+		if n <= 0 {
+			return fmt.Errorf("subgraphs: wedge class %+v count %d", key, n)
+		}
+		c.Wedges[key] = n
+	}
+	nt := d.count("triangle classes")
+	c.Triangles = make(map[TriangleKey]int64, min(nt, 1<<16))
+	for i := 0; i < nt && d.err == nil; i++ {
+		k1 := d.count("triangle degree")
+		k2 := d.count("triangle degree")
+		k3 := d.count("triangle degree")
+		n := d.count64("triangle count")
+		if d.err != nil {
+			break
+		}
+		key := NewTriangleKey(k1, k2, k3)
+		if _, dup := c.Triangles[key]; dup {
+			return fmt.Errorf("subgraphs: duplicate triangle class %+v", key)
+		}
+		if n <= 0 {
+			return fmt.Errorf("subgraphs: triangle class %+v count %d", key, n)
+		}
+		c.Triangles[key] = n
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("subgraphs: %d trailing bytes after census", len(d.buf))
+	}
+	return nil
+}
+
+// binDecoder reads uvarints from a byte slice with sticky error handling.
+type binDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *binDecoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = fmt.Errorf("subgraphs: truncated %s", what)
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+// count reads a uvarint bounded to int.
+func (d *binDecoder) count(what string) int {
+	v := d.uvarint(what)
+	if d.err == nil && v > uint64(int(^uint(0)>>1)) {
+		d.err = fmt.Errorf("subgraphs: %s %d overflows int", what, v)
+		return 0
+	}
+	return int(v)
+}
+
+// count64 reads a uvarint bounded to int64.
+func (d *binDecoder) count64(what string) int64 {
+	v := d.uvarint(what)
+	if d.err == nil && v > uint64(^uint64(0)>>1) {
+		d.err = fmt.Errorf("subgraphs: %s %d overflows int64", what, v)
+		return 0
+	}
+	return int64(v)
+}
