@@ -1,78 +1,104 @@
 // Command dkanalyze computes the dK-distributions and the topology metric
-// suite of an edge-list graph.
+// suite of an edge-list graph — locally through the pkg/dk facade, or
+// against a remote dK service with -server (the two modes print
+// identical reports for the same input).
 //
 // Usage:
 //
 //	dkanalyze [-d depth] [-spectral] [-sample n] [-seed s] [-workers w] graph.txt
+//	dkanalyze -server http://localhost:8080 graph.txt
 //
 // The input is a whitespace-separated edge list ("u v" per line, #
-// comments allowed). Metrics are computed on the giant connected
-// component, as in the paper's evaluation. With -d >= 2 the joint degree
-// distribution summary is printed; with -d = 3 the wedge/triangle census
-// totals are included.
+// comments allowed) or a dataset:name[:seed[:n]] reference. Metrics are
+// computed on the giant connected component, as in the paper's
+// evaluation; the dK-profile covers the full graph (the service
+// convention). With -d >= 2 the joint degree distribution summary is
+// printed; with -d = 3 the wedge/triangle census totals are included.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
-	"runtime"
 
-	"repro/internal/core"
-	"repro/internal/dk"
-	"repro/internal/graph"
-	"repro/internal/metrics"
-	"repro/internal/parallel"
+	"repro/internal/cli"
+	"repro/pkg/dk"
+	"repro/pkg/dkapi"
+	"repro/pkg/dkclient"
 )
 
+const tool = "dkanalyze"
+
 func main() {
+	common := &cli.Common{}
 	depth := flag.Int("d", 3, "dK extraction depth (0..3)")
 	spectral := flag.Bool("spectral", false, "compute normalized-Laplacian spectrum bounds λ1, λ_{n−1}")
 	sample := flag.Int("sample", 0, "BFS source sample size for distance metrics (0 = exact)")
 	seed := flag.Int64("seed", 1, "random seed for sampling and Lanczos")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the metric sweeps (results are identical for any value)")
+	flag.IntVar(&common.Workers, "workers", 0, "worker goroutines for the metric sweeps (0 = all cores; results are identical for any value)")
+	flag.StringVar(&common.Server, "server", "", "dkserved base URL (empty = run locally)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
-	if *showVersion {
-		fmt.Println(core.VersionLine("dkanalyze"))
+	if cli.Version(tool, *showVersion) {
 		return
 	}
-	parallel.SetWorkers(*workers)
+	common.Apply()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dkanalyze [flags] graph.txt")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *depth, *spectral, *sample, *seed); err != nil {
-		fmt.Fprintln(os.Stderr, "dkanalyze:", err)
-		os.Exit(1)
+	if err := run(common, flag.Arg(0), *depth, *spectral, *sample, *seed); err != nil {
+		cli.Fatal(tool, err)
 	}
 }
 
-func run(path string, depth int, spectral bool, sample int, seed int64) error {
-	f, err := os.Open(path)
+func run(common *cli.Common, arg string, depth int, spectral bool, sample int, seed int64) error {
+	ref, err := cli.LoadGraphArg(arg)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	g, _, err := graph.ReadEdgeList(f)
-	if err != nil {
-		return err
+	var resp *dkapi.ExtractResponse
+	if common.Remote() {
+		c, err := common.Client()
+		if err != nil {
+			return err
+		}
+		opts := dkclient.ExtractOptions{
+			D: &depth, Metrics: true, Spectral: spectral, Sample: sample, Seed: seed,
+		}
+		if ref.Dataset != "" {
+			// ?dseed carries the synthesis seed so both modes analyze
+			// the identical synthesized graph.
+			opts.Dataset, opts.N = ref.Dataset, ref.N
+			opts.DatasetSeed = dkapi.Int64(ref.Seed)
+		}
+		resp, err = c.ExtractEdges(cli.Ctx(), ref.Edges, opts)
+		if err != nil {
+			return err
+		}
+	} else {
+		g, err := cli.ResolveLocal(ref)
+		if err != nil {
+			return err
+		}
+		resp, err = dk.Extract(cli.Ctx(), g, dk.ExtractOptions{
+			D: &depth, Metrics: true, Spectral: spectral, Sample: sample, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
 	}
-	fmt.Printf("graph: n=%d m=%d\n", g.N(), g.M())
-	gcc, _ := graph.GiantComponent(g)
-	fmt.Printf("gcc:   n=%d m=%d\n\n", gcc.N(), gcc.M())
+	return render(resp, depth, spectral)
+}
 
-	rng := rand.New(rand.NewSource(seed))
-	sum, err := metrics.Summarize(gcc.Static(), metrics.SummaryOptions{
-		Spectral:        spectral,
-		DistanceSources: sample,
-		Rng:             rng,
-	})
-	if err != nil {
-		return err
-	}
+// render prints the report from the wire response — one formatter for
+// both execution modes.
+func render(resp *dkapi.ExtractResponse, depth int, spectral bool) error {
+	sum := resp.Summary
+	fmt.Printf("graph: n=%d m=%d\n", resp.Graph.N, resp.Graph.M)
+	fmt.Printf("gcc:   n=%d m=%d\n\n", sum.N, sum.M)
+
 	fmt.Printf("k̄       = %.4g\n", sum.AvgDegree)
 	fmt.Printf("r        = %.4g\n", sum.R)
 	fmt.Printf("C̄        = %.4g\n", sum.CBar)
@@ -85,10 +111,7 @@ func run(path string, depth int, spectral bool, sample int, seed int64) error {
 		fmt.Printf("λ(n−1)   = %.4g\n", sum.LambdaN)
 	}
 
-	p, err := dk.ExtractGraph(gcc, depth)
-	if err != nil {
-		return err
-	}
+	p := resp.Profile
 	fmt.Printf("\ndK-profile (d=%d):\n", depth)
 	fmt.Printf("  P0: k̄ = %.4g\n", p.AvgDegree)
 	if depth >= 1 {

@@ -2,119 +2,121 @@
 // D_d distances between their dK-distributions for every d up to the
 // requested depth, plus a side-by-side of the scalar metric suite — the
 // workflow of Figure 1's "comparison with the observed graphs" box.
+// It runs locally through the pkg/dk facade, or against a remote dK
+// service with -server; both modes print identical reports.
 //
 //	dkcompare [-d 3] [-spectral] a.txt b.txt
+//	dkcompare -server http://localhost:8080 a.txt dataset:hot:7
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
-	"runtime"
 
-	"repro/internal/core"
-	"repro/internal/dk"
-	"repro/internal/graph"
-	"repro/internal/metrics"
-	"repro/internal/parallel"
+	"repro/internal/cli"
+	"repro/pkg/dk"
+	"repro/pkg/dkapi"
 )
 
+const tool = "dkcompare"
+
 func main() {
+	common := &cli.Common{}
 	depth := flag.Int("d", 3, "maximum dK depth to compare (0..3)")
 	spectral := flag.Bool("spectral", false, "include Laplacian spectrum bounds")
+	sample := flag.Int("sample", 0, "BFS source sample size for distance metrics (0 = exact)")
 	seed := flag.Int64("seed", 1, "random seed for Lanczos")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the metric sweeps (results are identical for any value)")
+	flag.IntVar(&common.Workers, "workers", 0, "worker goroutines for the metric sweeps (0 = all cores; results are identical for any value)")
+	flag.StringVar(&common.Server, "server", "", "dkserved base URL (empty = run locally)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
-	if *showVersion {
-		fmt.Println(core.VersionLine("dkcompare"))
+	if cli.Version(tool, *showVersion) {
 		return
 	}
-	parallel.SetWorkers(*workers)
+	common.Apply()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: dkcompare [flags] a.txt b.txt")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *depth, *spectral, *seed); err != nil {
-		fmt.Fprintln(os.Stderr, "dkcompare:", err)
-		os.Exit(1)
+	if err := run(common, flag.Arg(0), flag.Arg(1), *depth, *spectral, *sample, *seed); err != nil {
+		cli.Fatal(tool, err)
 	}
 }
 
-func load(path string) (*graph.Graph, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	g, _, err := graph.ReadEdgeList(f)
-	return g, err
-}
-
-func run(pathA, pathB string, depth int, spectral bool, seed int64) error {
-	a, err := load(pathA)
+func run(common *cli.Common, argA, argB string, depth int, spectral bool, sample int, seed int64) error {
+	ra, err := cli.LoadGraphArg(argA)
 	if err != nil {
 		return err
 	}
-	b, err := load(pathB)
+	rb, err := cli.LoadGraphArg(argB)
 	if err != nil {
 		return err
 	}
-	pa, err := dk.ExtractGraph(a, depth)
-	if err != nil {
-		return err
-	}
-	pb, err := dk.ExtractGraph(b, depth)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%-28s %12s %12s\n", "", pathA, pathB)
-	fmt.Printf("%-28s %12d %12d\n", "nodes", a.N(), b.N())
-	fmt.Printf("%-28s %12d %12d\n", "edges", a.M(), b.M())
-	fmt.Println()
-	for d := 0; d <= depth; d++ {
-		dist, err := dk.Distance(pa, pb, d)
+	var resp *dkapi.CompareResponse
+	if common.Remote() {
+		c, err := common.Client()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("D%d distance: %.6g\n", d, dist)
-	}
-	fmt.Println()
-	rng := rand.New(rand.NewSource(seed))
-	rep, err := core.Compare(a, b, core.Options{Rng: rng})
-	if err != nil {
-		if !spectral {
-			// Fall back to non-spectral summaries (e.g. tiny graphs).
-			ga, _ := graph.GiantComponent(a)
-			gb, _ := graph.GiantComponent(b)
-			sa, err2 := metrics.Summarize(ga.Static(), metrics.SummaryOptions{})
-			if err2 != nil {
-				return err
-			}
-			sb, err2 := metrics.Summarize(gb.Static(), metrics.SummaryOptions{})
-			if err2 != nil {
-				return err
-			}
-			rep = &core.ComparisonReport{A: sa, B: sb}
-		} else {
+		// Ship hashes, not topologies, when the server already knows
+		// the graphs.
+		if ra, err = cli.RemoteRef(c, ra); err != nil {
+			return err
+		}
+		if rb, err = cli.RemoteRef(c, rb); err != nil {
+			return err
+		}
+		resp, err = c.Compare(cli.Ctx(), dkapi.CompareRequest{
+			A: ra, B: rb, D: &depth, Spectral: spectral, Sample: sample, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		ga, err := cli.ResolveLocal(ra)
+		if err != nil {
+			return err
+		}
+		gb, err := cli.ResolveLocal(rb)
+		if err != nil {
+			return err
+		}
+		resp, err = dk.Compare(cli.Ctx(), ga, gb, dk.CompareOptions{
+			D: &depth, Spectral: spectral, Sample: sample, Seed: seed,
+		})
+		if err != nil {
 			return err
 		}
 	}
+	render(resp, argA, argB, spectral)
+	return nil
+}
+
+// render prints the comparison table from the wire response — one
+// formatter for both execution modes.
+func render(resp *dkapi.CompareResponse, nameA, nameB string, spectral bool) {
+	fmt.Printf("%-28s %12s %12s\n", "", nameA, nameB)
+	fmt.Printf("%-28s %12d %12d\n", "nodes", resp.A.N, resp.B.N)
+	fmt.Printf("%-28s %12d %12d\n", "edges", resp.A.M, resp.B.M)
+	fmt.Println()
+	for _, de := range resp.Distances {
+		fmt.Printf("D%d distance: %.6g\n", de.D, de.Value)
+	}
+	fmt.Println()
 	row := func(name string, va, vb float64) {
 		fmt.Printf("%-28s %12.4g %12.4g\n", name, va, vb)
 	}
-	row("k̄ (GCC)", rep.A.AvgDegree, rep.B.AvgDegree)
-	row("r", rep.A.R, rep.B.R)
-	row("C̄", rep.A.CBar, rep.B.CBar)
-	row("d̄", rep.A.DBar, rep.B.DBar)
-	row("σd", rep.A.SigmaD, rep.B.SigmaD)
-	row("S", rep.A.S, rep.B.S)
-	row("S2", rep.A.S2, rep.B.S2)
+	row("k̄ (GCC)", resp.SummaryA.AvgDegree, resp.SummaryB.AvgDegree)
+	row("r", resp.SummaryA.R, resp.SummaryB.R)
+	row("C̄", resp.SummaryA.CBar, resp.SummaryB.CBar)
+	row("d̄", resp.SummaryA.DBar, resp.SummaryB.DBar)
+	row("σd", resp.SummaryA.SigmaD, resp.SummaryB.SigmaD)
+	row("S", resp.SummaryA.S, resp.SummaryB.S)
+	row("S2", resp.SummaryA.S2, resp.SummaryB.S2)
 	if spectral {
-		row("λ1", rep.A.Lambda1, rep.B.Lambda1)
-		row("λ(n−1)", rep.A.LambdaN, rep.B.LambdaN)
+		row("λ1", resp.SummaryA.Lambda1, resp.SummaryB.Lambda1)
+		row("λ(n−1)", resp.SummaryA.LambdaN, resp.SummaryB.LambdaN)
 	}
-	return nil
 }

@@ -1,0 +1,440 @@
+// Command dkctl is the one front door to the dK toolkit: every
+// operation of the paper's workflow — extraction, generation,
+// comparison, and whole declarative pipelines — against either the
+// in-process engine (default) or a remote dkserved instance
+// (-server http://…). Local and remote runs of the same operation
+// produce byte-identical output.
+//
+//	dkctl extract -d 2 -metrics graph.txt
+//	dkctl extract dataset:hot:7
+//	dkctl generate -d 2 -replicas 10 -seed 42 -out ens graph.txt
+//	dkctl compare -d 2 a.txt b.txt
+//	dkctl pipeline example > p.json
+//	dkctl pipeline run -out results/ p.json
+//	dkctl -server http://localhost:8080 pipeline run p.json
+//	dkctl -server http://localhost:8080 datasets|stats|health|job j000001
+//
+// Graph arguments are edge-list file paths ("-" = stdin) or
+// "dataset:name[:seed[:n]]" references to built-in topologies. In
+// remote mode, generate/compare/pipeline file inputs are content-hashed
+// locally and only uploaded when the server does not already know the
+// topology; extract uploads its body outright (the upload IS the
+// interning request).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cli"
+	"repro/internal/service"
+	"repro/pkg/dk"
+	"repro/pkg/dkapi"
+	"repro/pkg/dkclient"
+)
+
+const tool = "dkctl"
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: dkctl [-server URL] [-workers N] <command> [flags] [args]
+
+commands:
+  extract   [-d 3] [-metrics] [-spectral] [-sample N] [-seed S] <graph>
+  generate  [-d 2] [-method M] [-replicas N] [-seed S] [-compare] [-out PREFIX] <graph>
+  compare   [-d 3] [-spectral] [-sample N] [-seed S] <graph-a> <graph-b>
+  pipeline  run [-out DIR] <pipeline.json|->   execute a declarative pipeline
+  pipeline  example                            print a sample pipeline spec
+  datasets                                     list built-in datasets
+  health                                       liveness + readiness (-server only)
+  stats                                        service counters (-server only)
+  job       <id>                               poll a job (-server only)
+
+<graph> is an edge-list file ("-" = stdin) or dataset:name[:seed[:n]].
+`)
+	os.Exit(2)
+}
+
+func main() {
+	common := &cli.Common{}
+	flag.StringVar(&common.Server, "server", "", "dkserved base URL (empty = run locally, in-process)")
+	flag.IntVar(&common.Workers, "workers", 0, "worker goroutines (0 = all cores; results are identical for any value)")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Usage = usage
+	flag.Parse()
+	if cli.Version(tool, *showVersion) {
+		return
+	}
+	common.Apply()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	var err error
+	switch args[0] {
+	case "extract":
+		err = cmdExtract(common, args[1:])
+	case "generate":
+		err = cmdGenerate(common, args[1:])
+	case "compare":
+		err = cmdCompare(common, args[1:])
+	case "pipeline":
+		err = cmdPipeline(common, args[1:])
+	case "datasets":
+		err = cmdDatasets(common)
+	case "health":
+		err = cmdHealth(common)
+	case "stats":
+		err = cmdStats(common)
+	case "job":
+		err = cmdJob(common, args[1:])
+	default:
+		usage()
+	}
+	if err != nil {
+		cli.Fatal(tool, err)
+	}
+}
+
+// needRemote guards server-only commands.
+func needRemote(c *cli.Common, what string) (*dkclient.Client, error) {
+	if !c.Remote() {
+		return nil, fmt.Errorf("%s needs -server (there is no local service to ask)", what)
+	}
+	return c.Client()
+}
+
+func cmdExtract(c *cli.Common, args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	d := fs.Int("d", 3, "extraction depth (0..3)")
+	metrics := fs.Bool("metrics", false, "add the scalar metric summary of the giant component")
+	spectral := fs.Bool("spectral", false, "add Laplacian spectrum bounds to the summary")
+	sample := fs.Int("sample", 0, "BFS source sample size for distance metrics (0 = exact)")
+	seed := fs.Int64("seed", 1, "seed for sampling/Lanczos and dataset synthesis")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("extract needs exactly one graph argument")
+	}
+	ref, err := cli.LoadGraphArg(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var resp *dkapi.ExtractResponse
+	if c.Remote() {
+		cl, err := c.Client()
+		if err != nil {
+			return err
+		}
+		opts := dkclient.ExtractOptions{
+			D: d, Metrics: *metrics, Spectral: *spectral, Sample: *sample, Seed: *seed,
+		}
+		if ref.Dataset != "" {
+			// The synthesis seed travels as ?dseed so the remote server
+			// builds exactly the graph a local run synthesizes — the
+			// sampling -seed stays independent.
+			opts.Dataset, opts.N = ref.Dataset, ref.N
+			opts.DatasetSeed = dkapi.Int64(ref.Seed)
+		}
+		resp, err = cl.ExtractEdges(cli.Ctx(), ref.Edges, opts)
+		if err != nil {
+			return err
+		}
+	} else {
+		g, err := cli.ResolveLocal(ref)
+		if err != nil {
+			return err
+		}
+		resp, err = dk.Extract(cli.Ctx(), g, dk.ExtractOptions{
+			D: d, Metrics: *metrics, Spectral: *spectral, Sample: *sample, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return cli.PrintJSON(os.Stdout, resp)
+}
+
+func cmdGenerate(c *cli.Common, args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	d := fs.Int("d", 2, "dK depth (0..3)")
+	method := fs.String("method", "randomize", "randomize | stochastic | pseudograph | matching | targeting")
+	replicas := fs.Int("replicas", 1, "ensemble size")
+	seed := fs.Int64("seed", 0, "base seed (replica i derives an independent stream)")
+	compare := fs.Bool("compare", false, "report each replica's D_d distance to the source profile")
+	out := fs.String("out", "", "write replica edge lists to PREFIX.<i>.txt (empty = summary only)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("generate needs exactly one graph argument")
+	}
+	ref, err := cli.LoadGraphArg(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if c.Remote() {
+		cl, err := c.Client()
+		if err != nil {
+			return err
+		}
+		rref, err := cli.RemoteRef(cl, ref)
+		if err != nil {
+			return err
+		}
+		res, jobID, err := cl.GenerateWait(cli.Ctx(), dkapi.GenerateRequest{
+			Source: rref, D: d, Method: *method,
+			Replicas: *replicas, Seed: *seed, Compare: *compare,
+		})
+		if err != nil {
+			return err
+		}
+		if *out != "" {
+			body, err := cl.JobResult(cli.Ctx(), jobID)
+			if err != nil {
+				return err
+			}
+			defer body.Close()
+			if err := cli.SplitStreamToFiles(body, func(marker string) (string, bool) {
+				var i int
+				if _, err := fmt.Sscanf(marker, "# replica %d", &i); err != nil {
+					return "", false
+				}
+				return fmt.Sprintf("%s.%d.txt", *out, i), true
+			}); err != nil {
+				return err
+			}
+		}
+		return cli.PrintJSON(os.Stdout, res)
+	}
+	g, err := cli.ResolveLocal(ref)
+	if err != nil {
+		return err
+	}
+	res, err := dk.Generate(cli.Ctx(), g, dk.GenerateOptions{
+		D: d, Method: *method, Replicas: *replicas, Seed: *seed, Compare: *compare,
+	})
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		for i, rg := range res.Graphs {
+			if err := writeGraphFile(fmt.Sprintf("%s.%d.txt", *out, i), rg); err != nil {
+				return err
+			}
+		}
+	}
+	return cli.PrintJSON(os.Stdout, res.Result)
+}
+
+func cmdCompare(c *cli.Common, args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	d := fs.Int("d", 3, "maximum dK depth to compare (0..3)")
+	spectral := fs.Bool("spectral", false, "include Laplacian spectrum bounds")
+	sample := fs.Int("sample", 0, "BFS source sample size for distance metrics (0 = exact)")
+	seed := fs.Int64("seed", 1, "seed for Lanczos and sampled metrics")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("compare needs exactly two graph arguments")
+	}
+	ra, err := cli.LoadGraphArg(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rb, err := cli.LoadGraphArg(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	var resp *dkapi.CompareResponse
+	if c.Remote() {
+		cl, err := c.Client()
+		if err != nil {
+			return err
+		}
+		if ra, err = cli.RemoteRef(cl, ra); err != nil {
+			return err
+		}
+		if rb, err = cli.RemoteRef(cl, rb); err != nil {
+			return err
+		}
+		resp, err = cl.Compare(cli.Ctx(), dkapi.CompareRequest{
+			A: ra, B: rb, D: d, Spectral: *spectral, Sample: *sample, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		ga, err := cli.ResolveLocal(ra)
+		if err != nil {
+			return err
+		}
+		gb, err := cli.ResolveLocal(rb)
+		if err != nil {
+			return err
+		}
+		resp, err = dk.Compare(cli.Ctx(), ga, gb, dk.CompareOptions{
+			D: d, Spectral: *spectral, Sample: *sample, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return cli.PrintJSON(os.Stdout, resp)
+}
+
+func cmdPipeline(c *cli.Common, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("pipeline needs a subcommand: run | example")
+	}
+	switch args[0] {
+	case "example":
+		return cli.PrintJSON(os.Stdout, examplePipeline())
+	case "run":
+	default:
+		return fmt.Errorf("unknown pipeline subcommand %q (want run | example)", args[0])
+	}
+	fs := flag.NewFlagSet("pipeline run", flag.ExitOnError)
+	out := fs.String("out", "", "write generated replicas to DIR as <step>.<i>.txt")
+	fs.Parse(args[1:])
+	if fs.NArg() != 1 {
+		return fmt.Errorf("pipeline run needs exactly one spec file argument (or -)")
+	}
+	req, err := cli.LoadPipeline(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if c.Remote() {
+		cl, err := c.Client()
+		if err != nil {
+			return err
+		}
+		// Inline-edges refs (typically from {"file": ...} inputs) become
+		// hash refs when the server already knows the topology.
+		if err := cli.RemotePipelineRefs(cl, &req); err != nil {
+			return err
+		}
+		res, jobID, err := cl.RunPipeline(cli.Ctx(), req)
+		if err != nil {
+			return err
+		}
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				return err
+			}
+			body, err := cl.JobResult(cli.Ctx(), jobID)
+			if err != nil {
+				if !dkclient.IsNotFound(err) {
+					return err
+				}
+				// A pipeline without generate steps has no bulk result.
+			} else {
+				defer body.Close()
+				if err := cli.SplitStreamToFiles(body, func(marker string) (string, bool) {
+					var step string
+					var i int
+					if _, err := fmt.Sscanf(marker, "# step %s replica %d", &step, &i); err != nil {
+						return "", false
+					}
+					return filepath.Join(*out, fmt.Sprintf("%s.%d.txt", step, i)), true
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		return cli.PrintJSON(os.Stdout, res)
+	}
+	po, err := dk.RunPipeline(cli.Ctx(), req)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := po.WriteFiles(*out); err != nil {
+			return err
+		}
+	}
+	return cli.PrintJSON(os.Stdout, po.Result)
+}
+
+// examplePipeline is the paper's workflow as a declarative spec: profile
+// the HOT reference topology, build a 2K-random ensemble, compare a
+// replica against the original.
+func examplePipeline() dkapi.PipelineRequest {
+	return dkapi.PipelineRequest{Steps: []dkapi.PipelineStep{
+		{ID: "ext", Op: dkapi.OpExtract, Source: &dkapi.GraphRef{Dataset: "hot", Seed: 7}, D: dkapi.Int(2)},
+		{ID: "gen", Op: dkapi.OpGenerate, Source: &dkapi.GraphRef{Step: "ext"},
+			D: dkapi.Int(2), Replicas: 3, Seed: 42, Compare: true},
+		{ID: "cmp", Op: dkapi.OpCompare,
+			A: &dkapi.GraphRef{Step: "ext"},
+			B: &dkapi.GraphRef{Step: "gen", Replica: 0},
+			D: dkapi.Int(2)},
+	}}
+}
+
+func cmdDatasets(c *cli.Common) error {
+	if c.Remote() {
+		cl, err := c.Client()
+		if err != nil {
+			return err
+		}
+		list, err := cl.Datasets(cli.Ctx())
+		if err != nil {
+			return err
+		}
+		return cli.PrintJSON(os.Stdout, list)
+	}
+	return cli.PrintJSON(os.Stdout, service.BuiltinDatasets())
+}
+
+func cmdHealth(c *cli.Common) error {
+	cl, err := needRemote(c, "health")
+	if err != nil {
+		return err
+	}
+	h, err := cl.Health(cli.Ctx())
+	if err != nil {
+		return err
+	}
+	r, err := cl.Ready(cli.Ctx())
+	if err != nil {
+		return err
+	}
+	return cli.PrintJSON(os.Stdout, map[string]any{"health": h, "ready": r})
+}
+
+func cmdStats(c *cli.Common) error {
+	cl, err := needRemote(c, "stats")
+	if err != nil {
+		return err
+	}
+	st, err := cl.Stats(cli.Ctx())
+	if err != nil {
+		return err
+	}
+	return cli.PrintJSON(os.Stdout, st)
+}
+
+func cmdJob(c *cli.Common, args []string) error {
+	cl, err := needRemote(c, "job")
+	if err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("job needs exactly one job-id argument")
+	}
+	env, err := cl.Job(cli.Ctx(), args[0])
+	if err != nil {
+		return err
+	}
+	return cli.PrintJSON(os.Stdout, env)
+}
+
+// writeGraphFile writes one graph as an edge-list file.
+func writeGraphFile(path string, g *dk.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteEdgeList(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,12 +1,13 @@
-// Command dkgen generates dK-random graphs.
+// Command dkgen generates dK-random graphs, locally through the pkg/dk
+// facade or against a remote dK service with -server. Given an input
+// graph it can either produce dK-randomized counterparts (the paper's
+// dK-randomizing rewiring) or extract the dK-distribution and construct
+// fresh graphs from it by any supported method:
 //
-// Given an input graph it can either produce a dK-randomized counterpart
-// (the paper's dK-randomizing rewiring) or extract the dK-distribution
-// and construct a fresh graph from it by any supported method:
-//
-//	dkgen -d 2 -method randomize  -in skitter.txt -out out.txt
+//	dkgen -d 2 -method randomize   -in skitter.txt -out out.txt
 //	dkgen -d 2 -method pseudograph -in skitter.txt -out out.txt
 //	dkgen -d 3 -method targeting   -in skitter.txt -out out.txt
+//	dkgen -server http://localhost:8080 -d 2 -replicas 10 -in as.txt -out ens.txt
 //
 // Without -in, it synthesizes a reference topology first:
 //
@@ -14,180 +15,191 @@
 //	dkgen -dataset skitter -skitter-n 2000 -d 2 -method targeting -out out.txt
 //
 // With -dot the output is Graphviz DOT (hubs highlighted) instead of an
-// edge list, which regenerates the raw material of the paper's Figure 3.
-//
-// With -replicas N > 1 it generates an ensemble of N independent graphs
-// concurrently (one derived seed per replica — deterministic for a given
-// -seed at any -workers value) and writes them to <out>.0, <out>.1, …:
-//
-//	dkgen -dataset hot -d 2 -method randomize -replicas 100 -out ens.txt
+// edge list, which regenerates the raw material of the paper's Figure 3;
+// -dot and -connect are post-processing of the generated graphs and are
+// local-only. With -replicas N > 1 the ensemble is written to <out>.0,
+// <out>.1, … — one derived seed per replica, deterministic for a given
+// -seed at any -workers value, and identical in local and remote mode.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
-	"runtime"
 
-	"repro/internal/core"
-	"repro/internal/datasets"
-	"repro/internal/dk"
-	"repro/internal/generate"
-	"repro/internal/graph"
+	"repro/internal/cli"
 	"repro/internal/parallel"
+	"repro/pkg/dk"
+	"repro/pkg/dkapi"
 )
 
+const tool = "dkgen"
+
 func main() {
+	common := &cli.Common{}
 	depth := flag.Int("d", 2, "dK depth (0..3)")
 	method := flag.String("method", "randomize", "randomize | stochastic | pseudograph | matching | targeting")
 	in := flag.String("in", "", "input edge-list file (omit to use -dataset)")
 	dataset := flag.String("dataset", "skitter", "synthetic input when -in is omitted: skitter | hot | paw | petersen")
 	skitterN := flag.Int("skitter-n", 2000, "node count for the synthetic skitter-like dataset")
 	out := flag.String("out", "-", "output file (- = stdout); with -replicas > 1, files <out>.<i>")
-	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of an edge list")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of an edge list (local only)")
 	hubThreshold := flag.Int("hub-threshold", 10, "DOT: highlight nodes with degree >= threshold (0 = off)")
-	connect := flag.Bool("connect", false, "reconnect the result with degree-preserving swaps (Viger–Latapy)")
+	connect := flag.Bool("connect", false, "reconnect the result with degree-preserving swaps (Viger–Latapy; local only)")
 	seed := flag.Int64("seed", 1, "random seed")
 	replicas := flag.Int("replicas", 1, "number of independent graphs to generate (ensemble fan-out)")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the replica fan-out (results are identical for any value)")
+	flag.IntVar(&common.Workers, "workers", 0, "worker goroutines for the replica fan-out (0 = all cores; results are identical for any value)")
+	flag.StringVar(&common.Server, "server", "", "dkserved base URL (empty = run locally)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
-	if *showVersion {
-		fmt.Println(core.VersionLine("dkgen"))
+	if cli.Version(tool, *showVersion) {
 		return
 	}
-	parallel.SetWorkers(*workers)
+	common.Apply()
 
-	if err := run(*depth, *method, *in, *dataset, *skitterN, *out, *dot, *hubThreshold, *connect, *seed, *replicas); err != nil {
-		fmt.Fprintln(os.Stderr, "dkgen:", err)
-		os.Exit(1)
+	cfg := config{
+		depth: *depth, method: *method, in: *in, dataset: *dataset,
+		skitterN: *skitterN, out: *out, dot: *dot, hubThreshold: *hubThreshold,
+		connect: *connect, seed: *seed, replicas: *replicas,
+	}
+	if err := run(common, cfg); err != nil {
+		cli.Fatal(tool, err)
 	}
 }
 
-func run(depth int, method, in, dataset string, skitterN int, out string, dot bool, hubThreshold int, connect bool, seed int64, replicas int) error {
-	g, err := loadInput(in, dataset, skitterN, seed)
-	if err != nil {
-		return err
-	}
-	// buildOne produces one graph from its own RNG stream; with
-	// -replicas > 1 it runs concurrently across replicas.
-	buildOne, err := builder(g, depth, method, connect)
-	if err != nil {
-		return err
-	}
-	if replicas <= 1 {
-		result, err := buildOne(rand.New(rand.NewSource(seed)))
-		if err != nil {
-			return err
-		}
-		return writeResult(out, result, dot, depth, hubThreshold)
-	}
-	if out == "" || out == "-" {
-		return fmt.Errorf("-replicas %d needs -out (stdout cannot hold an ensemble)", replicas)
-	}
-	// Stream the ensemble: each replica is derived, written to its own
-	// file and dropped inside the fan-out, so peak memory is one graph
-	// per worker instead of the whole ensemble. Seeds are derived exactly
-	// like generate.Replicas, so outputs match the library fan-out.
-	return parallel.ForErr(replicas, func(i int) error {
-		rng := rand.New(rand.NewSource(parallel.SubSeed(seed, i)))
-		result, err := buildOne(rng)
-		if err != nil {
-			return err
-		}
-		return writeResult(fmt.Sprintf("%s.%d", out, i), result, dot, depth, hubThreshold)
-	})
+type config struct {
+	depth        int
+	method       string
+	in           string
+	dataset      string
+	skitterN     int
+	out          string
+	dot          bool
+	hubThreshold int
+	connect      bool
+	seed         int64
+	replicas     int
 }
 
-// builder returns a single-replica construction closure for the chosen
-// method. The closure is safe for concurrent calls with distinct Rngs:
-// profile extraction happens once, up front.
-func builder(g *graph.Graph, depth int, method string, connect bool) (func(rng *rand.Rand) (*graph.Graph, error), error) {
-	var m core.Method
-	var profile *dk.Profile
-	if method != "randomize" {
-		switch method {
-		case "stochastic":
-			m = core.MethodStochastic
-		case "pseudograph":
-			m = core.MethodPseudograph
-		case "matching":
-			m = core.MethodMatching
-		case "targeting":
-			m = core.MethodTargeting
-		default:
-			return nil, fmt.Errorf("unknown method %q", method)
-		}
-		p, err := core.Extract(g, depth)
-		if err != nil {
-			return nil, err
-		}
-		if err := p.Validate(); err != nil {
-			return nil, fmt.Errorf("extracted profile invalid: %w", err)
-		}
-		profile = p
+// sourceRef builds the input graph reference from -in or -dataset.
+func sourceRef(cfg config) (dkapi.GraphRef, error) {
+	if cfg.in != "" {
+		return cli.LoadRef(dkapi.GraphRef{File: cfg.in})
 	}
-	return func(rng *rand.Rand) (*graph.Graph, error) {
-		var result *graph.Graph
-		var err error
-		if method == "randomize" {
-			result, err = core.Randomize(g, depth, core.Options{Rng: rng})
-		} else {
-			result, err = core.Generate(profile, depth, m, core.Options{Rng: rng})
+	ref := dkapi.GraphRef{Dataset: cfg.dataset, Seed: cfg.seed}
+	if cfg.dataset == "skitter" {
+		ref.N = cfg.skitterN
+	}
+	return ref, nil
+}
+
+func run(common *cli.Common, cfg config) error {
+	if cfg.replicas > 1 && (cfg.out == "" || cfg.out == "-") {
+		return fmt.Errorf("-replicas %d needs -out (stdout cannot hold an ensemble)", cfg.replicas)
+	}
+	ref, err := sourceRef(cfg)
+	if err != nil {
+		return err
+	}
+	if common.Remote() {
+		if cfg.dot || cfg.connect {
+			return fmt.Errorf("-dot and -connect are local post-processing; drop -server to use them")
 		}
-		if err != nil {
-			return nil, err
-		}
-		if connect {
-			isolated, err := generate.ConnectViaSwaps(result, rng)
+		return runRemote(common, cfg, ref)
+	}
+	return runLocal(cfg, ref)
+}
+
+// runLocal generates through the facade's streaming fan-out — each
+// replica is built, post-processed (-connect, -dot), written, and
+// released, so peak memory stays one graph per worker — not the whole
+// ensemble.
+func runLocal(cfg config, ref dkapi.GraphRef) error {
+	src, err := cli.ResolveLocal(ref)
+	if err != nil {
+		return err
+	}
+	session := dk.NewSession()
+	return session.GenerateStream(cli.Ctx(), src, dk.GenerateOptions{
+		D: &cfg.depth, Method: cfg.method, Replicas: cfg.replicas, Seed: cfg.seed,
+	}, func(i int, g *dk.Graph) error {
+		if cfg.connect {
+			// One derived seed per replica, offset past the generation
+			// indices: a shared seed would correlate the swap sequences
+			// across what are meant to be independent samples.
+			connected, isolated, err := dk.Connect(g, parallel.SubSeed(cfg.seed, cfg.replicas+i))
 			if err != nil {
-				return nil, fmt.Errorf("reconnect: %w", err)
+				return fmt.Errorf("reconnect: %w", err)
 			}
 			if isolated > 0 {
 				fmt.Fprintf(os.Stderr, "dkgen: %d isolated nodes cannot be attached degree-preservingly\n", isolated)
 			}
+			g = connected
 		}
-		return result, nil
-	}, nil
+		return writeResult(replicaPath(cfg, i), g, cfg)
+	})
 }
 
-func writeResult(out string, result *graph.Graph, dot bool, depth, hubThreshold int) error {
+// runRemote submits the generation and downloads the replica stream
+// into the output files — the same bytes a local run writes.
+func runRemote(common *cli.Common, cfg config, ref dkapi.GraphRef) error {
+	c, err := common.Client()
+	if err != nil {
+		return err
+	}
+	if ref, err = cli.RemoteRef(c, ref); err != nil {
+		return err
+	}
+	_, jobID, err := c.GenerateWait(cli.Ctx(), dkapi.GenerateRequest{
+		Source: ref, D: &cfg.depth, Method: cfg.method,
+		Replicas: cfg.replicas, Seed: cfg.seed,
+	})
+	if err != nil {
+		return err
+	}
+	body, err := c.JobResult(cli.Ctx(), jobID)
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	// -dot is rejected in remote mode, so the downloaded edge lists are
+	// the output; stream them straight to the replica files.
+	if cfg.replicas <= 1 && (cfg.out == "" || cfg.out == "-") {
+		graphs, err := dk.SplitReplicaStream(body)
+		if err != nil {
+			return err
+		}
+		return writeResult(cfg.out, graphs[0], cfg)
+	}
+	return cli.SplitStreamToFiles(body, func(marker string) (string, bool) {
+		var i int
+		if _, err := fmt.Sscanf(marker, "# replica %d", &i); err != nil {
+			return "", false
+		}
+		return replicaPath(cfg, i), true
+	})
+}
+
+// replicaPath names replica i's output file ("<out>.<i>" for ensembles,
+// -out itself for a single graph).
+func replicaPath(cfg config, i int) string {
+	if cfg.replicas <= 1 {
+		return cfg.out
+	}
+	return fmt.Sprintf("%s.%d", cfg.out, i)
+}
+
+func writeResult(out string, g *dk.Graph, cfg config) error {
 	w, closeFn, err := openOutput(out)
 	if err != nil {
 		return err
 	}
 	defer closeFn()
-	if dot {
-		return graph.WriteDOT(w, result, fmt.Sprintf("%dK", depth), hubThreshold)
+	if cfg.dot {
+		return g.WriteDOT(w, fmt.Sprintf("%dK", cfg.depth), cfg.hubThreshold)
 	}
-	return graph.WriteEdgeList(w, result)
-}
-
-func loadInput(in, dataset string, skitterN int, seed int64) (*graph.Graph, error) {
-	if in != "" {
-		f, err := os.Open(in)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		g, _, err := graph.ReadEdgeList(f)
-		return g, err
-	}
-	switch dataset {
-	case "skitter":
-		return datasets.Skitter(datasets.SkitterConfig{N: skitterN, Seed: seed})
-	case "hot":
-		g, _, err := datasets.HOT(datasets.PaperScaleHOT(seed))
-		return g, err
-	case "paw":
-		return datasets.Paw(), nil
-	case "petersen":
-		return datasets.Petersen(), nil
-	default:
-		return nil, fmt.Errorf("unknown dataset %q", dataset)
-	}
+	return g.WriteEdgeList(w)
 }
 
 func openOutput(out string) (io.Writer, func(), error) {

@@ -17,29 +17,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strings"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/cli"
 	"repro/internal/experiments"
-	"repro/internal/parallel"
 )
 
 func main() {
+	common := &cli.Common{}
 	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all' (known: "+strings.Join(experiments.IDs(), ",")+")")
 	scale := flag.String("scale", "small", "small | paper")
 	seeds := flag.Int("seeds", 0, "graphs averaged per cell (0 = scale default)")
 	seed := flag.Int64("seed", 42, "base random seed")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for metric sweeps and seed/topology fan-out (results are identical for any value)")
+	flag.IntVar(&common.Workers, "workers", 0, "worker goroutines for metric sweeps and seed/topology fan-out (0 = all cores; results are identical for any value)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
-	if *showVersion {
-		fmt.Println(core.VersionLine("dkrepro"))
+	if cli.Version("dkrepro", *showVersion) {
 		return
 	}
-	parallel.SetWorkers(*workers)
+	// Experiments drive the whole evaluation matrix in-process; there is
+	// no -server mode (the remote API serves single operations and
+	// pipelines, not the paper's table/figure sweeps).
+	common.Apply()
 
 	if *list {
 		for _, id := range experiments.IDs() {

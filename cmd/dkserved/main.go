@@ -1,7 +1,8 @@
 // Command dkserved is the dK topology service: a long-running HTTP
 // server exposing the full pipeline of the paper — profile extraction,
-// dK-random graph generation, and topology comparison — with a
-// content-addressed profile cache and an asynchronous job queue.
+// dK-random graph generation, topology comparison, and declarative
+// multi-step pipelines — with a content-addressed profile cache and an
+// asynchronous job queue.
 //
 //	dkserved -addr :8080 -workers 8 -data-dir /var/lib/dkserved
 //
@@ -15,11 +16,21 @@
 //
 //	POST /v1/extract            edge list → dK-profile (+ metrics)
 //	POST /v1/generate           profile/graph → replica ensemble (async)
-//	GET  /v1/jobs/{id}          poll job status and result summary
+//	POST /v1/pipelines          declarative multi-step workflow (async)
+//	GET  /v1/jobs/{id}          poll job status, progress, result summary
 //	GET  /v1/jobs/{id}/result   stream replica edge lists
 //	POST /v1/compare            D_d distances + metric side-by-side
+//	GET  /v1/graphs/{hash}      does the server know this topology?
 //	GET  /v1/datasets           built-in reference topologies
-//	GET  /v1/stats              version, cache and job-engine counters
+//	GET  /v1/stats              version, cache/job/route counters
+//	GET  /v1/healthz            liveness
+//	GET  /v1/readyz             readiness (store + job engine + drain)
+//
+// On SIGTERM/SIGINT the server drains gracefully: /v1/readyz flips to
+// 503 so load balancers stop routing to it, the listener shuts down
+// once in-flight requests finish, and running jobs are allowed to
+// complete before the process exits (queued-but-unstarted jobs are
+// failed and journaled, so nothing is silently lost).
 //
 // The -workers flag bounds the process-wide worker budget shared by the
 // job engine and every parallel metric sweep; as everywhere in this
@@ -30,7 +41,6 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -39,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/parallel"
 	"repro/internal/service"
@@ -52,13 +63,16 @@ func main() {
 	cacheEntries := flag.Int("cache", 64, "content-addressed graph cache capacity (entries)")
 	maxBody := flag.Int64("max-body", 32<<20, "request body size limit in bytes")
 	maxReplicas := flag.Int("max-replicas", 128, "replica cap per generate job")
+	maxSteps := flag.Int("max-pipeline-steps", 32, "step cap per pipeline request")
+	maxPipelineReplicas := flag.Int("max-pipeline-replicas", 512, "summed replica cap across one pipeline's generate steps")
 	jobRunners := flag.Int("job-runners", 0, "concurrent job executors (0 = worker budget)")
 	jobQueue := flag.Int("job-queue", 64, "queued-job bound (full queue returns 429)")
 	jobRetain := flag.Int("job-retain", 256, "finished jobs retained for polling")
+	accessLog := flag.Bool("access-log", true, "log one structured line per request")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "maximum time to wait for in-flight HTTP requests on shutdown")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
-	if *showVersion {
-		fmt.Println(core.VersionLine("dkserved"))
+	if cli.Version("dkserved", *showVersion) {
 		return
 	}
 	parallel.SetWorkers(*workers)
@@ -78,16 +92,21 @@ func main() {
 		log.Printf("dkserved: artifact store %s: %d graphs, %d profiles", *dataDir, stats.Graphs, stats.Profiles)
 	}
 
-	srv := service.New(service.Options{
-		CacheEntries: *cacheEntries,
-		MaxBodyBytes: *maxBody,
-		MaxReplicas:  *maxReplicas,
-		JobRunners:   *jobRunners,
-		JobQueue:     *jobQueue,
-		JobRetain:    *jobRetain,
-		Store:        st,
-	})
-	defer srv.Close()
+	opts := service.Options{
+		CacheEntries:        *cacheEntries,
+		MaxBodyBytes:        *maxBody,
+		MaxReplicas:         *maxReplicas,
+		MaxPipelineSteps:    *maxSteps,
+		MaxPipelineReplicas: *maxPipelineReplicas,
+		JobRunners:          *jobRunners,
+		JobQueue:            *jobQueue,
+		JobRetain:           *jobRetain,
+		Store:               st,
+	}
+	if *accessLog {
+		opts.AccessLog = log.Default()
+	}
+	srv := service.New(opts)
 	if st != nil {
 		if recovered := srv.JobStats().Recovered; recovered > 0 {
 			log.Printf("dkserved: recovered %d incomplete jobs from the journal", recovered)
@@ -106,7 +125,14 @@ func main() {
 	go func() {
 		defer close(drained)
 		<-ctx.Done()
-		shutdownCtx, done := context.WithTimeout(context.Background(), 10*time.Second)
+		// Drain sequence: advertise not-ready first (load balancers stop
+		// routing), then stop the listener once in-flight requests
+		// finish, then let running jobs complete. Queued jobs that never
+		// started are failed and journaled by Close, so a restart with
+		// the same -data-dir recovers nothing it shouldn't.
+		log.Printf("dkserved: draining (readyz now 503)")
+		srv.StartDraining()
+		shutdownCtx, done := context.WithTimeout(context.Background(), *drainTimeout)
 		defer done()
 		_ = httpSrv.Shutdown(shutdownCtx)
 	}()
@@ -116,7 +142,14 @@ func main() {
 		log.Fatalf("dkserved: %v", err)
 	}
 	// ListenAndServe returns as soon as Shutdown begins; wait for the
-	// drain to finish before tearing the process down.
+	// HTTP drain, then for running jobs.
 	cancel()
 	<-drained
+	start := time.Now()
+	jobs := srv.JobStats()
+	if jobs.Running > 0 || jobs.Queued > 0 {
+		log.Printf("dkserved: waiting for %d running jobs (%d queued will be failed)", jobs.Running, jobs.Queued)
+	}
+	srv.Close()
+	log.Printf("dkserved: drained in %v, bye", time.Since(start).Round(time.Millisecond))
 }

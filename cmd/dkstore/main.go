@@ -24,7 +24,7 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/core"
+	"repro/internal/cli"
 	"repro/internal/graph"
 	"repro/internal/store"
 )
@@ -37,8 +37,9 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_store.json", "bench: output path for the JSON report")
 	flag.Usage = usage
 	flag.Parse()
-	if *showVersion {
-		fmt.Println(core.VersionLine("dkstore"))
+	// dkstore is local by construction: it administers the on-disk
+	// artifact directory itself, which a remote server cannot do for us.
+	if cli.Version("dkstore", *showVersion) {
 		return
 	}
 	args := flag.Args()

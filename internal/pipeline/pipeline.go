@@ -1,0 +1,387 @@
+// Package pipeline executes declarative dK workflows: an ordered list
+// of steps (extract, generate, randomize, compare, census, metrics)
+// whose graph inputs may be external references or the named outputs of
+// earlier steps. It is the one code path behind every execution surface
+// — the HTTP endpoints of internal/service (both the standalone
+// /v1/extract‑style routes and POST /v1/pipelines) and the local Go
+// facade pkg/dk run the same executor over different Backend
+// implementations, which is what makes local and remote results
+// byte-identical.
+//
+// Determinism contract: given the same request and backend contents,
+// Run produces an identical Result at any worker count. Replica fan-out
+// inside generate steps derives per-replica seeds exactly like
+// generate.Replicas, and nothing in a Result depends on wall-clock time.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dk"
+	"repro/internal/generate"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/pkg/dkapi"
+)
+
+// Handle is one resolved graph with its lazily computed, cached
+// derivatives. Implementations must be safe for concurrent use and must
+// hand out graphs in canonical edge order (see graph.CanonicalClone) so
+// index-addressed edge draws are a pure function of (edge set, seed).
+type Handle interface {
+	// Graph returns the parsed graph; callers treat it as read-only.
+	Graph() *graph.Graph
+	// Info returns the graph's content address and size.
+	Info() dkapi.GraphInfo
+	// Profile returns the dK-profile at depth d. The boolean reports
+	// whether it was served without an extraction run (cache hit).
+	Profile(d int) (*dk.Profile, bool, error)
+	// Summary returns the scalar metric suite of the graph's giant
+	// component for one (spectral, sample, seed) configuration; the
+	// boolean reports a cache hit.
+	Summary(spectral bool, sample int, seed int64) (metrics.Summary, bool, error)
+}
+
+// Backend resolves external graph references and interns derived
+// graphs. The service implements it over its content-addressed cache;
+// pkg/dk implements it over an in-process session.
+type Backend interface {
+	// Resolve turns an external reference (hash, edges, dataset) into a
+	// Handle. Step references never reach Resolve — the executor
+	// resolves those against its own outputs.
+	Resolve(ref dkapi.GraphRef) (Handle, error)
+	// Intern registers a generated graph and returns its Handle.
+	Intern(g *graph.Graph) Handle
+}
+
+// Progress receives per-step status snapshots as the pipeline executes.
+// The slice is freshly allocated per call; receivers may retain it.
+type Progress func(steps []dkapi.StepStatus)
+
+// StepGraphs pairs a generate/randomize step with its replica handles,
+// in step order — the bulk output of a pipeline run.
+type StepGraphs struct {
+	StepID  string
+	Handles []Handle
+}
+
+// Outcome bundles the deterministic result summary with the generated
+// graphs (for streaming or writing to disk).
+type Outcome struct {
+	Result *dkapi.PipelineResult
+	Graphs []StepGraphs
+}
+
+// Run executes a validated pipeline against the backend. Steps run in
+// declaration order; the first failing step aborts the run (later steps
+// are reported as skipped in the final progress snapshot, and the error
+// names the failing step). Call Validate first: Run assumes the request
+// is well-formed and panics are not part of its contract.
+func Run(ctx context.Context, b Backend, req dkapi.PipelineRequest, progress Progress) (*Outcome, error) {
+	ex := &executor{
+		b:       b,
+		status:  make([]dkapi.StepStatus, len(req.Steps)),
+		outputs: make(map[string]*stepOutput, len(req.Steps)),
+		notify:  progress,
+	}
+	for i, st := range req.Steps {
+		ex.status[i] = dkapi.StepStatus{ID: st.ID, Op: st.Op, Status: dkapi.StepPending}
+	}
+	out := &Outcome{Result: &dkapi.PipelineResult{Steps: make([]dkapi.StepResult, 0, len(req.Steps))}}
+	for i, st := range req.Steps {
+		if err := ctx.Err(); err != nil {
+			ex.fail(i, err)
+			return nil, fmt.Errorf("step %s: %w", st.ID, err)
+		}
+		ex.set(i, dkapi.StepRunning, "")
+		res, err := ex.runStep(st, out)
+		if err != nil {
+			ex.fail(i, err)
+			return nil, fmt.Errorf("step %s: %w", st.ID, err)
+		}
+		out.Result.Steps = append(out.Result.Steps, *res)
+		ex.set(i, dkapi.StepDone, "")
+	}
+	return out, nil
+}
+
+// executor carries the mutable run state.
+type executor struct {
+	b       Backend
+	status  []dkapi.StepStatus
+	outputs map[string]*stepOutput
+	notify  Progress
+}
+
+// stepOutput is the graph output of one finished step: the resolved
+// source for single-graph ops, the replica ensemble for generate ops.
+type stepOutput struct {
+	single   Handle
+	replicas []Handle
+}
+
+func (ex *executor) set(i int, status, errMsg string) {
+	ex.status[i].Status = status
+	ex.status[i].Error = errMsg
+	if ex.notify != nil {
+		snap := make([]dkapi.StepStatus, len(ex.status))
+		copy(snap, ex.status)
+		ex.notify(snap)
+	}
+}
+
+// fail marks step i failed and everything after it skipped.
+func (ex *executor) fail(i int, err error) {
+	for j := i + 1; j < len(ex.status); j++ {
+		ex.status[j].Status = dkapi.StepSkipped
+	}
+	ex.set(i, dkapi.StepFailed, err.Error())
+}
+
+// resolve turns a step's graph reference into a Handle: step references
+// against prior outputs, everything else through the backend.
+func (ex *executor) resolve(ref dkapi.GraphRef) (Handle, error) {
+	if ref.Step == "" {
+		return ex.b.Resolve(ref)
+	}
+	out := ex.outputs[ref.Step]
+	if out == nil {
+		return nil, fmt.Errorf("step %q has no graph output yet", ref.Step)
+	}
+	if out.replicas != nil {
+		if ref.Replica < 0 || ref.Replica >= len(out.replicas) {
+			return nil, fmt.Errorf("step %q has %d replicas; replica %d does not exist",
+				ref.Step, len(out.replicas), ref.Replica)
+		}
+		return out.replicas[ref.Replica], nil
+	}
+	if ref.Replica != 0 {
+		return nil, fmt.Errorf("step %q has a single graph output; replica %d does not exist", ref.Step, ref.Replica)
+	}
+	return out.single, nil
+}
+
+// depth applies the per-op default for a step's optional D field.
+func depth(st dkapi.PipelineStep) int {
+	if st.D != nil {
+		return *st.D
+	}
+	switch st.Op {
+	case dkapi.OpGenerate, dkapi.OpRandomize:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// analysisSeed applies the standalone-endpoint default (seed 1) for
+// metric sampling and Lanczos; generate steps keep the raw seed.
+func analysisSeed(s int64) int64 {
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+func (ex *executor) runStep(st dkapi.PipelineStep, out *Outcome) (*dkapi.StepResult, error) {
+	switch st.Op {
+	case dkapi.OpExtract:
+		return ex.runExtract(st)
+	case dkapi.OpGenerate, dkapi.OpRandomize:
+		return ex.runGenerate(st, out)
+	case dkapi.OpCompare:
+		return ex.runCompare(st)
+	case dkapi.OpCensus:
+		return ex.runCensus(st)
+	case dkapi.OpMetrics:
+		return ex.runMetrics(st)
+	default:
+		return nil, fmt.Errorf("unknown op %q", st.Op)
+	}
+}
+
+func (ex *executor) runExtract(st dkapi.PipelineStep) (*dkapi.StepResult, error) {
+	h, err := ex.resolve(*st.Source)
+	if err != nil {
+		return nil, err
+	}
+	d := depth(st)
+	p, hit, err := h.Profile(d)
+	if err != nil {
+		return nil, fmt.Errorf("extract: %w", err)
+	}
+	gi := h.Info()
+	res := &dkapi.StepResult{ID: st.ID, Op: st.Op, Graph: &gi, D: d, Cached: hit, Profile: p}
+	if st.Metrics {
+		sum, _, err := h.Summary(st.Spectral, st.Sample, analysisSeed(st.Seed))
+		if err != nil {
+			return nil, fmt.Errorf("metrics: %w", err)
+		}
+		res.Summary = &sum
+	}
+	ex.outputs[st.ID] = &stepOutput{single: h}
+	return res, nil
+}
+
+// ParseMethod maps the wire method name to a construction method;
+// "randomize" (dK-preserving rewiring of the source graph) is flagged
+// separately because it needs the graph, not just the profile.
+func ParseMethod(name string) (m core.Method, randomize bool, err error) {
+	switch name {
+	case "", "randomize":
+		return 0, true, nil
+	case "stochastic":
+		return core.MethodStochastic, false, nil
+	case "pseudograph":
+		return core.MethodPseudograph, false, nil
+	case "matching":
+		return core.MethodMatching, false, nil
+	case "targeting":
+		return core.MethodTargeting, false, nil
+	default:
+		return 0, false, fmt.Errorf("unknown method %q (want randomize|stochastic|pseudograph|matching|targeting)", name)
+	}
+}
+
+// methodName normalizes the wire method (empty = randomize); randomize
+// steps force it outright.
+func methodName(st dkapi.PipelineStep) string {
+	if st.Op == dkapi.OpRandomize || st.Method == "" {
+		return "randomize"
+	}
+	return st.Method
+}
+
+func (ex *executor) runGenerate(st dkapi.PipelineStep, out *Outcome) (*dkapi.StepResult, error) {
+	h, err := ex.resolve(*st.Source)
+	if err != nil {
+		return nil, err
+	}
+	d := depth(st)
+	name := methodName(st)
+	method, randomize, err := ParseMethod(name)
+	if err != nil {
+		return nil, err
+	}
+	replicas := st.Replicas
+	if replicas == 0 {
+		replicas = 1
+	}
+	var profile *dk.Profile
+	if !randomize || st.Compare {
+		p, _, err := h.Profile(d)
+		if err != nil {
+			return nil, fmt.Errorf("extract: %w", err)
+		}
+		profile = p
+	}
+	src := h.Graph()
+	graphs, err := generate.Replicas(replicas, st.Seed, func(i int, rng *rand.Rand) (*graph.Graph, error) {
+		if randomize {
+			g, _, err := generate.Randomize(src, d, generate.RandomizeOptions{Rng: rng})
+			return g, err
+		}
+		return core.Generate(profile, d, method, core.Options{Rng: rng})
+	})
+	if err != nil {
+		return nil, err
+	}
+	gi := h.Info()
+	res := &dkapi.StepResult{
+		ID: st.ID, Op: st.Op, Graph: &gi, D: d,
+		Method: name, Seed: st.Seed,
+		Replicas: make([]dkapi.ReplicaInfo, len(graphs)),
+	}
+	handles := make([]Handle, len(graphs))
+	for i, g := range graphs {
+		rh := ex.b.Intern(g)
+		handles[i] = rh
+		ri := dkapi.ReplicaInfo{Index: i, N: g.N(), M: g.M()}
+		if st.Compare {
+			got, _, err := rh.Profile(d)
+			if err != nil {
+				return nil, err
+			}
+			dist, err := dk.Distance(profile, got, d)
+			if err != nil {
+				return nil, err
+			}
+			ri.Distance = &dist
+		}
+		res.Replicas[i] = ri
+	}
+	ex.outputs[st.ID] = &stepOutput{replicas: handles}
+	out.Graphs = append(out.Graphs, StepGraphs{StepID: st.ID, Handles: handles})
+	return res, nil
+}
+
+func (ex *executor) runCompare(st dkapi.PipelineStep) (*dkapi.StepResult, error) {
+	ha, err := ex.resolve(*st.A)
+	if err != nil {
+		return nil, err
+	}
+	hb, err := ex.resolve(*st.B)
+	if err != nil {
+		return nil, err
+	}
+	d := depth(st)
+	seed := analysisSeed(st.Seed)
+	ia, ib := ha.Info(), hb.Info()
+	res := &dkapi.StepResult{ID: st.ID, Op: st.Op, A: &ia, B: &ib, D: d}
+	profiles := make([]*dk.Profile, 2)
+	for i, h := range []Handle{ha, hb} {
+		p, _, err := h.Profile(d)
+		if err != nil {
+			return nil, fmt.Errorf("extract: %w", err)
+		}
+		profiles[i] = p
+	}
+	for dd := 0; dd <= d; dd++ {
+		v, err := dk.Distance(profiles[0], profiles[1], dd)
+		if err != nil {
+			return nil, fmt.Errorf("distance: %w", err)
+		}
+		res.Distances = append(res.Distances, dkapi.DistanceEntry{D: dd, Value: v})
+	}
+	sa, _, err := ha.Summary(st.Spectral, st.Sample, seed)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	sb, _, err := hb.Summary(st.Spectral, st.Sample, seed)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	res.SummaryA, res.SummaryB = &sa, &sb
+	return res, nil
+}
+
+func (ex *executor) runCensus(st dkapi.PipelineStep) (*dkapi.StepResult, error) {
+	h, err := ex.resolve(*st.Source)
+	if err != nil {
+		return nil, err
+	}
+	p, _, err := h.Profile(3)
+	if err != nil {
+		return nil, fmt.Errorf("census: %w", err)
+	}
+	gi := h.Info()
+	ex.outputs[st.ID] = &stepOutput{single: h}
+	return &dkapi.StepResult{ID: st.ID, Op: st.Op, Graph: &gi, D: 3, Census: p.Census}, nil
+}
+
+func (ex *executor) runMetrics(st dkapi.PipelineStep) (*dkapi.StepResult, error) {
+	h, err := ex.resolve(*st.Source)
+	if err != nil {
+		return nil, err
+	}
+	sum, _, err := h.Summary(st.Spectral, st.Sample, analysisSeed(st.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	gi := h.Info()
+	ex.outputs[st.ID] = &stepOutput{single: h}
+	return &dkapi.StepResult{ID: st.ID, Op: st.Op, Graph: &gi, Summary: &sum}, nil
+}

@@ -1,0 +1,130 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/pkg/dkapi"
+)
+
+func ref(r dkapi.GraphRef) *dkapi.GraphRef { return &r }
+
+func TestValidate(t *testing.T) {
+	ds := ref(dkapi.GraphRef{Dataset: "paw"})
+	cases := []struct {
+		name    string
+		steps   []dkapi.PipelineStep
+		wantErr string // empty = valid
+	}{
+		{"empty", nil, "no steps"},
+		{"minimal extract", []dkapi.PipelineStep{
+			{ID: "e", Op: dkapi.OpExtract, Source: ds},
+		}, ""},
+		{"missing id", []dkapi.PipelineStep{
+			{Op: dkapi.OpExtract, Source: ds},
+		}, "id is required"},
+		{"bad id chars", []dkapi.PipelineStep{
+			{ID: "a b", Op: dkapi.OpExtract, Source: ds},
+		}, "must match"},
+		{"duplicate id", []dkapi.PipelineStep{
+			{ID: "e", Op: dkapi.OpExtract, Source: ds},
+			{ID: "e", Op: dkapi.OpCensus, Source: ds},
+		}, "duplicate id"},
+		{"unknown op", []dkapi.PipelineStep{
+			{ID: "e", Op: "frobnicate", Source: ds},
+		}, "unknown op"},
+		{"missing source", []dkapi.PipelineStep{
+			{ID: "e", Op: dkapi.OpExtract},
+		}, "source is required"},
+		{"compare with source", []dkapi.PipelineStep{
+			{ID: "c", Op: dkapi.OpCompare, Source: ds},
+		}, "compare takes a and b"},
+		{"compare missing b", []dkapi.PipelineStep{
+			{ID: "c", Op: dkapi.OpCompare, A: ds},
+		}, "requires both"},
+		{"forward step ref", []dkapi.PipelineStep{
+			{ID: "e", Op: dkapi.OpExtract, Source: ref(dkapi.GraphRef{Step: "later"})},
+			{ID: "later", Op: dkapi.OpExtract, Source: ds},
+		}, "not an earlier step"},
+		{"compare output referenced", []dkapi.PipelineStep{
+			{ID: "c", Op: dkapi.OpCompare, A: ds, B: ds},
+			{ID: "m", Op: dkapi.OpMetrics, Source: ref(dkapi.GraphRef{Step: "c"})},
+		}, "no graph output"},
+		{"replica out of range", []dkapi.PipelineStep{
+			{ID: "g", Op: dkapi.OpGenerate, Source: ds, Replicas: 3},
+			{ID: "m", Op: dkapi.OpMetrics, Source: ref(dkapi.GraphRef{Step: "g", Replica: 3})},
+		}, "replica 3 does not exist"},
+		{"replica on single output", []dkapi.PipelineStep{
+			{ID: "e", Op: dkapi.OpExtract, Source: ds},
+			{ID: "m", Op: dkapi.OpMetrics, Source: ref(dkapi.GraphRef{Step: "e", Replica: 1})},
+		}, "single graph output"},
+		{"replica without step", []dkapi.PipelineStep{
+			{ID: "m", Op: dkapi.OpMetrics, Source: ref(dkapi.GraphRef{Dataset: "paw", Replica: 1})},
+		}, "only valid with a step reference"},
+		{"over-specified ref", []dkapi.PipelineStep{
+			{ID: "m", Op: dkapi.OpMetrics, Source: ref(dkapi.GraphRef{Dataset: "paw", Edges: "0 1\n"})},
+		}, "exactly one"},
+		{"file ref", []dkapi.PipelineStep{
+			{ID: "m", Op: dkapi.OpMetrics, Source: ref(dkapi.GraphRef{File: "x.txt"})},
+		}, "resolved client-side"},
+		{"depth out of range", []dkapi.PipelineStep{
+			{ID: "e", Op: dkapi.OpExtract, Source: ds, D: dkapi.Int(4)},
+		}, "outside 0..3"},
+		{"d3 matching", []dkapi.PipelineStep{
+			{ID: "g", Op: dkapi.OpGenerate, Source: ds, D: dkapi.Int(3), Method: "matching"},
+		}, "only method=targeting"},
+		{"d3 targeting ok", []dkapi.PipelineStep{
+			{ID: "g", Op: dkapi.OpGenerate, Source: ds, D: dkapi.Int(3), Method: "targeting"},
+		}, ""},
+		{"randomize with method", []dkapi.PipelineStep{
+			{ID: "g", Op: dkapi.OpRandomize, Source: ds, Method: "matching"},
+		}, "does not take a method"},
+		{"replicas over limit", []dkapi.PipelineStep{
+			{ID: "g", Op: dkapi.OpGenerate, Source: ds, Replicas: 129},
+		}, "outside 1.."},
+		{"total replicas over limit", []dkapi.PipelineStep{
+			{ID: "g1", Op: dkapi.OpGenerate, Source: ds, Replicas: 128},
+			{ID: "g2", Op: dkapi.OpGenerate, Source: ds, Replicas: 128},
+			{ID: "g3", Op: dkapi.OpGenerate, Source: ds, Replicas: 128},
+			{ID: "g4", Op: dkapi.OpGenerate, Source: ds, Replicas: 128},
+			{ID: "g5", Op: dkapi.OpGenerate, Source: ds, Replicas: 1},
+		}, "replicas in total"},
+		{"metrics flag on generate", []dkapi.PipelineStep{
+			{ID: "g", Op: dkapi.OpGenerate, Source: ds, Metrics: true},
+		}, "only valid on extract"},
+		{"full workflow", []dkapi.PipelineStep{
+			{ID: "ext", Op: dkapi.OpExtract, Source: ds, D: dkapi.Int(2), Metrics: true},
+			{ID: "gen", Op: dkapi.OpGenerate, Source: ref(dkapi.GraphRef{Step: "ext"}), Replicas: 8, Compare: true},
+			{ID: "cmp", Op: dkapi.OpCompare, A: ref(dkapi.GraphRef{Step: "ext"}), B: ref(dkapi.GraphRef{Step: "gen", Replica: 7})},
+			{ID: "cen", Op: dkapi.OpCensus, Source: ref(dkapi.GraphRef{Step: "gen"})},
+		}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Validate(dkapi.PipelineRequest{Steps: tc.steps}, Limits{})
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateStepLimit(t *testing.T) {
+	steps := make([]dkapi.PipelineStep, 3)
+	for i := range steps {
+		steps[i] = dkapi.PipelineStep{
+			ID: "s" + string(rune('a'+i)), Op: dkapi.OpMetrics,
+			Source: ref(dkapi.GraphRef{Dataset: "paw"}),
+		}
+	}
+	err := Validate(dkapi.PipelineRequest{Steps: steps}, Limits{MaxSteps: 2})
+	if err == nil || !strings.Contains(err.Error(), "limit is 2") {
+		t.Fatalf("err = %v, want step-limit error", err)
+	}
+}

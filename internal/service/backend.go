@@ -1,0 +1,63 @@
+package service
+
+import (
+	"repro/internal/dk"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/pkg/dkapi"
+)
+
+// svcBackend adapts the server's content-addressed cache to the
+// pipeline executor. Every execution surface of the service — the
+// standalone /v1/extract, /v1/generate, /v1/compare handlers as well as
+// POST /v1/pipelines — runs the shared executor over this backend, so
+// profile extraction, replica fan-out, and metric summaries follow one
+// code path (and hit one cache).
+type svcBackend struct{ s *Server }
+
+// Resolve turns an external graph reference into a handle backed by a
+// cache entry. Errors come back pre-classified (apiError), so handler
+// code can map them straight to HTTP statuses.
+func (b svcBackend) Resolve(ref dkapi.GraphRef) (pipeline.Handle, error) {
+	e, err := b.s.resolveRef(ref)
+	if err != nil {
+		return nil, err
+	}
+	return svcHandle{e: e, s: b.s}, nil
+}
+
+// Intern wraps a generated graph in a detached entry (see
+// NewDetachedEntry): replica graphs are addressable inside their
+// pipeline via step references and streamed in bulk results; interning
+// a 128-replica ensemble into the shared LRU would churn every
+// uploaded topology out of it.
+func (b svcBackend) Intern(g *graph.Graph) pipeline.Handle {
+	return svcHandle{e: NewDetachedEntry(g)}
+}
+
+// svcHandle is a cache entry viewed through the executor's Handle
+// interface. A nil server marks a detached (replica) entry, whose
+// extractions are not counted in the cache instrumentation — matching
+// the historical behavior where per-replica profile extraction for
+// compare never touched the counters.
+type svcHandle struct {
+	e *Entry
+	s *Server
+}
+
+func (h svcHandle) Graph() *graph.Graph { return h.e.Graph() }
+
+func (h svcHandle) Info() dkapi.GraphInfo { return info(h.e) }
+
+func (h svcHandle) Profile(d int) (*dk.Profile, bool, error) {
+	p, hit, err := h.e.Profile(d)
+	if err == nil && !hit && h.s != nil {
+		h.s.cache.noteExtraction()
+	}
+	return p, hit, err
+}
+
+func (h svcHandle) Summary(spectral bool, sample int, seed int64) (metrics.Summary, bool, error) {
+	return h.e.Summary(spectral, sample, seed)
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/store"
+	"repro/pkg/dkapi"
 )
 
 // Hash is a content address of a graph: "sha256:" plus the hex digest of
@@ -154,20 +155,8 @@ func (e *Entry) Summary(spectral bool, sources int, seed int64) (metrics.Summary
 // persistent tier: DiskHits counts artifacts (graphs or profiles) served
 // from disk instead of being reparsed or recomputed, DiskMisses counts
 // disk probes that found nothing, and the write counters count
-// write-through traffic.
-type CacheStats struct {
-	Entries           int   `json:"entries"`
-	MaxEntries        int   `json:"max_entries"`
-	Hits              int64 `json:"hits"`
-	Misses            int64 `json:"misses"`
-	Evictions         int64 `json:"evictions"`
-	Extractions       int64 `json:"extractions"`
-	DiskTier          bool  `json:"disk_tier"`
-	DiskHits          int64 `json:"disk_hits"`
-	DiskMisses        int64 `json:"disk_misses"`
-	DiskGraphWrites   int64 `json:"disk_graph_writes"`
-	DiskProfileWrites int64 `json:"disk_profile_writes"`
-}
+// write-through traffic. The type itself is wire vocabulary (pkg/dkapi).
+type CacheStats = dkapi.CacheStats
 
 // Cache is the content-addressed graph/profile cache behind the service:
 // an LRU-bounded map from CanonicalHash to Entry, optionally backed by a
@@ -199,6 +188,26 @@ func NewCache(max int) *Cache {
 		max = 1
 	}
 	return &Cache{max: max, ll: list.New(), byHash: make(map[Hash]*list.Element)}
+}
+
+// detachedCache backs standalone entries: memoization without LRU
+// registration or disk write-through.
+var detachedCache = NewCache(1)
+
+// NewDetachedEntry wraps a graph in a standalone cache entry: its
+// profile and summaries memoize on the entry itself, but nothing is
+// registered in any LRU or written to disk. This is how generated
+// replicas are handled on every execution path — registering an
+// ensemble would evict the topologies a pipeline's later steps still
+// reference by hash. The graph is canonicalized first, like every
+// cached graph, so a later dK-randomization of a replica is a pure
+// function of (edge set, seed) and streamed edge lists are identical
+// across local and remote execution.
+func NewDetachedEntry(g *graph.Graph) *Entry {
+	if !g.EdgesCanonicallyOrdered() {
+		g = g.CanonicalClone()
+	}
+	return &Entry{hash: CanonicalHash(g, nil), cache: detachedCache, g: g}
 }
 
 // NewTieredCache returns a cache of max memory entries backed by the

@@ -8,141 +8,53 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/dk"
 	"repro/internal/graph"
-	"repro/internal/metrics"
-	"repro/internal/store"
+	"repro/pkg/dkapi"
 )
 
-// GraphRef identifies a graph in a request body, by exactly one of three
-// means: a content hash of a previously uploaded graph ("hash"), an
-// inline edge list ("edges"), or a built-in dataset name ("dataset",
-// with optional "seed"/"n" synthesis parameters).
-type GraphRef struct {
-	Hash    string `json:"hash,omitempty"`
-	Edges   string `json:"edges,omitempty"`
-	Dataset string `json:"dataset,omitempty"`
-	Seed    int64  `json:"seed,omitempty"`
-	N       int    `json:"n,omitempty"`
-}
-
-// GraphInfo describes a resolved graph in responses.
-type GraphInfo struct {
-	Hash string `json:"hash"`
-	N    int    `json:"n"`
-	M    int    `json:"m"`
-}
-
-// ExtractResponse is the body of a successful POST /v1/extract.
-type ExtractResponse struct {
-	Graph   GraphInfo        `json:"graph"`
-	Cached  bool             `json:"cached"`
-	Profile *dk.Profile      `json:"profile"`
-	Summary *metrics.Summary `json:"summary,omitempty"`
-}
-
-// GenerateRequest is the body of POST /v1/generate.
-type GenerateRequest struct {
-	// Source is the topology to extract the target distribution from
-	// (and, for method "randomize", the rewiring start point).
-	Source GraphRef `json:"source"`
-	// D is the dK depth (0..3, default 2).
-	D *int `json:"d,omitempty"`
-	// Method is one of randomize, stochastic, pseudograph, matching,
-	// targeting (default randomize).
-	Method string `json:"method,omitempty"`
-	// Replicas is the ensemble size (default 1, bounded by the server's
-	// MaxReplicas option).
-	Replicas int `json:"replicas,omitempty"`
-	// Seed drives all randomness; replica i derives its own independent
-	// stream, so the ensemble is a pure function of (seed, replicas).
-	Seed int64 `json:"seed,omitempty"`
-	// Compare adds the D_d distance of every replica to the source
-	// profile in the job result.
-	Compare bool `json:"compare,omitempty"`
-}
-
-// ReplicaInfo summarizes one generated replica in a job result.
-type ReplicaInfo struct {
-	Index    int      `json:"index"`
-	N        int      `json:"n"`
-	M        int      `json:"m"`
-	Distance *float64 `json:"distance,omitempty"`
-}
-
-// GenerateResult is the result summary of a finished generate job; the
-// replica edge lists themselves stream from /v1/jobs/{id}/result.
-type GenerateResult struct {
-	Source   GraphInfo     `json:"source"`
-	D        int           `json:"d"`
-	Method   string        `json:"method"`
-	Seed     int64         `json:"seed"`
-	Replicas []ReplicaInfo `json:"replicas"`
-}
-
-// GenerateAccepted is the 202 body of POST /v1/generate.
-type GenerateAccepted struct {
-	JobID     string `json:"job_id"`
-	StatusURL string `json:"status_url"`
-}
-
-// CompareRequest is the body of POST /v1/compare.
-type CompareRequest struct {
-	A GraphRef `json:"a"`
-	B GraphRef `json:"b"`
-	// D is the maximum dK depth to compare (0..3, default 3); D_d is
-	// reported for every d up to it.
-	D *int `json:"d,omitempty"`
-	// Spectral includes the Laplacian spectrum bounds in the summaries.
-	Spectral bool `json:"spectral,omitempty"`
-	// Sample bounds the BFS sources for the distance metrics (0 =
-	// exact, as in /v1/extract's ?sample); essential for large graphs,
-	// where exact all-pairs distances are O(N·M).
-	Sample int `json:"sample,omitempty"`
-	// Seed drives Lanczos and any sampled metrics (default 1).
-	Seed int64 `json:"seed,omitempty"`
-}
-
-// DistanceEntry is one D_d value in a compare response.
-type DistanceEntry struct {
-	D     int     `json:"d"`
-	Value float64 `json:"value"`
-}
-
-// CompareResponse is the body of a successful POST /v1/compare.
-type CompareResponse struct {
-	A         GraphInfo       `json:"a"`
-	B         GraphInfo       `json:"b"`
-	Distances []DistanceEntry `json:"distances"`
-	SummaryA  metrics.Summary `json:"summary_a"`
-	SummaryB  metrics.Summary `json:"summary_b"`
-}
-
-// StatsResponse is the body of GET /v1/stats. Store is present only when
-// the server runs with a persistent data directory.
-type StatsResponse struct {
-	Version       string       `json:"version"`
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Workers       int          `json:"workers"`
-	Cache         CacheStats   `json:"cache"`
-	Jobs          EngineStats  `json:"jobs"`
-	Store         *store.Stats `json:"store,omitempty"`
-}
-
-// ErrorResponse is the uniform error envelope of every non-2xx response.
-type ErrorResponse struct {
-	Error string `json:"error"`
-	Code  string `json:"code"`
-}
+// The wire vocabulary of the service lives in pkg/dkapi so the HTTP
+// layer, the Go facade (pkg/dk), the client SDK (pkg/dkclient), and the
+// CLIs all speak the same types. The aliases below keep the historical
+// service names working.
+type (
+	// GraphRef identifies a graph in a request body; see dkapi.GraphRef.
+	GraphRef = dkapi.GraphRef
+	// GraphInfo describes a resolved graph in responses.
+	GraphInfo = dkapi.GraphInfo
+	// ExtractResponse is the body of a successful POST /v1/extract.
+	ExtractResponse = dkapi.ExtractResponse
+	// GenerateRequest is the body of POST /v1/generate.
+	GenerateRequest = dkapi.GenerateRequest
+	// ReplicaInfo summarizes one generated replica in a job result.
+	ReplicaInfo = dkapi.ReplicaInfo
+	// GenerateResult is the result summary of a finished generate job.
+	GenerateResult = dkapi.GenerateResult
+	// GenerateAccepted is the 202 body of POST /v1/generate.
+	GenerateAccepted = dkapi.JobAccepted
+	// CompareRequest is the body of POST /v1/compare.
+	CompareRequest = dkapi.CompareRequest
+	// DistanceEntry is one D_d value in a compare response.
+	DistanceEntry = dkapi.DistanceEntry
+	// CompareResponse is the body of a successful POST /v1/compare.
+	CompareResponse = dkapi.CompareResponse
+	// StatsResponse is the body of GET /v1/stats.
+	StatsResponse = dkapi.StatsResponse
+	// ErrorResponse is the uniform error envelope of every non-2xx
+	// response.
+	ErrorResponse = dkapi.ErrorResponse
+	// DatasetInfo describes one built-in dataset on GET /v1/datasets.
+	DatasetInfo = dkapi.DatasetInfo
+)
 
 // Error codes used in ErrorResponse.Code.
 const (
-	CodeBadRequest = "bad_request" // malformed input or parameters
-	CodeNotFound   = "not_found"   // unknown hash, job, or dataset
-	CodeTooLarge   = "too_large"   // body or graph exceeds a limit
-	CodeQueueFull  = "queue_full"  // job queue at capacity
-	CodeConflict   = "conflict"    // job not in a state serving the request
-	CodeInternal   = "internal"    // unexpected server-side failure
+	CodeBadRequest  = dkapi.CodeBadRequest
+	CodeNotFound    = dkapi.CodeNotFound
+	CodeTooLarge    = dkapi.CodeTooLarge
+	CodeQueueFull   = dkapi.CodeQueueFull
+	CodeConflict    = dkapi.CodeConflict
+	CodeUnavailable = dkapi.CodeUnavailable
+	CodeInternal    = dkapi.CodeInternal
 )
 
 // writeJSON writes v with the given status. Encoding failures after the
@@ -189,8 +101,18 @@ func (s *Server) readLimits() graph.ReadLimits {
 
 // resolveRef turns a GraphRef into a cache entry. Inline edge lists and
 // datasets are parsed/synthesized and interned; hashes must already be
-// cached. The error is pre-classified via errStatus.
+// cached. Step references are a pipeline-only construct and file
+// references are client-side sugar — both are rejected here. The error
+// is pre-classified via apiError.
 func (s *Server) resolveRef(ref GraphRef) (*Entry, error) {
+	if ref.Step != "" {
+		return nil, &apiError{http.StatusBadRequest, CodeBadRequest,
+			"step references are only valid inside pipeline steps"}
+	}
+	if ref.File != "" {
+		return nil, &apiError{http.StatusBadRequest, CodeBadRequest,
+			"file references are resolved client-side; inline the edge list or upload it first"}
+	}
 	set := 0
 	for _, ok := range []bool{ref.Hash != "", ref.Edges != "", ref.Dataset != ""} {
 		if ok {

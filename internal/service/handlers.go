@@ -1,24 +1,40 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/dk"
-	"repro/internal/generate"
 	"repro/internal/graph"
 	"repro/internal/parallel"
+	"repro/internal/pipeline"
+	"repro/pkg/dkapi"
 )
+
+// runStep executes one pipeline step synchronously through the shared
+// executor. Handlers for the standalone endpoints are thin wire
+// adapters around this — the same code path POST /v1/pipelines runs
+// asynchronously. Validation failures (bad depth, step references
+// outside a pipeline, …) come back as 400s.
+func (s *Server) runStep(step dkapi.PipelineStep) (*dkapi.StepResult, error) {
+	req := dkapi.PipelineRequest{Steps: []dkapi.PipelineStep{step}}
+	if err := pipeline.Validate(req, s.pipelineLimits()); err != nil {
+		return nil, &apiError{http.StatusBadRequest, CodeBadRequest, err.Error()}
+	}
+	out, err := pipeline.Run(context.Background(), svcBackend{s}, req, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &out.Result.Steps[0], nil
+}
 
 // handleExtract implements POST /v1/extract: parse the edge list in the
 // request body (or synthesize ?dataset=name), intern it in the cache,
-// and return its dK-profile at depth ?d (default 3). ?metrics=1 adds the
+// and run an extract step at depth ?d (default 3). ?metrics=1 adds the
 // scalar metric summary of the giant component; ?spectral=1 and
 // ?sample=N tune it. The response's "cached" field reports whether the
 // profile was served without recomputation.
@@ -42,16 +58,26 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
-
 	n, err := queryInt(r, "n", 0)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 
+	// The dataset synthesis seed is its own parameter: ?seed drives
+	// metric sampling/Lanczos, and conflating the two would make
+	// "dataset X with synthesis seed S, sampled with seed T"
+	// inexpressible — which is exactly what graph references spell as
+	// {"dataset": X, "seed": S} elsewhere. Defaulting dseed to seed
+	// preserves the historical single-seed behavior.
+	dseed, err := queryInt64(r, "dseed", seed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
 	var entry *Entry
 	if name := r.URL.Query().Get("dataset"); name != "" {
-		g, err := s.datasetGraph(name, seed, n)
+		g, err := s.datasetGraph(name, dseed, n)
 		if err != nil {
 			writeAPIError(w, err)
 			return
@@ -72,51 +98,47 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		entry, _ = s.cache.Intern(g, labels)
 	}
 
-	profile, hit, err := entry.Profile(d)
+	res, err := s.runStep(dkapi.PipelineStep{
+		ID: "extract", Op: dkapi.OpExtract,
+		Source:   &dkapi.GraphRef{Hash: string(entry.Hash())},
+		D:        &d,
+		Metrics:  queryBool(r, "metrics"),
+		Spectral: queryBool(r, "spectral"),
+		Sample:   sample,
+		Seed:     seed,
+	})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, CodeInternal, "extract: %v", err)
+		writeAPIError(w, err)
 		return
 	}
-	if !hit {
-		s.cache.noteExtraction()
-	}
-	resp := ExtractResponse{Graph: info(entry), Cached: hit, Profile: profile}
-	if queryBool(r, "metrics") {
-		sum, _, err := entry.Summary(queryBool(r, "spectral"), sample, seed)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, CodeInternal, "metrics: %v", err)
-			return
-		}
-		resp.Summary = &sum
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, ExtractResponse{
+		Graph: *res.Graph, Cached: res.Cached, Profile: res.Profile, Summary: res.Summary,
+	})
 }
 
-// parseMethod maps the wire method name to a construction method;
-// "randomize" (dK-preserving rewiring of the source graph) is flagged
-// separately because it needs the graph, not just the profile.
-func parseMethod(name string) (m core.Method, randomize bool, err error) {
-	switch name {
-	case "", "randomize":
-		return 0, true, nil
-	case "stochastic":
-		return core.MethodStochastic, false, nil
-	case "pseudograph":
-		return core.MethodPseudograph, false, nil
-	case "matching":
-		return core.MethodMatching, false, nil
-	case "targeting":
-		return core.MethodTargeting, false, nil
-	default:
-		return 0, false, fmt.Errorf("unknown method %q (want randomize|stochastic|pseudograph|matching|targeting)", name)
+// generateStep maps a validated GenerateRequest onto its pipeline step.
+func generateStep(req GenerateRequest) dkapi.PipelineStep {
+	return dkapi.PipelineStep{
+		ID: "generate", Op: dkapi.OpGenerate,
+		Source:   &req.Source,
+		D:        req.D,
+		Method:   req.Method,
+		Replicas: req.Replicas,
+		Seed:     req.Seed,
+		Compare:  req.Compare,
 	}
 }
 
 // handleGenerate implements POST /v1/generate: resolve the source graph,
 // validate the request synchronously, and enqueue an asynchronous job
-// that builds the replica ensemble. Responds 202 with the job id, 429
-// when the queue is full.
+// that runs a one-step generate pipeline. Responds 202 with the job id,
+// 429 when the queue is full.
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable,
+			"server is draining; submit to another instance")
+		return
+	}
 	var req GenerateRequest
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -131,7 +153,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "depth d=%d outside 0..3", d)
 		return
 	}
-	method, randomize, err := parseMethod(req.Method)
+	_, randomize, err := pipeline.ParseMethod(req.Method)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
@@ -152,7 +174,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	// Reject invalid (depth, method) combinations before paying for
 	// resolution or extraction — a doomed d=3 request must not trigger
 	// a full census of a large graph first.
-	if !randomize && d == 3 && method != core.MethodTargeting {
+	if !randomize && d == 3 && methodName != "targeting" {
 		writeError(w, http.StatusBadRequest, CodeBadRequest,
 			"d=3 generation from a distribution supports only method=targeting or method=randomize")
 		return
@@ -162,38 +184,28 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, err)
 		return
 	}
-	seed := req.Seed
-	compare := req.Compare
 	// Extract the target profile up front when the job will need it
 	// (construction from a distribution, or per-replica distances):
 	// failures surface synchronously and the cache is warmed for the
 	// job body, which re-fetches it as a pure cache hit. Pure
 	// randomize-without-compare never reads the profile, so a potentially
 	// expensive census must not run in the handler.
-	if !randomize || compare {
-		_, hit, err := entry.Profile(d)
-		if err != nil {
+	if !randomize || req.Compare {
+		if _, _, err := (svcHandle{e: entry, s: s}).Profile(d); err != nil {
 			writeError(w, http.StatusInternalServerError, CodeInternal, "extract: %v", err)
 			return
 		}
-		if !hit {
-			s.cache.noteExtraction()
-		}
-	}
-	params := genParams{
-		d: d, method: method, methodName: methodName,
-		randomize: randomize, compare: compare,
-		replicas: replicas, seed: seed,
 	}
 	// The journaled spec references the source by content hash only: the
 	// graph artifact is already written through to the disk tier, so the
 	// spec stays small and resolvable after a restart even when the
 	// original request carried inline edges.
-	spec, _ := json.Marshal(GenerateRequest{
+	normalized := GenerateRequest{
 		Source: GraphRef{Hash: string(entry.Hash())}, D: &d, Method: methodName,
-		Replicas: replicas, Seed: seed, Compare: compare,
-	})
-	job, err := s.jobs.SubmitSpec("generate", spec, s.generateJobFunc(entry, params))
+		Replicas: replicas, Seed: req.Seed, Compare: req.Compare,
+	}
+	spec, _ := json.Marshal(normalized)
+	job, err := s.jobs.SubmitSpec("generate", spec, s.generateJobFunc(normalized))
 	if errors.Is(err, ErrQueueFull) {
 		writeError(w, http.StatusTooManyRequests, CodeQueueFull,
 			"job queue full (%d queued); retry later", s.opts.JobQueue)
@@ -209,75 +221,35 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// genParams are the validated parameters of one generate job.
-type genParams struct {
-	d          int
-	method     core.Method
-	methodName string
-	randomize  bool
-	compare    bool
-	replicas   int
-	seed       int64
-}
-
-// generateJobFunc builds the body of a generate job. It is shared by the
-// HTTP submission path and journal recovery: everything it needs beyond
-// the cache entry is in params, which round-trips through the journaled
-// GenerateRequest spec. The target profile is resolved inside the job —
-// a warm-cache hit when the handler pre-extracted it, a disk fetch or
-// fresh extraction when the job was recovered after a restart.
-func (s *Server) generateJobFunc(entry *Entry, p genParams) JobFunc {
-	src := entry.Graph()
+// generateJobFunc builds the body of a generate job: a one-step
+// pipeline run whose step result is reshaped into the historical
+// GenerateResult summary, with the replica edge lists streamed in the
+// PR2 "# replica i" format. It is shared by the HTTP submission path
+// and journal recovery — everything it needs round-trips through the
+// journaled GenerateRequest spec.
+func (s *Server) generateJobFunc(req GenerateRequest) JobFunc {
 	return func() (any, StreamFunc, error) {
-		var profile *dk.Profile
-		if !p.randomize || p.compare {
-			prof, hit, err := entry.Profile(p.d)
-			if err != nil {
-				return nil, nil, err
-			}
-			if !hit {
-				s.cache.noteExtraction()
-			}
-			profile = prof
-		}
-		graphs, err := generate.Replicas(p.replicas, p.seed, func(i int, rng *rand.Rand) (*graph.Graph, error) {
-			if p.randomize {
-				out, _, err := generate.Randomize(src, p.d, generate.RandomizeOptions{Rng: rng})
-				return out, err
-			}
-			return core.Generate(profile, p.d, p.method, core.Options{Rng: rng})
-		})
+		out, err := pipeline.Run(context.Background(), svcBackend{s}, dkapi.PipelineRequest{
+			Steps: []dkapi.PipelineStep{generateStep(req)},
+		}, nil)
 		if err != nil {
 			return nil, nil, err
 		}
+		step := out.Result.Steps[0]
 		result := GenerateResult{
-			Source:   info(entry),
-			D:        p.d,
-			Method:   p.methodName,
-			Seed:     p.seed,
-			Replicas: make([]ReplicaInfo, len(graphs)),
+			Source:   *step.Graph,
+			D:        step.D,
+			Method:   step.Method,
+			Seed:     step.Seed,
+			Replicas: step.Replicas,
 		}
-		for i, g := range graphs {
-			ri := ReplicaInfo{Index: i, N: g.N(), M: g.M()}
-			if p.compare {
-				got, err := dk.ExtractGraph(g, p.d)
-				if err != nil {
-					return nil, nil, err
-				}
-				dist, err := dk.Distance(profile, got, p.d)
-				if err != nil {
-					return nil, nil, err
-				}
-				ri.Distance = &dist
-			}
-			result.Replicas[i] = ri
-		}
+		handles := out.Graphs[0].Handles
 		stream := func(w io.Writer) error {
-			for i, g := range graphs {
+			for i, h := range handles {
 				if _, err := fmt.Fprintf(w, "# replica %d\n", i); err != nil {
 					return err
 				}
-				if err := graph.WriteEdgeList(w, g); err != nil {
+				if err := graph.WriteEdgeList(w, h.Graph()); err != nil {
 					return err
 				}
 			}
@@ -287,9 +259,9 @@ func (s *Server) generateJobFunc(entry *Entry, p genParams) JobFunc {
 	}
 }
 
-// handleCompare implements POST /v1/compare: resolve both graphs, report
-// D_d for every depth up to d, and the scalar metric summaries of both
-// giant components.
+// handleCompare implements POST /v1/compare: a synchronous one-step
+// compare pipeline — D_d for every depth up to d, plus the scalar
+// metric summaries of both giant components.
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	var req CompareRequest
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
@@ -305,54 +277,35 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "depth d=%d outside 0..3", d)
 		return
 	}
-	seed := req.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	ea, err := s.resolveRef(req.A)
+	res, err := s.runStep(dkapi.PipelineStep{
+		ID: "compare", Op: dkapi.OpCompare,
+		A: &req.A, B: &req.B, D: &d,
+		Spectral: req.Spectral, Sample: req.Sample, Seed: req.Seed,
+	})
 	if err != nil {
 		writeAPIError(w, err)
 		return
 	}
-	eb, err := s.resolveRef(req.B)
-	if err != nil {
-		writeAPIError(w, err)
+	writeJSON(w, http.StatusOK, CompareResponse{
+		A: *res.A, B: *res.B,
+		Distances: res.Distances,
+		SummaryA:  *res.SummaryA, SummaryB: *res.SummaryB,
+	})
+}
+
+// handleGraphGet implements GET /v1/graphs/{hash}: report whether a
+// content hash resolves (memory or disk tier) and to what size. This is
+// what lets clients skip re-uploading topologies the server already
+// knows — the SDK probes it before falling back to an inline upload.
+func (s *Server) handleGraphGet(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	e := s.cache.Get(Hash(hash))
+	if e == nil {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			"hash %s not in cache (evicted or never uploaded)", hash)
 		return
 	}
-	resp := CompareResponse{A: info(ea), B: info(eb)}
-	profiles := make([]*dk.Profile, 2)
-	for i, e := range []*Entry{ea, eb} {
-		p, hit, err := e.Profile(d)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, CodeInternal, "extract: %v", err)
-			return
-		}
-		if !hit {
-			s.cache.noteExtraction()
-		}
-		profiles[i] = p
-	}
-	pa, pb := profiles[0], profiles[1]
-	for dd := 0; dd <= d; dd++ {
-		v, err := dk.Distance(pa, pb, dd)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, CodeInternal, "distance: %v", err)
-			return
-		}
-		resp.Distances = append(resp.Distances, DistanceEntry{D: dd, Value: v})
-	}
-	sa, _, err := ea.Summary(req.Spectral, req.Sample, seed)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, CodeInternal, "metrics: %v", err)
-		return
-	}
-	sb, _, err := eb.Summary(req.Spectral, req.Sample, seed)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, CodeInternal, "metrics: %v", err)
-		return
-	}
-	resp.SummaryA, resp.SummaryB = sa, sb
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, info(e))
 }
 
 // handleJobList implements GET /v1/jobs.
@@ -362,7 +315,8 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 
 // handleJobGet implements GET /v1/jobs/{id}: the polling endpoint. Done
 // jobs carry their result summary and, when bulk output exists, a
-// result_url for streaming it.
+// result_url for streaming it; running pipeline jobs carry per-step
+// progress.
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	job := s.jobs.Get(id)
@@ -436,8 +390,8 @@ func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStats implements GET /v1/stats: version, uptime, worker budget,
-// cache counters, job-engine counters, and — when a data directory is
-// configured — artifact-store contents and traffic.
+// cache counters, job-engine counters, per-route traffic, and — when a
+// data directory is configured — artifact-store contents and traffic.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		Version:       version,
@@ -445,6 +399,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Workers:       parallel.Workers(),
 		Cache:         s.cache.Stats(),
 		Jobs:          s.jobs.Stats(),
+		Routes:        s.routes.Snapshot(),
 	}
 	if s.store != nil {
 		st := s.store.Stats()

@@ -11,22 +11,24 @@ import (
 	"time"
 
 	"repro/internal/store"
+	"repro/pkg/dkapi"
 )
 
 // ErrQueueFull is returned by Engine.Submit when the bounded job queue
 // has no room; the HTTP layer maps it to 429 Too Many Requests.
 var ErrQueueFull = errors.New("service: job queue full")
 
-// JobStatus is the lifecycle state of an asynchronous job.
-type JobStatus string
+// JobStatus is the lifecycle state of an asynchronous job (wire
+// vocabulary, pkg/dkapi).
+type JobStatus = dkapi.JobStatus
 
 // Job lifecycle states. A job moves queued → running → done | failed;
 // there are no other transitions.
 const (
-	JobQueued  JobStatus = "queued"
-	JobRunning JobStatus = "running"
-	JobDone    JobStatus = "done"
-	JobFailed  JobStatus = "failed"
+	JobQueued  = dkapi.JobQueued
+	JobRunning = dkapi.JobRunning
+	JobDone    = dkapi.JobDone
+	JobFailed  = dkapi.JobFailed
 )
 
 // StreamFunc writes a job's bulk result (replica edge lists) to w. It is
@@ -39,12 +41,18 @@ type StreamFunc func(w io.Writer) error
 // summary and an optional bulk-result streamer.
 type JobFunc func() (result any, stream StreamFunc, err error)
 
+// TrackedJobFunc is a job body that reports live progress: setProgress
+// publishes a JSON-marshalable snapshot (e.g. per-step pipeline status)
+// that GET /v1/jobs/{id} serves while the job runs. It may be called
+// any number of times; the latest value wins.
+type TrackedJobFunc func(setProgress func(any)) (result any, stream StreamFunc, err error)
+
 // Job is one asynchronous unit of work tracked by the Engine. All fields
 // are private; use View for a snapshot.
 type Job struct {
 	id   string
 	kind string
-	run  JobFunc
+	run  TrackedJobFunc
 	eng  *Engine         // owner, for journaling terminal transitions; may be nil
 	spec json.RawMessage // serialized request, journaled for recovery
 
@@ -54,9 +62,17 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 	err       error
+	progress  any
 	result    any
 	stream    StreamFunc
 	doneCh    chan struct{}
+}
+
+// setProgress publishes a progress snapshot for polling clients.
+func (j *Job) setProgress(p any) {
+	j.mu.Lock()
+	j.progress = p
+	j.mu.Unlock()
 }
 
 // ID returns the job's identifier ("j" + zero-padded sequence number).
@@ -76,18 +92,9 @@ func (j *Job) Stream() StreamFunc {
 	return j.stream
 }
 
-// JobView is the JSON snapshot of a job, served by GET /v1/jobs/{id}.
-type JobView struct {
-	ID        string     `json:"id"`
-	Kind      string     `json:"kind"`
-	Status    JobStatus  `json:"status"`
-	Submitted time.Time  `json:"submitted"`
-	Started   *time.Time `json:"started,omitempty"`
-	Finished  *time.Time `json:"finished,omitempty"`
-	Error     string     `json:"error,omitempty"`
-	Result    any        `json:"result,omitempty"`
-	ResultURL string     `json:"result_url,omitempty"`
-}
+// JobView is the JSON snapshot of a job, served by GET /v1/jobs/{id}
+// (wire vocabulary, pkg/dkapi).
+type JobView = dkapi.JobView
 
 // View snapshots the job for serialization.
 func (j *Job) View() JobView {
@@ -110,6 +117,9 @@ func (j *Job) View() JobView {
 	if j.err != nil {
 		v.Error = j.err.Error()
 	}
+	if j.progress != nil {
+		v.Progress = j.progress
+	}
 	if j.status == JobDone {
 		v.Result = j.result
 		if j.stream != nil {
@@ -123,17 +133,9 @@ func (j *Job) View() JobView {
 // mark of concurrently executing jobs — with R runners it can never
 // exceed R, which is how tests verify the engine respects the worker
 // budget it was built with. Recovered counts jobs re-queued from the
-// journal of a previous process at startup.
-type EngineStats struct {
-	Runners    int   `json:"runners"`
-	Queued     int   `json:"queued"`
-	Running    int   `json:"running"`
-	MaxRunning int   `json:"max_running"`
-	Completed  int64 `json:"completed"`
-	Failed     int64 `json:"failed"`
-	Rejected   int64 `json:"rejected"`
-	Recovered  int64 `json:"recovered"`
-}
+// journal of a previous process at startup. The type itself is wire
+// vocabulary (pkg/dkapi).
+type EngineStats = dkapi.EngineStats
 
 // Engine executes jobs asynchronously on a fixed pool of runner
 // goroutines with a bounded queue. The runner count is the engine's share
@@ -271,6 +273,11 @@ func (e *Engine) Close() {
 	}
 }
 
+// untracked adapts a plain JobFunc to the tracked signature.
+func untracked(run JobFunc) TrackedJobFunc {
+	return func(func(any)) (any, StreamFunc, error) { return run() }
+}
+
 // Submit enqueues a job. It never blocks: if the queue is full the job is
 // rejected with ErrQueueFull; after Close it is rejected outright.
 func (e *Engine) Submit(kind string, run JobFunc) (*Job, error) {
@@ -281,6 +288,11 @@ func (e *Engine) Submit(kind string, run JobFunc) (*Job, error) {
 // the journal alongside the queued record, making the job recoverable:
 // after a crash, the spec is what a fresh process re-queues from.
 func (e *Engine) SubmitSpec(kind string, spec json.RawMessage, run JobFunc) (*Job, error) {
+	return e.submit("", kind, spec, untracked(run), false)
+}
+
+// SubmitTracked is SubmitSpec for a progress-reporting job body.
+func (e *Engine) SubmitTracked(kind string, spec json.RawMessage, run TrackedJobFunc) (*Job, error) {
 	return e.submit("", kind, spec, run, false)
 }
 
@@ -288,6 +300,11 @@ func (e *Engine) SubmitSpec(kind string, spec json.RawMessage, run JobFunc) (*Jo
 // under its original id, so clients polling that id across the restart
 // find their job again. It fails if the id is already tracked.
 func (e *Engine) Resubmit(id, kind string, spec json.RawMessage, run JobFunc) (*Job, error) {
+	return e.submit(id, kind, spec, untracked(run), true)
+}
+
+// ResubmitTracked is Resubmit for a progress-reporting job body.
+func (e *Engine) ResubmitTracked(id, kind string, spec json.RawMessage, run TrackedJobFunc) (*Job, error) {
 	return e.submit(id, kind, spec, run, true)
 }
 
@@ -321,7 +338,7 @@ func (e *Engine) RegisterFailed(id, kind string, spec json.RawMessage, msg strin
 	e.evictLocked()
 }
 
-func (e *Engine) submit(id, kind string, spec json.RawMessage, run JobFunc, recovered bool) (*Job, error) {
+func (e *Engine) submit(id, kind string, spec json.RawMessage, run TrackedJobFunc, recovered bool) (*Job, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -419,6 +436,15 @@ func (e *Engine) List() []JobView {
 	return out
 }
 
+// Accepting reports whether the engine is open for new submissions —
+// false after Close (or during shutdown), which is what /v1/readyz
+// checks before declaring the server ready.
+func (e *Engine) Accepting() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return !e.closed
+}
+
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
@@ -467,7 +493,7 @@ func (e *Engine) execute(j *Job) {
 	}
 	e.mu.Unlock()
 
-	result, stream, err := runSafely(j.run)
+	result, stream, err := runSafely(j.run, j.setProgress)
 	j.finish(result, stream, err)
 
 	e.mu.Lock()
@@ -482,13 +508,13 @@ func (e *Engine) execute(j *Job) {
 
 // runSafely converts a panicking job body into a failed job rather than
 // letting it take down the runner goroutine (and with it the server).
-func runSafely(run JobFunc) (result any, stream StreamFunc, err error) {
+func runSafely(run TrackedJobFunc, setProgress func(any)) (result any, stream StreamFunc, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			result, stream, err = nil, nil, fmt.Errorf("service: job panicked: %v", r)
 		}
 	}()
-	return run()
+	return run(setProgress)
 }
 
 // finish moves the job to its terminal state, journals it, and wakes

@@ -1,0 +1,158 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/pkg/dkapi"
+)
+
+// statusWriter captures the response status and byte count for the
+// access log and the per-route counters, passing Flush through so
+// streamed bulk results keep flowing.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// routeAgg accumulates one route's traffic.
+type routeAgg struct {
+	count    int64
+	errors   int64
+	bytes    int64
+	total    time.Duration
+	max      time.Duration
+	last     time.Duration
+	lastCode int
+	inFlight int64
+}
+
+// routeStats is the per-route traffic table behind /v1/stats "routes".
+// Keys are mux patterns ("POST /v1/extract"), fixed at registration
+// time, so the table cannot be grown by request-path garbage.
+type routeStats struct {
+	mu sync.Mutex
+	m  map[string]*routeAgg
+}
+
+func newRouteStats() *routeStats {
+	return &routeStats{m: make(map[string]*routeAgg)}
+}
+
+func (rs *routeStats) agg(pattern string) *routeAgg {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	a := rs.m[pattern]
+	if a == nil {
+		a = &routeAgg{}
+		rs.m[pattern] = a
+	}
+	return a
+}
+
+// Snapshot renders the table in wire form. Map iteration order does not
+// matter: encoding/json sorts map keys.
+func (rs *routeStats) Snapshot() map[string]dkapi.RouteStat {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make(map[string]dkapi.RouteStat, len(rs.m))
+	for pattern, a := range rs.m {
+		out[pattern] = dkapi.RouteStat{
+			Count:     a.count,
+			Errors:    a.errors,
+			TotalMS:   float64(a.total) / float64(time.Millisecond),
+			MaxMS:     float64(a.max) / float64(time.Millisecond),
+			LastMS:    float64(a.last) / float64(time.Millisecond),
+			LastCode:  a.lastCode,
+			InFlight:  a.inFlight,
+			BytesSent: a.bytes,
+		}
+	}
+	return out
+}
+
+// route registers a handler on the mux wrapped in the per-route
+// instrumentation: request count, error count (status >= 400), latency
+// aggregates, and bytes sent, all keyed by the registration pattern.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	a := s.routes.agg(pattern) // pre-create so /v1/stats lists every route
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		sw, ok := w.(*statusWriter)
+		if !ok {
+			sw = &statusWriter{ResponseWriter: w}
+		}
+		s.routes.mu.Lock()
+		a.inFlight++
+		s.routes.mu.Unlock()
+		start := time.Now()
+		h(sw, r)
+		elapsed := time.Since(start)
+		s.routes.mu.Lock()
+		a.inFlight--
+		a.count++
+		a.bytes += sw.bytes
+		a.total += elapsed
+		if elapsed > a.max {
+			a.max = elapsed
+		}
+		a.last = elapsed
+		a.lastCode = sw.status
+		if sw.status >= 400 {
+			a.errors++
+		}
+		s.routes.mu.Unlock()
+	})
+}
+
+// ridCounter numbers generated request ids process-wide.
+var ridCounter atomic.Int64
+
+// ServeHTTP is the service entry point: the middleware stack (request
+// id, status capture, structured access log) around the /v1 mux.
+// Incoming X-Request-Id headers are echoed so callers can correlate;
+// absent ones are minted here, and every response carries the header.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rid := r.Header.Get("X-Request-Id")
+	if rid == "" {
+		rid = fmt.Sprintf("req-%d-%06d", s.started.Unix(), ridCounter.Add(1))
+	}
+	w.Header().Set("X-Request-Id", rid)
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	if sw.status == 0 {
+		// A handler that never wrote (or a mux 404 with an empty body)
+		// still implicitly answered 200 unless WriteHeader said otherwise.
+		sw.status = http.StatusOK
+	}
+	if lg := s.opts.AccessLog; lg != nil {
+		lg.Printf("method=%s path=%s status=%d bytes=%d dur=%s rid=%s",
+			r.Method, r.URL.Path, sw.status, sw.bytes, time.Since(start).Round(time.Microsecond), rid)
+	}
+}

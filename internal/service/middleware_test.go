@@ -1,0 +1,123 @@
+package service
+
+import (
+	"bytes"
+	"log"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/pkg/dkapi"
+)
+
+// TestHealthz: liveness is unconditional.
+func TestHealthz(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	var h dkapi.HealthResponse
+	getJSON(t, ts.URL+"/v1/healthz", http.StatusOK, &h)
+	if h.Status != "ok" || h.Version == "" {
+		t.Fatalf("healthz %+v", h)
+	}
+	// Liveness survives draining — only readiness flips.
+	srv.StartDraining()
+	getJSON(t, ts.URL+"/v1/healthz", http.StatusOK, &h)
+}
+
+// TestReadyzDraining: ready while serving, 503 with a named check once
+// draining starts.
+func TestReadyzDraining(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	var r dkapi.ReadyResponse
+	getJSON(t, ts.URL+"/v1/readyz", http.StatusOK, &r)
+	if !r.Ready || r.Checks["jobs"] != "ok" || r.Checks["server"] != "ok" {
+		t.Fatalf("fresh server not ready: %+v", r)
+	}
+	srv.StartDraining()
+	getJSON(t, ts.URL+"/v1/readyz", http.StatusServiceUnavailable, &r)
+	if r.Ready || r.Checks["server"] != "draining" {
+		t.Fatalf("draining server reports %+v", r)
+	}
+}
+
+// TestReadyzClosedEngine: a closed job engine makes the server
+// not-ready with the jobs check failing.
+func TestReadyzClosedEngine(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	srv.Close()
+	var r dkapi.ReadyResponse
+	getJSON(t, ts.URL+"/v1/readyz", http.StatusServiceUnavailable, &r)
+	if r.Ready || r.Checks["jobs"] == "ok" {
+		t.Fatalf("closed-engine server reports %+v", r)
+	}
+}
+
+// TestRequestIDHeader: generated when absent, echoed when present.
+func TestRequestIDHeader(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rid := resp.Header.Get("X-Request-Id"); rid == "" {
+		t.Fatal("no X-Request-Id on response")
+	}
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/healthz", nil)
+	req.Header.Set("X-Request-Id", "caller-supplied-42")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rid := resp.Header.Get("X-Request-Id"); rid != "caller-supplied-42" {
+		t.Fatalf("request id %q, want the caller's", rid)
+	}
+}
+
+// TestRouteStats: per-route counters move with traffic, errors are
+// counted, and every registered route appears in /v1/stats.
+func TestRouteStats(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	postJSON(t, ts.URL+"/v1/extract?d=0", "text/plain", "0 1\n", http.StatusOK, nil)
+	postJSON(t, ts.URL+"/v1/extract?d=9", "text/plain", "0 1\n", http.StatusBadRequest, nil)
+	var stats StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &stats)
+	rs, ok := stats.Routes["POST /v1/extract"]
+	if !ok {
+		t.Fatalf("no route entry for POST /v1/extract: %v", stats.Routes)
+	}
+	if rs.Count != 2 || rs.Errors != 1 {
+		t.Fatalf("extract route count=%d errors=%d, want 2/1", rs.Count, rs.Errors)
+	}
+	if rs.LastCode != http.StatusBadRequest {
+		t.Fatalf("extract route last_code=%d, want 400", rs.LastCode)
+	}
+	if rs.BytesSent == 0 {
+		t.Fatal("extract route recorded no bytes sent")
+	}
+	// Unhit routes are pre-registered with zero counts, so dashboards
+	// see the full surface immediately.
+	if _, ok := stats.Routes["POST /v1/pipelines"]; !ok {
+		t.Fatalf("unhit route missing from stats: %v", stats.Routes)
+	}
+}
+
+// TestAccessLog: one structured line per request, carrying method,
+// path, status, and the request id.
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	_, ts := newTestServer(t, Options{AccessLog: log.New(&buf, "", 0)})
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/stats", nil)
+	req.Header.Set("X-Request-Id", "log-probe-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	line := buf.String()
+	for _, want := range []string{"method=GET", "path=/v1/stats", "status=200", "rid=log-probe-1"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("access log %q missing %q", line, want)
+		}
+	}
+}

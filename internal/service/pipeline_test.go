@@ -1,0 +1,238 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+	"repro/pkg/dkapi"
+)
+
+// smokePipelineJSON is the paper's extract→generate→compare workflow as
+// one request body.
+const smokePipelineJSON = `{
+  "steps": [
+    {"id": "ext", "op": "extract", "source": {"dataset": "hot", "seed": 7}, "d": 2},
+    {"id": "gen", "op": "generate", "source": {"step": "ext"}, "d": 2, "replicas": 2, "seed": 42, "compare": true},
+    {"id": "cmp", "op": "compare", "a": {"step": "ext"}, "b": {"step": "gen", "replica": 1}, "d": 2}
+  ]
+}`
+
+// decodeResult re-decodes a job view's result into the typed pipeline
+// result (the view carries it as `any`).
+func decodePipelineResult(t *testing.T, view JobView) dkapi.PipelineResult {
+	t.Helper()
+	raw, err := json.Marshal(view.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out dkapi.PipelineResult
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("decode pipeline result: %v; raw: %s", err, raw)
+	}
+	return out
+}
+
+// TestPipelineEndToEnd: one POST /v1/pipelines request runs the whole
+// workflow; the finished job carries per-step results, per-step
+// progress, and a streamable ensemble.
+func TestPipelineEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	var acc dkapi.JobAccepted
+	postJSON(t, ts.URL+"/v1/pipelines", "application/json", smokePipelineJSON, http.StatusAccepted, &acc)
+	view := pollJob(t, ts.URL, acc.JobID)
+	if view.Status != JobDone {
+		t.Fatalf("pipeline job ended %s: %s", view.Status, view.Error)
+	}
+	if view.Kind != "pipeline" {
+		t.Fatalf("job kind %q, want pipeline", view.Kind)
+	}
+
+	result := decodePipelineResult(t, view)
+	if len(result.Steps) != 3 {
+		t.Fatalf("got %d step results, want 3", len(result.Steps))
+	}
+	ext, gen, cmp := result.Steps[0], result.Steps[1], result.Steps[2]
+	if ext.Profile == nil || ext.Profile.D != 2 {
+		t.Fatalf("extract step carries no d=2 profile: %+v", ext)
+	}
+	if len(gen.Replicas) != 2 {
+		t.Fatalf("generate step has %d replicas, want 2", len(gen.Replicas))
+	}
+	for _, r := range gen.Replicas {
+		if r.Distance == nil || *r.Distance != 0 {
+			t.Fatalf("2K-randomize replica distance = %v, want exactly 0", r.Distance)
+		}
+	}
+	if cmp.A == nil || cmp.B == nil || len(cmp.Distances) != 3 {
+		t.Fatalf("compare step incomplete: %+v", cmp)
+	}
+	// The compared replica has the source's 2K distribution exactly.
+	for _, de := range cmp.Distances {
+		if de.Value != 0 {
+			t.Fatalf("D%d = %g, want 0 (dK-randomized replica)", de.D, de.Value)
+		}
+	}
+
+	// Progress: every step reported done.
+	progRaw, _ := json.Marshal(view.Progress)
+	var prog []dkapi.StepStatus
+	if err := json.Unmarshal(progRaw, &prog); err != nil {
+		t.Fatalf("decode progress: %v; raw: %s", err, progRaw)
+	}
+	if len(prog) != 3 {
+		t.Fatalf("progress has %d steps, want 3", len(prog))
+	}
+	for _, st := range prog {
+		if st.Status != dkapi.StepDone {
+			t.Fatalf("step %s progress %s, want done", st.ID, st.Status)
+		}
+	}
+
+	// Bulk result: one marker per generated replica.
+	resp, err := http.Get(ts.URL + view.ResultURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for i := 0; i < 2; i++ {
+		marker := fmt.Sprintf("# step gen replica %d", i)
+		if !strings.Contains(body, marker) {
+			t.Fatalf("bulk result missing %q:\n%s", marker, body)
+		}
+	}
+}
+
+// TestPipelineFailureMarksSteps: a step that fails deterministically
+// (matching deadlocks on the paw graph with this seed) fails the job,
+// and the final progress shows failed + skipped statuses.
+func TestPipelineFailureMarksSteps(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body := `{
+	  "steps": [
+	    {"id": "gen", "op": "generate", "source": {"dataset": "paw"}, "d": 1, "method": "matching", "seed": 5},
+	    {"id": "met", "op": "metrics", "source": {"step": "gen"}}
+	  ]
+	}`
+	var acc dkapi.JobAccepted
+	postJSON(t, ts.URL+"/v1/pipelines", "application/json", body, http.StatusAccepted, &acc)
+	view := pollJob(t, ts.URL, acc.JobID)
+	if view.Status != JobFailed {
+		t.Fatalf("job status %s, want failed", view.Status)
+	}
+	if !strings.Contains(view.Error, "step gen") {
+		t.Fatalf("job error %q does not name the failing step", view.Error)
+	}
+	progRaw, _ := json.Marshal(view.Progress)
+	var prog []dkapi.StepStatus
+	if err := json.Unmarshal(progRaw, &prog); err != nil {
+		t.Fatal(err)
+	}
+	if prog[0].Status != dkapi.StepFailed || prog[0].Error == "" {
+		t.Fatalf("failing step progress %+v, want failed with error", prog[0])
+	}
+	if prog[1].Status != dkapi.StepSkipped {
+		t.Fatalf("downstream step progress %+v, want skipped", prog[1])
+	}
+}
+
+// TestPipelineValidationRejected: structural errors are synchronous 400s
+// — nothing is enqueued.
+func TestPipelineValidationRejected(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	cases := []string{
+		`{"steps": []}`,
+		`{"steps": [{"id": "a", "op": "extract", "source": {"dataset": "paw"}}, {"id": "a", "op": "census", "source": {"dataset": "paw"}}]}`,
+		`{"steps": [{"id": "x", "op": "generate", "source": {"step": "later"}}]}`,
+		`{"steps": [{"id": "x", "op": "generate", "source": {"dataset": "paw"}, "replicas": 4}, {"id": "y", "op": "metrics", "source": {"step": "x", "replica": 9}}]}`,
+		`{"steps": [{"id": "x", "op": "compare", "source": {"dataset": "paw"}}]}`,
+		`{"steps": [{"id": "x", "op": "generate", "source": {"dataset": "paw"}, "d": 3, "method": "matching"}]}`,
+	}
+	for i, body := range cases {
+		var envelope ErrorResponse
+		postJSON(t, ts.URL+"/v1/pipelines", "application/json", body, http.StatusBadRequest, &envelope)
+		if envelope.Code != CodeBadRequest {
+			t.Fatalf("case %d: code %q, want bad_request", i, envelope.Code)
+		}
+	}
+	if got := srv.JobStats().Completed + srv.JobStats().Failed + int64(srv.JobStats().Queued); got != 0 {
+		t.Fatalf("invalid pipelines touched the job engine (%d jobs)", got)
+	}
+}
+
+// TestPipelineSpecNormalization: the journaled spec references graphs by
+// hash, never by inline edges, so it stays small and restart-resolvable.
+func TestPipelineSpecNormalization(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	body := `{"steps": [{"id": "m", "op": "metrics", "source": {"edges": "0 1\n1 2\n2 0\n"}}]}`
+	var acc dkapi.JobAccepted
+	postJSON(t, ts.URL+"/v1/pipelines", "application/json", body, http.StatusAccepted, &acc)
+	view := pollJob(t, ts.URL, acc.JobID)
+	if view.Status != JobDone {
+		t.Fatalf("job ended %s: %s", view.Status, view.Error)
+	}
+	job := srv.jobs.Get(acc.JobID)
+	if job == nil {
+		t.Fatal("job vanished")
+	}
+	var spec dkapi.PipelineRequest
+	if err := json.Unmarshal(job.spec, &spec); err != nil {
+		t.Fatal(err)
+	}
+	src := spec.Steps[0].Source
+	if src.Edges != "" || !strings.HasPrefix(src.Hash, "sha256:") {
+		t.Fatalf("journaled spec not normalized to a hash ref: %+v", src)
+	}
+}
+
+// TestPipelineRecovery: an incomplete journaled pipeline job is re-run
+// under its original id on the next startup.
+func TestPipelineRecovery(t *testing.T) {
+	st1, dir := openTestStore(t)
+	spec := []byte(`{"steps": [{"id": "m", "op": "metrics", "source": {"dataset": "paw"}}]}`)
+	if err := st1.Journal().Record(store.JobRecord{ID: "j000005", Status: store.JobQueued, Kind: "pipeline", Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st2.Close() })
+	srv, ts := newTestServer(t, Options{Store: st2})
+	if got := srv.JobStats().Recovered; got != 1 {
+		t.Fatalf("recovered %d jobs, want 1", got)
+	}
+	view := pollJob(t, ts.URL, "j000005")
+	if view.Status != JobDone {
+		t.Fatalf("recovered pipeline ended %s: %s", view.Status, view.Error)
+	}
+	result := decodePipelineResult(t, view)
+	if len(result.Steps) != 1 || result.Steps[0].Summary == nil {
+		t.Fatalf("recovered pipeline result incomplete: %+v", result)
+	}
+}
+
+// TestGraphLookup: GET /v1/graphs/{hash} resolves interned topologies
+// and 404s unknown ones (the SDK's re-upload probe).
+func TestGraphLookup(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	var ext ExtractResponse
+	postJSON(t, ts.URL+"/v1/extract?d=0", "text/plain", "0 1\n1 2\n", http.StatusOK, &ext)
+	var info GraphInfo
+	getJSON(t, ts.URL+"/v1/graphs/"+ext.Graph.Hash, http.StatusOK, &info)
+	if info != ext.Graph {
+		t.Fatalf("lookup %+v, want %+v", info, ext.Graph)
+	}
+}

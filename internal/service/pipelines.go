@@ -1,0 +1,135 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/graph"
+	"repro/internal/pipeline"
+	"repro/pkg/dkapi"
+)
+
+// pipelineLimits are the request bounds handed to pipeline.Validate.
+func (s *Server) pipelineLimits() pipeline.Limits {
+	return pipeline.Limits{
+		MaxSteps:         s.opts.MaxPipelineSteps,
+		MaxReplicas:      s.opts.MaxReplicas,
+		MaxTotalReplicas: s.opts.MaxPipelineReplicas,
+	}
+}
+
+// resolvePipelineRefs resolves every external graph reference of the
+// request synchronously — resolution failures (unknown hash, oversized
+// inline edge list, bad dataset) surface as request errors, not job
+// failures — and rewrites each to its content hash. Normalization keeps
+// the journaled spec small and restart-resolvable (the graphs are
+// already written through to the disk tier) and means the job body's
+// own resolution is a pure cache hit. Step references pass through
+// untouched: they resolve against the run's own outputs.
+func (s *Server) resolvePipelineRefs(req *dkapi.PipelineRequest) error {
+	normalize := func(ref *dkapi.GraphRef) error {
+		if ref == nil || ref.Step != "" {
+			return nil
+		}
+		e, err := s.resolveRef(*ref)
+		if err != nil {
+			return err
+		}
+		*ref = dkapi.GraphRef{Hash: string(e.Hash())}
+		return nil
+	}
+	for i := range req.Steps {
+		st := &req.Steps[i]
+		if err := normalize(st.Source); err != nil {
+			return fmt.Errorf("step %q: source: %w", st.ID, err)
+		}
+		if err := normalize(st.A); err != nil {
+			return fmt.Errorf("step %q: a: %w", st.ID, err)
+		}
+		if err := normalize(st.B); err != nil {
+			return fmt.Errorf("step %q: b: %w", st.ID, err)
+		}
+	}
+	return nil
+}
+
+// handlePipelineSubmit implements POST /v1/pipelines: validate the step
+// DAG, resolve and normalize its external graph references, and enqueue
+// the whole pipeline as one asynchronous job on the engine — one
+// request for what used to take N extract/generate/compare round
+// trips. Responds 202 with the job id; per-step progress appears in
+// the job view while it runs.
+func (s *Server) handlePipelineSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable,
+			"server is draining; submit to another instance")
+		return
+	}
+	var req dkapi.PipelineRequest
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeGraphError(w, err)
+		return
+	}
+	if err := pipeline.Validate(req, s.pipelineLimits()); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	if err := s.resolvePipelineRefs(&req); err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	spec, _ := json.Marshal(req)
+	job, err := s.jobs.SubmitTracked("pipeline", spec, s.pipelineJobFunc(req))
+	if errors.Is(err, ErrQueueFull) {
+		writeError(w, http.StatusTooManyRequests, CodeQueueFull,
+			"job queue full (%d queued); retry later", s.opts.JobQueue)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, dkapi.JobAccepted{
+		JobID:     job.ID(),
+		StatusURL: "/v1/jobs/" + job.ID(),
+	})
+}
+
+// pipelineJobFunc builds the body of a pipeline job: run the shared
+// executor over the service backend, publishing per-step status as
+// progress, and stream every generated ensemble in the bulk result —
+// each replica prefixed by "# step <id> replica <i>". Shared by the
+// HTTP submission path and journal recovery; everything it needs
+// round-trips through the journaled (normalized) request spec.
+func (s *Server) pipelineJobFunc(req dkapi.PipelineRequest) TrackedJobFunc {
+	return func(setProgress func(any)) (any, StreamFunc, error) {
+		out, err := pipeline.Run(context.Background(), svcBackend{s}, req,
+			func(steps []dkapi.StepStatus) { setProgress(steps) })
+		if err != nil {
+			return nil, nil, err
+		}
+		var stream StreamFunc
+		if len(out.Graphs) > 0 {
+			graphs := out.Graphs
+			stream = func(w io.Writer) error {
+				for _, sg := range graphs {
+					for i, h := range sg.Handles {
+						if _, err := fmt.Fprintf(w, "# step %s replica %d\n", sg.StepID, i); err != nil {
+							return err
+						}
+						if err := graph.WriteEdgeList(w, h.Graph()); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			}
+		}
+		return out.Result, stream, nil
+	}
+}

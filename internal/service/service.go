@@ -28,8 +28,10 @@ package service
 
 import (
 	"fmt"
+	"log"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"encoding/json"
@@ -38,7 +40,9 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/graph"
 	"repro/internal/parallel"
+	"repro/internal/pipeline"
 	"repro/internal/store"
+	"repro/pkg/dkapi"
 )
 
 // Options configures a Server. The zero value selects production-sensible
@@ -60,6 +64,18 @@ type Options struct {
 	JobQueue int
 	// JobRetain bounds retained terminal jobs (default 256).
 	JobRetain int
+	// MaxPipelineSteps bounds the step count of one POST /v1/pipelines
+	// request (default 32).
+	MaxPipelineSteps int
+	// MaxPipelineReplicas bounds the summed ensemble size across all
+	// generate steps of one pipeline (default 512) — a finished job's
+	// graphs stay streamable until the job leaves retention, so this is
+	// the per-job memory bound.
+	MaxPipelineReplicas int
+	// AccessLog receives one structured line per request (nil = no
+	// access logging — the default, so embedded/test servers stay
+	// quiet).
+	AccessLog *log.Logger
 	// Store is the persistent artifact store backing the cache's disk
 	// tier and the job journal (nil = memory-only, the historical
 	// behavior). The caller owns it: close it after Close.
@@ -91,18 +107,23 @@ func (o Options) withDefaults() Options {
 	if o.JobRetain == 0 {
 		o.JobRetain = 256
 	}
+	if o.MaxPipelineSteps == 0 {
+		o.MaxPipelineSteps = 32
+	}
 	return o
 }
 
 // Server is the dK topology service: an http.Handler wiring the cache,
 // the job engine, and the dataset registry to the /v1 endpoints.
 type Server struct {
-	opts    Options
-	cache   *Cache
-	jobs    *Engine
-	store   *store.Store // nil = memory-only
-	mux     *http.ServeMux
-	started time.Time
+	opts     Options
+	cache    *Cache
+	jobs     *Engine
+	store    *store.Store // nil = memory-only
+	mux      *http.ServeMux
+	routes   *routeStats
+	started  time.Time
+	draining atomic.Bool
 
 	dsMu    sync.Mutex
 	dsMemo  map[string]*dsEntry
@@ -167,28 +188,34 @@ func New(opts Options) *Server {
 		jobs:    NewJournaledEngine(opts.JobRunners, queueCap, opts.JobRetain, journal, MaxJournaledSeq(replayed)),
 		store:   opts.Store,
 		mux:     http.NewServeMux(),
+		routes:  newRouteStats(),
 		started: time.Now().UTC(),
 		dsMemo:  make(map[string]*dsEntry),
 	}
 	s.recoverJobs(replayed)
-	s.mux.HandleFunc("POST /v1/extract", s.handleExtract)
-	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
-	s.mux.HandleFunc("POST /v1/compare", s.handleCompare)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
-	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
-	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleDatasetGet)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.route("POST /v1/extract", s.handleExtract)
+	s.route("POST /v1/generate", s.handleGenerate)
+	s.route("POST /v1/compare", s.handleCompare)
+	s.route("POST /v1/pipelines", s.handlePipelineSubmit)
+	s.route("GET /v1/graphs/{hash}", s.handleGraphGet)
+	s.route("GET /v1/jobs", s.handleJobList)
+	s.route("GET /v1/jobs/{id}", s.handleJobGet)
+	s.route("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.route("GET /v1/datasets", s.handleDatasetList)
+	s.route("GET /v1/datasets/{name}", s.handleDatasetGet)
+	s.route("GET /v1/stats", s.handleStats)
+	s.route("GET /v1/healthz", s.handleHealthz)
+	s.route("GET /v1/readyz", s.handleReadyz)
 	return s
 }
 
 // recoverJobs re-queues journaled jobs that never reached a terminal
 // state in the previous process. Each recovered job keeps its original
-// id, so a client polling across the restart finds it again. Jobs whose
-// spec no longer resolves (e.g. the graph artifact was GC'd) are closed
-// out — journaled failed AND registered in the engine as failed, so the
-// poll answers with the reason rather than 404.
+// id, so a client polling across the restart finds it again. Specs are
+// re-validated and their graph references re-resolved up front; jobs
+// whose spec no longer resolves (e.g. the graph artifact was GC'd) are
+// closed out — journaled failed AND registered in the engine as failed,
+// so the poll answers with the reason rather than 404.
 func (s *Server) recoverJobs(states []store.JobState) {
 	for _, st := range states {
 		if st.Terminal() {
@@ -199,47 +226,53 @@ func (s *Server) recoverJobs(states []store.JobState) {
 			s.jobs.note(store.JobRecord{ID: st.ID, Status: store.JobFailed, Error: msg})
 			s.jobs.RegisterFailed(st.ID, st.Kind, st.Spec, msg)
 		}
-		if st.Kind != "generate" {
+		switch st.Kind {
+		case "generate":
+			var req GenerateRequest
+			if err := json.Unmarshal(st.Spec, &req); err != nil {
+				fail("recovery: bad spec: %v", err)
+				continue
+			}
+			d := 2
+			if req.D != nil {
+				d = *req.D
+			}
+			_, _, err := pipeline.ParseMethod(req.Method)
+			if err != nil || d < 0 || d > 3 || req.Replicas < 1 {
+				fail("recovery: invalid spec (d=%d replicas=%d method=%q)", d, req.Replicas, req.Method)
+				continue
+			}
+			if _, err := s.resolveRef(req.Source); err != nil {
+				fail("recovery: source: %v", err)
+				continue
+			}
+			if _, err := s.jobs.Resubmit(st.ID, "generate", st.Spec, s.generateJobFunc(req)); err != nil {
+				fail("recovery: %v", err)
+			}
+		case "pipeline":
+			var req dkapi.PipelineRequest
+			if err := json.Unmarshal(st.Spec, &req); err != nil {
+				fail("recovery: bad spec: %v", err)
+				continue
+			}
+			if err := pipeline.Validate(req, s.pipelineLimits()); err != nil {
+				fail("recovery: invalid spec: %v", err)
+				continue
+			}
+			// Journaled specs are normalized to hash references, so this
+			// resolves from the disk tier without recomputation — and
+			// tells us now, not mid-job, when an artifact is gone.
+			if err := s.resolvePipelineRefs(&req); err != nil {
+				fail("recovery: %v", err)
+				continue
+			}
+			if _, err := s.jobs.ResubmitTracked(st.ID, "pipeline", st.Spec, s.pipelineJobFunc(req)); err != nil {
+				fail("recovery: %v", err)
+			}
+		default:
 			fail("recovery: unknown job kind %q", st.Kind)
-			continue
-		}
-		var req GenerateRequest
-		if err := json.Unmarshal(st.Spec, &req); err != nil {
-			fail("recovery: bad spec: %v", err)
-			continue
-		}
-		d := 2
-		if req.D != nil {
-			d = *req.D
-		}
-		method, randomize, err := parseMethod(req.Method)
-		if err != nil || d < 0 || d > 3 || req.Replicas < 1 {
-			fail("recovery: invalid spec (d=%d replicas=%d method=%q)", d, req.Replicas, req.Method)
-			continue
-		}
-		entry, err := s.resolveRef(req.Source)
-		if err != nil {
-			fail("recovery: source: %v", err)
-			continue
-		}
-		methodName := req.Method
-		if methodName == "" {
-			methodName = "randomize"
-		}
-		params := genParams{
-			d: d, method: method, methodName: methodName,
-			randomize: randomize, compare: req.Compare,
-			replicas: req.Replicas, seed: req.Seed,
-		}
-		if _, err := s.jobs.Resubmit(st.ID, "generate", st.Spec, s.generateJobFunc(entry, params)); err != nil {
-			fail("recovery: %v", err)
 		}
 	}
-}
-
-// ServeHTTP dispatches to the /v1 routes.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
 }
 
 // Close stops the job engine. In-flight jobs finish; queued jobs fail.
@@ -265,21 +298,56 @@ func (s *Server) StoreStats() (store.Stats, bool) {
 	return s.store.Stats(), true
 }
 
-// DatasetInfo describes one built-in dataset on GET /v1/datasets.
-type DatasetInfo struct {
-	Name        string   `json:"name"`
-	Description string   `json:"description"`
-	Params      []string `json:"params,omitempty"`
-	Slow        bool     `json:"slow,omitempty"`
+// BuiltinDatasets lists the built-in dataset registry — the same table
+// GET /v1/datasets serves, exported for local CLI use.
+func BuiltinDatasets() []DatasetInfo {
+	return append([]DatasetInfo(nil), builtinDatasets...)
 }
 
 // builtinDatasets is the registry behind GET /v1/datasets, backed by
-// internal/datasets.
+// internal/datasets. DatasetInfo is wire vocabulary (pkg/dkapi).
 var builtinDatasets = []DatasetInfo{
 	{Name: "paw", Description: "the paper's §3 worked example: a triangle with one pendant node (4 nodes)"},
 	{Name: "petersen", Description: "the Petersen graph (3-regular, girth 5) — a metric-validation fixture"},
 	{Name: "hot", Description: "router-like HOT topology: hierarchical core/gateway/access/host graph, hubs at the periphery", Params: []string{"seed"}},
 	{Name: "skitter", Description: "AS-like topology: power-law degrees, disassortative, strongly clustered", Params: []string{"seed", "n"}, Slow: true},
+}
+
+// CheckDataset validates a dataset name and its parameters without
+// synthesizing anything. Errors are pre-classified: unknown names are
+// 404, parameter-limit violations are 413.
+func CheckDataset(name string, n int) error {
+	switch name {
+	case "paw", "petersen", "hot", "skitter":
+	default:
+		return &apiError{http.StatusNotFound, CodeNotFound, fmt.Sprintf("unknown dataset %q", name)}
+	}
+	if name == "skitter" && n > 10_000 {
+		return &apiError{http.StatusRequestEntityTooLarge, CodeTooLarge,
+			fmt.Sprintf("skitter n=%d exceeds the service bound of 10000", n)}
+	}
+	return nil
+}
+
+// SynthesizeDataset builds a built-in dataset graph (no memoization) —
+// the same registry, parameter bounds, and synthesis code the service's
+// /v1/datasets endpoints use, exported so the local facade (pkg/dk)
+// resolves dataset references identically to a remote server.
+func SynthesizeDataset(name string, seed int64, n int) (*graph.Graph, error) {
+	if err := CheckDataset(name, n); err != nil {
+		return nil, err
+	}
+	switch name {
+	case "paw":
+		return datasets.Paw(), nil
+	case "petersen":
+		return datasets.Petersen(), nil
+	case "hot":
+		g, _, err := datasets.HOT(datasets.HOTConfig{Seed: seed})
+		return g, err
+	default:
+		return datasets.Skitter(datasets.SkitterConfig{N: n, Seed: seed})
+	}
 }
 
 // datasetGraph synthesizes (or returns the memoized copy of) a built-in
@@ -289,16 +357,10 @@ var builtinDatasets = []DatasetInfo{
 // pre-classified: unknown names are 404, parameter-limit violations are
 // 413, synthesis failures are 500.
 func (s *Server) datasetGraph(name string, seed int64, n int) (*graph.Graph, error) {
-	switch name {
-	case "paw", "petersen", "hot", "skitter":
-	default:
-		// Reject unknown names before touching the memo so garbage
-		// requests cannot churn real entries out of it.
-		return nil, &apiError{http.StatusNotFound, CodeNotFound, fmt.Sprintf("unknown dataset %q", name)}
-	}
-	if name == "skitter" && n > 10_000 {
-		return nil, &apiError{http.StatusRequestEntityTooLarge, CodeTooLarge,
-			fmt.Sprintf("skitter n=%d exceeds the service bound of 10000", n)}
+	// Reject unknown names and bad parameters before touching the memo
+	// so garbage requests cannot churn real entries out of it.
+	if err := CheckDataset(name, n); err != nil {
+		return nil, err
 	}
 	key := fmt.Sprintf("%s/%d/%d", name, seed, n)
 	s.dsMu.Lock()
@@ -314,16 +376,7 @@ func (s *Server) datasetGraph(name string, seed int64, n int) (*graph.Graph, err
 	}
 	s.dsMu.Unlock()
 	e.once.Do(func() {
-		switch name {
-		case "paw":
-			e.g = datasets.Paw()
-		case "petersen":
-			e.g = datasets.Petersen()
-		case "hot":
-			e.g, _, e.err = datasets.HOT(datasets.HOTConfig{Seed: seed})
-		case "skitter":
-			e.g, e.err = datasets.Skitter(datasets.SkitterConfig{N: n, Seed: seed})
-		}
+		e.g, e.err = SynthesizeDataset(name, seed, n)
 	})
 	return e.g, e.err
 }

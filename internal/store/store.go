@@ -117,6 +117,18 @@ func (s *Store) Exclusive() bool { return s.journal.Exclusive() }
 // usable (they open files per call), but journal appends will fail.
 func (s *Store) Close() error { return s.journal.Close() }
 
+// Ping probes the store's readiness: the artifact directories must
+// still exist and be stat-able. It is deliberately cheap (no I/O beyond
+// a stat per subdirectory) — /v1/readyz calls it on every poll.
+func (s *Store) Ping() error {
+	for _, sub := range []string{"graphs", "profiles", "jobs"} {
+		if _, err := os.Stat(filepath.Join(s.dir, sub)); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	return nil
+}
+
 // hashHex validates a "sha256:<64 hex>" content address and returns the
 // hex part, which is the on-disk artifact name. Validation here is what
 // keeps externally supplied hashes from escaping the store directory.

@@ -1,0 +1,190 @@
+package dk_test
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/pkg/dk"
+	"repro/pkg/dkapi"
+)
+
+func mustGraph(t *testing.T, edges string) *dk.Graph {
+	t.Helper()
+	g, err := dk.ParseGraph(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestExtractCachedSemantics: within one session, the second extraction
+// of the same topology is a cache hit; the profile bytes are identical.
+func TestExtractCachedSemantics(t *testing.T) {
+	ctx := context.Background()
+	s := dk.NewSession()
+	g := mustGraph(t, "0 1\n1 2\n2 0\n2 3\n")
+
+	first, err := s.Extract(ctx, g, dk.ExtractOptions{D: dkapi.Int(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first extraction claims cached")
+	}
+	second, err := s.Extract(ctx, g, dk.ExtractOptions{D: dkapi.Int(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("shallower re-extraction did not hit the session cache")
+	}
+	if first.Graph != second.Graph {
+		t.Fatalf("graph infos differ: %+v vs %+v", first.Graph, second.Graph)
+	}
+}
+
+// TestGenerateWorkerInvariance: the ensemble is a pure function of
+// (seed, replicas) at any worker count.
+func TestGenerateWorkerInvariance(t *testing.T) {
+	ctx := context.Background()
+	g, err := dk.DatasetGraph("hot", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAt := func(workers int) string {
+		parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(0)
+		out, err := dk.Generate(ctx, g, dk.GenerateOptions{
+			D: dkapi.Int(2), Replicas: 4, Seed: 11, Compare: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, rg := range out.Graphs {
+			if err := rg.WriteEdgeList(&sb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, _ := json.Marshal(out.Result)
+		return string(res) + sb.String()
+	}
+	if runAt(1) != runAt(8) {
+		t.Fatal("generate output depends on the worker count")
+	}
+}
+
+// TestPipelineStepRefs: step outputs feed later inputs, including
+// replica selection, and the result is deterministic.
+func TestPipelineStepRefs(t *testing.T) {
+	ctx := context.Background()
+	req := dkapi.PipelineRequest{Steps: []dkapi.PipelineStep{
+		{ID: "ext", Op: dkapi.OpExtract, Source: &dkapi.GraphRef{Dataset: "hot", Seed: 3}, D: dkapi.Int(2)},
+		{ID: "rnd", Op: dkapi.OpRandomize, Source: &dkapi.GraphRef{Step: "ext"}, D: dkapi.Int(2), Replicas: 2, Seed: 4},
+		{ID: "cen", Op: dkapi.OpCensus, Source: &dkapi.GraphRef{Step: "rnd", Replica: 1}},
+		{ID: "met", Op: dkapi.OpMetrics, Source: &dkapi.GraphRef{Step: "rnd", Replica: 0}},
+	}}
+	out1, err := dk.RunPipeline(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out1.Result.Steps) != 4 {
+		t.Fatalf("got %d steps, want 4", len(out1.Result.Steps))
+	}
+	if out1.Result.Steps[2].Census == nil {
+		t.Fatal("census step has no census")
+	}
+	if out1.Result.Steps[3].Summary == nil {
+		t.Fatal("metrics step has no summary")
+	}
+	out2, err := dk.RunPipeline(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(out1.Result)
+	b2, _ := json.Marshal(out2.Result)
+	if string(b1) != string(b2) {
+		t.Fatal("two runs of the same pipeline differ")
+	}
+}
+
+// TestPipelineReplicasDontEvictSources: generated replicas are held as
+// detached entries, so a big ensemble cannot churn a hash-referenced
+// source graph out of the bounded session cache mid-pipeline (which
+// would fail a pipeline locally that succeeds against a server).
+func TestPipelineReplicasDontEvictSources(t *testing.T) {
+	ctx := context.Background()
+	s := dk.NewSessionWith(dk.SessionOptions{CacheEntries: 2})
+	g := mustGraph(t, "0 1\n1 2\n2 0\n2 3\n3 4\n4 0\n")
+	ref := s.Add(g)
+	out, err := s.Run(ctx, dkapi.PipelineRequest{Steps: []dkapi.PipelineStep{
+		{ID: "gen", Op: dkapi.OpGenerate, Source: &ref, D: dkapi.Int(1), Replicas: 6, Seed: 2},
+		{ID: "met", Op: dkapi.OpMetrics, Source: &ref},
+	}})
+	if err != nil {
+		t.Fatalf("hash ref stopped resolving after replica fan-out: %v", err)
+	}
+	if out.Result.Steps[1].Graph.Hash != g.Hash() {
+		t.Fatal("metrics step resolved a different graph")
+	}
+}
+
+// TestPipelineValidationErrors: the facade rejects malformed pipelines
+// without running anything.
+func TestPipelineValidationErrors(t *testing.T) {
+	ctx := context.Background()
+	_, err := dk.RunPipeline(ctx, dkapi.PipelineRequest{Steps: []dkapi.PipelineStep{
+		{ID: "x", Op: "teleport", Source: &dkapi.GraphRef{Dataset: "paw"}},
+	}})
+	if err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Fatalf("err = %v, want unknown op", err)
+	}
+}
+
+// TestContextCancellation: a canceled context stops the pipeline
+// between steps.
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := dk.RunPipeline(ctx, dkapi.PipelineRequest{Steps: []dkapi.PipelineStep{
+		{ID: "m", Op: dkapi.OpMetrics, Source: &dkapi.GraphRef{Dataset: "paw"}},
+	}})
+	if err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("err = %v, want context cancellation", err)
+	}
+}
+
+// TestGenerateFromProfile: profile-driven construction is deterministic
+// and honors the requested degree sequence (matching is exact at d=1).
+func TestGenerateFromProfile(t *testing.T) {
+	ctx := context.Background()
+	g, err := dk.DatasetGraph("hot", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := dk.Extract(ctx, g, dk.ExtractOptions{D: dkapi.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs, err := dk.GenerateFromProfile(ext.Profile, dk.GenerateOptions{
+		D: dkapi.Int(1), Method: "matching", Replicas: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graphs) != 2 {
+		t.Fatalf("got %d graphs, want 2", len(graphs))
+	}
+	for _, rg := range graphs {
+		if rg.N() != g.N() || rg.M() != g.M() {
+			t.Fatalf("matching replica %dx%d, want %dx%d (exact realization)",
+				rg.N(), rg.M(), g.N(), g.M())
+		}
+	}
+	if _, err := dk.GenerateFromProfile(ext.Profile, dk.GenerateOptions{Method: "randomize"}); err == nil {
+		t.Fatal("randomize from a bare profile should be rejected")
+	}
+}

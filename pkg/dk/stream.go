@@ -1,0 +1,55 @@
+package dk
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SplitReplicaStream parses a bulk job-result stream — concatenated
+// replica edge lists, each introduced by a "# replica <i>" (generate
+// jobs) or "# step <id> replica <i>" (pipeline jobs) marker line — into
+// graphs, in stream order. Re-serializing each graph with WriteEdgeList
+// reproduces the stream's bytes, which is how remote CLI runs write the
+// same files a local run does.
+func SplitReplicaStream(r io.Reader) ([]*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []*Graph
+	var cur *strings.Builder
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		g, err := ParseGraph(cur.String())
+		if err != nil {
+			return fmt.Errorf("replica %d: %w", len(out), err)
+		}
+		out = append(out, g)
+		cur = nil
+		return nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# replica ") || strings.HasPrefix(line, "# step ") {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			cur = &strings.Builder{}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("stream did not start with a replica marker (got %q)", line)
+		}
+		cur.WriteString(line)
+		cur.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

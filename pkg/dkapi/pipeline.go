@@ -1,0 +1,185 @@
+package dkapi
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Pipeline step operations. A pipeline is a declarative DAG: each step
+// names its inputs (graph references, possibly the outputs of earlier
+// steps) and produces named outputs later steps can consume — one
+// POST /v1/pipelines request replaces the extract→poll→generate→poll→
+// compare round-trip scripting the paper's workflow by hand.
+const (
+	OpExtract   = "extract"   // dK-profile of the source (+ optional metrics)
+	OpGenerate  = "generate"  // construct/randomize a replica ensemble
+	OpRandomize = "randomize" // generate with method forced to "randomize"
+	OpCompare   = "compare"   // D_d distances + metric side-by-side
+	OpCensus    = "census"    // 3K wedge/triangle census of the source
+	OpMetrics   = "metrics"   // scalar metric summary of the source's GCC
+)
+
+// PipelineRequest is the body of POST /v1/pipelines: an ordered list of
+// steps. Steps may reference only earlier steps, so declaration order is
+// a valid execution order; replica fan-out inside generate steps is
+// parallelized, and results are identical at any worker count.
+type PipelineRequest struct {
+	Steps []PipelineStep `json:"steps"`
+}
+
+// PipelineStep is one operation in a pipeline. Which fields apply
+// depends on Op:
+//
+//	extract    Source, D (default 3), Metrics, Spectral, Sample, Seed
+//	generate   Source, D (default 2), Method, Replicas, Seed, Compare
+//	randomize  Source, D (default 2), Replicas, Seed, Compare
+//	compare    A, B, D (default 3), Spectral, Sample, Seed
+//	census     Source
+//	metrics    Source, Spectral, Sample, Seed
+type PipelineStep struct {
+	// ID names the step; later steps reference its graph output as
+	// {"step": id}. Required, unique, [A-Za-z0-9_-]+.
+	ID string `json:"id"`
+	// Op is one of the Op* constants.
+	Op string `json:"op"`
+	// Source is the input graph of every op except compare.
+	Source *GraphRef `json:"source,omitempty"`
+	// A, B are the two inputs of a compare step.
+	A *GraphRef `json:"a,omitempty"`
+	B *GraphRef `json:"b,omitempty"`
+	// D is the dK depth; nil selects the op's documented default.
+	D *int `json:"d,omitempty"`
+	// Method selects the construction algorithm of a generate step
+	// (default randomize).
+	Method string `json:"method,omitempty"`
+	// Replicas is the ensemble size of a generate/randomize step
+	// (default 1).
+	Replicas int `json:"replicas,omitempty"`
+	// Seed drives the step's randomness. Generate steps default to 0;
+	// extract/compare/metrics default to 1 (matching the standalone
+	// endpoints).
+	Seed int64 `json:"seed,omitempty"`
+	// Compare adds per-replica D_d distances to a generate step.
+	Compare bool `json:"compare,omitempty"`
+	// Metrics adds the scalar metric summary to an extract step.
+	Metrics bool `json:"metrics,omitempty"`
+	// Spectral adds Laplacian spectrum bounds to summaries.
+	Spectral bool `json:"spectral,omitempty"`
+	// Sample bounds BFS sources for distance metrics (0 = exact).
+	Sample int `json:"sample,omitempty"`
+}
+
+// Step status values, reported per step while a pipeline job runs.
+const (
+	StepPending = "pending"
+	StepRunning = "running"
+	StepDone    = "done"
+	StepFailed  = "failed"
+	StepSkipped = "skipped" // an earlier step failed; this one never ran
+)
+
+// StepStatus is the live progress record of one step, served in the
+// job view's "progress" array while a pipeline executes.
+type StepStatus struct {
+	ID     string `json:"id"`
+	Op     string `json:"op"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// StepResult is the outcome of one finished step. Exactly the fields
+// meaningful for the step's op are set; everything is deterministic — no
+// timestamps — so two runs of the same pipeline marshal to identical
+// bytes, locally or through the service.
+type StepResult struct {
+	ID string `json:"id"`
+	Op string `json:"op"`
+	// Graph describes the resolved source graph (ops with a source).
+	Graph *GraphInfo `json:"graph,omitempty"`
+	// A, B describe the resolved inputs of a compare step.
+	A *GraphInfo `json:"a,omitempty"`
+	B *GraphInfo `json:"b,omitempty"`
+	// D echoes the effective depth of extract/generate/compare steps.
+	D int `json:"d"`
+	// Cached reports whether an extract step's profile was served
+	// without recomputation. It is deliberately excluded from the wire
+	// form: a pipeline result must be a pure function of the request —
+	// byte-identical across runs and across local/remote execution — and
+	// cache state is not. POST /v1/extract surfaces it separately.
+	Cached bool `json:"-"`
+	// Profile is the dK-profile of an extract step.
+	Profile *Profile `json:"profile,omitempty"`
+	// Census is the wedge/triangle census of a census step.
+	Census *Census `json:"census,omitempty"`
+	// Summary is the metric summary of an extract (with metrics) or
+	// metrics step.
+	Summary *Summary `json:"summary,omitempty"`
+	// SummaryA/SummaryB are the side-by-side summaries of a compare step.
+	SummaryA *Summary `json:"summary_a,omitempty"`
+	SummaryB *Summary `json:"summary_b,omitempty"`
+	// Distances are the D_d values of a compare step (d = 0..D).
+	Distances []DistanceEntry `json:"distances,omitempty"`
+	// Method, Seed, Replicas describe a generate/randomize step's
+	// ensemble.
+	Method   string        `json:"method,omitempty"`
+	Seed     int64         `json:"seed,omitempty"`
+	Replicas []ReplicaInfo `json:"replicas,omitempty"`
+}
+
+// PipelineResult is the result summary of a finished pipeline job. The
+// generated graphs themselves stream from /v1/jobs/{id}/result, each
+// replica prefixed by "# step <id> replica <i>".
+type PipelineResult struct {
+	Steps []StepResult `json:"steps"`
+}
+
+// JobStatus is the lifecycle state of an asynchronous job.
+type JobStatus string
+
+// Job lifecycle states. A job moves queued → running → done | failed;
+// there are no other transitions.
+const (
+	JobQueued  JobStatus = "queued"
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// JobView is the JSON snapshot of a job, served by GET /v1/jobs/{id}.
+// Result holds the kind-specific result summary (GenerateResult,
+// PipelineResult); Progress holds live per-step status for pipeline
+// jobs.
+type JobView struct {
+	ID        string     `json:"id"`
+	Kind      string     `json:"kind"`
+	Status    JobStatus  `json:"status"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Progress  any        `json:"progress,omitempty"`
+	Result    any        `json:"result,omitempty"`
+	ResultURL string     `json:"result_url,omitempty"`
+}
+
+// JobEnvelope is the client-side decode target for a job view: Result
+// and Progress stay raw so the caller can unmarshal them into the
+// kind-specific type without a lossy round-trip through map[string]any
+// (which would reorder keys and break byte-identical re-marshaling).
+type JobEnvelope struct {
+	ID        string          `json:"id"`
+	Kind      string          `json:"kind"`
+	Status    JobStatus       `json:"status"`
+	Submitted time.Time       `json:"submitted"`
+	Started   *time.Time      `json:"started,omitempty"`
+	Finished  *time.Time      `json:"finished,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Progress  json.RawMessage `json:"progress,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	ResultURL string          `json:"result_url,omitempty"`
+}
+
+// Terminal reports whether the job has finished (done or failed).
+func (e *JobEnvelope) Terminal() bool {
+	return e.Status == JobDone || e.Status == JobFailed
+}

@@ -1,0 +1,515 @@
+// Package dkclient is the Go SDK for the dK topology service: a typed
+// HTTP client over the wire vocabulary of pkg/dkapi, covering every
+// /v1 endpoint — extraction, asynchronous generation and pipelines with
+// job polling, comparison, datasets, health, and stats.
+//
+//	c, _ := dkclient.New("http://localhost:8080")
+//	ext, _ := c.ExtractEdges(ctx, "0 1\n1 2\n2 0\n", dkclient.ExtractOptions{D: dkapi.Int(2)})
+//	res, _ := c.RunPipeline(ctx, req)   // submit + poll + decode
+//
+// The client is deliberately boring where it matters:
+//
+//   - Re-upload avoidance: EnsureGraph computes the same content hash
+//     the server would and probes GET /v1/graphs/{hash} first, so a
+//     topology the server has seen is never shipped twice.
+//   - Retries: safely-rejected submissions (429 queue_full, 503
+//     unavailable — both issued before anything is enqueued) and GETs
+//     back off exponentially and honor Retry-After; POSTs are never
+//     re-sent after a transport error, which could duplicate a job.
+//     Everything is context-aware.
+//   - Polling: WaitJob polls with capped exponential backoff until the
+//     job is terminal.
+//   - Streaming: JobResult returns the bulk result as an io.ReadCloser
+//     so replica ensembles never need to fit in memory.
+package dkclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/graph"
+	"repro/pkg/dkapi"
+)
+
+// APIError is a non-2xx response decoded from the service's uniform
+// error envelope.
+type APIError struct {
+	Status int    // HTTP status code
+	Code   string // machine code ("bad_request", "not_found", …)
+	Msg    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("dkclient: %s (HTTP %d, code %s)", e.Msg, e.Status, e.Code)
+}
+
+// IsNotFound reports whether err is an APIError with code not_found.
+func IsNotFound(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == dkapi.CodeNotFound
+}
+
+// Options tunes a Client. The zero value is production-sensible.
+type Options struct {
+	// HTTPClient overrides the transport (default: a client with a
+	// 5-minute overall timeout; rely on ctx for per-call deadlines).
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts beyond the first try (default 4).
+	MaxRetries int
+	// RetryBase is the first retry delay (default 100ms; doubles per
+	// attempt, capped at 5s). Retry-After headers override it.
+	RetryBase time.Duration
+	// PollInitial is the first job-poll delay (default 50ms).
+	PollInitial time.Duration
+	// PollMax caps the job-poll delay (default 2s; the interval grows
+	// 1.5× per poll).
+	PollMax time.Duration
+}
+
+// Client talks to one dkserved base URL. It is safe for concurrent use.
+type Client struct {
+	base *url.URL
+	hc   *http.Client
+	opts Options
+}
+
+// New builds a client for a base URL like "http://localhost:8080". The
+// /v1 prefix is implied; a trailing slash is tolerated.
+func New(baseURL string, opts ...Options) (*Client, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	u, err := url.Parse(strings.TrimSuffix(baseURL, "/"))
+	if err != nil {
+		return nil, fmt.Errorf("dkclient: bad base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("dkclient: base URL %q needs a scheme and host", baseURL)
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{Timeout: 5 * time.Minute}
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 4
+	}
+	if o.RetryBase == 0 {
+		o.RetryBase = 100 * time.Millisecond
+	}
+	if o.PollInitial == 0 {
+		o.PollInitial = 50 * time.Millisecond
+	}
+	if o.PollMax == 0 {
+		o.PollMax = 2 * time.Second
+	}
+	return &Client{base: u, hc: o.HTTPClient, opts: o}, nil
+}
+
+// urlFor joins the base URL with a /v1 path and query values.
+func (c *Client) urlFor(path string, q url.Values) string {
+	u := *c.base
+	u.Path = strings.TrimSuffix(u.Path, "/") + path
+	if len(q) > 0 {
+		u.RawQuery = q.Encode()
+	}
+	return u.String()
+}
+
+// retryable reports whether a response status may be retried: 429 means
+// the job queue rejected the submission (nothing was enqueued), 503
+// means the server is draining or a dependency is down — both leave the
+// server unchanged, so POSTs are as safe to retry as GETs.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// retryDelay picks the next backoff delay, honoring Retry-After.
+func (c *Client) retryDelay(attempt int, resp *http.Response) time.Duration {
+	if resp != nil {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				return time.Duration(secs) * time.Second
+			}
+		}
+	}
+	d := c.opts.RetryBase << attempt
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}
+
+// do executes one request with retries, returning the successful
+// response (body open, caller closes) or the decoded API error of the
+// final attempt. body is re-sent from bytes on every attempt.
+func (c *Client) do(ctx context.Context, method, u string, contentType string, body []byte) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, u, rd)
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = err
+			// Transport errors (connection refused, reset) are retried
+			// only for GETs: a POST whose connection died mid-response
+			// may already have enqueued its job server-side, and
+			// re-sending it would enqueue a duplicate that runs as an
+			// orphan. 429/503 rejections below carry no such ambiguity —
+			// the server answered without enqueueing.
+			if method != http.MethodGet || attempt >= c.opts.MaxRetries {
+				return nil, lastErr
+			}
+			if err := sleepCtx(ctx, c.retryDelay(attempt, nil)); err != nil {
+				return nil, lastErr
+			}
+			continue
+		}
+		if resp.StatusCode < 400 {
+			return resp, nil
+		}
+		apiErr := decodeError(resp)
+		resp.Body.Close()
+		lastErr = apiErr
+		if !retryable(resp.StatusCode) || attempt >= c.opts.MaxRetries {
+			return nil, lastErr
+		}
+		if err := sleepCtx(ctx, c.retryDelay(attempt, resp)); err != nil {
+			return nil, lastErr
+		}
+	}
+}
+
+// sleepCtx sleeps or returns early with the context's error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// decodeError turns a non-2xx response into an *APIError.
+func decodeError(resp *http.Response) *APIError {
+	var envelope dkapi.ErrorResponse
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err := json.Unmarshal(data, &envelope); err != nil || envelope.Error == "" {
+		envelope.Error = strings.TrimSpace(string(data))
+		if envelope.Error == "" {
+			envelope.Error = resp.Status
+		}
+	}
+	return &APIError{Status: resp.StatusCode, Code: envelope.Code, Msg: envelope.Error}
+}
+
+// getJSON GETs u and decodes the response into out.
+func (c *Client) getJSON(ctx context.Context, u string, out any) error {
+	resp, err := c.do(ctx, http.MethodGet, u, "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// postJSON POSTs v as JSON to u and decodes the response into out.
+func (c *Client) postJSON(ctx context.Context, u string, v, out any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(ctx, http.MethodPost, u, "application/json", body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health calls GET /v1/healthz.
+func (c *Client) Health(ctx context.Context) (dkapi.HealthResponse, error) {
+	var out dkapi.HealthResponse
+	err := c.getJSON(ctx, c.urlFor("/v1/healthz", nil), &out)
+	return out, err
+}
+
+// Ready calls GET /v1/readyz. A draining or degraded server answers
+// 503; the decoded ReadyResponse is returned alongside the APIError
+// when the body parses.
+func (c *Client) Ready(ctx context.Context) (dkapi.ReadyResponse, error) {
+	// Readiness probes must see the 503 body, not retry it away.
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.urlFor("/v1/readyz", nil), nil)
+	if err != nil {
+		return dkapi.ReadyResponse{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return dkapi.ReadyResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out dkapi.ReadyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return dkapi.ReadyResponse{}, err
+	}
+	return out, nil
+}
+
+// Stats calls GET /v1/stats.
+func (c *Client) Stats(ctx context.Context) (*dkapi.StatsResponse, error) {
+	var out dkapi.StatsResponse
+	err := c.getJSON(ctx, c.urlFor("/v1/stats", nil), &out)
+	return &out, err
+}
+
+// Datasets calls GET /v1/datasets.
+func (c *Client) Datasets(ctx context.Context) ([]dkapi.DatasetInfo, error) {
+	var out []dkapi.DatasetInfo
+	err := c.getJSON(ctx, c.urlFor("/v1/datasets", nil), &out)
+	return out, err
+}
+
+// DatasetEdges downloads a built-in dataset's edge list.
+func (c *Client) DatasetEdges(ctx context.Context, name string, seed int64, n int) (string, error) {
+	q := url.Values{}
+	if seed != 0 {
+		q.Set("seed", strconv.FormatInt(seed, 10))
+	}
+	if n != 0 {
+		q.Set("n", strconv.Itoa(n))
+	}
+	resp, err := c.do(ctx, http.MethodGet, c.urlFor("/v1/datasets/"+url.PathEscape(name), q), "", nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// LookupGraph calls GET /v1/graphs/{hash}: does the server know this
+// content hash (memory or disk tier)? Unknown hashes return an
+// APIError with code not_found (test with IsNotFound).
+func (c *Client) LookupGraph(ctx context.Context, hash string) (dkapi.GraphInfo, error) {
+	var out dkapi.GraphInfo
+	err := c.getJSON(ctx, c.urlFor("/v1/graphs/"+url.PathEscape(hash), nil), &out)
+	return out, err
+}
+
+// EnsureGraph makes a topology referenceable by hash on the server
+// while uploading it at most once: it computes the content hash
+// locally — the same canonical-edge-list SHA-256 the server computes —
+// probes GET /v1/graphs/{hash}, and only on a miss uploads the edge
+// list (via a d=0 extract, the cheapest interning request). The boolean
+// reports whether the upload was skipped.
+func (c *Client) EnsureGraph(ctx context.Context, edges string) (dkapi.GraphInfo, bool, error) {
+	g, labels, err := graph.ReadEdgeList(strings.NewReader(edges))
+	if err != nil {
+		return dkapi.GraphInfo{}, false, fmt.Errorf("dkclient: parse edge list: %w", err)
+	}
+	hash := graph.ContentHash(g, labels)
+	if info, err := c.LookupGraph(ctx, hash); err == nil {
+		return info, true, nil
+	} else if !IsNotFound(err) {
+		return dkapi.GraphInfo{}, false, err
+	}
+	ext, err := c.ExtractEdges(ctx, edges, ExtractOptions{D: dkapi.Int(0)})
+	if err != nil {
+		return dkapi.GraphInfo{}, false, err
+	}
+	return ext.Graph, false, nil
+}
+
+// ExtractOptions mirrors the query parameters of POST /v1/extract.
+type ExtractOptions struct {
+	// D is the extraction depth 0..3 (nil = 3); use dkapi.Int.
+	D *int
+	// Metrics adds the scalar metric summary of the giant component.
+	Metrics bool
+	// Spectral adds Laplacian spectrum bounds to the summary.
+	Spectral bool
+	// Sample bounds BFS sources for distance metrics (0 = exact).
+	Sample int
+	// Seed drives sampling/Lanczos and dataset synthesis (0 = server
+	// default 1).
+	Seed int64
+	// Dataset extracts a built-in dataset instead of an uploaded body.
+	Dataset string
+	// DatasetSeed is the dataset synthesis seed (?dseed), kept separate
+	// from the sampling Seed; nil defers to the server's default
+	// (which is Seed). 0 is meaningful — use dkapi.Int64.
+	DatasetSeed *int64
+	// N is the dataset size parameter (skitter).
+	N int
+}
+
+func (o ExtractOptions) query() url.Values {
+	q := url.Values{}
+	if o.D != nil {
+		q.Set("d", strconv.Itoa(*o.D))
+	}
+	if o.Metrics {
+		q.Set("metrics", "1")
+	}
+	if o.Spectral {
+		q.Set("spectral", "1")
+	}
+	if o.Sample != 0 {
+		q.Set("sample", strconv.Itoa(o.Sample))
+	}
+	if o.Seed != 0 {
+		q.Set("seed", strconv.FormatInt(o.Seed, 10))
+	}
+	if o.Dataset != "" {
+		q.Set("dataset", o.Dataset)
+	}
+	if o.DatasetSeed != nil {
+		q.Set("dseed", strconv.FormatInt(*o.DatasetSeed, 10))
+	}
+	if o.N != 0 {
+		q.Set("n", strconv.Itoa(o.N))
+	}
+	return q
+}
+
+// ExtractEdges POSTs an edge list to /v1/extract. Pass opts.Dataset
+// (with empty edges) to extract a built-in dataset instead.
+func (c *Client) ExtractEdges(ctx context.Context, edges string, opts ExtractOptions) (*dkapi.ExtractResponse, error) {
+	var body []byte
+	if opts.Dataset == "" {
+		body = []byte(edges)
+	}
+	resp, err := c.do(ctx, http.MethodPost, c.urlFor("/v1/extract", opts.query()), "text/plain", body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out dkapi.ExtractResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Compare POSTs to /v1/compare.
+func (c *Client) Compare(ctx context.Context, req dkapi.CompareRequest) (*dkapi.CompareResponse, error) {
+	var out dkapi.CompareResponse
+	if err := c.postJSON(ctx, c.urlFor("/v1/compare", nil), req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SubmitGenerate POSTs to /v1/generate and returns the accepted job id.
+func (c *Client) SubmitGenerate(ctx context.Context, req dkapi.GenerateRequest) (dkapi.JobAccepted, error) {
+	var out dkapi.JobAccepted
+	err := c.postJSON(ctx, c.urlFor("/v1/generate", nil), req, &out)
+	return out, err
+}
+
+// SubmitPipeline POSTs to /v1/pipelines and returns the accepted job id.
+func (c *Client) SubmitPipeline(ctx context.Context, req dkapi.PipelineRequest) (dkapi.JobAccepted, error) {
+	var out dkapi.JobAccepted
+	err := c.postJSON(ctx, c.urlFor("/v1/pipelines", nil), req, &out)
+	return out, err
+}
+
+// Job polls GET /v1/jobs/{id} once.
+func (c *Client) Job(ctx context.Context, id string) (*dkapi.JobEnvelope, error) {
+	var out dkapi.JobEnvelope
+	if err := c.getJSON(ctx, c.urlFor("/v1/jobs/"+url.PathEscape(id), nil), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitJob polls a job with capped exponential backoff until it reaches
+// a terminal state (or ctx is done). Failed jobs come back as an error
+// carrying the job's failure message, with the envelope alongside.
+func (c *Client) WaitJob(ctx context.Context, id string) (*dkapi.JobEnvelope, error) {
+	delay := c.opts.PollInitial
+	for {
+		env, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if env.Terminal() {
+			if env.Status == dkapi.JobFailed {
+				return env, fmt.Errorf("dkclient: job %s failed: %s", id, env.Error)
+			}
+			return env, nil
+		}
+		if err := sleepCtx(ctx, delay); err != nil {
+			return nil, err
+		}
+		delay = delay * 3 / 2
+		if delay > c.opts.PollMax {
+			delay = c.opts.PollMax
+		}
+	}
+}
+
+// JobResult streams GET /v1/jobs/{id}/result. The caller must close the
+// returned reader.
+func (c *Client) JobResult(ctx context.Context, id string) (io.ReadCloser, error) {
+	resp, err := c.do(ctx, http.MethodGet, c.urlFor("/v1/jobs/"+url.PathEscape(id)+"/result", nil), "", nil)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// GenerateWait submits a generate request and waits for its result.
+func (c *Client) GenerateWait(ctx context.Context, req dkapi.GenerateRequest) (*dkapi.GenerateResult, string, error) {
+	acc, err := c.SubmitGenerate(ctx, req)
+	if err != nil {
+		return nil, "", err
+	}
+	env, err := c.WaitJob(ctx, acc.JobID)
+	if err != nil {
+		return nil, acc.JobID, err
+	}
+	var out dkapi.GenerateResult
+	if err := json.Unmarshal(env.Result, &out); err != nil {
+		return nil, acc.JobID, fmt.Errorf("dkclient: decode generate result: %w", err)
+	}
+	return &out, acc.JobID, nil
+}
+
+// RunPipeline submits a pipeline and waits for its result. The returned
+// job id can be handed to JobResult to stream the generated ensembles.
+func (c *Client) RunPipeline(ctx context.Context, req dkapi.PipelineRequest) (*dkapi.PipelineResult, string, error) {
+	acc, err := c.SubmitPipeline(ctx, req)
+	if err != nil {
+		return nil, "", err
+	}
+	env, err := c.WaitJob(ctx, acc.JobID)
+	if err != nil {
+		return nil, acc.JobID, err
+	}
+	var out dkapi.PipelineResult
+	if err := json.Unmarshal(env.Result, &out); err != nil {
+		return nil, acc.JobID, fmt.Errorf("dkclient: decode pipeline result: %w", err)
+	}
+	return &out, acc.JobID, nil
+}
