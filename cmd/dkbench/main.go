@@ -1,0 +1,310 @@
+// Command dkbench is the core benchmark harness: it times the paper's
+// §4.1.4 construction pipeline and §2 metric suite — the repository's
+// hot paths — on a synthetic skitter-like topology at two sizes with
+// fixed seeds, and writes the results to a JSON report. The committed
+// BENCH_core.json at the repository root is this tool's output on the
+// reference machine: every PR that touches a hot path re-runs dkbench
+// and commits the delta, so the performance trajectory of extraction,
+// generation, connection, rewiring, and the metric sweep is tracked in
+// version control the same way BENCH_store.json tracks the artifact
+// store (see docs/PERF.md).
+//
+//	dkbench                          # both sizes → BENCH_core.json
+//	dkbench -size small -out /tmp/b.json
+//	dkbench -verify BENCH_core.json  # schema/completeness check (CI)
+//
+// Workloads per size (all keys always present):
+//
+//	extract_1k/2k/3k   dK-profile extraction at depths 1..3
+//	stochastic_1k/2k   §4.1.1 stochastic constructions
+//	pseudograph_2k     §4.1.2 edge-end grouping configuration model
+//	matching_2k        §4.1.3 loop-avoiding stub matching
+//	connect            Viger–Latapy connectivity repair of the
+//	                   matching output (ConnectViaSwaps)
+//	rewire_d0..d3      dK-preserving randomizing rewiring
+//	metrics            scalar metric sweep of the GCC (incl. spectral)
+//
+// Timings are mean wall-clock milliseconds over a fixed iteration
+// count (heavy workloads run once). Rewiring uses SwapFactor 2 — the
+// report tracks per-move cost trajectory, not full mixing, which the
+// ablation benchmarks at the repository root cover.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/datasets"
+	"repro/internal/dk"
+	"repro/internal/generate"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+)
+
+// schemaVersion identifies the report layout; bump on breaking changes.
+const schemaVersion = "dkbench/v1"
+
+// workloadKeys is the complete workload vocabulary; -verify checks
+// every key is present for every size in a report.
+var workloadKeys = []string{
+	"extract_1k", "extract_2k", "extract_3k",
+	"stochastic_1k", "stochastic_2k",
+	"pseudograph_2k", "matching_2k", "connect",
+	"rewire_d0", "rewire_d1", "rewire_d2", "rewire_d3",
+	"metrics",
+}
+
+// workload is one timed measurement.
+type workload struct {
+	MS    float64 `json:"ms"`    // mean wall-clock per run
+	Iters int     `json:"iters"` // timed runs averaged over
+}
+
+// sizeReport carries one topology size's measurements.
+type sizeReport struct {
+	N         int                 `json:"n"`
+	M         int                 `json:"m"`
+	Workloads map[string]workload `json:"workloads"`
+}
+
+// report is the schema of BENCH_core.json.
+type report struct {
+	Schema  string                 `json:"schema"`
+	Seed    int64                  `json:"seed"`
+	Workers int                    `json:"workers"`
+	Sizes   map[string]*sizeReport `json:"sizes"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_core.json", "report output path")
+	size := flag.String("size", "both", "which sizes to run: small|large|both")
+	smallN := flag.Int("small-n", 1000, "node count of the small topology")
+	largeN := flag.Int("large-n", 4000, "node count of the large topology")
+	seed := flag.Int64("seed", 2, "synthesis and workload seed")
+	verify := flag.String("verify", "", "verify an existing report instead of benchmarking")
+	workers := flag.Int("workers", 0, "worker budget (0 = GOMAXPROCS)")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if cli.Version("dkbench", *showVersion) {
+		return
+	}
+	if *verify != "" {
+		if err := verifyReport(*verify); err != nil {
+			fmt.Fprintf(os.Stderr, "dkbench: verify %s: %v\n", *verify, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: schema %s complete\n", *verify, schemaVersion)
+		return
+	}
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
+	sizes := map[string]int{}
+	switch *size {
+	case "small":
+		sizes["small"] = *smallN
+	case "large":
+		sizes["large"] = *largeN
+	case "both":
+		sizes["small"], sizes["large"] = *smallN, *largeN
+	default:
+		fmt.Fprintf(os.Stderr, "dkbench: -size %q (want small|large|both)\n", *size)
+		os.Exit(2)
+	}
+	rep := &report{Schema: schemaVersion, Seed: *seed, Workers: parallel.Workers(), Sizes: map[string]*sizeReport{}}
+	for _, name := range []string{"small", "large"} {
+		n, ok := sizes[name]
+		if !ok {
+			continue
+		}
+		sr, err := runSize(name, n, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dkbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		rep.Sizes[name] = sr
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dkbench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dkbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// runSize measures every workload on one synthesized topology.
+func runSize(name string, n int, seed int64) (*sizeReport, error) {
+	fmt.Fprintf(os.Stderr, "dkbench: %s: synthesizing skitter-like topology n=%d...\n", name, n)
+	src, err := datasets.Skitter(datasets.SkitterConfig{N: n, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	sr := &sizeReport{N: src.N(), M: src.M(), Workloads: map[string]workload{}}
+	record := func(key string, iters int, f func(rng *rand.Rand) error) error {
+		ms, err := timeIt(iters, seed, f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", key, err)
+		}
+		sr.Workloads[key] = workload{MS: ms, Iters: iters}
+		fmt.Fprintf(os.Stderr, "dkbench: %s: %-15s %10.2f ms\n", name, key, ms)
+		return nil
+	}
+
+	// Extraction at each depth; the depth-3 census dominates.
+	var profile *dk.Profile
+	for d := 1; d <= 3; d++ {
+		d := d
+		iters := 5
+		if d == 3 {
+			iters = 1
+		}
+		err := record(fmt.Sprintf("extract_%dk", d), iters, func(*rand.Rand) error {
+			p, err := dk.ExtractGraph(src, d)
+			if err == nil && d == 2 {
+				profile = p
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Stochastic constructions from the extracted distributions.
+	if err := record("stochastic_1k", 5, func(rng *rand.Rand) error {
+		_, err := generate.Stochastic1K(profile.Degrees, generate.Options{Rng: rng})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := record("stochastic_2k", 5, func(rng *rand.Rand) error {
+		_, err := generate.Stochastic2K(profile.Joint, generate.Options{Rng: rng})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// Configuration-model constructions; matching's output doubles as
+	// the (generally disconnected) input of the connect workload.
+	if err := record("pseudograph_2k", 3, func(rng *rand.Rand) error {
+		_, err := generate.Pseudograph2K(profile.Joint, generate.Options{Rng: rng})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	var matched *graph.Graph
+	if err := record("matching_2k", 3, func(rng *rand.Rand) error {
+		g, err := generate.Matching2K(profile.Joint, generate.Options{Rng: rng})
+		matched = g
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	// Clones are pre-built outside the timed region — Clone is O(n+m),
+	// the same order as the rewritten ConnectViaSwaps, so timing it
+	// would let clone cost mask a regression in the repair itself.
+	const connectIters = 5
+	connectInputs := make([]*graph.Graph, connectIters+1) // +1 warm-up
+	for i := range connectInputs {
+		connectInputs[i] = matched.Clone()
+	}
+	if err := record("connect", connectIters, func(rng *rand.Rand) error {
+		work := connectInputs[0]
+		connectInputs = connectInputs[1:]
+		_, err := generate.ConnectViaSwaps(work, rng)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// dK-preserving randomizing rewiring, depths 0..3.
+	for d := 0; d <= 3; d++ {
+		d := d
+		iters := 3
+		if d == 3 {
+			iters = 1
+		}
+		err := record(fmt.Sprintf("rewire_d%d", d), iters, func(rng *rand.Rand) error {
+			_, _, err := generate.Randomize(src, d, generate.RandomizeOptions{Rng: rng, SwapFactor: 2})
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// The scalar metric sweep of the paper's tables, on the GCC.
+	gcc, _ := graph.GiantComponent(src)
+	s := gcc.Static()
+	if err := record("metrics", 1, func(rng *rand.Rand) error {
+		_, err := metrics.Summarize(s, metrics.SummaryOptions{Spectral: true, Rng: rng})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return sr, nil
+}
+
+// timeIt runs f once as warm-up (when iters > 1), then iters timed runs
+// with fresh identically-seeded RNGs, and returns the mean wall-clock
+// milliseconds — the same convention as `dkstore bench`.
+func timeIt(iters int, seed int64, f func(rng *rand.Rand) error) (float64, error) {
+	if iters > 1 {
+		if err := f(rand.New(rand.NewSource(seed))); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := f(rand.New(rand.NewSource(seed))); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Seconds() * 1000 / float64(iters), nil
+}
+
+// verifyReport checks that a report file parses, carries the current
+// schema, and holds every workload key for every size it reports —
+// the CI smoke gate that keeps BENCH_core.json from silently rotting.
+func verifyReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return err
+	}
+	if rep.Schema != schemaVersion {
+		return fmt.Errorf("schema %q, want %q", rep.Schema, schemaVersion)
+	}
+	if len(rep.Sizes) == 0 {
+		return fmt.Errorf("no sizes recorded")
+	}
+	for size, sr := range rep.Sizes {
+		if sr == nil || sr.N <= 0 || sr.M <= 0 {
+			return fmt.Errorf("size %q: missing topology dimensions", size)
+		}
+		for _, key := range workloadKeys {
+			w, ok := sr.Workloads[key]
+			if !ok {
+				return fmt.Errorf("size %q: workload %q missing", size, key)
+			}
+			if w.Iters <= 0 || w.MS < 0 {
+				return fmt.Errorf("size %q: workload %q has implausible numbers: %+v", size, key, w)
+			}
+		}
+	}
+	return nil
+}

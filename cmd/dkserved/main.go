@@ -35,6 +35,17 @@
 // The -workers flag bounds the process-wide worker budget shared by the
 // job engine and every parallel metric sweep; as everywhere in this
 // repository, worker count never changes results, only wall-clock time.
+//
+// Profiling: -pprof (off by default) additionally mounts the standard
+// net/http/pprof handlers under /debug/pprof/ on the same listener —
+// CPU/heap/goroutine profiles of a live server, e.g.
+//
+//	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
+//
+// The endpoints expose internals and cost CPU while profiling, so keep
+// the flag off outside debugging sessions (see docs/PERF.md). Coarser
+// always-on timings — cumulative per-phase generation cost — are served
+// unconditionally in the "phases" section of GET /v1/stats.
 package main
 
 import (
@@ -43,6 +54,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -69,6 +81,7 @@ func main() {
 	jobQueue := flag.Int("job-queue", 64, "queued-job bound (full queue returns 429)")
 	jobRetain := flag.Int("job-retain", 256, "finished jobs retained for polling")
 	accessLog := flag.Bool("access-log", true, "log one structured line per request")
+	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (debugging only)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "maximum time to wait for in-flight HTTP requests on shutdown")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -113,9 +126,25 @@ func main() {
 		}
 	}
 
+	// The service handler stays self-contained; pprof, when requested,
+	// wraps it in an outer mux instead of leaking the debug routes into
+	// the service's own routing (or the global DefaultServeMux).
+	var handler http.Handler = srv
+	if *enablePprof {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+		log.Printf("dkserved: pprof enabled on /debug/pprof/ (debugging only)")
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -54,9 +54,14 @@ func CountInitialRewirings(g *graph.Graph, depth int) (RewiringCount, error) {
 	}
 
 	deg := g.DegreeSequence()
+	// The clone and census delta back the apply-and-revert check of the
+	// depth-3 census filter only; depths 1–2 decide every candidate from
+	// degrees and adjacency alone, so cloning there would just add an
+	// O(n + m) allocation to every call.
 	var census *subgraphs.Delta
-	work := g.Clone()
+	var work *graph.Graph
 	if depth == 3 {
+		work = g.Clone()
 		census = subgraphs.NewDelta()
 	}
 

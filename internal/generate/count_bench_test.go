@@ -1,0 +1,26 @@
+package generate
+
+import (
+	"strconv"
+	"testing"
+)
+
+// BenchmarkCountInitialRewirings tracks the Table 5 enumeration cost per
+// depth. The depth-1 and depth-2 variants prove the clone gating win:
+// they must run with O(1) allocations per op (the edge-list copy and the
+// degree sequence), since the O(n + m) working clone and census delta
+// are needed — and now built — only for the depth-3 census filter.
+func BenchmarkCountInitialRewirings(b *testing.B) {
+	rng := newRng(50)
+	g := connectedRandom(rng, 300, 900)
+	for depth := 1; depth <= 3; depth++ {
+		b.Run("depth="+strconv.Itoa(depth), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := CountInitialRewirings(g, depth); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -182,6 +182,36 @@ func TestStochastic1KExpectedDegrees(t *testing.T) {
 	}
 }
 
+func TestStochasticDenseClassClamp(t *testing.T) {
+	// Regression for the documented min(1, p) clamp: dense classes can
+	// push the raw block probability past 1, and the construction must
+	// then connect every pair in the block rather than misbehave.
+	rng := newRng(40)
+	// 2K: one (4,4) block with 8 edges over 4 nodes of degree 4 — only
+	// C(4,2) = 6 pairs exist, so p = 8/6 > 1. The clamp yields K4.
+	jdd := dk.NewJDD()
+	jdd.Add(4, 4, 8)
+	g, err := Stochastic2K(jdd, Options{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 6 {
+		t.Errorf("dense 2K block: got n=%d m=%d, want complete K4 (n=4 m=6)", g.N(), g.M())
+	}
+	// 1K: two nodes of expected degree 10 — p = 10·10/20 = 5 > 1; the
+	// clamp connects the single same-class pair exactly once.
+	dd := dk.NewDegreeDist(nil)
+	dd.N = 2
+	dd.Count = map[int]int{10: 2}
+	g, err = Stochastic1K(dd, Options{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2 || g.M() != 1 {
+		t.Errorf("dense 1K class: got n=%d m=%d, want n=2 m=1", g.N(), g.M())
+	}
+}
+
 func TestStochastic2KReproducesJDDInExpectation(t *testing.T) {
 	rng := newRng(5)
 	src := powerLawGraph(t, rng, 600)

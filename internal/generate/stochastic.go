@@ -126,8 +126,18 @@ func Stochastic2K(jdd *dk.JDD, opt Options) (*graph.Graph, error) {
 }
 
 // sampleClassPair samples edges between two node classes (or within one
-// when same is true) at constant probability p.
+// when same is true) at constant probability p, clamped to min(1, p):
+// dense classes can push the raw block probability past 1 — a hub class
+// whose q_i·q_j exceeds n·q̄ in Stochastic1K, or a JDD block whose edge
+// count exceeds its pair count in Stochastic2K — and the documented
+// semantics of both constructions connect every pair in that case. The
+// clamp spells that out at the layer the formulas live; blockSample's
+// p >= 1 fast path realizes the same behavior, so this is defense in
+// depth, not a behavior change (TestStochasticDenseClassClamp pins it).
 func sampleClassPair(rng *rand.Rand, A, B []int, same bool, p float64, add func(u, v int)) {
+	if p > 1 {
+		p = 1
+	}
 	if same {
 		n := len(A)
 		total := int64(n) * int64(n-1) / 2

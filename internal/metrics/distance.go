@@ -27,13 +27,47 @@ func Distances(s *graph.Static) *DistanceDistribution {
 
 // SampledDistances estimates the distribution using BFS from `sources`
 // random distinct source nodes. If sources >= n the computation is exact.
+// Non-positive sources yield an empty distribution (Sources = 0, no
+// counts) rather than a panic — callers asking for zero samples get the
+// zero estimate.
+//
+// The sources are drawn by a partial Fisher–Yates shuffle costing
+// O(sources) time, memory, and RNG draws — not the full O(n) rng.Perm of
+// earlier versions, which allocated an n-element permutation (and burned
+// n RNG draws) even for tiny samples. The RNG stream therefore differs
+// from pre-rewrite versions: the same seed selects a different (still
+// uniform) source set. See docs/PERF.md.
 func SampledDistances(s *graph.Static, sources int, rng *rand.Rand) *DistanceDistribution {
 	n := s.N()
+	if sources <= 0 {
+		return &DistanceDistribution{Count: make([]int64, 2)}
+	}
 	if sources >= n {
 		return Distances(s)
 	}
-	perm := rng.Perm(n)[:sources]
-	return distances(s, perm, rng)
+	return distances(s, partialPerm(rng, n, sources), rng)
+}
+
+// partialPerm returns k distinct uniform draws from [0, n) — the first k
+// entries of a Fisher–Yates shuffle, with the swap targets kept in a
+// sparse map so cost is O(k) rather than O(n).
+func partialPerm(rng *rand.Rand, n, k int) []int {
+	out := make([]int, k)
+	displaced := make(map[int]int, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		vj, ok := displaced[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := displaced[i]
+		if !ok {
+			vi = i
+		}
+		out[i] = vj
+		displaced[j] = vi
+	}
+	return out
 }
 
 // bfsScratch is the reusable per-worker state of one BFS pass, shared by

@@ -255,6 +255,57 @@ func TestSampledDistancesUnbiased(t *testing.T) {
 	}
 }
 
+func TestSampledDistancesNonPositiveSources(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := connectedRandom(rng, 40, 80)
+	for _, sources := range []int{0, -3} {
+		dd := SampledDistances(s, sources, rng)
+		if dd.Sources != 0 || dd.TotalPairs() != 0 || dd.Unreachable != 0 {
+			t.Errorf("sources=%d: got Sources=%d pairs=%d unreachable=%d, want empty distribution",
+				sources, dd.Sources, dd.TotalPairs(), dd.Unreachable)
+		}
+		if dd.Mean() != 0 || dd.StdDev() != 0 || dd.MaxDistance() != 0 {
+			t.Errorf("sources=%d: empty distribution has nonzero scalars", sources)
+		}
+	}
+	// The guard must not consume RNG state: a nil rng is never touched.
+	if dd := SampledDistances(s, 0, nil); dd.Sources != 0 {
+		t.Error("sources=0 with nil rng should return the empty distribution")
+	}
+}
+
+func TestPartialPermDistinctAndUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, k, trials = 50, 12, 4000
+	counts := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		got := partialPerm(rng, n, k)
+		if len(got) != k {
+			t.Fatalf("len = %d, want %d", len(got), k)
+		}
+		seen := make(map[int]bool, k)
+		for _, v := range got {
+			if v < 0 || v >= n {
+				t.Fatalf("value %d outside [0,%d)", v, n)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate value %d in %v", v, got)
+			}
+			seen[v] = true
+			counts[v]++
+		}
+	}
+	// Each node appears with probability k/n per trial; a loose 3-sigma
+	// band catches gross bias without flaking.
+	want := float64(trials) * float64(k) / float64(n)
+	sigma := math.Sqrt(want * (1 - float64(k)/float64(n)))
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 4*sigma {
+			t.Errorf("node %d drawn %d times, want ≈ %.0f (±%.0f)", v, c, want, 4*sigma)
+		}
+	}
+}
+
 // bruteBetweenness computes betweenness by explicit shortest-path
 // enumeration (BFS shortest-path DAG counting per pair).
 func bruteBetweenness(s *graph.Static) []float64 {

@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dk"
@@ -61,6 +62,18 @@ type Backend interface {
 // The slice is freshly allocated per call; receivers may retain it.
 type Progress func(steps []dkapi.StepStatus)
 
+// Observer receives the wall-clock duration of each execution phase as
+// steps run: "resolve" (reference → handle), "extract" (profile
+// computation, cache hits included), "construct" (the generation /
+// rewiring replica fan-out — the paper's §4.1.4 hot path), "intern"
+// (registering generated replicas), "compare" (per-replica or pairwise
+// distance computation), and "metrics" (the scalar metric sweep).
+// Timings never enter a Result — results stay pure functions of the
+// request — they only feed operational instrumentation such as the
+// phases section of the service's /v1/stats. A nil Observer costs
+// nothing (no clock reads).
+type Observer func(op, phase string, d time.Duration)
+
 // StepGraphs pairs a generate/randomize step with its replica handles,
 // in step order — the bulk output of a pipeline run.
 type StepGraphs struct {
@@ -81,11 +94,20 @@ type Outcome struct {
 // names the failing step). Call Validate first: Run assumes the request
 // is well-formed and panics are not part of its contract.
 func Run(ctx context.Context, b Backend, req dkapi.PipelineRequest, progress Progress) (*Outcome, error) {
+	return RunObserved(ctx, b, req, progress, nil)
+}
+
+// RunObserved is Run with per-phase timing instrumentation; obs may be
+// nil. It exists as a separate entry point so the common local path
+// (pkg/dk) keeps the plain signature while the service threads its
+// stats recorder through.
+func RunObserved(ctx context.Context, b Backend, req dkapi.PipelineRequest, progress Progress, obs Observer) (*Outcome, error) {
 	ex := &executor{
 		b:       b,
 		status:  make([]dkapi.StepStatus, len(req.Steps)),
 		outputs: make(map[string]*stepOutput, len(req.Steps)),
 		notify:  progress,
+		obs:     obs,
 	}
 	for i, st := range req.Steps {
 		ex.status[i] = dkapi.StepStatus{ID: st.ID, Op: st.Op, Status: dkapi.StepPending}
@@ -114,6 +136,25 @@ type executor struct {
 	status  []dkapi.StepStatus
 	outputs map[string]*stepOutput
 	notify  Progress
+	obs     Observer
+}
+
+// phase starts timing one execution phase of op and returns the stop
+// function; with no observer both ends are free (no clock reads).
+func (ex *executor) phase(op, phase string) func() {
+	if ex.obs == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { ex.obs(op, phase, time.Since(start)) }
+}
+
+// timedResolve wraps resolve in the "resolve" phase.
+func (ex *executor) timedResolve(op string, ref dkapi.GraphRef) (Handle, error) {
+	done := ex.phase(op, "resolve")
+	h, err := ex.resolve(ref)
+	done()
+	return h, err
 }
 
 // stepOutput is the graph output of one finished step: the resolved
@@ -204,19 +245,23 @@ func (ex *executor) runStep(st dkapi.PipelineStep, out *Outcome) (*dkapi.StepRes
 }
 
 func (ex *executor) runExtract(st dkapi.PipelineStep) (*dkapi.StepResult, error) {
-	h, err := ex.resolve(*st.Source)
+	h, err := ex.timedResolve(st.Op, *st.Source)
 	if err != nil {
 		return nil, err
 	}
 	d := depth(st)
+	done := ex.phase(st.Op, "extract")
 	p, hit, err := h.Profile(d)
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("extract: %w", err)
 	}
 	gi := h.Info()
 	res := &dkapi.StepResult{ID: st.ID, Op: st.Op, Graph: &gi, D: d, Cached: hit, Profile: p}
 	if st.Metrics {
+		done := ex.phase(st.Op, "metrics")
 		sum, _, err := h.Summary(st.Spectral, st.Sample, analysisSeed(st.Seed))
+		done()
 		if err != nil {
 			return nil, fmt.Errorf("metrics: %w", err)
 		}
@@ -256,7 +301,7 @@ func methodName(st dkapi.PipelineStep) string {
 }
 
 func (ex *executor) runGenerate(st dkapi.PipelineStep, out *Outcome) (*dkapi.StepResult, error) {
-	h, err := ex.resolve(*st.Source)
+	h, err := ex.timedResolve(st.Op, *st.Source)
 	if err != nil {
 		return nil, err
 	}
@@ -272,13 +317,16 @@ func (ex *executor) runGenerate(st dkapi.PipelineStep, out *Outcome) (*dkapi.Ste
 	}
 	var profile *dk.Profile
 	if !randomize || st.Compare {
+		done := ex.phase(st.Op, "extract")
 		p, _, err := h.Profile(d)
+		done()
 		if err != nil {
 			return nil, fmt.Errorf("extract: %w", err)
 		}
 		profile = p
 	}
 	src := h.Graph()
+	construct := ex.phase(st.Op, "construct")
 	graphs, err := generate.Replicas(replicas, st.Seed, func(i int, rng *rand.Rand) (*graph.Graph, error) {
 		if randomize {
 			g, _, err := generate.Randomize(src, d, generate.RandomizeOptions{Rng: rng})
@@ -286,6 +334,7 @@ func (ex *executor) runGenerate(st dkapi.PipelineStep, out *Outcome) (*dkapi.Ste
 		}
 		return core.Generate(profile, d, method, core.Options{Rng: rng})
 	})
+	construct()
 	if err != nil {
 		return nil, err
 	}
@@ -297,15 +346,25 @@ func (ex *executor) runGenerate(st dkapi.PipelineStep, out *Outcome) (*dkapi.Ste
 	}
 	handles := make([]Handle, len(graphs))
 	for i, g := range graphs {
+		intern := ex.phase(st.Op, "intern")
 		rh := ex.b.Intern(g)
+		intern()
 		handles[i] = rh
 		ri := dkapi.ReplicaInfo{Index: i, N: g.N(), M: g.M()}
 		if st.Compare {
+			// The replica's profile extraction is an "extract"
+			// observation, not "compare": the depth-d census dominates
+			// the cheap distance arithmetic, and folding it into
+			// compare would misattribute the hot spot in /v1/stats.
+			ext := ex.phase(st.Op, "extract")
 			got, _, err := rh.Profile(d)
+			ext()
 			if err != nil {
 				return nil, err
 			}
+			cmp := ex.phase(st.Op, "compare")
 			dist, err := dk.Distance(profile, got, d)
+			cmp()
 			if err != nil {
 				return nil, err
 			}
@@ -319,11 +378,11 @@ func (ex *executor) runGenerate(st dkapi.PipelineStep, out *Outcome) (*dkapi.Ste
 }
 
 func (ex *executor) runCompare(st dkapi.PipelineStep) (*dkapi.StepResult, error) {
-	ha, err := ex.resolve(*st.A)
+	ha, err := ex.timedResolve(st.Op, *st.A)
 	if err != nil {
 		return nil, err
 	}
-	hb, err := ex.resolve(*st.B)
+	hb, err := ex.timedResolve(st.Op, *st.B)
 	if err != nil {
 		return nil, err
 	}
@@ -332,20 +391,28 @@ func (ex *executor) runCompare(st dkapi.PipelineStep) (*dkapi.StepResult, error)
 	ia, ib := ha.Info(), hb.Info()
 	res := &dkapi.StepResult{ID: st.ID, Op: st.Op, A: &ia, B: &ib, D: d}
 	profiles := make([]*dk.Profile, 2)
+	extract := ex.phase(st.Op, "extract")
 	for i, h := range []Handle{ha, hb} {
 		p, _, err := h.Profile(d)
 		if err != nil {
+			extract()
 			return nil, fmt.Errorf("extract: %w", err)
 		}
 		profiles[i] = p
 	}
+	extract()
+	cmp := ex.phase(st.Op, "compare")
 	for dd := 0; dd <= d; dd++ {
 		v, err := dk.Distance(profiles[0], profiles[1], dd)
 		if err != nil {
+			cmp()
 			return nil, fmt.Errorf("distance: %w", err)
 		}
 		res.Distances = append(res.Distances, dkapi.DistanceEntry{D: dd, Value: v})
 	}
+	cmp()
+	done := ex.phase(st.Op, "metrics")
+	defer done()
 	sa, _, err := ha.Summary(st.Spectral, st.Sample, seed)
 	if err != nil {
 		return nil, fmt.Errorf("metrics: %w", err)
@@ -359,11 +426,13 @@ func (ex *executor) runCompare(st dkapi.PipelineStep) (*dkapi.StepResult, error)
 }
 
 func (ex *executor) runCensus(st dkapi.PipelineStep) (*dkapi.StepResult, error) {
-	h, err := ex.resolve(*st.Source)
+	h, err := ex.timedResolve(st.Op, *st.Source)
 	if err != nil {
 		return nil, err
 	}
+	done := ex.phase(st.Op, "extract")
 	p, _, err := h.Profile(3)
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("census: %w", err)
 	}
@@ -373,11 +442,13 @@ func (ex *executor) runCensus(st dkapi.PipelineStep) (*dkapi.StepResult, error) 
 }
 
 func (ex *executor) runMetrics(st dkapi.PipelineStep) (*dkapi.StepResult, error) {
-	h, err := ex.resolve(*st.Source)
+	h, err := ex.timedResolve(st.Op, *st.Source)
 	if err != nil {
 		return nil, err
 	}
+	done := ex.phase(st.Op, "metrics")
 	sum, _, err := h.Summary(st.Spectral, st.Sample, analysisSeed(st.Seed))
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("metrics: %w", err)
 	}

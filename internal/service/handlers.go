@@ -25,7 +25,7 @@ func (s *Server) runStep(step dkapi.PipelineStep) (*dkapi.StepResult, error) {
 	if err := pipeline.Validate(req, s.pipelineLimits()); err != nil {
 		return nil, &apiError{http.StatusBadRequest, CodeBadRequest, err.Error()}
 	}
-	out, err := pipeline.Run(context.Background(), svcBackend{s}, req, nil)
+	out, err := pipeline.RunObserved(context.Background(), svcBackend{s}, req, nil, s.phases.Observe)
 	if err != nil {
 		return nil, err
 	}
@@ -229,9 +229,9 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 // journaled GenerateRequest spec.
 func (s *Server) generateJobFunc(req GenerateRequest) JobFunc {
 	return func() (any, StreamFunc, error) {
-		out, err := pipeline.Run(context.Background(), svcBackend{s}, dkapi.PipelineRequest{
+		out, err := pipeline.RunObserved(context.Background(), svcBackend{s}, dkapi.PipelineRequest{
 			Steps: []dkapi.PipelineStep{generateStep(req)},
-		}, nil)
+		}, nil, s.phases.Observe)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -400,6 +400,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:         s.cache.Stats(),
 		Jobs:          s.jobs.Stats(),
 		Routes:        s.routes.Snapshot(),
+		Phases:        s.phases.Snapshot(),
 	}
 	if s.store != nil {
 		st := s.store.Stats()

@@ -102,6 +102,44 @@ func TestRouteStats(t *testing.T) {
 	}
 }
 
+// TestPhaseStats: pipeline execution phases accumulate in /v1/stats
+// keyed "op.phase", with generation's construct phase — the paper's
+// §4.1.4 hot path — reported separately from the extract overhead
+// around it. A fresh server omits the section entirely.
+func TestPhaseStats(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	var stats StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &stats)
+	if stats.Phases != nil {
+		t.Fatalf("fresh server already has phases: %v", stats.Phases)
+	}
+	var extract ExtractResponse
+	postJSON(t, ts.URL+"/v1/extract?d=2", "text/plain", "0 1\n1 2\n2 0\n2 3\n3 4\n4 2\n",
+		http.StatusOK, &extract)
+	req := `{"source":{"hash":"` + extract.Graph.Hash + `"},"d":1,"method":"matching","replicas":2,"seed":7,"compare":true}`
+	var accepted GenerateAccepted
+	postJSON(t, ts.URL+"/v1/generate", "application/json", req, http.StatusAccepted, &accepted)
+	if view := pollJob(t, ts.URL, accepted.JobID); view.Status != JobDone {
+		t.Fatalf("generate job failed: %s", view.Error)
+	}
+	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &stats)
+	for _, key := range []string{"extract.resolve", "extract.extract", "generate.construct", "generate.intern", "generate.compare"} {
+		ps, ok := stats.Phases[key]
+		if !ok {
+			t.Errorf("phase %q missing from stats: %v", key, stats.Phases)
+			continue
+		}
+		if ps.Count <= 0 || ps.TotalMS < 0 || ps.MaxMS > ps.TotalMS+1e-9 {
+			t.Errorf("phase %q has implausible aggregates: %+v", key, ps)
+		}
+	}
+	// Two replicas were interned and compared: per-replica phases count
+	// one observation each.
+	if got := stats.Phases["generate.intern"].Count; got != 2 {
+		t.Errorf("generate.intern count = %d, want 2", got)
+	}
+}
+
 // TestAccessLog: one structured line per request, carrying method,
 // path, status, and the request id.
 func TestAccessLog(t *testing.T) {

@@ -1,0 +1,57 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"repro/pkg/dkapi"
+)
+
+// phaseStats aggregates the pipeline executor's per-phase wall-clock
+// timings across every run the server executes — synchronous handler
+// steps and asynchronous jobs alike. Keys are "op.phase" (e.g.
+// "generate.construct"), matching the phases section of GET /v1/stats;
+// see pipeline.Observer for the phase vocabulary. This is what makes
+// the §4.1.4 hot path observable in production: the construct phase's
+// cumulative milliseconds against the extract/intern/compare overhead
+// around it.
+type phaseStats struct {
+	mu sync.Mutex
+	m  map[string]*dkapi.PhaseStat
+}
+
+func newPhaseStats() *phaseStats {
+	return &phaseStats{m: make(map[string]*dkapi.PhaseStat)}
+}
+
+// Observe implements pipeline.Observer (modulo the method value).
+func (ps *phaseStats) Observe(op, phase string, d time.Duration) {
+	ms := d.Seconds() * 1000
+	key := op + "." + phase
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	st := ps.m[key]
+	if st == nil {
+		st = &dkapi.PhaseStat{}
+		ps.m[key] = st
+	}
+	st.Count++
+	st.TotalMS += ms
+	if ms > st.MaxMS {
+		st.MaxMS = ms
+	}
+}
+
+// Snapshot copies the aggregates for the stats handler.
+func (ps *phaseStats) Snapshot() map[string]dkapi.PhaseStat {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if len(ps.m) == 0 {
+		return nil
+	}
+	out := make(map[string]dkapi.PhaseStat, len(ps.m))
+	for k, v := range ps.m {
+		out[k] = *v
+	}
+	return out
+}

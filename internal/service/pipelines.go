@@ -108,8 +108,8 @@ func (s *Server) handlePipelineSubmit(w http.ResponseWriter, r *http.Request) {
 // round-trips through the journaled (normalized) request spec.
 func (s *Server) pipelineJobFunc(req dkapi.PipelineRequest) TrackedJobFunc {
 	return func(setProgress func(any)) (any, StreamFunc, error) {
-		out, err := pipeline.Run(context.Background(), svcBackend{s}, req,
-			func(steps []dkapi.StepStatus) { setProgress(steps) })
+		out, err := pipeline.RunObserved(context.Background(), svcBackend{s}, req,
+			func(steps []dkapi.StepStatus) { setProgress(steps) }, s.phases.Observe)
 		if err != nil {
 			return nil, nil, err
 		}

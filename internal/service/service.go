@@ -122,6 +122,7 @@ type Server struct {
 	store    *store.Store // nil = memory-only
 	mux      *http.ServeMux
 	routes   *routeStats
+	phases   *phaseStats
 	started  time.Time
 	draining atomic.Bool
 
@@ -189,6 +190,7 @@ func New(opts Options) *Server {
 		store:   opts.Store,
 		mux:     http.NewServeMux(),
 		routes:  newRouteStats(),
+		phases:  newPhaseStats(),
 		started: time.Now().UTC(),
 		dsMemo:  make(map[string]*dsEntry),
 	}

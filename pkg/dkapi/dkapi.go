@@ -190,9 +190,20 @@ type RouteStat struct {
 	BytesSent int64   `json:"bytes_sent"`
 }
 
+// PhaseStat aggregates the wall-clock cost of one pipeline execution
+// phase in GET /v1/stats: cumulative count, total milliseconds, and the
+// slowest single observation.
+type PhaseStat struct {
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
 // StatsResponse is the body of GET /v1/stats. Store is present only when
 // the server runs with a persistent data directory; Routes is keyed by
-// mux pattern (e.g. "POST /v1/extract").
+// mux pattern (e.g. "POST /v1/extract"); Phases is keyed by "op.phase"
+// (e.g. "generate.construct" — the §4.1.4 construction hot path) and
+// appears once the server has executed at least one pipeline step.
 type StatsResponse struct {
 	Version       string               `json:"version"`
 	UptimeSeconds float64              `json:"uptime_seconds"`
@@ -200,6 +211,7 @@ type StatsResponse struct {
 	Cache         CacheStats           `json:"cache"`
 	Jobs          EngineStats          `json:"jobs"`
 	Routes        map[string]RouteStat `json:"routes,omitempty"`
+	Phases        map[string]PhaseStat `json:"phases,omitempty"`
 	Store         *store.Stats         `json:"store,omitempty"`
 }
 
