@@ -1,0 +1,168 @@
+// Command dkload is the service load harness: the stressgen counterpart
+// of dkbench. Where dkbench times the library's hot paths in-process,
+// dkload derives a randomized-but-valid request stream — mixed extract,
+// generate, compare, pipeline, and stats traffic — from a single seed
+// and replays it against a live dkserved, reporting per-route latency
+// percentiles, throughput, and the error/backpressure budget.
+//
+// The stream is a pure function of (profile, seed): request i is built
+// from an RNG seeded with SubSeed(seed, i) and nothing else, so two runs
+// with the same flags send byte-identical traffic (-dump proves it) and
+// report deltas are attributable to the server alone. The committed
+// BENCH_load.json at the repository root carries the reference run and
+// the SLO thresholds CI gates against.
+//
+//	dkload -server http://127.0.0.1:8080                  # steady → BENCH_load.json
+//	dkload -server ... -profile smoke -concurrency 4      # the CI profile
+//	dkload -verify BENCH_load.json                        # schema/completeness (offline)
+//	dkload -server ... -gate BENCH_load.json              # fresh run vs committed SLO
+//	dkload -dump -profile smoke -seed 7                   # print the stream, no server
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+
+	"repro/internal/cli"
+	"repro/internal/load"
+)
+
+func main() {
+	server := flag.String("server", "", "dkserved base URL (required unless -dump or -verify)")
+	profileName := flag.String("profile", "steady", "load profile: smoke|steady")
+	seed := flag.Int64("seed", 2, "request-stream seed")
+	requests := flag.Int("requests", 0, "override the profile's request count")
+	concurrency := flag.Int("concurrency", 8, "replay workers")
+	clientID := flag.String("client-id", "dkload", "X-Client-Id sent with every request")
+	out := flag.String("out", "BENCH_load.json", "report output path")
+	dump := flag.Bool("dump", false, "print the generated request stream and exit (no server needed)")
+	verify := flag.String("verify", "", "verify an existing report's schema/completeness and exit")
+	gate := flag.String("gate", "", "run, then gate the fresh run against this report's SLO")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if cli.Version("dkload", *showVersion) {
+		return
+	}
+	if *verify != "" {
+		rep, err := readReport(*verify)
+		if err == nil {
+			err = load.Verify(rep)
+		}
+		if err != nil {
+			fatalf("verify %s: %v", *verify, err)
+		}
+		fmt.Printf("%s: schema %s complete\n", *verify, load.SchemaVersion)
+		return
+	}
+
+	// -gate replays the committed report's own profile and seed — the gate
+	// is only meaningful against the exact stream the thresholds were set
+	// for. Otherwise the profile/seed flags pick the stream.
+	var committed *load.Report
+	var p load.Profile
+	if *gate != "" {
+		rep, err := readReport(*gate)
+		if err != nil {
+			fatalf("gate %s: %v", *gate, err)
+		}
+		if err := load.Verify(rep); err != nil {
+			fatalf("gate %s: committed report invalid: %v", *gate, err)
+		}
+		committed = rep
+		p = rep.Profile
+		*seed = rep.Seed
+	} else {
+		var ok bool
+		p, ok = load.Profiles()[*profileName]
+		if !ok {
+			names := make([]string, 0, len(load.Profiles()))
+			for name := range load.Profiles() {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			fatalf("unknown profile %q (have %v)", *profileName, names)
+		}
+	}
+	if *requests > 0 {
+		p.Requests = *requests
+	}
+	reqs, err := load.Generate(p, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *dump {
+		if err := load.WriteStream(os.Stdout, reqs); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	if *server == "" {
+		fatalf("-server is required (or -dump / -verify)")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runner := &load.Runner{
+		Server:      *server,
+		Concurrency: *concurrency,
+		ClientID:    *clientID,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dkload: "+format+"\n", args...)
+		},
+	}
+	fmt.Fprintf(os.Stderr, "dkload: replaying %d requests (profile %s, seed %d) against %s with %d workers\n",
+		len(reqs), p.Name, *seed, *server, *concurrency)
+	rep, err := runner.Run(ctx, p, *seed, reqs)
+	if err != nil {
+		fatalf("run: %v", err)
+	}
+	rep.SLO = load.DefaultSLO(p)
+
+	if committed != nil {
+		rep.SLO = committed.SLO
+		load.Summarize(os.Stderr, rep)
+		if violations := load.Gate(rep, committed.SLO); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "dkload: SLO violation: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("gate passed: %d requests within the %s SLO\n", rep.Totals.Requests, *gate)
+		return
+	}
+
+	load.Summarize(os.Stderr, rep)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// readReport loads and decodes a BENCH_load.json.
+func readReport(path string) (*load.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep load.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dkload: "+format+"\n", args...)
+	os.Exit(1)
+}

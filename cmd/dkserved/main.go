@@ -25,6 +25,13 @@
 //	GET  /v1/stats              version, cache/job/route counters
 //	GET  /v1/healthz            liveness
 //	GET  /v1/readyz             readiness (store + job engine + drain)
+//	GET  /metrics               Prometheus text exposition of the stats
+//
+// With -rate-limit set, each client (X-Client-Id header, else remote
+// IP) gets a token bucket of that many requests per second; exhausted
+// clients receive 429 with Retry-After. Health probes and /metrics are
+// exempt. Interactive work (extract, read-only pipelines) is prioritized
+// over batch generation in the job queue regardless of rate limiting.
 //
 // On SIGTERM/SIGINT the server drains gracefully: /v1/readyz flips to
 // 503 so load balancers stop routing to it, the listener shuts down
@@ -80,6 +87,8 @@ func main() {
 	jobRunners := flag.Int("job-runners", 0, "concurrent job executors (0 = worker budget)")
 	jobQueue := flag.Int("job-queue", 64, "queued-job bound (full queue returns 429)")
 	jobRetain := flag.Int("job-retain", 256, "finished jobs retained for polling")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client request rate in req/s (0 = no rate limiting)")
+	rateBurst := flag.Int("rate-burst", 0, "per-client burst capacity (0 = 2×rate)")
 	accessLog := flag.Bool("access-log", true, "log one structured line per request")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (debugging only)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "maximum time to wait for in-flight HTTP requests on shutdown")
@@ -114,6 +123,8 @@ func main() {
 		JobRunners:          *jobRunners,
 		JobQueue:            *jobQueue,
 		JobRetain:           *jobRetain,
+		RatePerSec:          *rateLimit,
+		RateBurst:           *rateBurst,
 		Store:               st,
 	}
 	if *accessLog {

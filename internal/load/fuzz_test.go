@@ -1,0 +1,91 @@
+package load
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pipeline"
+	"strings"
+
+	"repro/pkg/dkapi"
+)
+
+// FuzzSpecGen fuzzes the spec generator over the (seed, profile-knob)
+// space: ANY seed must yield a stream whose every body passes the same
+// validation the server applies — pipelines through pipeline.Validate,
+// edge lists through the graph parser — and generation must never
+// panic. This is the "randomized but valid" half of the harness
+// contract; the byte-identity half is TestGenerateDeterministic.
+func FuzzSpecGen(f *testing.F) {
+	f.Add(int64(0), 10, 4, 16, 2, 3)
+	f.Add(int64(42), 25, 5, 40, 3, 8)
+	f.Add(int64(-1), 3, 4, 4, 0, 1)
+	f.Add(int64(1<<62), 8, 7, 9, 1, 2)
+
+	f.Fuzz(func(t *testing.T, seed int64, requests, minN, maxN, maxD, maxReplicas int) {
+		p := Profile{
+			Name:        "fuzz",
+			Requests:    requests,
+			MinN:        minN,
+			MaxN:        maxN,
+			MaxD:        maxD,
+			MaxReplicas: maxReplicas,
+			Mix:         Mix{Extract: 1, Generate: 1, Compare: 1, Pipeline: 1, Stats: 1},
+		}
+		if p.Requests > 200 {
+			p.Requests = 200 // keep one fuzz execution cheap
+		}
+		if p.MaxN > 500 {
+			p.MaxN = 500
+		}
+		reqs, err := Generate(p, seed)
+		if err != nil {
+			if p.Validate() == nil {
+				t.Fatalf("valid profile rejected: %v", err)
+			}
+			return // invalid knobs must error, not panic
+		}
+		if p.Validate() != nil {
+			t.Fatalf("invalid profile %+v generated a stream anyway", p)
+		}
+		for _, r := range reqs {
+			switch r.Kind {
+			case KindPipeline:
+				var pr dkapi.PipelineRequest
+				if err := json.Unmarshal(r.Body, &pr); err != nil {
+					t.Fatalf("seed %d request %d: pipeline body: %v", seed, r.Index, err)
+				}
+				if err := pipeline.Validate(pr, pipeline.Limits{}); err != nil {
+					t.Fatalf("seed %d request %d: invalid pipeline: %v", seed, r.Index, err)
+				}
+				for _, st := range pr.Steps {
+					mustParseRef(t, st.Source)
+					mustParseRef(t, st.A)
+					mustParseRef(t, st.B)
+				}
+			case KindExtract:
+				if _, _, err := graph.ReadEdgeList(strings.NewReader(string(r.Body))); err != nil {
+					t.Fatalf("seed %d request %d: unparseable edge list: %v", seed, r.Index, err)
+				}
+			case KindGenerate:
+				var gr dkapi.GenerateRequest
+				if err := json.Unmarshal(r.Body, &gr); err != nil {
+					t.Fatalf("seed %d request %d: generate body: %v", seed, r.Index, err)
+				}
+				mustParseRef(t, &gr.Source)
+			}
+		}
+	})
+}
+
+// mustParseRef parses a ref's inline edges when present.
+func mustParseRef(t *testing.T, ref *dkapi.GraphRef) {
+	t.Helper()
+	if ref == nil || ref.Edges == "" {
+		return
+	}
+	if _, _, err := graph.ReadEdgeList(strings.NewReader(ref.Edges)); err != nil {
+		t.Fatalf("inline edges unparseable: %v", err)
+	}
+}

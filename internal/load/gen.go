@@ -1,0 +1,343 @@
+// Package load is the engine behind cmd/dkload: a seed-deterministic
+// load harness for the dK topology service. It derives a randomized but
+// always-valid request stream from a single seed — every request i is a
+// pure function of SubSeed(seed, i), the same §3 determinism invariant
+// the generators themselves obey — replays it against a live dkserved at
+// configurable concurrency, and reports per-route latency percentiles
+// against committed SLO thresholds (BENCH_load.json).
+//
+// Because request i depends only on (profile, seed, i), the stream is
+// byte-identical at any worker count and across runs: a latency
+// regression between two reports can never be explained away by the
+// harness having sent different traffic.
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"repro/internal/parallel"
+	"repro/pkg/dkapi"
+)
+
+// Request kinds — the traffic classes a profile mixes.
+const (
+	KindExtract  = "extract"  // POST /v1/extract (interactive, sync)
+	KindGenerate = "generate" // POST /v1/generate (batch, async job)
+	KindCompare  = "compare"  // POST /v1/compare (interactive, sync)
+	KindPipeline = "pipeline" // POST /v1/pipelines (async job)
+	KindStats    = "stats"    // GET /v1/stats (read traffic)
+)
+
+// Request is one fully materialized HTTP request of the load stream.
+// Async reports whether a 202 + job poll is the expected shape of the
+// exchange rather than a direct 200.
+type Request struct {
+	Index       int
+	Kind        string
+	Method      string
+	Path        string // including query, relative to the server base
+	ContentType string
+	Body        []byte
+	Async       bool
+}
+
+// Mix weighs the request kinds of a profile. Weights are relative
+// integers; a zero weight removes the kind entirely.
+type Mix struct {
+	Extract  int `json:"extract"`
+	Generate int `json:"generate"`
+	Compare  int `json:"compare"`
+	Pipeline int `json:"pipeline"`
+	Stats    int `json:"stats"`
+}
+
+// kinds returns the weighted kind table in a fixed order.
+func (m Mix) kinds() []struct {
+	kind   string
+	weight int
+} {
+	return []struct {
+		kind   string
+		weight int
+	}{
+		{KindExtract, m.Extract},
+		{KindGenerate, m.Generate},
+		{KindCompare, m.Compare},
+		{KindPipeline, m.Pipeline},
+		{KindStats, m.Stats},
+	}
+}
+
+// total sums the mix weights.
+func (m Mix) total() int {
+	t := 0
+	for _, k := range m.kinds() {
+		t += k.weight
+	}
+	return t
+}
+
+// Profile bounds the randomized request stream: how many requests, how
+// big the uploaded topologies get, how deep the extractions go, and the
+// traffic mix. The zero value is invalid; use a named profile or fill
+// every field.
+type Profile struct {
+	Name string `json:"name"`
+	// Requests is the stream length.
+	Requests int `json:"requests"`
+	// MinN/MaxN bound the node count of generated topologies.
+	MinN int `json:"min_n"`
+	MaxN int `json:"max_n"`
+	// MaxD bounds extraction/generation depth (0..3).
+	MaxD int `json:"max_d"`
+	// MaxReplicas bounds one generate step's ensemble.
+	MaxReplicas int `json:"max_replicas"`
+	// Mix weighs the request kinds.
+	Mix Mix `json:"mix"`
+}
+
+// Smoke is the CI profile: small graphs, shallow depths, short stream —
+// enough to exercise every route class against a live server in seconds.
+func Smoke() Profile {
+	return Profile{
+		Name:        "smoke",
+		Requests:    60,
+		MinN:        12,
+		MaxN:        60,
+		MaxD:        2,
+		MaxReplicas: 3,
+		Mix:         Mix{Extract: 4, Generate: 2, Compare: 2, Pipeline: 2, Stats: 1},
+	}
+}
+
+// Steady is the sustained-load profile: larger graphs, full depth
+// range, longer stream — the baseline behind BENCH_load.json.
+func Steady() Profile {
+	return Profile{
+		Name:        "steady",
+		Requests:    400,
+		MinN:        50,
+		MaxN:        400,
+		MaxD:        3,
+		MaxReplicas: 8,
+		Mix:         Mix{Extract: 5, Generate: 3, Compare: 3, Pipeline: 2, Stats: 2},
+	}
+}
+
+// Profiles maps the named profiles for flag parsing.
+func Profiles() map[string]Profile {
+	return map[string]Profile{"smoke": Smoke(), "steady": Steady()}
+}
+
+// Validate rejects profiles that cannot produce a valid stream.
+func (p Profile) Validate() error {
+	switch {
+	case p.Requests <= 0:
+		return fmt.Errorf("load: profile %q: requests must be positive", p.Name)
+	case p.MinN < 4:
+		return fmt.Errorf("load: profile %q: min_n %d below the smallest useful topology (4)", p.Name, p.MinN)
+	case p.MaxN < p.MinN:
+		return fmt.Errorf("load: profile %q: max_n %d < min_n %d", p.Name, p.MaxN, p.MinN)
+	case p.MaxD < 0 || p.MaxD > 3:
+		return fmt.Errorf("load: profile %q: max_d %d outside 0..3", p.Name, p.MaxD)
+	case p.MaxReplicas < 1:
+		return fmt.Errorf("load: profile %q: max_replicas must be at least 1", p.Name)
+	case p.MaxReplicas > 128:
+		// The server's pipeline validator caps one step's ensemble at 128
+		// (pipeline.Limits); a profile beyond that would generate traffic
+		// the server rejects, breaking the randomized-but-valid contract.
+		return fmt.Errorf("load: profile %q: max_replicas %d over the server's per-step limit (128)", p.Name, p.MaxReplicas)
+	case p.Mix.total() <= 0:
+		return fmt.Errorf("load: profile %q: the mix has no weight", p.Name)
+	}
+	return nil
+}
+
+// Generate materializes the request stream: request i is derived from an
+// RNG seeded with SubSeed(seed, i) and nothing else, so the stream is a
+// pure function of (profile, seed) — independent of worker count,
+// replay order, and previous runs. Profile must validate.
+func Generate(p Profile, seed int64) ([]Request, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	reqs := make([]Request, p.Requests)
+	var firstErr error
+	parallel.For(p.Requests, func(i int) {
+		rng := rand.New(rand.NewSource(parallel.SubSeed(seed, i)))
+		r, err := buildRequest(p, i, rng)
+		if err != nil && firstErr == nil {
+			firstErr = err // benign race: any of the (identical-shape) errors will do
+		}
+		reqs[i] = r
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return reqs, nil
+}
+
+// buildRequest materializes request i from its private RNG.
+func buildRequest(p Profile, i int, rng *rand.Rand) (Request, error) {
+	kind := pickKind(p.Mix, rng)
+	req := Request{Index: i, Kind: kind}
+	switch kind {
+	case KindExtract:
+		d := rng.Intn(p.MaxD + 1)
+		req.Method, req.Path = "POST", fmt.Sprintf("/v1/extract?d=%d&seed=1", d)
+		req.ContentType = "text/plain"
+		req.Body = []byte(randomEdgeList(p, rng))
+	case KindGenerate:
+		d := 1 + rng.Intn(max(1, p.MaxD)) // generate needs d >= 1 to be interesting
+		if d > p.MaxD {
+			d = p.MaxD
+		}
+		body, err := json.Marshal(dkapi.GenerateRequest{
+			Source:   dkapi.GraphRef{Edges: randomEdgeList(p, rng)},
+			D:        dkapi.Int(d),
+			Replicas: 1 + rng.Intn(p.MaxReplicas),
+			Seed:     rng.Int63(),
+		})
+		if err != nil {
+			return Request{}, err
+		}
+		req.Method, req.Path = "POST", "/v1/generate"
+		req.ContentType, req.Body, req.Async = "application/json", body, true
+	case KindCompare:
+		body, err := json.Marshal(dkapi.CompareRequest{
+			A: dkapi.GraphRef{Edges: randomEdgeList(p, rng)},
+			B: dkapi.GraphRef{Edges: randomEdgeList(p, rng)},
+			D: dkapi.Int(min(2, p.MaxD)), // depth-3 compare is the census hot path; bound it
+		})
+		if err != nil {
+			return Request{}, err
+		}
+		req.Method, req.Path = "POST", "/v1/compare"
+		req.ContentType, req.Body = "application/json", body
+	case KindPipeline:
+		body, err := json.Marshal(randomPipeline(p, rng))
+		if err != nil {
+			return Request{}, err
+		}
+		req.Method, req.Path = "POST", "/v1/pipelines"
+		req.ContentType, req.Body, req.Async = "application/json", body, true
+	case KindStats:
+		req.Method, req.Path = "GET", "/v1/stats"
+	default:
+		return Request{}, fmt.Errorf("load: unknown kind %q", kind)
+	}
+	return req, nil
+}
+
+// pickKind draws a kind from the weighted mix.
+func pickKind(m Mix, rng *rand.Rand) string {
+	total := m.total()
+	roll := rng.Intn(total)
+	for _, k := range m.kinds() {
+		if roll < k.weight {
+			return k.kind
+		}
+		roll -= k.weight
+	}
+	return KindStats // unreachable: the weights sum to total
+}
+
+// randomEdgeList emits a connected random topology inside the profile's
+// size bounds: a random recursive tree (guaranteeing connectivity, and
+// a skewed degree sequence like real AS graphs) plus a sprinkle of
+// extra edges for triangles. The parser rejects duplicate edges, so
+// every candidate is checked against the set already emitted.
+func randomEdgeList(p Profile, rng *rand.Rand) string {
+	n := p.MinN + rng.Intn(p.MaxN-p.MinN+1)
+	var sb strings.Builder
+	seen := make(map[[2]int]bool, n*2)
+	emit := func(a, b int) bool {
+		if a == b {
+			return false
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			return false
+		}
+		seen[[2]int{a, b}] = true
+		fmt.Fprintf(&sb, "%d %d\n", a, b)
+		return true
+	}
+	for v := 1; v < n; v++ {
+		emit(rng.Intn(v), v)
+	}
+	extra := rng.Intn(n/2 + 1)
+	for e := 0; e < extra; e++ {
+		emit(rng.Intn(n), rng.Intn(n)) // collisions just skip the extra
+	}
+	return sb.String()
+}
+
+// randomPipeline assembles a small always-valid step DAG: an extract
+// root over a fresh topology, optionally a generate fan-out from the
+// same source, optionally a compare of the two. Every reference is to
+// an earlier step or inline edges, so pipeline.Validate accepts any
+// output of this function — FuzzSpecGen holds the harness to that.
+func randomPipeline(p Profile, rng *rand.Rand) dkapi.PipelineRequest {
+	edges := randomEdgeList(p, rng)
+	d := min(2, p.MaxD)
+	req := dkapi.PipelineRequest{Steps: []dkapi.PipelineStep{{
+		ID:     "ext",
+		Op:     dkapi.OpExtract,
+		Source: &dkapi.GraphRef{Edges: edges},
+		D:      dkapi.Int(d),
+	}}}
+	if rng.Intn(2) == 0 {
+		req.Steps = append(req.Steps, dkapi.PipelineStep{
+			ID:       "gen",
+			Op:       dkapi.OpGenerate,
+			Source:   &dkapi.GraphRef{Edges: edges},
+			D:        dkapi.Int(d),
+			Replicas: 1 + rng.Intn(p.MaxReplicas),
+			Seed:     rng.Int63(),
+		})
+		if rng.Intn(2) == 0 {
+			req.Steps = append(req.Steps, dkapi.PipelineStep{
+				ID: "cmp",
+				Op: dkapi.OpCompare,
+				A:  &dkapi.GraphRef{Step: "ext"},
+				B:  &dkapi.GraphRef{Step: "gen"},
+				D:  dkapi.Int(d),
+			})
+		}
+	} else {
+		req.Steps = append(req.Steps, dkapi.PipelineStep{
+			ID:     "cen",
+			Op:     dkapi.OpCensus,
+			Source: &dkapi.GraphRef{Step: "ext"},
+		})
+	}
+	return req
+}
+
+// WriteStream dumps a request stream in a canonical text form — the
+// byte-identity witness of the determinism tests and of `dkload -dump`.
+func WriteStream(w io.Writer, reqs []Request) error {
+	for _, r := range reqs {
+		if _, err := fmt.Fprintf(w, "### %d %s %s %s %s\n", r.Index, r.Kind, r.Method, r.Path, r.ContentType); err != nil {
+			return err
+		}
+		if len(r.Body) > 0 {
+			if _, err := w.Write(r.Body); err != nil {
+				return err
+			}
+			if r.Body[len(r.Body)-1] != '\n' {
+				if _, err := io.WriteString(w, "\n"); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

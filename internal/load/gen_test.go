@@ -1,0 +1,234 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/pipeline"
+	"repro/internal/service"
+	"repro/pkg/dkapi"
+)
+
+// streamBytes renders a generated stream canonically.
+func streamBytes(t *testing.T, p Profile, seed int64) []byte {
+	t.Helper()
+	reqs, err := Generate(p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGenerateDeterministic is the harness's core contract: the same
+// (profile, seed) yields a byte-identical request stream at any worker
+// count and across repeated runs, and a different seed yields a
+// different stream.
+func TestGenerateDeterministic(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	for _, p := range []Profile{Smoke(), Steady()} {
+		parallel.SetWorkers(1)
+		serial := streamBytes(t, p, 42)
+		repeat := streamBytes(t, p, 42)
+		if !bytes.Equal(serial, repeat) {
+			t.Fatalf("%s: two serial runs differ", p.Name)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			parallel.SetWorkers(workers)
+			if got := streamBytes(t, p, 42); !bytes.Equal(serial, got) {
+				t.Fatalf("%s: stream differs at %d workers", p.Name, workers)
+			}
+		}
+		parallel.SetWorkers(0)
+		if other := streamBytes(t, p, 43); bytes.Equal(serial, other) {
+			t.Fatalf("%s: seeds 42 and 43 produced identical streams", p.Name)
+		}
+	}
+}
+
+// TestGeneratedSpecsValid holds Generate to "randomized but valid":
+// every JSON body it emits must pass the same validation the server
+// runs, and every edge list must parse. A load harness that sends
+// invalid traffic measures the error path, not the service.
+func TestGeneratedSpecsValid(t *testing.T) {
+	for _, p := range []Profile{Smoke(), Steady()} {
+		reqs, err := Generate(p, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reqs) != p.Requests {
+			t.Fatalf("%s: %d requests, want %d", p.Name, len(reqs), p.Requests)
+		}
+		kinds := map[string]int{}
+		for _, r := range reqs {
+			kinds[r.Kind]++
+			assertRequestValid(t, p, r)
+		}
+		// Every weighted kind appears in a stream this long.
+		for _, k := range []string{KindExtract, KindGenerate, KindCompare, KindPipeline, KindStats} {
+			if kinds[k] == 0 {
+				t.Errorf("%s: kind %s never drawn in %d requests", p.Name, k, p.Requests)
+			}
+		}
+	}
+}
+
+// assertRequestValid applies per-kind wire validation.
+func assertRequestValid(t *testing.T, p Profile, r Request) {
+	t.Helper()
+	switch r.Kind {
+	case KindExtract:
+		if !strings.HasPrefix(r.Path, "/v1/extract?d=") || r.Method != "POST" {
+			t.Fatalf("request %d: malformed extract: %s %s", r.Index, r.Method, r.Path)
+		}
+		if len(r.Body) == 0 {
+			t.Fatalf("request %d: extract without an edge list", r.Index)
+		}
+	case KindGenerate:
+		var gr dkapi.GenerateRequest
+		if err := json.Unmarshal(r.Body, &gr); err != nil {
+			t.Fatalf("request %d: generate body: %v", r.Index, err)
+		}
+		if gr.Source.Edges == "" || gr.Replicas < 1 || gr.Replicas > p.MaxReplicas {
+			t.Fatalf("request %d: generate out of bounds: %+v", r.Index, gr)
+		}
+	case KindCompare:
+		var cr dkapi.CompareRequest
+		if err := json.Unmarshal(r.Body, &cr); err != nil {
+			t.Fatalf("request %d: compare body: %v", r.Index, err)
+		}
+		if cr.A.Edges == "" || cr.B.Edges == "" {
+			t.Fatalf("request %d: compare without inline graphs", r.Index)
+		}
+	case KindPipeline:
+		var pr dkapi.PipelineRequest
+		if err := json.Unmarshal(r.Body, &pr); err != nil {
+			t.Fatalf("request %d: pipeline body: %v", r.Index, err)
+		}
+		if err := pipeline.Validate(pr, pipeline.Limits{}); err != nil {
+			t.Fatalf("request %d: generated pipeline rejected by the server's validator: %v", r.Index, err)
+		}
+	case KindStats:
+		if r.Method != "GET" || r.Path != "/v1/stats" {
+			t.Fatalf("request %d: malformed stats read: %s %s", r.Index, r.Method, r.Path)
+		}
+	default:
+		t.Fatalf("request %d: unknown kind %q", r.Index, r.Kind)
+	}
+}
+
+// TestRunSmokeAgainstServer replays the whole smoke stream against an
+// in-process server: zero 5xx, zero failed jobs, complete report that
+// passes Verify and gates green under the default SLO.
+func TestRunSmokeAgainstServer(t *testing.T) {
+	srv := service.New(service.Options{})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	p := Smoke()
+	reqs, err := Generate(p, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &Runner{Server: ts.URL, Concurrency: 4, ClientID: "dkload-test"}
+	rep, err := runner.Run(t.Context(), p, 11, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.SLO = DefaultSLO(p)
+	if rep.Totals.Server5xx != 0 {
+		t.Fatalf("%d server 5xx during smoke replay", rep.Totals.Server5xx)
+	}
+	if rep.Totals.Errors != 0 {
+		t.Fatalf("%d errors during smoke replay: %+v", rep.Totals.Errors, rep.Routes)
+	}
+	if rep.Jobs.Submitted == 0 || rep.Jobs.Failed != 0 || rep.Jobs.Done != rep.Jobs.Submitted {
+		t.Fatalf("job accounting off: %+v", rep.Jobs)
+	}
+	if err := Verify(rep); err != nil {
+		t.Fatalf("fresh smoke report fails Verify: %v", err)
+	}
+	// Latency bounds are machine-dependent; gate only the structural SLO
+	// terms here by lifting the p99 bounds out of the way.
+	lax := rep.SLO
+	lax.RouteP99MS = map[string]float64{}
+	for k := range rep.SLO.RouteP99MS {
+		lax.RouteP99MS[k] = 1e9
+	}
+	if v := Gate(rep, lax); len(v) != 0 {
+		t.Fatalf("smoke run violates its own structural SLO: %v", v)
+	}
+}
+
+// TestGateViolations: a report over budget trips every matching clause.
+func TestGateViolations(t *testing.T) {
+	p := Smoke()
+	rep := &Report{
+		Schema:      SchemaVersion,
+		Profile:     p,
+		Concurrency: 1,
+		DurationMS:  1000,
+		Totals:      Totals{Requests: 100, Errors: 7, Server5xx: 2},
+		Routes: map[string]RouteReport{
+			"POST /v1/extract": {Count: 100, P99MS: 900},
+		},
+	}
+	slo := SLO{
+		MaxErrorRate: 0.01,
+		MaxServer5xx: 0,
+		RouteP99MS:   map[string]float64{"POST /v1/extract": 500, "GET /v1/stats": 100},
+	}
+	v := Gate(rep, slo)
+	if len(v) != 4 {
+		t.Fatalf("got %d violations (%v), want 4: error rate, 5xx, slow route, absent route", len(v), v)
+	}
+}
+
+// TestVerifyRejects exercises Verify's failure modes.
+func TestVerifyRejects(t *testing.T) {
+	good := func() *Report {
+		p := Smoke()
+		rep := &Report{
+			Schema: SchemaVersion, Profile: p, Seed: 1, Concurrency: 2,
+			DurationMS: 100, Totals: Totals{Requests: int64(p.Requests)},
+			Routes: map[string]RouteReport{}, SLO: DefaultSLO(p),
+		}
+		per := int64(p.Requests / len(ExpectedRoutes(p)))
+		rem := int64(p.Requests) - per*int64(len(ExpectedRoutes(p)))
+		for i, key := range ExpectedRoutes(p) {
+			n := per
+			if i == 0 {
+				n += rem
+			}
+			rep.Routes[key] = RouteReport{Count: n, P50MS: 1, P95MS: 2, P99MS: 3, MaxMS: 4}
+		}
+		return rep
+	}
+	if err := Verify(good()); err != nil {
+		t.Fatalf("baseline report rejected: %v", err)
+	}
+	for name, breakIt := range map[string]func(*Report){
+		"wrong schema":        func(r *Report) { r.Schema = "dkload/v0" },
+		"missing route":       func(r *Report) { delete(r.Routes, "POST /v1/extract") },
+		"count mismatch":      func(r *Report) { r.Totals.Requests += 5 },
+		"unsorted percentile": func(r *Report) { rr := r.Routes["GET /v1/stats"]; rr.P99MS = 0.5; r.Routes["GET /v1/stats"] = rr },
+		"slo without bound":   func(r *Report) { delete(r.SLO.RouteP99MS, "POST /v1/compare") },
+		"zero error budget":   func(r *Report) { r.SLO.MaxErrorRate = 0 },
+	} {
+		rep := good()
+		breakIt(rep)
+		if err := Verify(rep); err == nil {
+			t.Errorf("%s: Verify accepted a broken report", name)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package load
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion identifies the BENCH_load.json layout; bump on breaking
+// changes.
+const SchemaVersion = "dkload/v1"
+
+// RouteReport aggregates one route's replay outcomes. Latencies are the
+// HTTP round-trip of the primary request — for async routes that is the
+// submit (202), with job completion tracked separately in JobsReport —
+// so route percentiles measure server responsiveness, not queue depth.
+type RouteReport struct {
+	Count     int64   `json:"count"`
+	Errors    int64   `json:"errors"`    // final status >= 400 except 429, or transport failure
+	Throttled int64   `json:"throttled"` // 429 answers seen (including retried-then-succeeded)
+	Server5xx int64   `json:"server_5xx"`
+	Retries   int64   `json:"retries"`
+	P50MS     float64 `json:"p50_ms"`
+	P95MS     float64 `json:"p95_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	MaxMS     float64 `json:"max_ms"`
+}
+
+// JobsReport aggregates the async half of the stream: every 202-accepted
+// generate/pipeline job, polled to its terminal state.
+type JobsReport struct {
+	Submitted int64   `json:"submitted"`
+	Done      int64   `json:"done"`
+	Failed    int64   `json:"failed"`
+	WaitP50MS float64 `json:"wait_p50_ms"`
+	WaitP99MS float64 `json:"wait_p99_ms"`
+	WaitMaxMS float64 `json:"wait_max_ms"`
+}
+
+// Totals sums the stream-wide outcome counters.
+type Totals struct {
+	Requests  int64 `json:"requests"`
+	Errors    int64 `json:"errors"`
+	Throttled int64 `json:"throttled"`
+	Server5xx int64 `json:"server_5xx"`
+	Retries   int64 `json:"retries"`
+}
+
+// SLO is the committed service-level gate: a fresh run passes when its
+// error rate, 5xx count, and per-route p99s all stay inside these
+// bounds. Thresholds live in BENCH_load.json so the gate is versioned
+// with the code it protects.
+type SLO struct {
+	// MaxErrorRate bounds Totals.Errors / Totals.Requests.
+	MaxErrorRate float64 `json:"max_error_rate"`
+	// MaxServer5xx bounds Totals.Server5xx (0 = none tolerated).
+	MaxServer5xx int64 `json:"max_server_5xx"`
+	// RouteP99MS bounds each route's p99 latency in milliseconds.
+	RouteP99MS map[string]float64 `json:"route_p99_ms"`
+}
+
+// Report is the schema of BENCH_load.json: the profile and seed that
+// *regenerate the exact request stream*, the replay configuration, the
+// per-route and job outcomes, and the SLO the run was gated against.
+type Report struct {
+	Schema      string                 `json:"schema"`
+	Profile     Profile                `json:"profile"`
+	Seed        int64                  `json:"seed"`
+	Concurrency int                    `json:"concurrency"`
+	DurationMS  float64                `json:"duration_ms"`
+	Throughput  float64                `json:"throughput_rps"`
+	Totals      Totals                 `json:"totals"`
+	Routes      map[string]RouteReport `json:"routes"`
+	Jobs        JobsReport             `json:"jobs"`
+	SLO         SLO                    `json:"slo"`
+}
+
+// routeKey maps a stream request to its report key — the server's mux
+// pattern, so dkload's routes table and /v1/stats line up.
+func routeKey(r Request) string {
+	path := r.Path
+	if q := strings.IndexByte(path, '?'); q >= 0 {
+		path = path[:q]
+	}
+	return r.Method + " " + path
+}
+
+// ExpectedRoutes lists the route keys a profile's mix can emit — the
+// completeness vocabulary of Verify.
+func ExpectedRoutes(p Profile) []string {
+	var keys []string
+	add := func(weight int, key string) {
+		if weight > 0 {
+			keys = append(keys, key)
+		}
+	}
+	add(p.Mix.Extract, "POST /v1/extract")
+	add(p.Mix.Generate, "POST /v1/generate")
+	add(p.Mix.Compare, "POST /v1/compare")
+	add(p.Mix.Pipeline, "POST /v1/pipelines")
+	add(p.Mix.Stats, "GET /v1/stats")
+	return keys
+}
+
+// DefaultSLO returns deliberately generous thresholds for a profile —
+// wide enough for a loaded CI machine, tight enough that a server that
+// stops answering or starts failing trips them. Tune per-route numbers
+// down in the committed report as the service earns it.
+func DefaultSLO(p Profile) SLO {
+	routes := map[string]float64{}
+	for _, key := range ExpectedRoutes(p) {
+		switch key {
+		case "GET /v1/stats":
+			routes[key] = 250
+		case "POST /v1/extract":
+			routes[key] = 2000
+		default: // submits and the synchronous compare
+			routes[key] = 4000
+		}
+	}
+	return SLO{MaxErrorRate: 0.01, MaxServer5xx: 0, RouteP99MS: routes}
+}
+
+// Verify checks a report's internal integrity: current schema, a
+// regenerable profile, every route its mix can emit present, and a
+// self-consistent SLO. It deliberately does not compare numbers — that
+// is Gate's job against a fresh run.
+func Verify(rep *Report) error {
+	if rep.Schema != SchemaVersion {
+		return fmt.Errorf("schema %q, want %q", rep.Schema, SchemaVersion)
+	}
+	if err := rep.Profile.Validate(); err != nil {
+		return fmt.Errorf("embedded profile: %w", err)
+	}
+	if rep.Totals.Requests != int64(rep.Profile.Requests) {
+		return fmt.Errorf("totals.requests %d != profile.requests %d", rep.Totals.Requests, rep.Profile.Requests)
+	}
+	if rep.Concurrency < 1 {
+		return fmt.Errorf("concurrency %d implausible", rep.Concurrency)
+	}
+	if rep.DurationMS <= 0 {
+		return fmt.Errorf("duration_ms %g implausible", rep.DurationMS)
+	}
+	var counted int64
+	for _, key := range ExpectedRoutes(rep.Profile) {
+		rr, ok := rep.Routes[key]
+		if !ok {
+			return fmt.Errorf("route %q missing from the report", key)
+		}
+		if rr.Count <= 0 {
+			return fmt.Errorf("route %q: zero requests; the stream should exercise every mixed kind", key)
+		}
+		if rr.P50MS > rr.P95MS || rr.P95MS > rr.P99MS || rr.P99MS > rr.MaxMS {
+			return fmt.Errorf("route %q: percentiles not monotone: %+v", key, rr)
+		}
+		counted += rr.Count
+	}
+	if counted != rep.Totals.Requests {
+		return fmt.Errorf("route counts sum to %d, totals say %d", counted, rep.Totals.Requests)
+	}
+	if rep.SLO.MaxErrorRate <= 0 || rep.SLO.MaxErrorRate > 1 {
+		return fmt.Errorf("slo.max_error_rate %g outside (0, 1]", rep.SLO.MaxErrorRate)
+	}
+	if rep.SLO.MaxServer5xx < 0 {
+		return fmt.Errorf("slo.max_server_5xx negative")
+	}
+	for _, key := range ExpectedRoutes(rep.Profile) {
+		if ms, ok := rep.SLO.RouteP99MS[key]; !ok || ms <= 0 {
+			return fmt.Errorf("slo.route_p99_ms missing a positive bound for %q", key)
+		}
+	}
+	return nil
+}
+
+// Gate applies an SLO to a run and returns every violation — empty means
+// the run passes. The CI load-smoke job fails on any violation.
+func Gate(rep *Report, slo SLO) []string {
+	var violations []string
+	if rep.Totals.Requests > 0 {
+		rate := float64(rep.Totals.Errors) / float64(rep.Totals.Requests)
+		if rate > slo.MaxErrorRate {
+			violations = append(violations, fmt.Sprintf(
+				"error rate %.4f over budget %.4f (%d/%d failed)",
+				rate, slo.MaxErrorRate, rep.Totals.Errors, rep.Totals.Requests))
+		}
+	}
+	if rep.Totals.Server5xx > slo.MaxServer5xx {
+		violations = append(violations, fmt.Sprintf(
+			"%d server 5xx responses over budget %d", rep.Totals.Server5xx, slo.MaxServer5xx))
+	}
+	keys := make([]string, 0, len(slo.RouteP99MS))
+	for key := range slo.RouteP99MS {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		bound := slo.RouteP99MS[key]
+		rr, ok := rep.Routes[key]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("route %q absent from the run", key))
+			continue
+		}
+		if rr.P99MS > bound {
+			violations = append(violations, fmt.Sprintf(
+				"route %q p99 %.1fms over bound %.1fms", key, rr.P99MS, bound))
+		}
+	}
+	return violations
+}
+
+// percentile reads quantile q (0..1) from sorted samples via the
+// nearest-rank method; 0 on an empty slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,327 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/pkg/dkapi"
+)
+
+// Runner replays a request stream against a live dkserved.
+type Runner struct {
+	// Server is the base URL ("http://127.0.0.1:8080").
+	Server string
+	// Concurrency is the worker count (minimum 1). Workers pull from a
+	// shared queue, so the stream's content is unaffected by this knob —
+	// only its pacing.
+	Concurrency int
+	// ClientID is sent as X-Client-Id so a rate-limited server buckets
+	// the run under one identity.
+	ClientID string
+	// HTTPClient overrides the transport (default 2-minute timeout).
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per request (default 6). Only 429/503
+	// answers are retried — they are issued before any state changes —
+	// honoring Retry-After.
+	MaxAttempts int
+	// JobTimeout bounds the poll wait for one async job (default 60s).
+	JobTimeout time.Duration
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// outcome is one replayed request's result.
+type outcome struct {
+	route     string
+	ms        float64
+	errored   bool
+	throttled int64
+	fives     int64
+	retries   int64
+	async     bool
+	jobDone   bool
+	jobFailed bool
+	jobWaitMS float64
+}
+
+// Run replays the stream and aggregates a report. The returned report
+// carries no SLO — the caller attaches the committed or default one.
+func (r *Runner) Run(ctx context.Context, p Profile, seed int64, reqs []Request) (*Report, error) {
+	if r.Concurrency < 1 {
+		r.Concurrency = 1
+	}
+	if r.MaxAttempts < 1 {
+		r.MaxAttempts = 6
+	}
+	if r.JobTimeout <= 0 {
+		r.JobTimeout = 60 * time.Second
+	}
+	hc := r.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 2 * time.Minute}
+	}
+
+	outcomes := make([]outcome, len(reqs))
+	queue := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < r.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				outcomes[i] = r.replay(ctx, hc, reqs[i])
+			}
+		}()
+	}
+	start := time.Now()
+	for i := range reqs {
+		select {
+		case queue <- i:
+		case <-ctx.Done():
+			close(queue)
+			wg.Wait()
+			return nil, ctx.Err()
+		}
+	}
+	close(queue)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return aggregate(p, seed, r.Concurrency, elapsed, reqs, outcomes), nil
+}
+
+// replay executes one request (with backpressure retries) and, for
+// async submissions, polls the accepted job to a terminal state.
+func (r *Runner) replay(ctx context.Context, hc *http.Client, req Request) outcome {
+	out := outcome{route: routeKey(req), async: req.Async}
+	start := time.Now()
+	status, body, err := r.exchange(ctx, hc, req.Method, r.Server+req.Path, req.ContentType, req.Body, &out)
+	out.ms = float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		out.errored = true
+		if r.Logf != nil {
+			r.Logf("request %d (%s): %v", req.Index, req.Kind, err)
+		}
+		return out
+	}
+	switch {
+	case status == http.StatusTooManyRequests:
+		// Retries exhausted against sustained backpressure: the request
+		// never ran, which is flow control — not an error-budget hit.
+		return out
+	case status >= 400:
+		out.errored = true
+		if r.Logf != nil {
+			r.Logf("request %d (%s): HTTP %d: %.200s", req.Index, req.Kind, status, body)
+		}
+		return out
+	}
+	if !req.Async {
+		return out
+	}
+	var acc dkapi.JobAccepted
+	if err := json.Unmarshal(body, &acc); err != nil || acc.JobID == "" {
+		out.errored = true
+		return out
+	}
+	waitStart := time.Now()
+	done, failed := r.waitJob(ctx, hc, acc.JobID)
+	out.jobWaitMS = float64(time.Since(waitStart)) / float64(time.Millisecond)
+	out.jobDone, out.jobFailed = done, failed
+	if failed {
+		out.errored = true
+	}
+	return out
+}
+
+// exchange performs one HTTP exchange with bounded 429/503 retries,
+// counting throttles, 5xx answers, and retries into out. It returns the
+// final status and body (transport failures return err).
+func (r *Runner) exchange(ctx context.Context, hc *http.Client, method, url, contentType string, body []byte, out *outcome) (int, []byte, error) {
+	var lastStatus int
+	var lastBody []byte
+	for attempt := 0; attempt < r.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			out.retries++
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		hreq, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return 0, nil, err
+		}
+		if contentType != "" {
+			hreq.Header.Set("Content-Type", contentType)
+		}
+		if r.ClientID != "" {
+			hreq.Header.Set("X-Client-Id", r.ClientID)
+		}
+		resp, err := hc.Do(hreq)
+		if err != nil {
+			// A dropped connection mid-POST is ambiguous (the job may have
+			// been enqueued); the harness counts it as an error rather
+			// than risk double-submitting and skewing the stream.
+			return 0, nil, err
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		lastStatus, lastBody = resp.StatusCode, data
+		if resp.StatusCode >= 500 {
+			out.fives++
+		}
+		if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+			return lastStatus, lastBody, nil
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			out.throttled++
+		}
+		delay := 100 * time.Millisecond << attempt
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				delay = time.Duration(secs) * time.Second
+			}
+		}
+		if delay > 5*time.Second {
+			delay = 5 * time.Second
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return lastStatus, lastBody, ctx.Err()
+		case <-t.C:
+		}
+	}
+	return lastStatus, lastBody, nil
+}
+
+// waitJob polls /v1/jobs/{id} until terminal or timeout.
+func (r *Runner) waitJob(ctx context.Context, hc *http.Client, id string) (done, failed bool) {
+	deadline := time.Now().Add(r.JobTimeout)
+	delay := 20 * time.Millisecond
+	for time.Now().Before(deadline) {
+		var probe outcome // poll bookkeeping is harness overhead, not stream traffic
+		status, body, err := r.exchange(ctx, hc, http.MethodGet, r.Server+"/v1/jobs/"+id, "", nil, &probe)
+		if err != nil || status != http.StatusOK {
+			return false, true
+		}
+		var env dkapi.JobEnvelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			return false, true
+		}
+		if env.Terminal() {
+			return env.Status == dkapi.JobDone, env.Status == dkapi.JobFailed
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return false, true
+		case <-t.C:
+		}
+		delay = delay * 3 / 2
+		if delay > time.Second {
+			delay = time.Second
+		}
+	}
+	return false, true
+}
+
+// aggregate folds outcomes into the report.
+func aggregate(p Profile, seed int64, concurrency int, elapsed time.Duration, reqs []Request, outcomes []outcome) *Report {
+	latencies := map[string][]float64{}
+	routes := map[string]*RouteReport{}
+	var totals Totals
+	var jobs JobsReport
+	var waits []float64
+	for _, o := range outcomes {
+		rr := routes[o.route]
+		if rr == nil {
+			rr = &RouteReport{}
+			routes[o.route] = rr
+		}
+		rr.Count++
+		totals.Requests++
+		latencies[o.route] = append(latencies[o.route], o.ms)
+		if o.errored {
+			rr.Errors++
+			totals.Errors++
+		}
+		rr.Throttled += o.throttled
+		totals.Throttled += o.throttled
+		rr.Server5xx += o.fives
+		totals.Server5xx += o.fives
+		rr.Retries += o.retries
+		totals.Retries += o.retries
+		if o.async {
+			jobs.Submitted++
+			if o.jobDone {
+				jobs.Done++
+			}
+			if o.jobFailed {
+				jobs.Failed++
+			}
+			waits = append(waits, o.jobWaitMS)
+		}
+	}
+	rep := &Report{
+		Schema:      SchemaVersion,
+		Profile:     p,
+		Seed:        seed,
+		Concurrency: concurrency,
+		DurationMS:  float64(elapsed) / float64(time.Millisecond),
+		Totals:      totals,
+		Routes:      map[string]RouteReport{},
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(len(reqs)) / elapsed.Seconds()
+	}
+	for key, rr := range routes {
+		ls := latencies[key]
+		sort.Float64s(ls)
+		rr.P50MS = percentile(ls, 0.50)
+		rr.P95MS = percentile(ls, 0.95)
+		rr.P99MS = percentile(ls, 0.99)
+		rr.MaxMS = ls[len(ls)-1]
+		rep.Routes[key] = *rr
+	}
+	sort.Float64s(waits)
+	jobs.WaitP50MS = percentile(waits, 0.50)
+	jobs.WaitP99MS = percentile(waits, 0.99)
+	if len(waits) > 0 {
+		jobs.WaitMaxMS = waits[len(waits)-1]
+	}
+	rep.Jobs = jobs
+	return rep
+}
+
+// Summarize renders a human-readable run summary.
+func Summarize(w io.Writer, rep *Report) {
+	fmt.Fprintf(w, "profile %s seed %d: %d requests, %d workers, %.1fs, %.1f req/s\n",
+		rep.Profile.Name, rep.Seed, rep.Totals.Requests, rep.Concurrency,
+		rep.DurationMS/1000, rep.Throughput)
+	keys := make([]string, 0, len(rep.Routes))
+	for key := range rep.Routes {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		rr := rep.Routes[key]
+		fmt.Fprintf(w, "  %-22s n=%-4d err=%-3d 429=%-3d p50=%7.1fms p95=%7.1fms p99=%7.1fms\n",
+			key, rr.Count, rr.Errors, rr.Throttled, rr.P50MS, rr.P95MS, rr.P99MS)
+	}
+	if rep.Jobs.Submitted > 0 {
+		fmt.Fprintf(w, "  jobs: %d submitted, %d done, %d failed, wait p50=%.1fms p99=%.1fms\n",
+			rep.Jobs.Submitted, rep.Jobs.Done, rep.Jobs.Failed, rep.Jobs.WaitP50MS, rep.Jobs.WaitP99MS)
+	}
+}

@@ -1,0 +1,19 @@
+package pipeline
+
+import "repro/pkg/dkapi"
+
+// Class assigns a pipeline request its scheduling priority: a request
+// is interactive unless any step constructs replica ensembles
+// (generate/randomize), in which case it is batch. The split matches
+// the two traffic shapes the service actually sees — a person waiting
+// on a profile read versus an ensemble sweep that takes as long as it
+// takes — and the job engine uses it to let the former overtake the
+// latter in the queue.
+func Class(req dkapi.PipelineRequest) dkapi.JobClass {
+	for _, st := range req.Steps {
+		if st.Op == dkapi.OpGenerate || st.Op == dkapi.OpRandomize {
+			return dkapi.ClassBatch
+		}
+	}
+	return dkapi.ClassInteractive
+}

@@ -1,0 +1,43 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/pkg/dkapi"
+)
+
+// FuzzValidate hardens the pipeline validator against arbitrary wire
+// bodies: whatever JSON a client sends to POST /v1/pipelines, decoding
+// plus Validate must reject it with an error or accept it — never
+// panic. The validator runs before any resolution or job submission, so
+// it is the service's entire defense against malformed DAGs.
+func FuzzValidate(f *testing.F) {
+	f.Add(`{"steps": [{"id": "a", "op": "extract", "source": {"dataset": "petersen"}}]}`)
+	f.Add(`{"steps": [
+		{"id": "p", "op": "extract", "d": 2, "source": {"hash": "sha256:abc"}},
+		{"id": "g", "op": "generate", "source": {"step": "p"}, "replicas": 4, "seed": 7},
+		{"id": "c", "op": "compare", "a": {"step": "p"}, "b": {"step": "g"}}
+	]}`)
+	f.Add(`{"steps": []}`)
+	f.Add(`{"steps": [{"id": "x", "op": "generate", "source": {"step": "x"}}]}`)         // self-reference
+	f.Add(`{"steps": [{"id": "dup", "op": "census"}, {"id": "dup", "op": "census"}]}`)   // duplicate id
+	f.Add(`{"steps": [{"id": "b", "op": "compare", "a": {"step": "zzz"}}]}`)             // dangling ref
+	f.Add(`{"steps": [{"id": "n", "op": "extract", "d": -7, "source": {"hash": "h"}}]}`) // bad depth
+	f.Add(`{"steps": [{"id": "r", "op": "randomize", "source": {"dataset": "petersen"}, "replicas": 1000000}]}`)
+	f.Add(`{"steps": [{"id": "?", "op": "nonsense"}]}`)
+	f.Add(`null`)
+	f.Add(`[]`)
+	f.Add(`{"steps": 3}`)
+	f.Add("\x00\xff not json at all")
+
+	f.Fuzz(func(t *testing.T, body string) {
+		var req dkapi.PipelineRequest
+		if err := json.Unmarshal([]byte(body), &req); err != nil {
+			return // the decoder rejected it before Validate would run
+		}
+		// Both the server's defaults and tight limits must hold.
+		_ = Validate(req, Limits{})
+		_ = Validate(req, Limits{MaxSteps: 2, MaxReplicas: 3, MaxTotalReplicas: 4})
+	})
+}

@@ -52,6 +52,7 @@ const (
 	CodeNotFound    = dkapi.CodeNotFound
 	CodeTooLarge    = dkapi.CodeTooLarge
 	CodeQueueFull   = dkapi.CodeQueueFull
+	CodeRateLimited = dkapi.CodeRateLimited
 	CodeConflict    = dkapi.CodeConflict
 	CodeUnavailable = dkapi.CodeUnavailable
 	CodeInternal    = dkapi.CodeInternal

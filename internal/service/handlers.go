@@ -207,6 +207,9 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	spec, _ := json.Marshal(normalized)
 	job, err := s.jobs.SubmitSpec("generate", spec, s.generateJobFunc(normalized))
 	if errors.Is(err, ErrQueueFull) {
+		// Backpressure, not failure: carry Retry-After (dkclient honors
+		// it) so callers back off instead of hammering the full queue.
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, CodeQueueFull,
 			"job queue full (%d queued); retry later", s.opts.JobQueue)
 		return
@@ -401,6 +404,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Jobs:          s.jobs.Stats(),
 		Routes:        s.routes.Snapshot(),
 		Phases:        s.phases.Snapshot(),
+	}
+	if s.limiter != nil {
+		rl := s.limiter.Stats()
+		resp.RateLimit = &rl
 	}
 	if s.store != nil {
 		st := s.store.Stats()

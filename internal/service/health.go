@@ -49,6 +49,18 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, dkapi.ReadyResponse{Ready: ready, Checks: checks})
 }
 
+// rateLimitExempt reports whether a request bypasses per-client rate
+// limiting. Liveness/readiness probes and the Prometheus scrape are
+// exempt: an orchestrator whose health checks get 429 restarts healthy
+// pods, and a monitoring gap is exactly when scrapes must keep working.
+func rateLimitExempt(r *http.Request) bool {
+	switch r.URL.Path {
+	case "/v1/healthz", "/v1/readyz", "/metrics":
+		return true
+	}
+	return false
+}
+
 // StartDraining flips /v1/readyz to 503 so load balancers stop sending
 // new traffic while in-flight requests and running jobs finish.
 // dkserved calls it on SIGTERM, before shutting the listener down;

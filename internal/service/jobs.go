@@ -31,6 +31,17 @@ const (
 	JobFailed  = dkapi.JobFailed
 )
 
+// JobClass is the scheduling priority of a job (wire vocabulary,
+// pkg/dkapi): interactive work overtakes queued batch work.
+type JobClass = dkapi.JobClass
+
+// Job priority classes. Submissions that do not declare a class run as
+// batch — the historical single-queue behavior.
+const (
+	ClassInteractive = dkapi.ClassInteractive
+	ClassBatch       = dkapi.ClassBatch
+)
+
 // StreamFunc writes a job's bulk result (replica edge lists) to w. It is
 // invoked once per GET /v1/jobs/{id}/result request, after the job is
 // done, possibly concurrently with other streams of the same job — it
@@ -50,11 +61,12 @@ type TrackedJobFunc func(setProgress func(any)) (result any, stream StreamFunc, 
 // Job is one asynchronous unit of work tracked by the Engine. All fields
 // are private; use View for a snapshot.
 type Job struct {
-	id   string
-	kind string
-	run  TrackedJobFunc
-	eng  *Engine         // owner, for journaling terminal transitions; may be nil
-	spec json.RawMessage // serialized request, journaled for recovery
+	id    string
+	kind  string
+	class JobClass
+	run   TrackedJobFunc
+	eng   *Engine         // owner, for journaling terminal transitions; may be nil
+	spec  json.RawMessage // serialized request, journaled for recovery
 
 	mu        sync.Mutex
 	status    JobStatus
@@ -103,6 +115,7 @@ func (j *Job) View() JobView {
 	v := JobView{
 		ID:        j.id,
 		Kind:      j.kind,
+		Class:     j.class,
 		Status:    j.status,
 		Submitted: j.submitted,
 	}
@@ -138,15 +151,19 @@ func (j *Job) View() JobView {
 type EngineStats = dkapi.EngineStats
 
 // Engine executes jobs asynchronously on a fixed pool of runner
-// goroutines with a bounded queue. The runner count is the engine's share
-// of the process worker budget: generation work inside a job fans out
-// further through internal/parallel, whose process-global helper bound
-// keeps (runners × inner parallelism) from oversubscribing the machine —
-// inner loops degrade to inline execution once the global fleet is
-// saturated.
+// goroutines with two bounded queues — interactive and batch, each of
+// the configured capacity. A runner that frees up always drains the
+// interactive queue first, so profile reads overtake queued ensemble
+// sweeps; within a class, order is FIFO. The runner count is the
+// engine's share of the process worker budget: generation work inside a
+// job fans out further through internal/parallel, whose process-global
+// helper bound keeps (runners × inner parallelism) from oversubscribing
+// the machine — inner loops degrade to inline execution once the global
+// fleet is saturated.
 type Engine struct {
 	runners int
-	queue   chan *Job
+	queueHi chan *Job // interactive
+	queueLo chan *Job // batch
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	journal *store.Journal // immutable after construction; nil = no journal
@@ -185,7 +202,8 @@ func NewJournaledEngine(runners, queueCap, retain int, journal *store.Journal, s
 	}
 	e := &Engine{
 		runners: runners,
-		queue:   make(chan *Job, queueCap),
+		queueHi: make(chan *Job, queueCap),
+		queueLo: make(chan *Job, queueCap),
 		stop:    make(chan struct{}),
 		jobs:    make(map[string]*Job),
 		retain:  retain,
@@ -263,12 +281,15 @@ func (e *Engine) Close() {
 	// Submit enqueues under the mutex, so every send either happened
 	// before the closed flag was set (and is drained here) or observed
 	// the flag and was rejected — no job can be enqueued after this.
-	for {
-		select {
-		case j := <-e.queue:
-			j.finish(nil, nil, errors.New("service: engine shut down"))
-		default:
-			return
+	for _, q := range []chan *Job{e.queueHi, e.queueLo} {
+		for {
+			select {
+			case j := <-q:
+				j.finish(nil, nil, errors.New("service: engine shut down"))
+				continue
+			default:
+			}
+			break
 		}
 	}
 }
@@ -278,8 +299,9 @@ func untracked(run JobFunc) TrackedJobFunc {
 	return func(func(any)) (any, StreamFunc, error) { return run() }
 }
 
-// Submit enqueues a job. It never blocks: if the queue is full the job is
-// rejected with ErrQueueFull; after Close it is rejected outright.
+// Submit enqueues a batch-class job. It never blocks: if the queue is
+// full the job is rejected with ErrQueueFull; after Close it is
+// rejected outright.
 func (e *Engine) Submit(kind string, run JobFunc) (*Job, error) {
 	return e.SubmitSpec(kind, nil, run)
 }
@@ -288,24 +310,36 @@ func (e *Engine) Submit(kind string, run JobFunc) (*Job, error) {
 // the journal alongside the queued record, making the job recoverable:
 // after a crash, the spec is what a fresh process re-queues from.
 func (e *Engine) SubmitSpec(kind string, spec json.RawMessage, run JobFunc) (*Job, error) {
-	return e.submit("", kind, spec, untracked(run), false)
+	return e.submit("", kind, ClassBatch, spec, untracked(run), false)
 }
 
 // SubmitTracked is SubmitSpec for a progress-reporting job body.
 func (e *Engine) SubmitTracked(kind string, spec json.RawMessage, run TrackedJobFunc) (*Job, error) {
-	return e.submit("", kind, spec, run, false)
+	return e.submit("", kind, ClassBatch, spec, run, false)
+}
+
+// SubmitClass is SubmitTracked with an explicit priority class:
+// interactive jobs overtake queued batch jobs.
+func (e *Engine) SubmitClass(kind string, class JobClass, spec json.RawMessage, run TrackedJobFunc) (*Job, error) {
+	return e.submit("", kind, class, spec, run, false)
 }
 
 // Resubmit re-queues a job recovered from a previous process's journal
 // under its original id, so clients polling that id across the restart
 // find their job again. It fails if the id is already tracked.
 func (e *Engine) Resubmit(id, kind string, spec json.RawMessage, run JobFunc) (*Job, error) {
-	return e.submit(id, kind, spec, untracked(run), true)
+	return e.submit(id, kind, ClassBatch, spec, untracked(run), true)
 }
 
 // ResubmitTracked is Resubmit for a progress-reporting job body.
 func (e *Engine) ResubmitTracked(id, kind string, spec json.RawMessage, run TrackedJobFunc) (*Job, error) {
-	return e.submit(id, kind, spec, run, true)
+	return e.submit(id, kind, ClassBatch, spec, run, true)
+}
+
+// ResubmitClass is ResubmitTracked with an explicit priority class, so
+// recovery re-queues a job under the same class it was submitted with.
+func (e *Engine) ResubmitClass(id, kind string, class JobClass, spec json.RawMessage, run TrackedJobFunc) (*Job, error) {
+	return e.submit(id, kind, class, spec, run, true)
 }
 
 // RegisterFailed tracks a job in a terminal failed state without ever
@@ -338,7 +372,10 @@ func (e *Engine) RegisterFailed(id, kind string, spec json.RawMessage, msg strin
 	e.evictLocked()
 }
 
-func (e *Engine) submit(id, kind string, spec json.RawMessage, run TrackedJobFunc, recovered bool) (*Job, error) {
+func (e *Engine) submit(id, kind string, class JobClass, spec json.RawMessage, run TrackedJobFunc, recovered bool) (*Job, error) {
+	if class != ClassInteractive {
+		class = ClassBatch
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -354,12 +391,17 @@ func (e *Engine) submit(id, kind string, spec json.RawMessage, run TrackedJobFun
 	j := &Job{
 		id:        id,
 		kind:      kind,
+		class:     class,
 		run:       run,
 		eng:       e,
 		spec:      spec,
 		status:    JobQueued,
 		submitted: time.Now().UTC(),
 		doneCh:    make(chan struct{}),
+	}
+	queue := e.queueLo
+	if class == ClassInteractive {
+		queue = e.queueHi
 	}
 	// Journal the queued record (which carries the recoverable spec)
 	// BEFORE the job becomes visible to runners: a runner can dequeue
@@ -370,7 +412,7 @@ func (e *Engine) submit(id, kind string, spec json.RawMessage, run TrackedJobFun
 	// journal never carries a phantom queued job.
 	e.note(store.JobRecord{ID: j.id, Status: store.JobQueued, Kind: kind, Spec: spec})
 	select {
-	case e.queue <- j:
+	case queue <- j:
 	default:
 		e.stats.Rejected++
 		e.note(store.JobRecord{ID: j.id, Status: store.JobFailed, Error: "rejected: queue full"})
@@ -451,17 +493,20 @@ func (e *Engine) Stats() EngineStats {
 	defer e.mu.Unlock()
 	s := e.stats
 	s.Runners = e.runners
-	s.Queued = len(e.queue)
+	s.QueuedInteractive = len(e.queueHi)
+	s.QueuedBatch = len(e.queueLo)
+	s.Queued = s.QueuedInteractive + s.QueuedBatch
 	s.Running = e.running
 	return s
 }
 
-// runLoop is one runner goroutine: it drains the queue until Close.
+// runLoop is one runner goroutine: it drains the queues until Close,
+// always preferring interactive work when both classes have backlog.
 func (e *Engine) runLoop() {
 	defer e.wg.Done()
 	for {
-		// Check stop first on its own: a two-case select picks randomly
-		// when both are ready, which would let a runner start a queued
+		// Check stop first on its own: a multi-case select picks randomly
+		// when several are ready, which would let a runner start a queued
 		// job after Close began instead of leaving it for Close's
 		// drain-and-fail pass.
 		select {
@@ -469,10 +514,24 @@ func (e *Engine) runLoop() {
 			return
 		default:
 		}
+		// The priority rule lives here: a freed runner drains the
+		// interactive queue before looking at batch work, so class-hi
+		// jobs overtake any batch backlog. Only when the interactive
+		// queue is empty does the runner block on both classes at once
+		// (a simultaneous arrival picks randomly — at most one batch
+		// job ahead of an interactive one, never a queue's worth).
+		select {
+		case j := <-e.queueHi:
+			e.execute(j)
+			continue
+		default:
+		}
 		select {
 		case <-e.stop:
 			return
-		case j := <-e.queue:
+		case j := <-e.queueHi:
+			e.execute(j)
+		case j := <-e.queueLo:
 			e.execute(j)
 		}
 	}

@@ -43,14 +43,15 @@ func (w *statusWriter) Flush() {
 
 // routeAgg accumulates one route's traffic.
 type routeAgg struct {
-	count    int64
-	errors   int64
-	bytes    int64
-	total    time.Duration
-	max      time.Duration
-	last     time.Duration
-	lastCode int
-	inFlight int64
+	count     int64
+	errors    int64
+	throttled int64
+	bytes     int64
+	total     time.Duration
+	max       time.Duration
+	last      time.Duration
+	lastCode  int
+	inFlight  int64
 }
 
 // routeStats is the per-route traffic table behind /v1/stats "routes".
@@ -86,6 +87,7 @@ func (rs *routeStats) Snapshot() map[string]dkapi.RouteStat {
 		out[pattern] = dkapi.RouteStat{
 			Count:     a.count,
 			Errors:    a.errors,
+			Throttled: a.throttled,
 			TotalMS:   float64(a.total) / float64(time.Millisecond),
 			MaxMS:     float64(a.max) / float64(time.Millisecond),
 			LastMS:    float64(a.last) / float64(time.Millisecond),
@@ -123,7 +125,13 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 		}
 		a.last = elapsed
 		a.lastCode = sw.status
-		if sw.status >= 400 {
+		// 429 is backpressure (full job queue), not failure: it goes to
+		// the throttled counter so error budgets — and the job engine's
+		// own Rejected-vs-Failed split — stay meaningful under load.
+		switch {
+		case sw.status == http.StatusTooManyRequests:
+			a.throttled++
+		case sw.status >= 400:
 			a.errors++
 		}
 		s.routes.mu.Unlock()
@@ -134,9 +142,10 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 var ridCounter atomic.Int64
 
 // ServeHTTP is the service entry point: the middleware stack (request
-// id, status capture, structured access log) around the /v1 mux.
-// Incoming X-Request-Id headers are echoed so callers can correlate;
-// absent ones are minted here, and every response carries the header.
+// id, rate limiting, status capture, structured access log) around the
+// /v1 mux. Incoming X-Request-Id headers are echoed so callers can
+// correlate; absent ones are minted here, and every response carries
+// the header.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rid := r.Header.Get("X-Request-Id")
 	if rid == "" {
@@ -145,14 +154,45 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Request-Id", rid)
 	sw := &statusWriter{ResponseWriter: w}
 	start := time.Now()
+	// Admission control runs before routing: a limited request spends no
+	// handler work, never reaches the per-route tables (the limiter has
+	// its own counters in /v1/stats), and in particular never touches
+	// the job engine — so Rejected/Failed there count real submissions
+	// only. Health probes and the metrics scrape are exempt: throttling
+	// an orchestrator's liveness check restarts healthy pods.
+	if s.limiter != nil && !rateLimitExempt(r) {
+		if ok, wait := s.limiter.Allow(clientKey(r)); !ok {
+			sw.Header().Set("Retry-After", retryAfterSeconds(wait))
+			writeError(sw, http.StatusTooManyRequests, CodeRateLimited,
+				"client over the request rate (%.3g/s, burst %d); slow down",
+				s.opts.RatePerSec, s.limiterBurst())
+			s.logAccess(r, sw, start, rid)
+			return
+		}
+	}
 	s.mux.ServeHTTP(sw, r)
 	if sw.status == 0 {
 		// A handler that never wrote (or a mux 404 with an empty body)
 		// still implicitly answered 200 unless WriteHeader said otherwise.
 		sw.status = http.StatusOK
 	}
+	s.logAccess(r, sw, start, rid)
+}
+
+// logAccess emits the structured access-log line (when enabled) — one
+// per request, including rate-limited rejections.
+func (s *Server) logAccess(r *http.Request, sw *statusWriter, start time.Time, rid string) {
 	if lg := s.opts.AccessLog; lg != nil {
 		lg.Printf("method=%s path=%s status=%d bytes=%d dur=%s rid=%s",
 			r.Method, r.URL.Path, sw.status, sw.bytes, time.Since(start).Round(time.Microsecond), rid)
 	}
+}
+
+// limiterBurst reports the effective burst of the configured limiter,
+// for the 429 message.
+func (s *Server) limiterBurst() int {
+	if s.limiter == nil {
+		return 0
+	}
+	return int(s.limiter.burst)
 }

@@ -83,9 +83,13 @@ func (s *Server) handlePipelineSubmit(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, err)
 		return
 	}
+	// Pipelines without generate steps are interactive-class: someone is
+	// waiting on a profile read, and it must not sit behind a queue of
+	// ensemble sweeps.
 	spec, _ := json.Marshal(req)
-	job, err := s.jobs.SubmitTracked("pipeline", spec, s.pipelineJobFunc(req))
+	job, err := s.jobs.SubmitClass("pipeline", pipeline.Class(req), spec, s.pipelineJobFunc(req))
 	if errors.Is(err, ErrQueueFull) {
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, CodeQueueFull,
 			"job queue full (%d queued); retry later", s.opts.JobQueue)
 		return

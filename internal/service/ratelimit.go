@@ -1,0 +1,148 @@
+package service
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/pkg/dkapi"
+)
+
+// rateLimiterMaxClients bounds the per-client bucket table. Client keys
+// are caller-controlled (header or remote address), so without a bound
+// the table would be an unbounded memory leak; fully-refilled buckets
+// carry no state and are reclaimed first.
+const rateLimiterMaxClients = 4096
+
+// bucket is one client's token bucket: tokens at the last refill
+// instant. The current balance is always derived from (tokens, last,
+// rate) on access, so idle buckets need no background goroutine.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateLimiter is a per-client token-bucket limiter: every client key
+// accrues rate tokens per second up to burst, and each request spends
+// one. It exists because a load surface without admission control lets
+// any single client convert the whole worker budget into its own queue
+// — the first thing a real load harness exposes.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+	allowed int64
+	limited int64
+}
+
+// newRateLimiter builds a limiter granting rate tokens/second with the
+// given burst capacity (minimum 1). A nil limiter (rate <= 0 at the
+// call site) disables limiting entirely.
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     time.Now,
+		clients: make(map[string]*bucket),
+	}
+}
+
+// Allow spends one token of key's bucket. When the bucket is empty it
+// reports false and how long until the next token accrues — the
+// Retry-After the 429 response carries.
+func (rl *rateLimiter) Allow(key string) (bool, time.Duration) {
+	now := rl.now()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b := rl.clients[key]
+	if b == nil {
+		rl.evictLocked(now)
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.clients[key] = b
+	} else {
+		b.tokens = math.Min(rl.burst, b.tokens+now.Sub(b.last).Seconds()*rl.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		rl.allowed++
+		return true, 0
+	}
+	rl.limited++
+	wait := time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
+	return false, wait
+}
+
+// evictLocked reclaims bucket slots when the table is full: first every
+// fully-refilled bucket (an idle client indistinguishable from a new
+// one), then — if every client is hot — the stalest bucket, so a new
+// client is never denied tracking.
+func (rl *rateLimiter) evictLocked(now time.Time) {
+	if len(rl.clients) < rateLimiterMaxClients {
+		return
+	}
+	var (
+		oldestKey string
+		oldest    time.Time
+	)
+	for k, b := range rl.clients {
+		if math.Min(rl.burst, b.tokens+now.Sub(b.last).Seconds()*rl.rate) >= rl.burst {
+			delete(rl.clients, k)
+			continue
+		}
+		if oldestKey == "" || b.last.Before(oldest) {
+			oldestKey, oldest = k, b.last
+		}
+	}
+	if len(rl.clients) >= rateLimiterMaxClients && oldestKey != "" {
+		delete(rl.clients, oldestKey)
+	}
+}
+
+// Stats snapshots the limiter for GET /v1/stats and /metrics.
+func (rl *rateLimiter) Stats() dkapi.RateLimitStats {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return dkapi.RateLimitStats{
+		RatePerSec: rl.rate,
+		Burst:      int(rl.burst),
+		Clients:    len(rl.clients),
+		Allowed:    rl.allowed,
+		Limited:    rl.limited,
+	}
+}
+
+// clientKey identifies the caller for rate limiting: the self-declared
+// X-Client-Id header when present (what pkg/dkclient sends), else the
+// remote IP. Header keys are namespaced apart from address keys so a
+// client cannot collide with (and drain) an address bucket.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-Id"); id != "" {
+		return "id:" + id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return "addr:" + host
+}
+
+// retryAfterSeconds renders a wait as a Retry-After header value:
+// integral seconds, rounded up, minimum 1 — a client told "0" would
+// retry immediately and be limited again.
+func retryAfterSeconds(wait time.Duration) string {
+	secs := int64(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}

@@ -29,6 +29,7 @@ package service
 import (
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -72,6 +73,16 @@ type Options struct {
 	// graphs stay streamable until the job leaves retention, so this is
 	// the per-job memory bound.
 	MaxPipelineReplicas int
+	// RatePerSec enables per-client token-bucket rate limiting: each
+	// client (X-Client-Id header, else remote IP) accrues this many
+	// request tokens per second, up to RateBurst. Exhausted clients get
+	// 429 rate_limited with a Retry-After header. 0 (the default)
+	// disables limiting. Health probes and /metrics are always exempt.
+	RatePerSec float64
+	// RateBurst is the token-bucket capacity (default: 2×RatePerSec,
+	// minimum 1) — the size of the burst a well-behaved client may send
+	// before the steady-state rate applies.
+	RateBurst int
 	// AccessLog receives one structured line per request (nil = no
 	// access logging — the default, so embedded/test servers stay
 	// quiet).
@@ -123,6 +134,7 @@ type Server struct {
 	mux      *http.ServeMux
 	routes   *routeStats
 	phases   *phaseStats
+	limiter  *rateLimiter // nil = no rate limiting
 	started  time.Time
 	draining atomic.Bool
 
@@ -194,6 +206,13 @@ func New(opts Options) *Server {
 		started: time.Now().UTC(),
 		dsMemo:  make(map[string]*dsEntry),
 	}
+	if opts.RatePerSec > 0 {
+		burst := opts.RateBurst
+		if burst == 0 {
+			burst = int(math.Ceil(2 * opts.RatePerSec))
+		}
+		s.limiter = newRateLimiter(opts.RatePerSec, burst)
+	}
 	s.recoverJobs(replayed)
 	s.route("POST /v1/extract", s.handleExtract)
 	s.route("POST /v1/generate", s.handleGenerate)
@@ -208,6 +227,10 @@ func New(opts Options) *Server {
 	s.route("GET /v1/stats", s.handleStats)
 	s.route("GET /v1/healthz", s.handleHealthz)
 	s.route("GET /v1/readyz", s.handleReadyz)
+	// Prometheus exposition lives at the conventional scrape path, not
+	// under /v1: it is an operational surface with its own format
+	// contract, versioned by the exposition format rather than the API.
+	s.route("GET /metrics", s.handleMetrics)
 	return s
 }
 
@@ -268,7 +291,7 @@ func (s *Server) recoverJobs(states []store.JobState) {
 				fail("recovery: %v", err)
 				continue
 			}
-			if _, err := s.jobs.ResubmitTracked(st.ID, "pipeline", st.Spec, s.pipelineJobFunc(req)); err != nil {
+			if _, err := s.jobs.ResubmitClass(st.ID, "pipeline", pipeline.Class(req), st.Spec, s.pipelineJobFunc(req)); err != nil {
 				fail("recovery: %v", err)
 			}
 		default:

@@ -165,29 +165,47 @@ type CacheStats struct {
 
 // EngineStats counts job-engine traffic. MaxRunning is the high-water
 // mark of concurrently executing jobs; Recovered counts jobs re-queued
-// from the journal of a previous process at startup.
+// from the journal of a previous process at startup. Queued is the
+// total backlog; QueuedInteractive/QueuedBatch split it by priority
+// class (see JobClass).
 type EngineStats struct {
-	Runners    int   `json:"runners"`
-	Queued     int   `json:"queued"`
-	Running    int   `json:"running"`
-	MaxRunning int   `json:"max_running"`
-	Completed  int64 `json:"completed"`
-	Failed     int64 `json:"failed"`
-	Rejected   int64 `json:"rejected"`
-	Recovered  int64 `json:"recovered"`
+	Runners           int   `json:"runners"`
+	Queued            int   `json:"queued"`
+	QueuedInteractive int   `json:"queued_interactive"`
+	QueuedBatch       int   `json:"queued_batch"`
+	Running           int   `json:"running"`
+	MaxRunning        int   `json:"max_running"`
+	Completed         int64 `json:"completed"`
+	Failed            int64 `json:"failed"`
+	Rejected          int64 `json:"rejected"`
+	Recovered         int64 `json:"recovered"`
 }
 
 // RouteStat is the per-route traffic record in GET /v1/stats: request
-// count, error count (status >= 400), and latency aggregates.
+// count, error count, and latency aggregates. Throttled counts 429
+// backpressure answers (rate limit, full job queue) separately — they
+// are flow control, not failures, so they stay out of Errors and out
+// of any error-budget arithmetic built on it.
 type RouteStat struct {
 	Count     int64   `json:"count"`
 	Errors    int64   `json:"errors"`
+	Throttled int64   `json:"throttled,omitempty"`
 	TotalMS   float64 `json:"total_ms"`
 	MaxMS     float64 `json:"max_ms"`
 	LastMS    float64 `json:"last_ms"`
 	LastCode  int     `json:"last_code"`
 	InFlight  int64   `json:"in_flight,omitempty"`
 	BytesSent int64   `json:"bytes_sent"`
+}
+
+// RateLimitStats instruments the per-client token-bucket limiter in
+// GET /v1/stats (present only when the server runs with a rate limit).
+type RateLimitStats struct {
+	RatePerSec float64 `json:"rate_per_sec"`
+	Burst      int     `json:"burst"`
+	Clients    int     `json:"clients"`
+	Allowed    int64   `json:"allowed"`
+	Limited    int64   `json:"limited"`
 }
 
 // PhaseStat aggregates the wall-clock cost of one pipeline execution
@@ -212,6 +230,7 @@ type StatsResponse struct {
 	Jobs          EngineStats          `json:"jobs"`
 	Routes        map[string]RouteStat `json:"routes,omitempty"`
 	Phases        map[string]PhaseStat `json:"phases,omitempty"`
+	RateLimit     *RateLimitStats      `json:"rate_limit,omitempty"`
 	Store         *store.Stats         `json:"store,omitempty"`
 }
 
@@ -238,13 +257,14 @@ type ErrorResponse struct {
 
 // Error codes used in ErrorResponse.Code.
 const (
-	CodeBadRequest  = "bad_request" // malformed input or parameters
-	CodeNotFound    = "not_found"   // unknown hash, job, or dataset
-	CodeTooLarge    = "too_large"   // body or graph exceeds a limit
-	CodeQueueFull   = "queue_full"  // job queue at capacity
-	CodeConflict    = "conflict"    // job not in a state serving the request
-	CodeUnavailable = "unavailable" // server draining or dependency down
-	CodeInternal    = "internal"    // unexpected server-side failure
+	CodeBadRequest  = "bad_request"  // malformed input or parameters
+	CodeNotFound    = "not_found"    // unknown hash, job, or dataset
+	CodeTooLarge    = "too_large"    // body or graph exceeds a limit
+	CodeQueueFull   = "queue_full"   // job queue at capacity
+	CodeRateLimited = "rate_limited" // per-client token bucket exhausted
+	CodeConflict    = "conflict"     // job not in a state serving the request
+	CodeUnavailable = "unavailable"  // server draining or dependency down
+	CodeInternal    = "internal"     // unexpected server-side failure
 )
 
 // Census is re-exported so SDK users can name the 3K wedge/triangle

@@ -133,6 +133,19 @@ type PipelineResult struct {
 	Steps []StepResult `json:"steps"`
 }
 
+// JobClass is the scheduling priority of an asynchronous job. The job
+// engine runs two queues: interactive work (profile reads — extract,
+// compare, census, metrics pipelines) overtakes queued batch work
+// (anything that generates replica ensembles), so a burst of long
+// generate jobs cannot starve a human waiting on an extraction.
+type JobClass string
+
+// Job priority classes.
+const (
+	ClassInteractive JobClass = "interactive"
+	ClassBatch       JobClass = "batch"
+)
+
 // JobStatus is the lifecycle state of an asynchronous job.
 type JobStatus string
 
@@ -152,6 +165,7 @@ const (
 type JobView struct {
 	ID        string     `json:"id"`
 	Kind      string     `json:"kind"`
+	Class     JobClass   `json:"class,omitempty"`
 	Status    JobStatus  `json:"status"`
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
@@ -169,6 +183,7 @@ type JobView struct {
 type JobEnvelope struct {
 	ID        string          `json:"id"`
 	Kind      string          `json:"kind"`
+	Class     JobClass        `json:"class,omitempty"`
 	Status    JobStatus       `json:"status"`
 	Submitted time.Time       `json:"submitted"`
 	Started   *time.Time      `json:"started,omitempty"`

@@ -74,6 +74,11 @@ type Options struct {
 	// PollMax caps the job-poll delay (default 2s; the interval grows
 	// 1.5× per poll).
 	PollMax time.Duration
+	// ClientID, when set, is sent as X-Client-Id on every request. A
+	// rate-limited server buckets traffic by this id (falling back to the
+	// remote IP), so callers sharing a NAT can be throttled independently
+	// — dkload sets it so load runs never eat another client's budget.
+	ClientID string
 }
 
 // Client talks to one dkserved base URL. It is safe for concurrent use.
@@ -165,6 +170,9 @@ func (c *Client) do(ctx context.Context, method, u string, contentType string, b
 		}
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
+		}
+		if c.opts.ClientID != "" {
+			req.Header.Set("X-Client-Id", c.opts.ClientID)
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
@@ -262,6 +270,9 @@ func (c *Client) Ready(ctx context.Context) (dkapi.ReadyResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.urlFor("/v1/readyz", nil), nil)
 	if err != nil {
 		return dkapi.ReadyResponse{}, err
+	}
+	if c.opts.ClientID != "" {
+		req.Header.Set("X-Client-Id", c.opts.ClientID)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

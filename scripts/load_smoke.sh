@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Load smoke: the CI end of cmd/dkload. Prove the stream generator is
+# byte-deterministic, boot a real dkserved (persistent store + rate
+# limiter enabled), replay the committed BENCH_load.json's exact
+# profile+seed against it, and gate on the committed SLO — zero 5xx,
+# error budget, per-route p99 bounds.
+#
+# Usage: scripts/load_smoke.sh [workdir]   (defaults to a fresh temp dir)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK="${1:-$(mktemp -d)}"
+PORT="${LOAD_PORT:-18081}"
+BASE="http://127.0.0.1:${PORT}"
+
+echo "load-smoke: workdir ${WORK}"
+mkdir -p "${WORK}"
+go build -o "${WORK}/dkload" ./cmd/dkload
+go build -o "${WORK}/dkserved" ./cmd/dkserved
+
+# The committed report must be schema-complete before anything runs.
+"${WORK}/dkload" -verify BENCH_load.json
+
+# Determinism witness: the same (profile, seed) dumps a byte-identical
+# stream, run to run — so a gate failure is the server's fault, never
+# the harness sending different traffic.
+"${WORK}/dkload" -dump -profile smoke -seed 2 > "${WORK}/stream-a.txt"
+"${WORK}/dkload" -dump -profile smoke -seed 2 > "${WORK}/stream-b.txt"
+diff -u "${WORK}/stream-a.txt" "${WORK}/stream-b.txt"
+echo "load-smoke: stream byte-deterministic"
+
+# Boot with the store and the limiter on: the limit is far above what
+# the harness sends, so the limiter code path runs on every request
+# without ever throttling the gate run.
+"${WORK}/dkserved" -addr "127.0.0.1:${PORT}" -data-dir "${WORK}/data" \
+  -rate-limit 500 >"${WORK}/dkserved.log" 2>&1 &
+SERVED_PID=$!
+trap 'kill ${SERVED_PID} 2>/dev/null || true' EXIT
+
+for i in $(seq 1 50); do
+  if curl -fsS "${BASE}/v1/readyz" >/dev/null 2>&1; then break; fi
+  if [ "$i" = 50 ]; then echo "load-smoke: dkserved never became ready"; cat "${WORK}/dkserved.log"; exit 1; fi
+  sleep 0.2
+done
+echo "load-smoke: dkserved ready on ${BASE}"
+
+# The gate replays the committed report's own profile and seed and
+# exits non-zero on any SLO violation.
+"${WORK}/dkload" -server "${BASE}" -concurrency 4 -gate BENCH_load.json
+
+# The scrape and limiter families are live after real traffic.
+curl -fsS "${BASE}/metrics" | grep -q '^dk_http_requests_total'
+curl -fsS "${BASE}/metrics" | grep -q '^dk_ratelimit_allowed_total'
+echo "load-smoke: /metrics live"
+
+kill -TERM "${SERVED_PID}"
+wait "${SERVED_PID}"
+grep -q "bye" "${WORK}/dkserved.log"
+trap - EXIT
+echo "load-smoke: PASS"
