@@ -12,6 +12,14 @@
 //	dkbench                          # both sizes → BENCH_core.json
 //	dkbench -size small -out /tmp/b.json
 //	dkbench -verify BENCH_core.json  # schema/completeness check (CI)
+//	dkbench -verify fresh.json -against BENCH_core.json
+//	                                 # + per-workload regression gate
+//
+// The regression gate compares a fresh report against the committed
+// baseline: any workload whose mean exceeds baseline × -regress-factor
+// (and the -regress-min-ms noise floor) fails the verify, so a pinned
+// win — e.g. the depth-3 rewiring speedup — cannot silently regress.
+// Sizes are matched by name and must agree on topology (n, m).
 //
 // Workloads per size (all keys always present):
 //
@@ -88,6 +96,9 @@ func main() {
 	largeN := flag.Int("large-n", 4000, "node count of the large topology")
 	seed := flag.Int64("seed", 2, "synthesis and workload seed")
 	verify := flag.String("verify", "", "verify an existing report instead of benchmarking")
+	against := flag.String("against", "", "with -verify: baseline report for the per-workload regression gate")
+	regressFactor := flag.Float64("regress-factor", 2.0, "with -against: fail when fresh ms exceeds baseline ms by this factor")
+	regressMinMS := flag.Float64("regress-min-ms", 5.0, "with -against: ignore regressions below this absolute ms (noise floor)")
 	workers := flag.Int("workers", 0, "worker budget (0 = GOMAXPROCS)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -98,6 +109,14 @@ func main() {
 		if err := verifyReport(*verify); err != nil {
 			fmt.Fprintf(os.Stderr, "dkbench: verify %s: %v\n", *verify, err)
 			os.Exit(1)
+		}
+		if *against != "" {
+			if err := verifyAgainst(*verify, *against, *regressFactor, *regressMinMS); err != nil {
+				fmt.Fprintf(os.Stderr, "dkbench: verify %s against %s: %v\n", *verify, *against, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s: schema %s complete, within %.1fx of %s\n", *verify, schemaVersion, *regressFactor, *against)
+			return
 		}
 		fmt.Printf("%s: schema %s complete\n", *verify, schemaVersion)
 		return
@@ -305,6 +324,70 @@ func verifyReport(path string) error {
 				return fmt.Errorf("size %q: workload %q has implausible numbers: %+v", size, key, w)
 			}
 		}
+	}
+	return nil
+}
+
+// verifyAgainst is the per-workload regression gate: every workload of
+// every size shared by the fresh report and the baseline must stay
+// within factor× of the baseline mean, except measurements below the
+// minMS noise floor (sub-millisecond workloads jitter far more than
+// factor× between machines). Shared sizes must describe the same
+// topology — a gate run on a different -small-n would otherwise compare
+// incomparable numbers and pass or fail arbitrarily.
+func verifyAgainst(freshPath, basePath string, factor, minMS float64) error {
+	load := func(path string) (*report, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var rep report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, err
+		}
+		return &rep, nil
+	}
+	fresh, err := load(freshPath)
+	if err != nil {
+		return err
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	shared := 0
+	var violations []string
+	for size, fs := range fresh.Sizes {
+		bs, ok := base.Sizes[size]
+		if !ok {
+			continue
+		}
+		if fs.N != bs.N || fs.M != bs.M {
+			return fmt.Errorf("size %q: topology mismatch: fresh n=%d m=%d vs baseline n=%d m=%d",
+				size, fs.N, fs.M, bs.N, bs.M)
+		}
+		shared++
+		for _, key := range workloadKeys {
+			fw, fok := fs.Workloads[key]
+			bw, bok := bs.Workloads[key]
+			if !fok || !bok {
+				continue
+			}
+			if fw.MS > bw.MS*factor && fw.MS > minMS {
+				violations = append(violations,
+					fmt.Sprintf("%s/%s: %.2f ms vs baseline %.2f ms (%.1fx > %.1fx)",
+						size, key, fw.MS, bw.MS, fw.MS/bw.MS, factor))
+			}
+		}
+	}
+	if shared == 0 {
+		return fmt.Errorf("no sizes shared with the baseline")
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "dkbench: regression: %s\n", v)
+		}
+		return fmt.Errorf("%d workload(s) regressed beyond %.1fx", len(violations), factor)
 	}
 	return nil
 }

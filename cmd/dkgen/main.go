@@ -47,6 +47,7 @@ func main() {
 	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of an edge list (local only)")
 	hubThreshold := flag.Int("hub-threshold", 10, "DOT: highlight nodes with degree >= threshold (0 = off)")
 	connect := flag.Bool("connect", false, "reconnect the result with degree-preserving swaps (Viger–Latapy; local only)")
+	verbose := flag.Bool("v", false, "print per-replica rewiring stats with the rejection-reason breakdown to stderr (method=randomize, local only)")
 	seed := flag.Int64("seed", 1, "random seed")
 	replicas := flag.Int("replicas", 1, "number of independent graphs to generate (ensemble fan-out)")
 	flag.IntVar(&common.Workers, "workers", 0, "worker goroutines for the replica fan-out (0 = all cores; results are identical for any value)")
@@ -61,7 +62,7 @@ func main() {
 	cfg := config{
 		depth: *depth, method: *method, in: *in, dataset: *dataset,
 		skitterN: *skitterN, out: *out, dot: *dot, hubThreshold: *hubThreshold,
-		connect: *connect, seed: *seed, replicas: *replicas,
+		connect: *connect, verbose: *verbose, seed: *seed, replicas: *replicas,
 	}
 	if err := run(common, cfg); err != nil {
 		cli.Fatal(tool, err)
@@ -78,6 +79,7 @@ type config struct {
 	dot          bool
 	hubThreshold int
 	connect      bool
+	verbose      bool
 	seed         int64
 	replicas     int
 }
@@ -120,10 +122,22 @@ func runLocal(cfg config, ref dkapi.GraphRef) error {
 	if err != nil {
 		return err
 	}
-	session := dk.NewSession()
-	return session.GenerateStream(cli.Ctx(), src, dk.GenerateOptions{
+	opts := dk.GenerateOptions{
 		D: &cfg.depth, Method: cfg.method, Replicas: cfg.replicas, Seed: cfg.seed,
-	}, func(i int, g *dk.Graph) error {
+	}
+	if cfg.verbose {
+		// One Fprintf per replica keeps lines atomic under the concurrent
+		// replica fan-out.
+		opts.OnRewireStats = func(i int, st dk.RewireStats) {
+			fmt.Fprintf(os.Stderr,
+				"dkgen: replica %d: attempts=%d accepted=%d reverted=%d rejected[self-loop=%d duplicate-edge=%d jdd-mismatch=%d census-changed=%d objective=%d disconnected=%d]\n",
+				i, st.Attempts, st.Accepted, st.Reverted,
+				st.RejectedSelfLoop, st.RejectedDuplicateEdge, st.RejectedJDDMismatch,
+				st.RejectedCensusChanged, st.RejectedObjective, st.RejectedDisconnected)
+		}
+	}
+	session := dk.NewSession()
+	return session.GenerateStream(cli.Ctx(), src, opts, func(i int, g *dk.Graph) error {
 		if cfg.connect {
 			// One derived seed per replica, offset past the generation
 			// indices: a shared seed would correlate the swap sequences

@@ -54,15 +54,15 @@ func CountInitialRewirings(g *graph.Graph, depth int) (RewiringCount, error) {
 	}
 
 	deg := g.DegreeSequence()
-	// The clone and census delta back the apply-and-revert check of the
-	// depth-3 census filter only; depths 1–2 decide every candidate from
-	// degrees and adjacency alone, so cloning there would just add an
-	// O(n + m) allocation to every call.
-	var census *subgraphs.Delta
-	var work *graph.Graph
+	// The tracker backs the depth-3 census filter only — its SwapDelta is
+	// read-only, so the enumeration never mutates (or clones) the graph;
+	// depths 1–2 decide every candidate from degrees and adjacency alone,
+	// so building it there would just add an O(n + m) allocation.
+	var tracker *subgraphs.Tracker
+	var td *subgraphs.TrackerDelta
 	if depth == 3 {
-		work = g.Clone()
-		census = subgraphs.NewDelta()
+		tracker = subgraphs.NewTracker(g, deg)
+		td = tracker.NewDelta()
 	}
 
 	edges := g.Edges()
@@ -80,21 +80,15 @@ func CountInitialRewirings(g *graph.Graph, depth int) (RewiringCount, error) {
 			}
 		}
 		if depth == 3 {
-			census.Reset()
-			census.RemoveEdge(work, deg, u, v)
-			work.RemoveEdge(u, v)
-			census.RemoveEdge(work, deg, x, y)
-			work.RemoveEdge(x, y)
-			census.AddEdge(work, deg, u, y)
-			mustAdd(work, u, y)
-			census.AddEdge(work, deg, x, v)
-			mustAdd(work, x, v)
-			zero := census.IsZero()
-			work.RemoveEdge(x, v)
-			work.RemoveEdge(u, y)
-			mustAdd(work, x, y)
-			mustAdd(work, u, v)
-			if !zero {
+			// The depth-2 filter above guarantees a 2K-preserving
+			// orientation, so the specialized symmetric-difference walk
+			// applies (flipped arguments for the du = dx case).
+			if deg[v] == deg[y] {
+				tracker.SwapDeltaJDD(td, u, v, x, y)
+			} else {
+				tracker.SwapDeltaJDD(td, v, u, y, x)
+			}
+			if !td.IsZero() {
 				return false, false
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/subgraphs"
 )
 
@@ -24,12 +25,95 @@ type Move struct {
 	Depth      int
 }
 
-// RewireStats reports what a rewiring run did.
+// rejectReason classifies why a candidate proposal was not accepted.
+type rejectReason uint8
+
+const (
+	rejectNone          rejectReason = iota
+	rejectSelfLoop                   // shared endpoint / x == y: the swap would create a self-loop
+	rejectDuplicateEdge              // a replacement edge already exists
+	rejectJDDMismatch                // depth ≥ 2: neither dv = dy nor du = dx
+	rejectCensusChanged              // depth 3: wedge/triangle census delta nonzero
+	rejectObjective                  // acceptance policy declined the objective delta
+	rejectDisconnected               // PreserveConnectivity vetoed the move
+)
+
+// RejectionBreakdown counts rejected proposals by reason. The structural
+// reasons (self-loop, duplicate edge, JDD mismatch, census change) are
+// decided before the move touches the graph; objective and connectivity
+// rejections apply the move first and roll it back (counted in
+// RewireStats.Reverted as well).
+type RejectionBreakdown struct {
+	SelfLoop      int
+	DuplicateEdge int
+	JDDMismatch   int
+	CensusChanged int
+	Objective     int
+	Disconnected  int
+}
+
+// Total returns the total number of rejected proposals.
+func (b RejectionBreakdown) Total() int {
+	return b.SelfLoop + b.DuplicateEdge + b.JDDMismatch + b.CensusChanged + b.Objective + b.Disconnected
+}
+
+func (b *RejectionBreakdown) count(r rejectReason) {
+	switch r {
+	case rejectSelfLoop:
+		b.SelfLoop++
+	case rejectDuplicateEdge:
+		b.DuplicateEdge++
+	case rejectJDDMismatch:
+		b.JDDMismatch++
+	case rejectCensusChanged:
+		b.CensusChanged++
+	case rejectObjective:
+		b.Objective++
+	case rejectDisconnected:
+		b.Disconnected++
+	}
+}
+
+// RewireStats reports what a rewiring run did. The invariant
+// Attempts == Accepted + Rejected.Total() holds after every Step.
 type RewireStats struct {
 	Attempts int // candidate proposals examined
 	Accepted int // moves applied (and kept)
-	Reverted int // moves applied and rolled back by constraints/objective
+	Reverted int // moves applied and rolled back by connectivity/objective
+	// Rejected breaks the Attempts − Accepted gap down by reason, so a
+	// collapsed acceptance rate is diagnosable (e.g. a dense graph
+	// drowning in duplicate-edge rejections vs. a depth-3 run whose
+	// census constraint bites).
+	Rejected RejectionBreakdown
 }
+
+// DefaultBatchSize is the number of depth-3 candidate proposals drawn and
+// evaluated per parallel batch (see Rewirer.BatchSize). Sized so one
+// batch amortizes the pool dispatch: most candidates die in the cheap
+// structural checks, and only the survivors pay for a census delta.
+const DefaultBatchSize = 256
+
+// splitMix is the candidate-draw generator of the batched proposer: a
+// SplitMix64 stream, ~free to seed — candidates are drawn by the
+// thousand per accepted move, and seeding a rand.Rand (607-word state)
+// per candidate would cost more than the checks it feeds. Modulo
+// reduction gives Intn a bias of n/2⁶⁴, irrelevant here: the contract
+// is determinism of the (seed, BatchSize) → stream function, not
+// perfect uniformity.
+type splitMix struct{ s uint64 }
+
+func (r *splitMix) Intn(n int) int {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int(z % uint64(n))
+}
+
+// intner is the candidate-draw interface shared by the sequential path
+// (*rand.Rand) and the batched path (*splitMix).
+type intner interface{ Intn(n int) int }
 
 // Rewirer performs dK-preserving rewiring on a mutable graph with an
 // optional Objective scoring each candidate move and an acceptance Policy
@@ -48,10 +132,38 @@ type Rewirer struct {
 	// (checked by BFS after each accepted move — expensive; the paper
 	// itself does not check and extracts GCCs afterwards).
 	PreserveConnectivity bool
+	// BatchSize is the number of depth-3 candidates drawn and evaluated
+	// per parallel batch (default DefaultBatchSize; 1 degenerates to a
+	// serial loop with the same accepted-move stream). The stream is a
+	// pure function of (seed, BatchSize) — it never depends on the
+	// worker count.
+	BatchSize int
+	// RecordMoves appends every accepted move to the log returned by
+	// AcceptedMoves — the differential test harness replays it.
+	RecordMoves bool
+	// Stats accumulates across all Steps of this Rewirer's lifetime.
+	Stats RewireStats
 
-	deg      []int
-	censusOK bool // Depth==3 machinery initialized
-	delta    *subgraphs.Delta
+	deg     []int
+	tracker *subgraphs.Tracker // depth-3 census machinery, else nil
+	scratch []*subgraphs.TrackerDelta
+	queue   []candidate
+	qPos    int
+	// Dirty-node filter: accepting a move changes only its four
+	// endpoints' neighborhoods, so queued candidates sharing none of
+	// those nodes remain exactly valid (structural checks and census
+	// delta alike) and keep being consumed; candidates touching a dirty
+	// node are skipped. dirtyList clears the array at the next refill.
+	dirty     []bool
+	dirtyList []int
+	moves     []Move
+}
+
+// candidate is one speculatively drawn and structurally evaluated
+// depth-3 proposal, produced by fillBatch and consumed in index order.
+type candidate struct {
+	m      Move
+	reject rejectReason
 }
 
 // Policy maps an objective delta to an accept/reject decision.
@@ -96,23 +208,30 @@ func NewRewirer(g *graph.Graph, depth int, rng *rand.Rand) (*Rewirer, error) {
 	r := &Rewirer{G: g, Depth: depth, Rng: rng}
 	r.deg = g.DegreeSequence()
 	if depth == 3 {
-		r.delta = subgraphs.NewDelta()
-		r.censusOK = true
+		r.tracker = subgraphs.NewTracker(g, r.deg)
 	}
 	return r, nil
 }
 
-// propose draws a structurally valid candidate move for the configured
-// depth, or ok = false if the draw failed (caller retries).
-func (r *Rewirer) propose() (Move, bool) {
-	g, rng := r.G, r.Rng
+// AcceptedMoves returns the accepted-move log recorded when RecordMoves
+// is set, in acceptance order.
+func (r *Rewirer) AcceptedMoves() []Move { return r.moves }
+
+// propose draws one candidate move for the configured depth from rng and
+// checks its structural constraints up to depth 2 (the depth-3 census
+// check is separate — it is the expensive one and runs batched).
+func (r *Rewirer) propose(rng intner) (Move, rejectReason) {
+	g := r.G
 	if r.Depth == 0 {
 		e := g.EdgeAt(rng.Intn(g.M()))
 		x, y := rng.Intn(g.N()), rng.Intn(g.N())
-		if x == y || g.HasEdge(x, y) {
-			return Move{}, false
+		if x == y {
+			return Move{}, rejectSelfLoop
 		}
-		return Move{U: e.U, V: e.V, X: x, Y: y, Depth: 0}, true
+		if g.HasEdge(x, y) {
+			return Move{}, rejectDuplicateEdge
+		}
+		return Move{U: e.U, V: e.V, X: x, Y: y, Depth: 0}, rejectNone
 	}
 	e1 := g.EdgeAt(rng.Intn(g.M()))
 	e2 := g.EdgeAt(rng.Intn(g.M()))
@@ -126,46 +245,44 @@ func (r *Rewirer) propose() (Move, bool) {
 	}
 	// Candidate swap: (u,v),(x,y) → (u,y),(x,v).
 	if u == x || u == y || v == x || v == y {
-		return Move{}, false
+		return Move{}, rejectSelfLoop
 	}
-	if g.HasEdge(u, y) || g.HasEdge(x, v) {
-		return Move{}, false
+	if r.tracker != nil {
+		// Depth 3: probe the tracker mirror — O(1) bitset hits on hubs
+		// instead of hashing into their adjacency maps; proposals are drawn
+		// by the thousand per accepted move, so this is hot.
+		if r.tracker.Has(u, y) || r.tracker.Has(x, v) {
+			return Move{}, rejectDuplicateEdge
+		}
+	} else if g.HasEdge(u, y) || g.HasEdge(x, v) {
+		return Move{}, rejectDuplicateEdge
 	}
 	if r.Depth >= 2 {
 		// JDD preservation: the multiset {(du,dv),(dx,dy)} must equal
 		// {(du,dy),(dx,dv)}, which holds iff dv = dy or du = dx.
 		if r.deg[v] != r.deg[y] && r.deg[u] != r.deg[x] {
-			return Move{}, false
+			return Move{}, rejectJDDMismatch
 		}
 	}
-	return Move{U: u, V: v, X: x, Y: y, Depth: r.Depth}, true
+	return Move{U: u, V: v, X: x, Y: y, Depth: r.Depth}, rejectNone
 }
 
 // apply performs the move's edge operations, routing each through the
-// objective (and, at depth 3, the census delta).
+// objective.
 func (r *Rewirer) apply(m Move) {
 	g := r.G
 	if r.Obj != nil {
 		r.Obj.Begin()
 	}
-	if r.censusOK {
-		r.delta.Reset()
-	}
 	remove := func(a, b int) {
 		if r.Obj != nil {
 			r.Obj.WillRemove(g, a, b)
-		}
-		if r.censusOK {
-			r.delta.RemoveEdge(g, r.deg, a, b)
 		}
 		g.RemoveEdge(a, b)
 	}
 	add := func(a, b int) {
 		if r.Obj != nil {
 			r.Obj.WillAdd(g, a, b)
-		}
-		if r.censusOK {
-			r.delta.AddEdge(g, r.deg, a, b)
 		}
 		mustAdd(g, a, b)
 	}
@@ -196,23 +313,62 @@ func (r *Rewirer) revert(m Move) {
 	mustAdd(g, m.U, m.V)
 }
 
-// Step proposes and evaluates one candidate move. It reports whether a
-// move was accepted; attempts that fail structural constraints return
-// (false, nil).
+// Step proposes and evaluates one candidate move, updating r.Stats. It
+// reports whether a move was accepted; attempts that fail structural
+// constraints return (false, nil). At depth 3 proposals come from the
+// batched parallel pipeline; other depths draw directly from r.Rng.
 func (r *Rewirer) Step() (bool, error) {
-	m, ok := r.propose()
-	if !ok {
+	if r.Depth == 3 {
+		return r.stepBatched()
+	}
+	r.Stats.Attempts++
+	m, rej := r.propose(r.Rng)
+	if rej != rejectNone {
+		r.Stats.Rejected.count(rej)
 		return false, nil
 	}
 	r.apply(m)
-	// Depth-3 structural constraint: census must be unchanged.
-	if r.censusOK && !r.delta.IsZero() {
-		r.revert(m)
-		if r.Obj != nil {
-			r.Obj.Rollback()
+	return r.finish(m)
+}
+
+// stepBatched consumes one pre-evaluated depth-3 candidate, refilling the
+// batch when it runs dry. Candidates whose endpoints overlap a move
+// accepted since the batch was evaluated are skipped (their checks are
+// stale); all others are exactly as valid as at evaluation time, because
+// an accepted swap changes only its own four endpoints' neighborhoods.
+// Rejected moves leave the graph unchanged and invalidate nothing.
+func (r *Rewirer) stepBatched() (bool, error) {
+	for {
+		if r.qPos >= len(r.queue) {
+			r.fillBatch()
 		}
-		return false, nil
+		c := r.queue[r.qPos]
+		r.qPos++
+		if len(r.dirtyList) > 0 && (r.dirty[c.m.U] || r.dirty[c.m.V] || r.dirty[c.m.X] || r.dirty[c.m.Y]) {
+			continue
+		}
+		r.Stats.Attempts++
+		if c.reject != rejectNone {
+			r.Stats.Rejected.count(c.reject)
+			return false, nil
+		}
+		r.apply(c.m)
+		accepted, err := r.finish(c.m)
+		if accepted {
+			for _, node := range [4]int{c.m.U, c.m.V, c.m.X, c.m.Y} {
+				if !r.dirty[node] {
+					r.dirty[node] = true
+					r.dirtyList = append(r.dirtyList, node)
+				}
+			}
+		}
+		return accepted, err
 	}
+}
+
+// finish runs the post-apply acceptance pipeline — objective policy,
+// connectivity veto, commit — on an already-applied move.
+func (r *Rewirer) finish(m Move) (bool, error) {
 	if r.Obj != nil {
 		delta := r.Obj.Delta()
 		accept := r.Accept
@@ -222,6 +378,8 @@ func (r *Rewirer) Step() (bool, error) {
 		if !accept(r.Rng, delta) {
 			r.revert(m)
 			r.Obj.Rollback()
+			r.Stats.Rejected.Objective++
+			r.Stats.Reverted++
 			return false, nil
 		}
 	}
@@ -230,10 +388,15 @@ func (r *Rewirer) Step() (bool, error) {
 		if r.Obj != nil {
 			r.Obj.Rollback()
 		}
+		r.Stats.Rejected.Disconnected++
+		r.Stats.Reverted++
 		return false, nil
 	}
 	if r.Obj != nil {
 		r.Obj.Commit()
+	}
+	if r.tracker != nil {
+		r.tracker.ApplySwap(m.U, m.V, m.X, m.Y)
 	}
 	// Depth-0 moves change degrees; keep the cache honest.
 	if m.Depth == 0 {
@@ -242,36 +405,102 @@ func (r *Rewirer) Step() (bool, error) {
 		r.deg[m.X]++
 		r.deg[m.Y]++
 	}
+	if r.RecordMoves {
+		r.moves = append(r.moves, m)
+	}
+	r.Stats.Accepted++
 	return true, nil
+}
+
+// fillBatch speculatively draws BatchSize depth-3 candidates and runs
+// their structural and census checks in parallel, read-only against the
+// current graph. Determinism: one batch seed is drawn from r.Rng, each
+// candidate i derives its own SplitMix64 stream via
+// parallel.SubSeed(batchSeed, i), and every check is a pure function of
+// (graph, candidate) — so the evaluated batch, and therefore the
+// accepted-move stream, is bit-identical at any worker count. Workers
+// reuse per-worker TrackerDelta scratch (stable worker ids from
+// parallel.ForWorkers), allocated lazily so nested parallelism that
+// degrades to one inline worker pays for one scratch, not Workers() of
+// them.
+func (r *Rewirer) fillBatch() {
+	k := r.BatchSize
+	if k <= 0 {
+		k = DefaultBatchSize
+	}
+	batchSeed := r.Rng.Int63()
+	if cap(r.queue) < k {
+		r.queue = make([]candidate, k)
+	}
+	r.queue = r.queue[:k]
+	r.qPos = 0
+	if r.dirty == nil {
+		r.dirty = make([]bool, r.G.N())
+	}
+	for _, node := range r.dirtyList {
+		r.dirty[node] = false
+	}
+	r.dirtyList = r.dirtyList[:0]
+	w := parallel.Workers()
+	if w > k {
+		w = k
+	}
+	for len(r.scratch) < w {
+		r.scratch = append(r.scratch, nil)
+	}
+	parallel.ForWorkers(w, k, func(worker, i int) {
+		rng := &splitMix{s: uint64(parallel.SubSeed(batchSeed, i))}
+		m, rej := r.propose(rng)
+		if rej == rejectNone {
+			td := r.scratch[worker]
+			if td == nil {
+				td = r.tracker.NewDelta()
+				r.scratch[worker] = td
+			}
+			// propose already enforced the depth-2 JDD condition, so one of
+			// the two 2K-preserving orientations applies; SwapDeltaJDD walks
+			// only the symmetric difference of the equal-degree endpoints'
+			// neighborhoods instead of all four ops' full merges.
+			if r.deg[m.V] == r.deg[m.Y] {
+				r.tracker.SwapDeltaJDD(td, m.U, m.V, m.X, m.Y)
+			} else {
+				r.tracker.SwapDeltaJDD(td, m.V, m.U, m.Y, m.X)
+			}
+			if !td.IsZero() {
+				rej = rejectCensusChanged
+			}
+		}
+		r.queue[i] = candidate{m: m, reject: rej}
+	})
 }
 
 // Run performs up to maxAttempts proposals, stopping early after accepted
 // moves reach wantAccepted (0 means no acceptance target) or after
-// patience consecutive rejections (0 means unlimited patience).
+// patience consecutive rejections (0 means unlimited patience). The
+// returned stats are the Rewirer's cumulative r.Stats (identical to the
+// run's own when the Rewirer is fresh).
 func (r *Rewirer) Run(wantAccepted, maxAttempts, patience int) (RewireStats, error) {
-	var st RewireStats
 	sinceAccept := 0
-	for st.Attempts = 0; st.Attempts < maxAttempts; st.Attempts++ {
+	accepted := 0
+	for attempts := 0; attempts < maxAttempts; attempts++ {
 		ok, err := r.Step()
 		if err != nil {
-			return st, err
+			return r.Stats, err
 		}
 		if ok {
-			st.Accepted++
+			accepted++
 			sinceAccept = 0
-			if wantAccepted > 0 && st.Accepted >= wantAccepted {
-				st.Attempts++
+			if wantAccepted > 0 && accepted >= wantAccepted {
 				break
 			}
 		} else {
 			sinceAccept++
 			if patience > 0 && sinceAccept >= patience {
-				st.Attempts++
 				break
 			}
 		}
 	}
-	return st, nil
+	return r.Stats, nil
 }
 
 // RandomizeOptions configures dK-randomizing rewiring.
@@ -290,6 +519,10 @@ type RandomizeOptions struct {
 	// heavily constrained graphs converge by exhausting their tiny set of
 	// census-preserving swaps, which this bounds cleanly.
 	PatienceFactor int
+	// BatchSize overrides the depth-3 candidate batch size (default
+	// DefaultBatchSize). Part of the RNG-stream contract: changing it
+	// changes which moves are accepted, worker count never does.
+	BatchSize int
 	// PreserveConnectivity rejects disconnecting moves (expensive).
 	PreserveConnectivity bool
 }
@@ -306,6 +539,7 @@ func Randomize(g *graph.Graph, depth int, opt RandomizeOptions) (*graph.Graph, R
 		return nil, RewireStats{}, err
 	}
 	r.PreserveConnectivity = opt.PreserveConnectivity
+	r.BatchSize = opt.BatchSize
 	swapFactor := opt.SwapFactor
 	if swapFactor <= 0 {
 		swapFactor = 10

@@ -100,9 +100,7 @@ func TargetRewire(g *graph.Graph, target *dk.Profile, d int, opt TargetOptions) 
 		if err != nil {
 			return nil, err
 		}
-		res.Stats.Attempts++
 		if ok {
-			res.Stats.Accepted++
 			sinceAccept = 0
 			if opt.StopAtZero && currentD() == 0 {
 				break
@@ -114,6 +112,7 @@ func TargetRewire(g *graph.Graph, target *dk.Profile, d int, opt TargetOptions) 
 			}
 		}
 	}
+	res.Stats = r.Stats
 	res.FinalD = currentD()
 	res.TemperatureAt = temp
 	return res, nil
@@ -210,9 +209,7 @@ func Explore(g *graph.Graph, metric ExploreMetric, opt ExploreOptions) (*Explore
 		if err != nil {
 			return nil, err
 		}
-		res.Stats.Attempts++
 		if ok {
-			res.Stats.Accepted++
 			sinceAccept = 0
 		} else {
 			sinceAccept++
@@ -221,5 +218,6 @@ func Explore(g *graph.Graph, metric ExploreMetric, opt ExploreOptions) (*Explore
 			}
 		}
 	}
+	res.Stats = r.Stats
 	return res, nil
 }

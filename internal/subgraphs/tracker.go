@@ -1,0 +1,566 @@
+// Census tracking for the depth-3 rewiring hot path.
+//
+// The map-keyed Delta in census.go is exact but pays a map-hash on every
+// wedge/triangle class it touches and a HasEdge map probe per neighbor —
+// per-proposal costs that dominate 3K-preserving rewiring, where almost
+// every proposal is evaluated and rejected. Tracker is the dense
+// replacement: degrees are interned into a compact class table once, count
+// changes accumulate in degree-class-indexed arrays (maps appear only at
+// the Census boundary, in Drain), and common-neighbor classification runs
+// on a sorted-adjacency mirror — a linear merge for ordinary nodes, O(1)
+// bitset probes for nodes above a degree threshold.
+//
+// Because SwapDelta is read-only (edge toggles are virtualized instead of
+// applied), many candidate swaps can be evaluated concurrently against one
+// Tracker, each into its own TrackerDelta — the foundation of the batched
+// parallel proposal loop in internal/generate.
+package subgraphs
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// DefaultBitsetThreshold is the fixed degree at or above which a node's
+// mirror adjacency additionally keeps a bitset for O(1) membership
+// probes. Below it, sorted-merge and binary search win on cache locality.
+const DefaultBitsetThreshold = 64
+
+// denseLimit bounds the class-indexed array size nc³ (entries per shape).
+// Above it — graphs with extreme degree diversity — TrackerDelta falls
+// back to packed-key maps, trading speed for bounded memory. Variable so
+// tests can force the fallback path.
+var denseLimit = 1 << 20
+
+// Tracker holds the shared, read-only-during-evaluation state for dense
+// census deltas over a graph with a fixed degree sequence: the degree
+// class table and a sorted-adjacency mirror of the graph. The degree
+// sequence must be constant across all tracked mutations (true for
+// double-edge swaps, the only moves evaluated at depth 3), because census
+// keys of intermediate states use the fixed degrees — the same convention
+// as Delta.
+//
+// The mirror is maintained by Add/Remove/ApplySwap; every mutation of the
+// underlying graph must be paired with the matching mirror update, or
+// subsequent deltas are computed against a stale adjacency.
+type Tracker struct {
+	nc        int     // degree class count
+	dense     bool    // nc³ <= denseLimit: dense arrays, else map fallback
+	cls       []int32 // node -> degree class (ascending in degree)
+	classDeg  []int   // degree class -> degree
+	adj       [][]int32
+	bits      [][]uint64 // per-node bitset for threshold-degree nodes, else nil
+	words     int        // bitset length in uint64 words
+	threshold int
+}
+
+// NewTracker builds a Tracker over g with the fixed degree sequence deg
+// (which must equal g.DegreeSequence()) and the default bitset threshold.
+func NewTracker(g *graph.Graph, deg []int) *Tracker {
+	return NewTrackerThreshold(g, deg, DefaultBitsetThreshold)
+}
+
+// NewTrackerThreshold is NewTracker with an explicit bitset degree
+// threshold (0 or negative gives every non-isolated node a bitset).
+func NewTrackerThreshold(g *graph.Graph, deg []int, threshold int) *Tracker {
+	n := g.N()
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	classOf := make([]int32, maxDeg+1)
+	for i := range classOf {
+		classOf[i] = -1
+	}
+	for _, d := range deg {
+		classOf[d] = 0
+	}
+	classDeg := make([]int, 0, 16)
+	for d, seen := range classOf {
+		if seen == 0 {
+			classOf[d] = int32(len(classDeg))
+			classDeg = append(classDeg, d)
+		}
+	}
+	nc := len(classDeg)
+	t := &Tracker{
+		nc:        nc,
+		dense:     nc*nc*nc <= denseLimit,
+		cls:       make([]int32, n),
+		classDeg:  classDeg,
+		adj:       make([][]int32, n),
+		bits:      make([][]uint64, n),
+		words:     (n + 63) / 64,
+		threshold: threshold,
+	}
+	for u := 0; u < n; u++ {
+		t.cls[u] = classOf[deg[u]]
+		nbrs := g.Neighbors(u)
+		a := make([]int32, len(nbrs))
+		for i, v := range nbrs {
+			a[i] = int32(v)
+		}
+		t.adj[u] = a
+		if deg[u] >= threshold {
+			bs := make([]uint64, t.words)
+			for _, v := range nbrs {
+				bs[uint(v)>>6] |= 1 << (uint(v) & 63)
+			}
+			t.bits[u] = bs
+		}
+	}
+	return t
+}
+
+// has reports mirror adjacency, preferring a bitset probe from either
+// side and falling back to binary search in the shorter sorted list.
+func (t *Tracker) has(a, b int) bool {
+	if bs := t.bits[b]; bs != nil {
+		return bs[uint(a)>>6]&(1<<(uint(a)&63)) != 0
+	}
+	if bs := t.bits[a]; bs != nil {
+		return bs[uint(b)>>6]&(1<<(uint(b)&63)) != 0
+	}
+	s, x := t.adj[a], int32(b)
+	if sb := t.adj[b]; len(sb) < len(s) {
+		s, x = sb, int32(a)
+	}
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == x
+}
+
+// Add inserts edge (u,v) into the mirror. The caller performs (or has
+// performed) the matching graph mutation.
+func (t *Tracker) Add(u, v int) {
+	t.adj[u] = insertSorted(t.adj[u], int32(v))
+	t.adj[v] = insertSorted(t.adj[v], int32(u))
+	if bs := t.bits[u]; bs != nil {
+		bs[uint(v)>>6] |= 1 << (uint(v) & 63)
+	}
+	if bs := t.bits[v]; bs != nil {
+		bs[uint(u)>>6] |= 1 << (uint(u) & 63)
+	}
+}
+
+// Remove deletes edge (u,v) from the mirror.
+func (t *Tracker) Remove(u, v int) {
+	t.adj[u] = deleteSorted(t.adj[u], int32(v))
+	t.adj[v] = deleteSorted(t.adj[v], int32(u))
+	if bs := t.bits[u]; bs != nil {
+		bs[uint(v)>>6] &^= 1 << (uint(v) & 63)
+	}
+	if bs := t.bits[v]; bs != nil {
+		bs[uint(u)>>6] &^= 1 << (uint(u) & 63)
+	}
+}
+
+// ApplySwap commits the double-edge swap (u,v),(x,y) → (u,y),(x,v) to
+// the mirror after the caller accepted it.
+func (t *Tracker) ApplySwap(u, v, x, y int) {
+	t.Remove(u, v)
+	t.Remove(x, y)
+	t.Add(u, y)
+	t.Add(x, v)
+}
+
+func insertSorted(s []int32, v int32) []int32 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func deleteSorted(s []int32, v int32) []int32 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		copy(s[i:], s[i+1:])
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// TrackerDelta accumulates signed census count changes in degree-class
+// space. One TrackerDelta may be reused across many evaluations (Reset,
+// or SwapDelta which resets implicitly); concurrent evaluations need one
+// TrackerDelta per goroutine, all sharing the same Tracker.
+type TrackerDelta struct {
+	t *Tracker
+	// Dense path: class-indexed arrays plus touched-index lists so Reset
+	// and IsZero cost O(touched), not O(nc³). An index may appear in the
+	// list more than once (a count that cancels to zero and is touched
+	// again re-registers); IsZero and Reset tolerate that, and Drain
+	// consumes entries destructively so duplicates cannot double-count.
+	wedges, tris   []int64
+	wTouch, tTouch []int32
+	mWedges, mTris map[uint64]int64 // fallback when !t.dense
+}
+
+// NewDelta returns an empty accumulator bound to t.
+func (t *Tracker) NewDelta() *TrackerDelta {
+	d := &TrackerDelta{t: t}
+	if t.dense {
+		size := t.nc * t.nc * t.nc
+		d.wedges = make([]int64, size)
+		d.tris = make([]int64, size)
+	} else {
+		d.mWedges = make(map[uint64]int64)
+		d.mTris = make(map[uint64]int64)
+	}
+	return d
+}
+
+// Reset clears the accumulator for reuse.
+func (d *TrackerDelta) Reset() {
+	if d.t.dense {
+		for _, i := range d.wTouch {
+			d.wedges[i] = 0
+		}
+		for _, i := range d.tTouch {
+			d.tris[i] = 0
+		}
+		d.wTouch = d.wTouch[:0]
+		d.tTouch = d.tTouch[:0]
+		return
+	}
+	clear(d.mWedges)
+	clear(d.mTris)
+}
+
+// IsZero reports whether every accumulated count change is zero — i.e.
+// whether the recorded edge changes preserve the 3K-distribution.
+func (d *TrackerDelta) IsZero() bool {
+	if d.t.dense {
+		for _, i := range d.wTouch {
+			if d.wedges[i] != 0 {
+				return false
+			}
+		}
+		for _, i := range d.tTouch {
+			if d.tris[i] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	return len(d.mWedges) == 0 && len(d.mTris) == 0
+}
+
+// Drain folds the accumulated changes into census c — the one place
+// class indices convert back to degree-keyed maps — and leaves the
+// accumulator empty (it consumes entries so that duplicate touched
+// indices cannot double-apply).
+func (d *TrackerDelta) Drain(c *Census) {
+	t := d.t
+	if t.dense {
+		nc := t.nc
+		for _, i := range d.wTouch {
+			v := d.wedges[i]
+			if v == 0 {
+				continue
+			}
+			d.wedges[i] = 0
+			hi := int(i) % nc
+			lo := int(i) / nc % nc
+			cc := int(i) / (nc * nc)
+			k := WedgeKey{t.classDeg[lo], t.classDeg[cc], t.classDeg[hi]}
+			if nv := c.Wedges[k] + v; nv == 0 {
+				delete(c.Wedges, k)
+			} else {
+				c.Wedges[k] = nv
+			}
+		}
+		for _, i := range d.tTouch {
+			v := d.tris[i]
+			if v == 0 {
+				continue
+			}
+			d.tris[i] = 0
+			c3 := int(i) % nc
+			c2 := int(i) / nc % nc
+			c1 := int(i) / (nc * nc)
+			k := TriangleKey{t.classDeg[c1], t.classDeg[c2], t.classDeg[c3]}
+			if nv := c.Triangles[k] + v; nv == 0 {
+				delete(c.Triangles, k)
+			} else {
+				c.Triangles[k] = nv
+			}
+		}
+		d.wTouch = d.wTouch[:0]
+		d.tTouch = d.tTouch[:0]
+		return
+	}
+	for key, v := range d.mWedges {
+		k := WedgeKey{t.classDeg[key>>42], t.classDeg[key>>21&packMask], t.classDeg[key&packMask]}
+		if nv := c.Wedges[k] + v; nv == 0 {
+			delete(c.Wedges, k)
+		} else {
+			c.Wedges[k] = nv
+		}
+	}
+	for key, v := range d.mTris {
+		k := TriangleKey{t.classDeg[key>>42], t.classDeg[key>>21&packMask], t.classDeg[key&packMask]}
+		if nv := c.Triangles[k] + v; nv == 0 {
+			delete(c.Triangles, k)
+		} else {
+			c.Triangles[k] = nv
+		}
+	}
+	clear(d.mWedges)
+	clear(d.mTris)
+}
+
+const packMask = 1<<21 - 1
+
+// addWedge accumulates a wedge class change: ends e1, e2 (canonicalized;
+// classDeg is ascending so class order is degree order), center cc.
+func (d *TrackerDelta) addWedge(e1, cc, e2 int32, sign int64) {
+	lo, hi := e1, e2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if d.t.dense {
+		idx := (int32(d.t.nc)*cc+lo)*int32(d.t.nc) + hi
+		if d.wedges[idx] == 0 {
+			d.wTouch = append(d.wTouch, idx)
+		}
+		d.wedges[idx] += sign
+		return
+	}
+	key := uint64(lo)<<42 | uint64(cc)<<21 | uint64(hi)
+	if v := d.mWedges[key] + sign; v == 0 {
+		delete(d.mWedges, key)
+	} else {
+		d.mWedges[key] = v
+	}
+}
+
+// addTriangle accumulates a triangle class change for corners a, b, c.
+func (d *TrackerDelta) addTriangle(a, b, c int32, sign int64) {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if d.t.dense {
+		idx := (int32(d.t.nc)*a+b)*int32(d.t.nc) + c
+		if d.tris[idx] == 0 {
+			d.tTouch = append(d.tTouch, idx)
+		}
+		d.tris[idx] += sign
+		return
+	}
+	key := uint64(a)<<42 | uint64(b)<<21 | uint64(c)
+	if v := d.mTris[key] + sign; v == 0 {
+		delete(d.mTris, key)
+	} else {
+		d.mTris[key] = v
+	}
+}
+
+// AddEdgeDelta accumulates the census change of inserting edge (u,v)
+// into the mirror's current state ((u,v) must be absent). It does not
+// reset d first, so single-edge deltas compose by telescoping.
+func (t *Tracker) AddEdgeDelta(d *TrackerDelta, u, v int) {
+	t.edgeChange(d, u, v, +1, -1, -1)
+}
+
+// RemoveEdgeDelta accumulates the census change of deleting edge (u,v)
+// ((u,v) must be present in the mirror).
+func (t *Tracker) RemoveEdgeDelta(d *TrackerDelta, u, v int) {
+	t.edgeChange(d, u, v, -1, -1, -1)
+}
+
+// SwapDelta resets d and accumulates the exact census change of the
+// double-edge swap (u,v),(x,y) → (u,y),(x,v), read-only: the four edge
+// toggles are virtualized against the mirror instead of applied, so
+// concurrent SwapDelta calls on one Tracker are safe (one TrackerDelta
+// per goroutine). Preconditions (the structural validity the rewiring
+// proposal already checks): u,v,x,y distinct, (u,v) and (x,y) present,
+// (u,y) and (x,v) absent.
+func (t *Tracker) SwapDelta(d *TrackerDelta, u, v, x, y int) {
+	d.Reset()
+	// Telescoped single-edge changes; each op's virtual state differs
+	// from the mirror only on swap pairs, and only pairs touching the
+	// op's own endpoints matter, giving one excluded neighbor per side:
+	//   remove (u,v): mirror state exactly.
+	//   remove (x,y): (u,v) gone, but it touches neither x nor y.
+	//   add (u,y):    (u,v),(x,y) gone → v not a neighbor of u, x not of y.
+	//   add (x,v):    likewise y not a neighbor of x, u not of v;
+	//                 (u,y) now present but touches neither x nor v.
+	t.edgeChange(d, u, v, -1, -1, -1)
+	t.edgeChange(d, x, y, -1, -1, -1)
+	t.edgeChange(d, u, y, +1, v, x)
+	t.edgeChange(d, x, v, +1, y, u)
+}
+
+// SwapDeltaJDD is SwapDelta specialized to the orientation in which the
+// swap trivially preserves the joint degree distribution because
+// cls[v] == cls[y] (for the other 2K-preserving orientation,
+// cls[u] == cls[x], call it with the flipped arguments (v,u,y,x) — the
+// same swap by symmetry). With the degrees of the replaced endpoints
+// equal, the four telescoped edge ops of SwapDelta cancel class-wise
+// everywhere except on the symmetric difference of N(v) and N(y): a
+// common neighbor w sees edge w–v's and w–y's contexts trade places at
+// identical class keys, so the whole merge over N(u) and N(x) — the
+// expensive side when u or x is a hub — disappears, leaving one merged
+// walk over adj(v) and adj(y) with membership probes only on the
+// symmetric difference. Same preconditions as SwapDelta.
+func (t *Tracker) SwapDeltaJDD(d *TrackerDelta, u, v, x, y int) {
+	d.Reset()
+	a, b, c := t.cls[u], t.cls[v], t.cls[x]
+	V, Y := t.adj[v], t.adj[y]
+	i, j := 0, 0
+	for i < len(V) || j < len(Y) {
+		var w int32
+		var ds int64 // +1: w ∈ N(y) only; -1: w ∈ N(v) only
+		switch {
+		case j >= len(Y) || (i < len(V) && V[i] < Y[j]):
+			w, ds = V[i], -1
+			i++
+		case i >= len(V) || Y[j] < V[i]:
+			w, ds = Y[j], +1
+			j++
+		default: // common neighbor of v and y: exact cancellation
+			i++
+			j++
+			continue
+		}
+		switch int(w) {
+		case u, x:
+			// u appears only on the V side (the removed edge u–v; (u,y) is
+			// absent) and x only on the Y side — both fully excluded by the
+			// ops' exclusion parameters.
+			continue
+		case v, y:
+			// Edge v–y exists: only the b-centered wedge ends survive.
+			d.addWedge(a, b, b, ds)
+			d.addWedge(c, b, b, -ds)
+			continue
+		}
+		cw := t.cls[w]
+		if t.has(int(w), u) {
+			d.addTriangle(a, b, cw, ds)
+			d.addWedge(a, cw, b, -ds)
+			d.addWedge(b, a, cw, -ds)
+		} else {
+			d.addWedge(a, b, cw, ds)
+		}
+		if t.has(int(w), x) {
+			d.addTriangle(c, b, cw, -ds)
+			d.addWedge(c, cw, b, ds)
+			d.addWedge(b, c, cw, ds)
+		} else {
+			d.addWedge(c, b, cw, -ds)
+		}
+	}
+}
+
+// Has reports whether edge (a,b) is present in the mirror — an O(1)
+// bitset probe when either endpoint is above the degree threshold, a
+// binary search in the shorter sorted list otherwise. It mirrors
+// graph.HasEdge exactly as long as every graph mutation was paired with
+// the matching mirror update.
+func (t *Tracker) Has(a, b int) bool {
+	return t.has(a, b)
+}
+
+// edgeChange enumerates the wedges and triangles whose existence toggles
+// with edge (a,b) — the same classification as Delta.edgeChange, in
+// class space: triangles through common neighbors (trading places with
+// the wedge centered at the common neighbor), and wedges centered at a
+// and at b through exclusive neighbors. exA/exB (-1 = none) name one
+// node virtually not adjacent to a (resp. b), which is how SwapDelta
+// expresses intermediate states without mutating the mirror.
+func (t *Tracker) edgeChange(d *TrackerDelta, a, b int, sign int64, exA, exB int) {
+	if t.bits[a] == nil && t.bits[b] == nil {
+		t.mergeChange(d, a, b, sign, exA, exB)
+		return
+	}
+	ca, cb := t.cls[a], t.cls[b]
+	for _, w32 := range t.adj[a] {
+		w := int(w32)
+		if w == b || w == exA {
+			continue
+		}
+		if w != exB && t.has(w, b) {
+			d.addTriangle(ca, cb, t.cls[w], sign)
+			d.addWedge(ca, t.cls[w], cb, -sign)
+		} else {
+			d.addWedge(cb, ca, t.cls[w], sign)
+		}
+	}
+	for _, w32 := range t.adj[b] {
+		w := int(w32)
+		if w == a || w == exB {
+			continue
+		}
+		if w != exA && t.has(w, a) {
+			continue // common neighbor, handled from a's side
+		}
+		d.addWedge(ca, cb, t.cls[w], sign)
+	}
+}
+
+// mergeChange is edgeChange as a single linear merge of the two sorted
+// neighbor lists — the ordinary-degree path, with no membership probes
+// at all.
+func (t *Tracker) mergeChange(d *TrackerDelta, a, b int, sign int64, exA, exB int) {
+	ca, cb := t.cls[a], t.cls[b]
+	A, B := t.adj[a], t.adj[b]
+	i, j := 0, 0
+	for i < len(A) && j < len(B) {
+		wa, wb := int(A[i]), int(B[j])
+		switch {
+		case wa < wb:
+			i++
+			if wa != b && wa != exA {
+				d.addWedge(cb, ca, t.cls[wa], sign)
+			}
+		case wb < wa:
+			j++
+			if wb != a && wb != exB {
+				d.addWedge(ca, cb, t.cls[wb], sign)
+			}
+		default: // common neighbor in the mirror
+			i++
+			j++
+			w := wa
+			aHas, bHas := w != exA, w != exB
+			switch {
+			case aHas && bHas:
+				d.addTriangle(ca, cb, t.cls[w], sign)
+				d.addWedge(ca, t.cls[w], cb, -sign)
+			case aHas:
+				d.addWedge(cb, ca, t.cls[w], sign)
+			case bHas:
+				d.addWedge(ca, cb, t.cls[w], sign)
+			}
+		}
+	}
+	for ; i < len(A); i++ {
+		if w := int(A[i]); w != b && w != exA {
+			d.addWedge(cb, ca, t.cls[w], sign)
+		}
+	}
+	for ; j < len(B); j++ {
+		if w := int(B[j]); w != a && w != exB {
+			d.addWedge(ca, cb, t.cls[w], sign)
+		}
+	}
+}

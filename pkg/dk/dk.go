@@ -156,6 +156,31 @@ type GenerateOptions struct {
 	Seed int64
 	// Compare adds each replica's D_d distance to the source profile.
 	Compare bool
+	// OnRewireStats, when set, receives each replica's rewiring
+	// statistics — acceptance counts plus the rejection-reason breakdown
+	// that makes a collapsed acceptance rate diagnosable. Only the
+	// randomize method produces stats; other methods never call it.
+	// Honored by GenerateStream, where replicas run concurrently: the
+	// callback may be invoked from multiple goroutines at once and in
+	// any replica order.
+	OnRewireStats func(replica int, st RewireStats)
+}
+
+// RewireStats mirrors internal/generate.RewireStats on the public
+// surface: what a dK-randomizing rewiring run did, with rejected
+// proposals broken down by reason. Attempts is always Accepted plus the
+// sum of the rejection counts.
+type RewireStats struct {
+	Attempts int // candidate proposals examined
+	Accepted int // moves applied and kept
+	Reverted int // moves applied, then rolled back (objective/connectivity)
+	// Rejection reasons; structural ones never touch the graph.
+	RejectedSelfLoop      int
+	RejectedDuplicateEdge int
+	RejectedJDDMismatch   int
+	RejectedCensusChanged int
+	RejectedObjective     int
+	RejectedDisconnected  int
 }
 
 // CompareOptions configures Compare. The zero value compares up to

@@ -123,7 +123,21 @@ func (s *Session) GenerateStream(ctx context.Context, src *Graph, opts GenerateO
 		var out *graph.Graph
 		var err error
 		if randomize {
-			out, _, err = generate.Randomize(base, d, generate.RandomizeOptions{Rng: rng})
+			var st generate.RewireStats
+			out, st, err = generate.Randomize(base, d, generate.RandomizeOptions{Rng: rng})
+			if err == nil && opts.OnRewireStats != nil {
+				opts.OnRewireStats(i, RewireStats{
+					Attempts:              st.Attempts,
+					Accepted:              st.Accepted,
+					Reverted:              st.Reverted,
+					RejectedSelfLoop:      st.Rejected.SelfLoop,
+					RejectedDuplicateEdge: st.Rejected.DuplicateEdge,
+					RejectedJDDMismatch:   st.Rejected.JDDMismatch,
+					RejectedCensusChanged: st.Rejected.CensusChanged,
+					RejectedObjective:     st.Rejected.Objective,
+					RejectedDisconnected:  st.Rejected.Disconnected,
+				})
+			}
 		} else {
 			out, err = core.Generate(profile, d, method, core.Options{Rng: rng})
 		}
