@@ -13,6 +13,7 @@
 //	dkctl pipeline run -out results/ p.json
 //	dkctl -server http://localhost:8080 pipeline run p.json
 //	dkctl -server http://localhost:8080 datasets|stats|health|job j000001
+//	dkctl -server http://localhost:8080 trace j000001
 //
 // Graph arguments are edge-list file paths ("-" = stdin) or
 // "dataset:name[:seed[:n]]" references to built-in topologies. In
@@ -30,6 +31,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/service"
+	"repro/internal/trace"
 	"repro/pkg/dk"
 	"repro/pkg/dkapi"
 	"repro/pkg/dkclient"
@@ -50,6 +52,7 @@ commands:
   health                                       liveness + readiness (-server only)
   stats                                        service counters (-server only)
   job       <id>                               poll a job (-server only)
+  trace     <id>                               render a job's execution trace (-server only)
 
 <graph> is an edge-list file ("-" = stdin) or dataset:name[:seed[:n]].
 `)
@@ -89,6 +92,8 @@ func main() {
 		err = cmdStats(common)
 	case "job":
 		err = cmdJob(common, args[1:])
+	case "trace":
+		err = cmdTrace(common, args[1:])
 	default:
 		usage()
 	}
@@ -424,6 +429,40 @@ func cmdJob(c *cli.Common, args []string) error {
 		return err
 	}
 	return cli.PrintJSON(os.Stdout, env)
+}
+
+// cmdTrace fetches a finished job's execution trace and renders it as a
+// text timeline: the span tree with per-span self-time, then the
+// rewiring convergence curve of every generate replica. -raw dumps the
+// JSONL instead. A malformed trace (decode or validation failure) exits
+// nonzero.
+func cmdTrace(c *cli.Common, args []string) error {
+	cl, err := needRemote(c, "trace")
+	if err != nil {
+		return err
+	}
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	raw := fs.Bool("raw", false, "print the trace as raw JSONL instead of a timeline")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace needs exactly one job-id argument")
+	}
+	data, err := cl.JobTrace(cli.Ctx(), fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *raw {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	d, err := trace.DecodeBytes(data)
+	if err != nil {
+		return err
+	}
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("job %s: malformed trace: %w", fs.Arg(0), err)
+	}
+	return d.WriteTimeline(os.Stdout)
 }
 
 // writeGraphFile writes one graph as an edge-list file.

@@ -19,6 +19,7 @@
 //	POST /v1/pipelines          declarative multi-step workflow (async)
 //	GET  /v1/jobs/{id}          poll job status, progress, result summary
 //	GET  /v1/jobs/{id}/result   stream replica edge lists
+//	GET  /v1/jobs/{id}/trace    fetch a finished job's execution trace (JSONL)
 //	POST /v1/compare            D_d distances + metric side-by-side
 //	GET  /v1/graphs/{hash}      does the server know this topology?
 //	GET  /v1/datasets           built-in reference topologies
@@ -90,6 +91,7 @@ func main() {
 	rateLimit := flag.Float64("rate-limit", 0, "per-client request rate in req/s (0 = no rate limiting)")
 	rateBurst := flag.Int("rate-burst", 0, "per-client burst capacity (0 = 2×rate)")
 	accessLog := flag.Bool("access-log", true, "log one structured line per request")
+	tracing := flag.Bool("tracing", true, "record execution traces for jobs and ?trace=1 requests (see docs/OBSERVABILITY.md)")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (debugging only)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "maximum time to wait for in-flight HTTP requests on shutdown")
 	showVersion := flag.Bool("version", false, "print version and exit")
@@ -126,6 +128,7 @@ func main() {
 		RatePerSec:          *rateLimit,
 		RateBurst:           *rateBurst,
 		Store:               st,
+		DisableTracing:      !*tracing,
 	}
 	if *accessLog {
 		opts.AccessLog = log.Default()

@@ -141,8 +141,22 @@ type Rewirer struct {
 	// RecordMoves appends every accepted move to the log returned by
 	// AcceptedMoves — the differential test harness replays it.
 	RecordMoves bool
+	// OnProgress, when set, receives a convergence sample from Run every
+	// ProgressEvery attempts (default: one sample per M attempts — a
+	// "sweep" in the paper's 10·M-swaps convention), plus a final sample
+	// when the run stops between sample boundaries. Purely observational:
+	// the callback never touches the RNG stream or the accepted-move
+	// sequence, so tracing a run cannot change its result.
+	OnProgress func(RewireProgress)
+	// ProgressEvery is the attempt interval between OnProgress samples
+	// (<= 0 selects the per-sweep default).
+	ProgressEvery int
 	// Stats accumulates across all Steps of this Rewirer's lifetime.
 	Stats RewireStats
+
+	// objSum accumulates committed objective deltas — the objective's
+	// change since the run began — for convergence samples.
+	objSum float64
 
 	deg     []int
 	tracker *subgraphs.Tracker // depth-3 census machinery, else nil
@@ -369,8 +383,9 @@ func (r *Rewirer) stepBatched() (bool, error) {
 // finish runs the post-apply acceptance pipeline — objective policy,
 // connectivity veto, commit — on an already-applied move.
 func (r *Rewirer) finish(m Move) (bool, error) {
+	var delta float64
 	if r.Obj != nil {
-		delta := r.Obj.Delta()
+		delta = r.Obj.Delta()
 		accept := r.Accept
 		if accept == nil {
 			accept = PolicyAlways
@@ -394,6 +409,7 @@ func (r *Rewirer) finish(m Move) (bool, error) {
 	}
 	if r.Obj != nil {
 		r.Obj.Commit()
+		r.objSum += delta
 	}
 	if r.tracker != nil {
 		r.tracker.ApplySwap(m.U, m.V, m.X, m.Y)
@@ -474,18 +490,81 @@ func (r *Rewirer) fillBatch() {
 	})
 }
 
+// RewireProgress is one periodic convergence sample of a rewiring run —
+// the practical mixing evidence for an MCMC process with no a-priori
+// mixing guarantee. Window fields cover the attempts since the previous
+// sample; cumulative fields cover the whole run. Samples are purely
+// observational and never feed back into the run.
+type RewireProgress struct {
+	Sweep          int     // 1-based sample index
+	Attempts       int     // cumulative proposals examined
+	Accepted       int     // cumulative moves accepted
+	WindowAttempts int     // proposals examined since the previous sample
+	WindowAccepted int     // moves accepted since the previous sample
+	AcceptanceRate float64 // WindowAccepted / WindowAttempts
+	// Rejected holds the window's rejection deltas by reason.
+	Rejected RejectionBreakdown
+	// Objective is the objective's cumulative committed change since the
+	// run began; meaningful only when HasObjective (an Objective is set).
+	Objective    float64
+	HasObjective bool
+}
+
+// sub returns the per-reason difference a − b.
+func (b RejectionBreakdown) sub(o RejectionBreakdown) RejectionBreakdown {
+	return RejectionBreakdown{
+		SelfLoop:      b.SelfLoop - o.SelfLoop,
+		DuplicateEdge: b.DuplicateEdge - o.DuplicateEdge,
+		JDDMismatch:   b.JDDMismatch - o.JDDMismatch,
+		CensusChanged: b.CensusChanged - o.CensusChanged,
+		Objective:     b.Objective - o.Objective,
+		Disconnected:  b.Disconnected - o.Disconnected,
+	}
+}
+
 // Run performs up to maxAttempts proposals, stopping early after accepted
 // moves reach wantAccepted (0 means no acceptance target) or after
 // patience consecutive rejections (0 means unlimited patience). The
 // returned stats are the Rewirer's cumulative r.Stats (identical to the
-// run's own when the Rewirer is fresh).
+// run's own when the Rewirer is fresh). With OnProgress set, Run emits a
+// convergence sample every ProgressEvery attempts and a final one at
+// whatever attempt count the run stopped on.
 func (r *Rewirer) Run(wantAccepted, maxAttempts, patience int) (RewireStats, error) {
+	every := r.ProgressEvery
+	if every <= 0 {
+		every = r.G.M() // one sample per sweep (M proposals)
+	}
+	last := r.Stats
+	sweep := 0
+	emit := func() {
+		sweep++
+		cur := r.Stats
+		p := RewireProgress{
+			Sweep:          sweep,
+			Attempts:       cur.Attempts,
+			Accepted:       cur.Accepted,
+			WindowAttempts: cur.Attempts - last.Attempts,
+			WindowAccepted: cur.Accepted - last.Accepted,
+			Rejected:       cur.Rejected.sub(last.Rejected),
+		}
+		if p.WindowAttempts > 0 {
+			p.AcceptanceRate = float64(p.WindowAccepted) / float64(p.WindowAttempts)
+		}
+		if r.Obj != nil {
+			p.Objective, p.HasObjective = r.objSum, true
+		}
+		last = cur
+		r.OnProgress(p)
+	}
 	sinceAccept := 0
 	accepted := 0
 	for attempts := 0; attempts < maxAttempts; attempts++ {
 		ok, err := r.Step()
 		if err != nil {
 			return r.Stats, err
+		}
+		if r.OnProgress != nil && r.Stats.Attempts-last.Attempts >= every {
+			emit()
 		}
 		if ok {
 			accepted++
@@ -499,6 +578,9 @@ func (r *Rewirer) Run(wantAccepted, maxAttempts, patience int) (RewireStats, err
 				break
 			}
 		}
+	}
+	if r.OnProgress != nil && r.Stats.Attempts > last.Attempts {
+		emit()
 	}
 	return r.Stats, nil
 }
@@ -525,6 +607,10 @@ type RandomizeOptions struct {
 	BatchSize int
 	// PreserveConnectivity rejects disconnecting moves (expensive).
 	PreserveConnectivity bool
+	// OnProgress and ProgressEvery mirror the Rewirer fields: periodic
+	// convergence samples, observational only (see RewireProgress).
+	OnProgress    func(RewireProgress)
+	ProgressEvery int
 }
 
 // Randomize applies dK-preserving randomizing rewiring (Section 4.1.4) to
@@ -540,6 +626,8 @@ func Randomize(g *graph.Graph, depth int, opt RandomizeOptions) (*graph.Graph, R
 	}
 	r.PreserveConnectivity = opt.PreserveConnectivity
 	r.BatchSize = opt.BatchSize
+	r.OnProgress = opt.OnProgress
+	r.ProgressEvery = opt.ProgressEvery
 	swapFactor := opt.SwapFactor
 	if swapFactor <= 0 {
 		swapFactor = 10

@@ -1,0 +1,153 @@
+package generate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// progressGraph builds a modest random-ish graph with enough edges for
+// the rewiring loop to accept plenty of moves.
+func progressGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New(40)
+	rng := rand.New(rand.NewSource(7))
+	for g.M() < 120 {
+		u, v := rng.Intn(40), rng.Intn(40)
+		if u != v && !g.HasEdge(u, v) {
+			if err := g.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return g.CanonicalClone()
+}
+
+func TestRewireProgressSamples(t *testing.T) {
+	g := progressGraph(t)
+	var samples []RewireProgress
+	out, st, err := Randomize(g, 2, RandomizeOptions{
+		Rng:        rand.New(rand.NewSource(1)),
+		OnProgress: func(p RewireProgress) { samples = append(samples, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil || len(samples) == 0 {
+		t.Fatalf("no progress samples (stats %+v)", st)
+	}
+	prev := RewireProgress{}
+	winAttempts, winAccepted := 0, 0
+	for i, p := range samples {
+		if p.Sweep != i+1 {
+			t.Fatalf("sample %d: sweep %d", i, p.Sweep)
+		}
+		if p.Attempts <= prev.Attempts && i > 0 {
+			t.Fatalf("sample %d: attempts not increasing (%d -> %d)", i, prev.Attempts, p.Attempts)
+		}
+		if p.WindowAttempts != p.Attempts-prev.Attempts {
+			t.Fatalf("sample %d: window attempts %d, want %d", i, p.WindowAttempts, p.Attempts-prev.Attempts)
+		}
+		if p.WindowAccepted != p.Accepted-prev.Accepted {
+			t.Fatalf("sample %d: window accepted %d, want %d", i, p.WindowAccepted, p.Accepted-prev.Accepted)
+		}
+		// The window invariant mirrors the cumulative one: attempts are
+		// either accepted or rejected for a counted reason.
+		if p.WindowAccepted+p.Rejected.Total() != p.WindowAttempts {
+			t.Fatalf("sample %d: accepted %d + rejected %d != attempts %d",
+				i, p.WindowAccepted, p.Rejected.Total(), p.WindowAttempts)
+		}
+		if p.AcceptanceRate < 0 || p.AcceptanceRate > 1 {
+			t.Fatalf("sample %d: acceptance rate %f", i, p.AcceptanceRate)
+		}
+		if p.HasObjective {
+			t.Fatalf("sample %d: randomize run reports an objective", i)
+		}
+		winAttempts += p.WindowAttempts
+		winAccepted += p.WindowAccepted
+		prev = p
+	}
+	// The final sample covers the whole run: windows tile the attempts.
+	lastP := samples[len(samples)-1]
+	if lastP.Attempts != st.Attempts || lastP.Accepted != st.Accepted {
+		t.Fatalf("final sample (%d att, %d acc) != stats (%d att, %d acc)",
+			lastP.Attempts, lastP.Accepted, st.Attempts, st.Accepted)
+	}
+	if winAttempts != st.Attempts || winAccepted != st.Accepted {
+		t.Fatalf("windows sum to (%d, %d), stats (%d, %d)", winAttempts, winAccepted, st.Attempts, st.Accepted)
+	}
+}
+
+// TestRewireProgressObservational pins the core telemetry contract:
+// sampling (at any interval) must not change the rewired graph or the
+// run statistics — the callback never touches the RNG stream.
+func TestRewireProgressObservational(t *testing.T) {
+	g := progressGraph(t)
+	base, baseStats, err := Randomize(g, 2, RandomizeOptions{Rng: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, every := range []int{0, 1, 17} {
+		n := 0
+		got, gotStats, err := Randomize(g, 2, RandomizeOptions{
+			Rng:           rand.New(rand.NewSource(3)),
+			OnProgress:    func(RewireProgress) { n++ },
+			ProgressEvery: every,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatalf("every=%d: no samples", every)
+		}
+		if gotStats != baseStats {
+			t.Fatalf("every=%d: stats changed: %+v vs %+v", every, gotStats, baseStats)
+		}
+		if graph.ContentHash(got, nil) != graph.ContentHash(base, nil) {
+			t.Fatalf("every=%d: sampling changed the rewired graph", every)
+		}
+	}
+}
+
+// TestRewireProgressObjective checks objective-driven runs report the
+// cumulative committed delta.
+func TestRewireProgressObjective(t *testing.T) {
+	g := progressGraph(t)
+	rng := rand.New(rand.NewSource(9))
+	r, err := NewRewirer(g.Clone(), 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := &LikelihoodObjective{}
+	if err := obj.Init(r.G); err != nil {
+		t.Fatal(err)
+	}
+	r.Obj = obj
+	r.Accept = PolicyMaximize
+	var samples []RewireProgress
+	r.OnProgress = func(p RewireProgress) { samples = append(samples, p) }
+	r.ProgressEvery = 50
+	if _, err := r.Run(0, 2000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	lastP := samples[len(samples)-1]
+	if !lastP.HasObjective {
+		t.Fatal("objective run lacks objective value")
+	}
+	// PolicyMaximize only commits positive deltas, so the cumulative
+	// objective change must be positive and non-decreasing.
+	prevObj := 0.0
+	for i, p := range samples {
+		if p.Objective < prevObj {
+			t.Fatalf("sample %d: objective decreased %f -> %f under PolicyMaximize", i, prevObj, p.Objective)
+		}
+		prevObj = p.Objective
+	}
+	if lastP.Objective <= 0 {
+		t.Fatalf("cumulative objective delta %f, want > 0", lastP.Objective)
+	}
+}

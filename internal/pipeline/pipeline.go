@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/generate"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/pkg/dkapi"
 )
 
@@ -102,12 +104,39 @@ func Run(ctx context.Context, b Backend, req dkapi.PipelineRequest, progress Pro
 // (pkg/dk) keeps the plain signature while the service threads its
 // stats recorder through.
 func RunObserved(ctx context.Context, b Backend, req dkapi.PipelineRequest, progress Progress, obs Observer) (*Outcome, error) {
+	return RunTraced(ctx, b, req, progress, obs, nil)
+}
+
+// SpanSetter is implemented by backends whose handle operations record
+// trace spans of their own (e.g. artifact-store reads): the executor
+// publishes its current span — step or phase — so store-level spans
+// nest under the phase that caused them. Calls are serialized; the
+// executor touches the backend only from its own goroutine.
+type SpanSetter interface {
+	SetTraceSpan(*trace.Span)
+}
+
+// RunTraced is RunObserved under a parent trace span: the executor
+// opens one child span per step and one grandchild per execution phase,
+// and generate steps additionally record a span per replica carrying
+// periodic rewiring convergence events. A nil parent degrades to
+// RunObserved exactly (the nil-tracer contract: no clock reads, no
+// allocations beyond the observer's own). Spans and events are
+// observational only — the Outcome stays a pure function of the
+// request.
+func RunTraced(ctx context.Context, b Backend, req dkapi.PipelineRequest, progress Progress, obs Observer, parent *trace.Span) (*Outcome, error) {
 	ex := &executor{
 		b:       b,
 		status:  make([]dkapi.StepStatus, len(req.Steps)),
 		outputs: make(map[string]*stepOutput, len(req.Steps)),
 		notify:  progress,
 		obs:     obs,
+		root:    parent,
+	}
+	if parent != nil {
+		if sink, ok := b.(SpanSetter); ok {
+			ex.sink = sink
+		}
 	}
 	for i, st := range req.Steps {
 		ex.status[i] = dkapi.StepStatus{ID: st.ID, Op: st.Op, Status: dkapi.StepPending}
@@ -119,11 +148,16 @@ func RunObserved(ctx context.Context, b Backend, req dkapi.PipelineRequest, prog
 			return nil, fmt.Errorf("step %s: %w", st.ID, err)
 		}
 		ex.set(i, dkapi.StepRunning, "")
+		ex.step = ex.root.Child("step", "id", st.ID, "op", st.Op)
+		ex.setSink(ex.step)
 		res, err := ex.runStep(st, out)
 		if err != nil {
+			ex.step.SetAttr("error", err.Error())
+			ex.endStep()
 			ex.fail(i, err)
 			return nil, fmt.Errorf("step %s: %w", st.ID, err)
 		}
+		ex.endStep()
 		out.Result.Steps = append(out.Result.Steps, *res)
 		ex.set(i, dkapi.StepDone, "")
 	}
@@ -137,16 +171,55 @@ type executor struct {
 	outputs map[string]*stepOutput
 	notify  Progress
 	obs     Observer
+	root    *trace.Span // parent span of the whole run (nil = untraced)
+	step    *trace.Span // span of the step currently executing
+	cur     *trace.Span // span of the phase currently executing
+	sink    SpanSetter  // backend span publication (nil when untraced)
+}
+
+// setSink publishes sp as the backend's current parent span.
+func (ex *executor) setSink(sp *trace.Span) {
+	if ex.sink != nil {
+		ex.sink.SetTraceSpan(sp)
+	}
+}
+
+// endStep closes the current step span and resets the span cursor.
+func (ex *executor) endStep() {
+	ex.step.End()
+	ex.step, ex.cur = nil, nil
+	ex.setSink(nil)
 }
 
 // phase starts timing one execution phase of op and returns the stop
-// function; with no observer both ends are free (no clock reads).
+// function; with no observer and no trace both ends are free (no clock
+// reads). Under a trace the phase also becomes a child span of the
+// current step, published to the backend sink so store-level spans nest
+// beneath it.
 func (ex *executor) phase(op, phase string) func() {
-	if ex.obs == nil {
+	obs, step := ex.obs, ex.step
+	if obs == nil && step == nil {
 		return func() {}
 	}
-	start := time.Now()
-	return func() { ex.obs(op, phase, time.Since(start)) }
+	sp := step.Child(phase)
+	if sp != nil {
+		ex.cur = sp
+		ex.setSink(sp)
+	}
+	var start time.Time
+	if obs != nil {
+		start = time.Now()
+	}
+	return func() {
+		if obs != nil {
+			obs(op, phase, time.Since(start))
+		}
+		sp.End()
+		if sp != nil {
+			ex.cur = nil
+			ex.setSink(ex.step)
+		}
+	}
 }
 
 // timedResolve wraps resolve in the "resolve" phase.
@@ -327,9 +400,24 @@ func (ex *executor) runGenerate(st dkapi.PipelineStep, out *Outcome) (*dkapi.Ste
 	}
 	src := h.Graph()
 	construct := ex.phase(st.Op, "construct")
+	// The construct-phase span: replica spans hang off it, and the
+	// replica fan-out runs concurrently, so each goroutine gets its own
+	// child rather than touching the executor's span cursor.
+	constructSpan := ex.cur
 	graphs, err := generate.Replicas(replicas, st.Seed, func(i int, rng *rand.Rand) (*graph.Graph, error) {
+		var rsp *trace.Span
+		if constructSpan != nil {
+			rsp = constructSpan.Child("replica", "i", strconv.Itoa(i))
+			defer rsp.End()
+		}
 		if randomize {
-			g, _, err := generate.Randomize(src, d, generate.RandomizeOptions{Rng: rng})
+			opt := generate.RandomizeOptions{Rng: rng}
+			if rsp != nil {
+				opt.OnProgress = func(p generate.RewireProgress) {
+					rsp.Event("rewire", convergenceFields(p))
+				}
+			}
+			g, _, err := generate.Randomize(src, d, opt)
 			return g, err
 		}
 		return core.Generate(profile, d, method, core.Options{Rng: rng})
@@ -375,6 +463,36 @@ func (ex *executor) runGenerate(st dkapi.PipelineStep, out *Outcome) (*dkapi.Ste
 	ex.outputs[st.ID] = &stepOutput{replicas: handles}
 	out.Graphs = append(out.Graphs, StepGraphs{StepID: st.ID, Handles: handles})
 	return res, nil
+}
+
+// convergenceFields flattens one rewiring convergence sample into the
+// numeric fields of a trace event. Rejection deltas are emitted only
+// when nonzero to keep the JSONL compact over long runs.
+func convergenceFields(p generate.RewireProgress) map[string]float64 {
+	f := map[string]float64{
+		"sweep":           float64(p.Sweep),
+		"attempts":        float64(p.Attempts),
+		"accepted":        float64(p.Accepted),
+		"window_attempts": float64(p.WindowAttempts),
+		"window_accepted": float64(p.WindowAccepted),
+		"acceptance_rate": p.AcceptanceRate,
+	}
+	for k, v := range map[string]int{
+		"rej_self_loop":      p.Rejected.SelfLoop,
+		"rej_duplicate_edge": p.Rejected.DuplicateEdge,
+		"rej_jdd_mismatch":   p.Rejected.JDDMismatch,
+		"rej_census_changed": p.Rejected.CensusChanged,
+		"rej_objective":      p.Rejected.Objective,
+		"rej_disconnected":   p.Rejected.Disconnected,
+	} {
+		if v != 0 {
+			f[k] = float64(v)
+		}
+	}
+	if p.HasObjective {
+		f["objective"] = p.Objective
+	}
+	return f
 }
 
 func (ex *executor) runCompare(st dkapi.PipelineStep) (*dkapi.StepResult, error) {

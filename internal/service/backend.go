@@ -5,6 +5,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
+	"repro/internal/trace"
 	"repro/pkg/dkapi"
 )
 
@@ -40,10 +41,21 @@ func (b svcBackend) Intern(g *graph.Graph) pipeline.Handle {
 // interface. A nil server marks a detached (replica) entry, whose
 // extractions are not counted in the cache instrumentation — matching
 // the historical behavior where per-replica profile extraction for
-// compare never touched the counters.
+// compare never touched the counters. A non-nil tb marks a handle
+// minted by the traced backend: operations read its span cursor so
+// disk-tier work records spans under the executing phase.
 type svcHandle struct {
-	e *Entry
-	s *Server
+	e  *Entry
+	s  *Server
+	tb *tracedBackend
+}
+
+// span returns the executor's current phase span (nil when untraced).
+func (h svcHandle) span() *trace.Span {
+	if h.tb == nil {
+		return nil
+	}
+	return h.tb.cur
 }
 
 func (h svcHandle) Graph() *graph.Graph { return h.e.Graph() }
@@ -51,7 +63,7 @@ func (h svcHandle) Graph() *graph.Graph { return h.e.Graph() }
 func (h svcHandle) Info() dkapi.GraphInfo { return info(h.e) }
 
 func (h svcHandle) Profile(d int) (*dk.Profile, bool, error) {
-	p, hit, err := h.e.Profile(d)
+	p, hit, err := h.e.ProfileSpan(d, h.span())
 	if err == nil && !hit && h.s != nil {
 		h.s.cache.noteExtraction()
 	}

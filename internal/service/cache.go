@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/pkg/dkapi"
 )
 
@@ -84,6 +85,14 @@ func (e *Entry) Static() *graph.Static {
 // whether the profile was served without an extraction run (from either
 // tier).
 func (e *Entry) Profile(d int) (*dk.Profile, bool, error) {
+	return e.ProfileSpan(d, nil)
+}
+
+// ProfileSpan is Profile with disk-tier operations recorded as child
+// spans of sp (see store.Ops) — a nil span is the plain untraced path.
+// Memory hits record nothing: only actual store traffic appears in a
+// trace.
+func (e *Entry) ProfileSpan(d int, sp *trace.Span) (*dk.Profile, bool, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.profile != nil && e.profile.D >= d {
@@ -94,7 +103,8 @@ func (e *Entry) Profile(d int) (*dk.Profile, bool, error) {
 		return p, true, err
 	}
 	if disk := e.cache.diskTier(); disk != nil {
-		if p, err := disk.GetProfile(string(e.hash), d); err == nil {
+		ops := store.Ops{S: disk, Span: sp}
+		if p, err := ops.GetProfile(string(e.hash), d); err == nil {
 			e.cache.diskHits.Add(1)
 			e.profile = p
 			if p.D == d {
@@ -111,7 +121,7 @@ func (e *Entry) Profile(d int) (*dk.Profile, bool, error) {
 	}
 	e.profile = p
 	if disk := e.cache.diskTier(); disk != nil {
-		if disk.PutProfile(string(e.hash), p) == nil {
+		if (store.Ops{S: disk, Span: sp}).PutProfile(string(e.hash), p) == nil {
 			e.cache.diskProfileWrites.Add(1)
 		}
 	}

@@ -1,35 +1,48 @@
 package service
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"time"
 
 	"repro/internal/graph"
 	"repro/internal/parallel"
 	"repro/internal/pipeline"
+	"repro/internal/trace"
 	"repro/pkg/dkapi"
 )
 
 // runStep executes one pipeline step synchronously through the shared
-// executor. Handlers for the standalone endpoints are thin wire
-// adapters around this — the same code path POST /v1/pipelines runs
-// asynchronously. Validation failures (bad depth, step references
-// outside a pipeline, …) come back as 400s.
-func (s *Server) runStep(step dkapi.PipelineStep) (*dkapi.StepResult, error) {
+// executor, under the request's trace span when one is active (?trace=1).
+// Handlers for the standalone endpoints are thin wire adapters around
+// this — the same code path POST /v1/pipelines runs asynchronously.
+// Validation failures (bad depth, step references outside a pipeline, …)
+// come back as 400s.
+func (s *Server) runStep(step dkapi.PipelineStep, parent *trace.Span) (*dkapi.StepResult, error) {
 	req := dkapi.PipelineRequest{Steps: []dkapi.PipelineStep{step}}
 	if err := pipeline.Validate(req, s.pipelineLimits()); err != nil {
 		return nil, &apiError{http.StatusBadRequest, CodeBadRequest, err.Error()}
 	}
-	out, err := pipeline.RunObserved(context.Background(), svcBackend{s}, req, nil, s.phases.Observe)
+	out, err := s.runPipeline(req, nil, parent)
 	if err != nil {
 		return nil, err
 	}
 	return &out.Result.Steps[0], nil
+}
+
+// finishTrace closes a sync request's root span and returns its
+// records for embedding in the response body (?trace=1). The
+// middleware's own End afterwards is an idempotent no-op.
+func finishTrace(root *trace.Span) []dkapi.TraceRecord {
+	if root == nil {
+		return nil
+	}
+	root.End()
+	return root.Trace().Records()
 }
 
 // handleExtract implements POST /v1/extract: parse the edge list in the
@@ -98,6 +111,7 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		entry, _ = s.cache.Intern(g, labels)
 	}
 
+	root := trace.FromContext(r.Context())
 	res, err := s.runStep(dkapi.PipelineStep{
 		ID: "extract", Op: dkapi.OpExtract,
 		Source:   &dkapi.GraphRef{Hash: string(entry.Hash())},
@@ -106,13 +120,14 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		Spectral: queryBool(r, "spectral"),
 		Sample:   sample,
 		Seed:     seed,
-	})
+	}, root)
 	if err != nil {
 		writeAPIError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ExtractResponse{
 		Graph: *res.Graph, Cached: res.Cached, Profile: res.Profile, Summary: res.Summary,
+		Trace: finishTrace(root),
 	})
 }
 
@@ -205,7 +220,10 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		Replicas: replicas, Seed: req.Seed, Compare: req.Compare,
 	}
 	spec, _ := json.Marshal(normalized)
-	job, err := s.jobs.SubmitSpec("generate", spec, s.generateJobFunc(normalized))
+	jt := s.newJobTracer(r, "generate")
+	job, err := s.jobs.SubmitTracked("generate", spec,
+		jt.wrap(untracked(s.generateJobFunc(normalized, jt.span()))))
+	jt.bind(job, err)
 	if errors.Is(err, ErrQueueFull) {
 		// Backpressure, not failure: carry Retry-After (dkclient honors
 		// it) so callers back off instead of hammering the full queue.
@@ -228,13 +246,15 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 // pipeline run whose step result is reshaped into the historical
 // GenerateResult summary, with the replica edge lists streamed in the
 // PR2 "# replica i" format. It is shared by the HTTP submission path
-// and journal recovery — everything it needs round-trips through the
-// journaled GenerateRequest spec.
-func (s *Server) generateJobFunc(req GenerateRequest) JobFunc {
+// (which passes the job's trace span) and journal recovery (which
+// passes nil — a recovered job's submission trace died with the old
+// process). Everything else it needs round-trips through the journaled
+// GenerateRequest spec.
+func (s *Server) generateJobFunc(req GenerateRequest, parent *trace.Span) JobFunc {
 	return func() (any, StreamFunc, error) {
-		out, err := pipeline.RunObserved(context.Background(), svcBackend{s}, dkapi.PipelineRequest{
+		out, err := s.runPipeline(dkapi.PipelineRequest{
 			Steps: []dkapi.PipelineStep{generateStep(req)},
-		}, nil, s.phases.Observe)
+		}, nil, parent)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -280,11 +300,12 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "depth d=%d outside 0..3", d)
 		return
 	}
+	root := trace.FromContext(r.Context())
 	res, err := s.runStep(dkapi.PipelineStep{
 		ID: "compare", Op: dkapi.OpCompare,
 		A: &req.A, B: &req.B, D: &d,
 		Spectral: req.Spectral, Sample: req.Sample, Seed: req.Seed,
-	})
+	}, root)
 	if err != nil {
 		writeAPIError(w, err)
 		return
@@ -293,6 +314,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		A: *res.A, B: *res.B,
 		Distances: res.Distances,
 		SummaryA:  *res.SummaryA, SummaryB: *res.SummaryB,
+		Trace: finishTrace(root),
 	})
 }
 
@@ -362,6 +384,32 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	_ = stream(w)
 }
 
+// handleJobTrace implements GET /v1/jobs/{id}/trace: stream the
+// execution trace of a finished job as JSONL (one record per line —
+// see internal/trace for the vocabulary). Returns 409 while the job is
+// still queued or running (the trace is written at completion), 404
+// when no trace exists (tracing disabled, trace pruned, or unknown
+// id). The startup trace, when present, is served under id "startup".
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if job := s.jobs.Get(id); job != nil {
+		if v := job.View(); v.Status == JobQueued || v.Status == JobRunning {
+			writeError(w, http.StatusConflict, CodeConflict,
+				"job %s is %s; its trace is written when it finishes", id, v.Status)
+			return
+		}
+	}
+	data, ok := s.traces.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			"no trace for job %q (tracing disabled, trace pruned, or unknown job)", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
 // handleDatasetList implements GET /v1/datasets.
 func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, builtinDatasets)
@@ -398,6 +446,7 @@ func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		Version:       version,
+		GoVersion:     runtime.Version(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Workers:       parallel.Workers(),
 		Cache:         s.cache.Stats(),

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// latencyBuckets are the explicit upper bounds (seconds) of the HTTP
+// and pipeline-phase latency histograms: 1ms to 10s, roughly
+// quarter-decade spacing — wide enough for a cache-hit stats read and a
+// multi-second d=3 census on one scale.
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// histogram is one label's fixed-bucket latency distribution. Counts
+// are per-bucket (non-cumulative); the exposition emitter accumulates,
+// as the format's `le` semantics require.
+type histogram struct {
+	counts []int64 // one per bound, +1 trailing slot for +Inf
+	sum    float64
+	count  int64
+}
+
+// histogramVec is a family of fixed-bucket histograms keyed by one
+// label value (route pattern, "op.phase"). Keys are fixed vocabularies
+// chosen by the server, never request-path garbage, so the map cannot
+// be grown by clients.
+type histogramVec struct {
+	mu     sync.Mutex
+	bounds []float64
+	m      map[string]*histogram
+}
+
+func newHistogramVec(bounds []float64) *histogramVec {
+	return &histogramVec{bounds: bounds, m: make(map[string]*histogram)}
+}
+
+// Observe records one value (seconds) under the label.
+func (hv *histogramVec) Observe(label string, v float64) {
+	hv.mu.Lock()
+	defer hv.mu.Unlock()
+	h := hv.m[label]
+	if h == nil {
+		h = &histogram{counts: make([]int64, len(hv.bounds)+1)}
+		hv.m[label] = h
+	}
+	i := sort.SearchFloat64s(hv.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// emit renders the family in exposition format: per label, cumulative
+// `_bucket` samples for every bound plus le="+Inf", then `_sum` and
+// `_count`. Labels are sorted, so scrapes stay byte-deterministic.
+func (hv *histogramVec) emit(p *promWriter, name, help, label string) {
+	hv.mu.Lock()
+	defer hv.mu.Unlock()
+	p.family(name, help, "histogram")
+	keys := make([]string, 0, len(hv.m))
+	for k := range hv.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := hv.m[k]
+		cum := int64(0)
+		for i, bound := range hv.bounds {
+			cum += h.counts[i]
+			p.sample(name+"_bucket", float64(cum),
+				label, k, "le", strconv.FormatFloat(bound, 'g', -1, 64))
+		}
+		p.sample(name+"_bucket", float64(h.count), label, k, "le", "+Inf")
+		p.sample(name+"_sum", h.sum, label, k)
+		p.sample(name+"_count", float64(h.count), label, k)
+	}
+}

@@ -3,10 +3,12 @@ package service
 import (
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/trace"
 	"repro/pkg/dkapi"
 )
 
@@ -115,6 +117,7 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 		start := time.Now()
 		h(sw, r)
 		elapsed := time.Since(start)
+		s.httpHist.Observe(pattern, elapsed.Seconds())
 		s.routes.mu.Lock()
 		a.inFlight--
 		a.count++
@@ -170,11 +173,28 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Admitted requests may get a trace: the root "request" span rides
+	// the context into the handler (and from there into the pipeline
+	// executor and the job engine). The trace id is the request id, so
+	// access-log lines, error strings, and trace files all correlate.
+	var tr *trace.Trace
+	if s.shouldTrace(r) {
+		tr = trace.New(rid, "request", "method", r.Method, "path", r.URL.Path)
+		r = r.WithContext(trace.With(r.Context(), tr.Root()))
+	}
 	s.mux.ServeHTTP(sw, r)
 	if sw.status == 0 {
 		// A handler that never wrote (or a mux 404 with an empty body)
 		// still implicitly answered 200 unless WriteHeader said otherwise.
 		sw.status = http.StatusOK
+	}
+	if tr != nil {
+		// End is idempotent: sync handlers that embedded the trace in
+		// their response already ended the root; the status attribute
+		// still lands for the job-trace copy, which is encoded later.
+		root := tr.Root()
+		root.SetAttr("status", strconv.Itoa(sw.status))
+		root.End()
 	}
 	s.logAccess(r, sw, start, rid)
 }

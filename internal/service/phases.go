@@ -42,6 +42,14 @@ func (ps *phaseStats) Observe(op, phase string, d time.Duration) {
 	}
 }
 
+// observePhase is the pipeline.Observer every execution surface runs
+// under: it feeds both the cumulative per-phase aggregates of
+// /v1/stats and the dk_pipeline_phase_seconds histogram of /metrics.
+func (s *Server) observePhase(op, phase string, d time.Duration) {
+	s.phases.Observe(op, phase, d)
+	s.phaseHist.Observe(op+"."+phase, d.Seconds())
+}
+
 // Snapshot copies the aggregates for the stats handler.
 func (ps *phaseStats) Snapshot() map[string]dkapi.PhaseStat {
 	ps.mu.Lock()

@@ -1,7 +1,6 @@
 package service
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +9,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/pipeline"
+	"repro/internal/trace"
 	"repro/pkg/dkapi"
 )
 
@@ -87,7 +87,10 @@ func (s *Server) handlePipelineSubmit(w http.ResponseWriter, r *http.Request) {
 	// waiting on a profile read, and it must not sit behind a queue of
 	// ensemble sweeps.
 	spec, _ := json.Marshal(req)
-	job, err := s.jobs.SubmitClass("pipeline", pipeline.Class(req), spec, s.pipelineJobFunc(req))
+	jt := s.newJobTracer(r, "pipeline")
+	job, err := s.jobs.SubmitClass("pipeline", pipeline.Class(req), spec,
+		jt.wrap(s.pipelineJobFunc(req, jt.span())))
+	jt.bind(job, err)
 	if errors.Is(err, ErrQueueFull) {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, CodeQueueFull,
@@ -108,12 +111,13 @@ func (s *Server) handlePipelineSubmit(w http.ResponseWriter, r *http.Request) {
 // executor over the service backend, publishing per-step status as
 // progress, and stream every generated ensemble in the bulk result —
 // each replica prefixed by "# step <id> replica <i>". Shared by the
-// HTTP submission path and journal recovery; everything it needs
-// round-trips through the journaled (normalized) request spec.
-func (s *Server) pipelineJobFunc(req dkapi.PipelineRequest) TrackedJobFunc {
+// HTTP submission path (which passes the job's trace span) and journal
+// recovery (which passes nil); everything else it needs round-trips
+// through the journaled (normalized) request spec.
+func (s *Server) pipelineJobFunc(req dkapi.PipelineRequest, parent *trace.Span) TrackedJobFunc {
 	return func(setProgress func(any)) (any, StreamFunc, error) {
-		out, err := pipeline.RunObserved(context.Background(), svcBackend{s}, req,
-			func(steps []dkapi.StepStatus) { setProgress(steps) }, s.phases.Observe)
+		out, err := s.runPipeline(req,
+			func(steps []dkapi.StepStatus) { setProgress(steps) }, parent)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -77,7 +78,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p := &promWriter{}
 
 	p.family("dk_build_info", "Build metadata (value is always 1).", "gauge")
-	p.sample("dk_build_info", 1, "version", version)
+	p.sample("dk_build_info", 1, "go_version", runtime.Version(), "version", version)
 	p.family("dk_uptime_seconds", "Seconds since the server started.", "gauge")
 	p.sample("dk_uptime_seconds", time.Since(s.started).Seconds())
 	p.family("dk_workers", "Process-wide parallel worker budget.", "gauge")
@@ -96,6 +97,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	labeledSeries(p, "dk_http_response_bytes_total", "route", routes, func(rs dkapi.RouteStat) float64 { return float64(rs.BytesSent) })
 	p.family("dk_http_in_flight", "Requests currently executing, by route.", "gauge")
 	labeledSeries(p, "dk_http_in_flight", "route", routes, func(rs dkapi.RouteStat) float64 { return float64(rs.InFlight) })
+	s.httpHist.emit(p, "dk_http_request_seconds", "HTTP request latency in seconds, by route pattern.", "route")
 
 	phases := s.phases.Snapshot()
 	p.family("dk_pipeline_phase_runs_total", "Pipeline phase executions, by op.phase.", "counter")
@@ -104,6 +106,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	labeledSeries(p, "dk_pipeline_phase_ms_total", "phase", phases, func(ps dkapi.PhaseStat) float64 { return ps.TotalMS })
 	p.family("dk_pipeline_phase_max_ms", "Slowest single observation of each pipeline phase.", "gauge")
 	labeledSeries(p, "dk_pipeline_phase_max_ms", "phase", phases, func(ps dkapi.PhaseStat) float64 { return ps.MaxMS })
+	s.phaseHist.emit(p, "dk_pipeline_phase_seconds", "Pipeline phase latency in seconds, by op.phase.", "phase")
 
 	cs := s.cache.Stats()
 	p.family("dk_cache_entries", "Graphs resident in the memory cache tier.", "gauge")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -45,7 +46,7 @@ func parseExposition(t *testing.T, body string) *exposition {
 				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
 			}
 			name, typ := parts[0], parts[1]
-			if typ != "counter" && typ != "gauge" {
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
 				t.Fatalf("line %d: unknown type %q", ln+1, typ)
 			}
 			if !helped[name] {
@@ -72,7 +73,18 @@ func parseExposition(t *testing.T, body string) *exposition {
 				name = series[:b]
 			}
 			if _, ok := exp.types[name]; !ok {
-				t.Fatalf("line %d: sample %s has no preceding TYPE", ln+1, series)
+				// Histogram families emit _bucket/_sum/_count samples
+				// under the family's single TYPE line.
+				base := name
+				for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+					if b, ok := strings.CutSuffix(name, suffix); ok {
+						base = b
+						break
+					}
+				}
+				if exp.types[base] != "histogram" {
+					t.Fatalf("line %d: sample %s has no preceding TYPE", ln+1, series)
+				}
 			}
 			v, err := strconv.ParseFloat(raw, 64)
 			if err != nil {
@@ -207,14 +219,67 @@ func TestMetricsExposition(t *testing.T) {
 			t.Errorf("dk_jobs_queued missing class %q", class)
 		}
 	}
-	if _, ok := exp.samples[fmt.Sprintf("dk_build_info{version=%q}", version)]; !ok {
-		t.Error("dk_build_info missing the version label")
+	if _, ok := exp.samples[fmt.Sprintf("dk_build_info{go_version=%q,version=%q}", runtime.Version(), version)]; !ok {
+		t.Error("dk_build_info missing the go_version/version labels")
+	}
+	if stats.GoVersion != runtime.Version() {
+		t.Errorf("stats go_version %q, want %q", stats.GoVersion, runtime.Version())
 	}
 
 	// No limiter, no store: those families must be absent entirely.
 	for _, name := range []string{"dk_ratelimit_allowed_total", "dk_store_graphs"} {
 		if _, ok := exp.types[name]; ok {
 			t.Errorf("family %s present without its subsystem configured", name)
+		}
+	}
+}
+
+// TestMetricsHistograms checks the two latency histogram families:
+// every label's bucket series must be monotonically non-decreasing in
+// le, the +Inf bucket must equal _count, and _sum must be consistent
+// with having observed _count values.
+func TestMetricsHistograms(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	postJSON(t, ts.URL+"/v1/extract?d=2", "text/plain", pawEdges, http.StatusOK, nil)
+	postJSON(t, ts.URL+"/v1/extract?d=2", "text/plain", pawEdges, http.StatusOK, nil)
+	exp := scrape(t, ts.URL)
+
+	for _, fam := range []struct{ name, label, series string }{
+		{"dk_http_request_seconds", "route", "POST /v1/extract"},
+		{"dk_pipeline_phase_seconds", "phase", "extract.extract"},
+	} {
+		if got := exp.types[fam.name]; got != "histogram" {
+			t.Fatalf("family %s: type %q, want histogram", fam.name, got)
+		}
+		count, ok := exp.samples[fmt.Sprintf("%s_count{%s=%q}", fam.name, fam.label, fam.series)]
+		if !ok || count < 1 {
+			t.Fatalf("%s: no observations for %s", fam.name, fam.series)
+		}
+		// Walk the bounds in ascending order: cumulative counts must
+		// never decrease, and the +Inf bucket must equal _count.
+		prev := -1.0
+		for _, b := range latencyBuckets {
+			series := fmt.Sprintf("%s_bucket{%s=%q,le=%q}",
+				fam.name, fam.label, fam.series, strconv.FormatFloat(b, 'g', -1, 64))
+			v, ok := exp.samples[series]
+			if !ok {
+				t.Fatalf("%s: missing bucket %s", fam.name, series)
+			}
+			if v < prev {
+				t.Errorf("%s: bucket series not monotonic at %s (%g < %g)", fam.name, series, v, prev)
+			}
+			prev = v
+		}
+		inf, ok := exp.samples[fmt.Sprintf(`%s_bucket{%s=%q,le="+Inf"}`, fam.name, fam.label, fam.series)]
+		if !ok {
+			t.Fatalf("%s: no +Inf bucket for %s", fam.name, fam.series)
+		}
+		if inf != count || inf < prev {
+			t.Errorf("%s: +Inf bucket %g (count %g, last finite %g)", fam.name, inf, count, prev)
+		}
+		sum := exp.samples[fmt.Sprintf("%s_sum{%s=%q}", fam.name, fam.label, fam.series)]
+		if sum < 0 {
+			t.Errorf("%s: negative sum %g", fam.name, sum)
 		}
 	}
 }

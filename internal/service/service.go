@@ -43,6 +43,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/pipeline"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/pkg/dkapi"
 )
 
@@ -87,6 +88,11 @@ type Options struct {
 	// access logging — the default, so embedded/test servers stay
 	// quiet).
 	AccessLog *log.Logger
+	// DisableTracing turns off execution tracing entirely: no request
+	// root spans, no job traces, no startup trace. The default (false)
+	// traces job submissions and any request carrying ?trace=1; the
+	// disabled path costs nothing (nil-span contract, internal/trace).
+	DisableTracing bool
 	// Store is the persistent artifact store backing the cache's disk
 	// tier and the job journal (nil = memory-only, the historical
 	// behavior). The caller owns it: close it after Close.
@@ -127,16 +133,19 @@ func (o Options) withDefaults() Options {
 // Server is the dK topology service: an http.Handler wiring the cache,
 // the job engine, and the dataset registry to the /v1 endpoints.
 type Server struct {
-	opts     Options
-	cache    *Cache
-	jobs     *Engine
-	store    *store.Store // nil = memory-only
-	mux      *http.ServeMux
-	routes   *routeStats
-	phases   *phaseStats
-	limiter  *rateLimiter // nil = no rate limiting
-	started  time.Time
-	draining atomic.Bool
+	opts      Options
+	cache     *Cache
+	jobs      *Engine
+	store     *store.Store // nil = memory-only
+	mux       *http.ServeMux
+	routes    *routeStats
+	phases    *phaseStats
+	traces    *traceStore
+	httpHist  *histogramVec // dk_http_request_seconds, by route
+	phaseHist *histogramVec // dk_pipeline_phase_seconds, by op.phase
+	limiter   *rateLimiter  // nil = no rate limiting
+	started   time.Time
+	draining  atomic.Bool
 
 	dsMu    sync.Mutex
 	dsMemo  map[string]*dsEntry
@@ -167,8 +176,10 @@ const dsMemoMax = 32
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	var (
-		journal  *store.Journal
-		replayed []store.JobState
+		journal     *store.Journal
+		replayed    []store.JobState
+		startupSpan *trace.Span // root of the startup trace (nil = untraced)
+		traceDisk   *store.Store
 	)
 	// Only the journal's lock owner may replay and append: a second
 	// server on the same data dir would re-run the owner's in-flight
@@ -178,9 +189,18 @@ func New(opts Options) *Server {
 	// state; embedders get the degraded mode.
 	if opts.Store != nil && opts.Store.Exclusive() {
 		journal = opts.Store.Journal()
+		// Trace persistence follows the journal's ownership rule: only
+		// the lock owner writes jobs/<id>.trace.jsonl, since job ids are
+		// only unique within the journal's sequence.
+		traceDisk = opts.Store
+		if !opts.DisableTracing {
+			startupSpan = trace.New("startup", "startup").Root()
+		}
 		// Replay errors degrade to an empty journal: a damaged journal
-		// must not stop the service from starting.
-		replayed, _ = journal.Replay()
+		// must not stop the service from starting. Under a trace the
+		// replay records a "store.journal_replay" span with its record
+		// count — GET /v1/jobs/startup/trace answers "why was boot slow".
+		replayed, _ = store.Ops{S: opts.Store, Span: startupSpan}.Replay()
 		// Startup is the one moment the lock owner knows compaction is
 		// safe; without this, a long-lived server's journal (2-3 records
 		// per job) would grow without bound and every restart would fold
@@ -196,15 +216,18 @@ func New(opts Options) *Server {
 		queueCap = n
 	}
 	s := &Server{
-		opts:    opts,
-		cache:   NewTieredCache(opts.CacheEntries, opts.Store),
-		jobs:    NewJournaledEngine(opts.JobRunners, queueCap, opts.JobRetain, journal, MaxJournaledSeq(replayed)),
-		store:   opts.Store,
-		mux:     http.NewServeMux(),
-		routes:  newRouteStats(),
-		phases:  newPhaseStats(),
-		started: time.Now().UTC(),
-		dsMemo:  make(map[string]*dsEntry),
+		opts:      opts,
+		cache:     NewTieredCache(opts.CacheEntries, opts.Store),
+		jobs:      NewJournaledEngine(opts.JobRunners, queueCap, opts.JobRetain, journal, MaxJournaledSeq(replayed)),
+		store:     opts.Store,
+		mux:       http.NewServeMux(),
+		routes:    newRouteStats(),
+		phases:    newPhaseStats(),
+		traces:    newTraceStore(opts.JobRetain, traceDisk),
+		httpHist:  newHistogramVec(latencyBuckets),
+		phaseHist: newHistogramVec(latencyBuckets),
+		started:   time.Now().UTC(),
+		dsMemo:    make(map[string]*dsEntry),
 	}
 	if opts.RatePerSec > 0 {
 		burst := opts.RateBurst
@@ -213,7 +236,14 @@ func New(opts Options) *Server {
 		}
 		s.limiter = newRateLimiter(opts.RatePerSec, burst)
 	}
+	rec := startupSpan.Child("recover")
 	s.recoverJobs(replayed)
+	if startupSpan != nil {
+		rec.SetAttr("requeued", fmt.Sprint(s.jobs.Stats().Recovered))
+		rec.End()
+		startupSpan.End()
+		s.traces.save("startup", startupSpan.Trace())
+	}
 	s.route("POST /v1/extract", s.handleExtract)
 	s.route("POST /v1/generate", s.handleGenerate)
 	s.route("POST /v1/compare", s.handleCompare)
@@ -222,6 +252,7 @@ func New(opts Options) *Server {
 	s.route("GET /v1/jobs", s.handleJobList)
 	s.route("GET /v1/jobs/{id}", s.handleJobGet)
 	s.route("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.route("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.route("GET /v1/datasets", s.handleDatasetList)
 	s.route("GET /v1/datasets/{name}", s.handleDatasetGet)
 	s.route("GET /v1/stats", s.handleStats)
@@ -271,7 +302,7 @@ func (s *Server) recoverJobs(states []store.JobState) {
 				fail("recovery: source: %v", err)
 				continue
 			}
-			if _, err := s.jobs.Resubmit(st.ID, "generate", st.Spec, s.generateJobFunc(req)); err != nil {
+			if _, err := s.jobs.Resubmit(st.ID, "generate", st.Spec, s.generateJobFunc(req, nil)); err != nil {
 				fail("recovery: %v", err)
 			}
 		case "pipeline":
@@ -291,7 +322,7 @@ func (s *Server) recoverJobs(states []store.JobState) {
 				fail("recovery: %v", err)
 				continue
 			}
-			if _, err := s.jobs.ResubmitClass(st.ID, "pipeline", pipeline.Class(req), st.Spec, s.pipelineJobFunc(req)); err != nil {
+			if _, err := s.jobs.ResubmitClass(st.ID, "pipeline", pipeline.Class(req), st.Spec, s.pipelineJobFunc(req, nil)); err != nil {
 				fail("recovery: %v", err)
 			}
 		default:

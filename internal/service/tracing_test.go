@@ -1,0 +1,285 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/pkg/dkapi"
+)
+
+// traceEdges builds an edge list big enough for the rewiring loop to
+// run many sweeps, so replica spans carry convergence events.
+func traceEdges(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	rng := rand.New(rand.NewSource(11))
+	seen := map[[2]int]bool{}
+	for len(seen) < 60 {
+		u, v := rng.Intn(30), rng.Intn(30)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		fmt.Fprintf(&sb, "%d %d\n", u, v)
+	}
+	return sb.String()
+}
+
+// fetchTrace GETs a job's trace and decodes it.
+func fetchTrace(t *testing.T, base, id string) *trace.Data {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: status %d; body: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("trace Content-Type %q", ct)
+	}
+	d, err := trace.DecodeBytes(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("job trace invalid: %v", err)
+	}
+	return d
+}
+
+// spanNames collects the multiset of span names in a decoded trace.
+func spanNames(d *trace.Data) map[string]int {
+	names := map[string]int{}
+	for _, sp := range d.Spans {
+		names[sp.Name]++
+	}
+	return names
+}
+
+// TestPipelineJobTrace drives a traced pipeline job end to end on a
+// store-backed server and checks the full span tree: request → job →
+// steps → phases → replicas (with rewiring convergence events) and
+// store operations, all closed, with a single root.
+func TestPipelineJobTrace(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+
+	// Seed the disk tier through a first server, then run the traced
+	// pipeline on a second one whose memory cache is cold — so the
+	// extract step's profile read must hit the artifact store and the
+	// trace records the store span.
+	var er ExtractResponse
+	{
+		_, seed := newTestServer(t, Options{Store: st})
+		postJSON(t, seed.URL+"/v1/extract?d=2", "text/plain", traceEdges(t), http.StatusOK, &er)
+	}
+	_, ts := newTestServer(t, Options{Store: st})
+	var acc dkapi.JobAccepted
+	postJSON(t, ts.URL+"/v1/pipelines", "application/json", fmt.Sprintf(`{
+		"steps": [
+			{"id": "x", "op": "extract", "d": 2, "source": {"hash": %q}},
+			{"id": "g", "op": "randomize", "d": 2, "source": {"hash": %q}, "replicas": 2, "seed": 7}
+		]}`, er.Graph.Hash, er.Graph.Hash), http.StatusAccepted, &acc)
+	view := pollJob(t, ts.URL, acc.JobID)
+	if view.Status != JobDone {
+		t.Fatalf("job %s: %s (%s)", acc.JobID, view.Status, view.Error)
+	}
+
+	d := fetchTrace(t, ts.URL, acc.JobID)
+	root, ok := d.Root()
+	if !ok || root.Name != "request" {
+		t.Fatalf("root span %+v, want name \"request\"", root)
+	}
+	names := spanNames(d)
+	for name, min := range map[string]int{
+		"request": 1, "job": 1, "queued": 1,
+		"step": 2, "resolve": 2, "construct": 1, "intern": 2,
+		"replica": 2,
+	} {
+		if names[name] < min {
+			t.Errorf("span %q appears %d times, want >= %d (all: %v)", name, names[name], min, names)
+		}
+	}
+	// The extract step's profile comes from the disk tier (written
+	// through by the handler extract above), so a store read span must
+	// nest in the trace.
+	if names["store.profile_read"] == 0 {
+		t.Errorf("no store.profile_read span; names: %v", names)
+	}
+	// No open spans (the trace is written after the job ends), no
+	// drops, and every replica span carries rewire events.
+	for _, sp := range d.Spans {
+		if sp.Open {
+			t.Errorf("span %d %q still open in a finished job trace", sp.ID, sp.Name)
+		}
+	}
+	if d.DroppedSpans != 0 || d.DroppedEvents != 0 {
+		t.Errorf("dropped spans=%d events=%d", d.DroppedSpans, d.DroppedEvents)
+	}
+	replicas := 0
+	for _, sp := range d.Spans {
+		if sp.Name != "replica" {
+			continue
+		}
+		replicas++
+		events := d.SpanEvents(sp.ID)
+		if len(events) == 0 {
+			t.Errorf("replica span %d has no convergence events", sp.ID)
+			continue
+		}
+		for _, ev := range events {
+			if ev.Name != "rewire" {
+				t.Errorf("replica event %q, want rewire", ev.Name)
+			}
+			if ev.Fields["attempts"] <= 0 {
+				t.Errorf("rewire event without attempts: %+v", ev.Fields)
+			}
+			if r := ev.Fields["acceptance_rate"]; r < 0 || r > 1 {
+				t.Errorf("acceptance_rate %f out of range", r)
+			}
+		}
+	}
+	if replicas != 2 {
+		t.Errorf("replica spans %d, want 2", replicas)
+	}
+
+	// The job span must record the job id; the queued span must close
+	// before the job span does.
+	for _, sp := range d.Spans {
+		if sp.Name == "job" && sp.Attrs["job"] != acc.JobID {
+			t.Errorf("job span attrs %v, want job=%s", sp.Attrs, acc.JobID)
+		}
+	}
+
+	// The startup trace of a store-backed server is served under
+	// "startup" and records the journal replay.
+	sd := fetchTrace(t, ts.URL, "startup")
+	if sn := spanNames(sd); sn["store.journal_replay"] == 0 || sn["recover"] == 0 {
+		t.Errorf("startup trace spans: %v", sn)
+	}
+
+	// Unknown ids 404.
+	resp, err := http.Get(ts.URL + "/v1/jobs/j999999/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSyncTraceOptIn checks ?trace=1 on a synchronous route: the
+// response embeds a valid trace whose root is the request span, and
+// without the flag no trace appears.
+func TestSyncTraceOptIn(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	var resp ExtractResponse
+	postJSON(t, ts.URL+"/v1/extract?d=1&trace=1", "text/plain", pawEdges, http.StatusOK, &resp)
+	if len(resp.Trace) == 0 {
+		t.Fatal("?trace=1 extract response has no trace")
+	}
+	var sb strings.Builder
+	for _, rec := range resp.Trace {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.Write(b)
+		sb.WriteByte('\n')
+	}
+	d, err := trace.DecodeBytes([]byte(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("embedded trace invalid: %v", err)
+	}
+	root, _ := d.Root()
+	if root.Name != "request" || root.Open {
+		t.Fatalf("root %+v, want a closed request span", root)
+	}
+	names := spanNames(d)
+	if names["step"] == 0 || names["extract"] == 0 {
+		t.Errorf("embedded trace spans: %v", names)
+	}
+
+	var plain ExtractResponse
+	postJSON(t, ts.URL+"/v1/extract?d=1", "text/plain", pawEdges, http.StatusOK, &plain)
+	if len(plain.Trace) != 0 {
+		t.Error("untraced extract response carries a trace")
+	}
+}
+
+// TestTracingDisabled pins the off switch: no job traces, no sync
+// embedding, and identical results either way.
+func TestTracingDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Options{DisableTracing: true})
+	var er ExtractResponse
+	postJSON(t, ts.URL+"/v1/extract?d=1&trace=1", "text/plain", pawEdges, http.StatusOK, &er)
+	if len(er.Trace) != 0 {
+		t.Error("DisableTracing server embedded a trace")
+	}
+	var acc dkapi.JobAccepted
+	postJSON(t, ts.URL+"/v1/pipelines", "application/json", fmt.Sprintf(`{
+		"steps": [{"id": "x", "op": "extract", "d": 1, "source": {"hash": %q}}]}`, er.Graph.Hash),
+		http.StatusAccepted, &acc)
+	pollJob(t, ts.URL, acc.JobID)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + acc.JobID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled tracing: trace status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestTraceDeterminism pins the observational contract at the service
+// level: the same generate job with and without tracing produces
+// byte-identical replica streams.
+func TestTraceDeterminism(t *testing.T) {
+	edges := traceEdges(t)
+	run := func(disable bool) string {
+		_, ts := newTestServer(t, Options{DisableTracing: disable})
+		var er ExtractResponse
+		postJSON(t, ts.URL+"/v1/extract?d=2", "text/plain", edges, http.StatusOK, &er)
+		var acc dkapi.JobAccepted
+		postJSON(t, ts.URL+"/v1/pipelines", "application/json", fmt.Sprintf(`{
+			"steps": [{"id": "g", "op": "randomize", "d": 2, "source": {"hash": %q}, "replicas": 2, "seed": 3}]}`,
+			er.Graph.Hash), http.StatusAccepted, &acc)
+		view := pollJob(t, ts.URL, acc.JobID)
+		if view.Status != JobDone {
+			t.Fatalf("job failed: %s", view.Error)
+		}
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + acc.JobID + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	if traced, untraced := run(false), run(true); traced != untraced {
+		t.Fatal("tracing changed the generated replica stream")
+	}
+}

@@ -12,9 +12,10 @@
 //
 // Layout under the data directory:
 //
-//	graphs/<hex>.dkg        binary graph (varint-delta CSR, see internal/graph)
-//	profiles/<hex>.d<D>.dkp binary dK-profile at depth D (see internal/dk)
-//	jobs/journal.jsonl      append-only job journal (see journal.go)
+//	graphs/<hex>.dkg          binary graph (varint-delta CSR, see internal/graph)
+//	profiles/<hex>.d<D>.dkp   binary dK-profile at depth D (see internal/dk)
+//	jobs/journal.jsonl        append-only job journal (see journal.go)
+//	jobs/<id>.trace.jsonl     per-job execution trace (see trace.go)
 //
 // Writes are atomic (temp file + rename), so a crash mid-write leaves at
 // worst a *.tmp leftover that GC sweeps; a torn rename is impossible on
@@ -474,8 +475,9 @@ func (s *Store) GC() (GCReport, error) {
 	if err != nil {
 		return rep, err
 	}
-	// The jobs directory holds only the journal and (after a crash
-	// during compaction) its temp leftovers; sweep the latter.
+	// The jobs directory holds the journal, per-job trace files
+	// (bounded by PruneTraces, never swept here) and — after a crash
+	// during compaction — temp leftovers; sweep only the latter.
 	if entries, err := os.ReadDir(filepath.Join(s.dir, "jobs")); err == nil {
 		for _, e := range entries {
 			if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") && staleTmp(e) {

@@ -1,0 +1,173 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/dk"
+	"repro/internal/graph"
+	"repro/internal/trace"
+)
+
+// Ops is a span-recording view of a Store: each artifact read/write
+// (and journal replay) records one child span under Span, named
+// "store.<op>", so store operations appear in a request's trace tree
+// nested beneath the pipeline phase that caused them. A nil Span makes
+// every operation delegate with zero tracing cost — the same nil-tracer
+// contract as internal/trace itself.
+type Ops struct {
+	S    *Store
+	Span *trace.Span
+}
+
+// shortHash abbreviates a content address for span attributes.
+func shortHash(hash string) string {
+	if hex, ok := strings.CutPrefix(hash, "sha256:"); ok && len(hex) > 12 {
+		return hex[:12]
+	}
+	return hash
+}
+
+// GetGraph is Store.GetGraph under a "store.graph_read" span.
+func (o Ops) GetGraph(hash string, lim graph.ReadLimits) (*graph.Graph, []int, error) {
+	sp := o.Span.Child("store.graph_read", "hash", shortHash(hash))
+	g, labels, err := o.S.GetGraph(hash, lim)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+	return g, labels, err
+}
+
+// PutGraph is Store.PutGraph under a "store.graph_write" span.
+func (o Ops) PutGraph(hash string, g *graph.Graph, labels []int) error {
+	sp := o.Span.Child("store.graph_write", "hash", shortHash(hash))
+	err := o.S.PutGraph(hash, g, labels)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+	return err
+}
+
+// GetProfile is Store.GetProfile under a "store.profile_read" span.
+func (o Ops) GetProfile(hash string, d int) (*dk.Profile, error) {
+	sp := o.Span.Child("store.profile_read", "hash", shortHash(hash), "d", fmt.Sprint(d))
+	p, err := o.S.GetProfile(hash, d)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+	return p, err
+}
+
+// PutProfile is Store.PutProfile under a "store.profile_write" span.
+func (o Ops) PutProfile(hash string, p *dk.Profile) error {
+	sp := o.Span.Child("store.profile_write", "hash", shortHash(hash), "d", fmt.Sprint(p.D))
+	err := o.S.PutProfile(hash, p)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+	return err
+}
+
+// Replay is Journal.Replay under a "store.journal_replay" span carrying
+// the replayed record count — the startup trace's view of recovery.
+func (o Ops) Replay() ([]JobState, error) {
+	sp := o.Span.Child("store.journal_replay")
+	recs, err := o.S.Journal().Replay()
+	sp.SetAttr("records", fmt.Sprint(len(recs)))
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+	return recs, err
+}
+
+// traceID validates a job id used as a trace artifact name; the check
+// is what keeps externally supplied ids from escaping the jobs
+// directory.
+func traceID(id string) error {
+	if id == "" || len(id) > 128 {
+		return fmt.Errorf("store: malformed trace id %q", id)
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return fmt.Errorf("store: malformed trace id %q", id)
+		}
+	}
+	return nil
+}
+
+const traceSuffix = ".trace.jsonl"
+
+func (s *Store) tracePath(id string) string {
+	return filepath.Join(s.dir, "jobs", id+traceSuffix)
+}
+
+// PutTrace stores one job's encoded trace (JSONL) alongside the job
+// journal as jobs/<id>.trace.jsonl, via the same atomic temp+rename
+// discipline as every other artifact.
+func (s *Store) PutTrace(id string, data []byte) error {
+	if err := traceID(id); err != nil {
+		return err
+	}
+	return atomicWrite(s.tracePath(id), func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// GetTrace loads one job's stored trace. Returns ErrNotFound when no
+// trace was persisted for the id.
+func (s *Store) GetTrace(id string) ([]byte, error) {
+	if err := traceID(id); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(s.tracePath(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: trace %s", ErrNotFound, id)
+		}
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return data, nil
+}
+
+// PruneTraces removes the oldest trace files beyond keep, by name —
+// job ids are zero-padded sequence numbers, so lexical order is
+// submission order. Returns how many were removed. keep <= 0 removes
+// nothing.
+func (s *Store) PruneTraces(keep int) int {
+	if keep <= 0 {
+		return 0
+	}
+	entries, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	if err != nil {
+		return 0
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), traceSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) <= keep {
+		return 0
+	}
+	sort.Strings(names)
+	removed := 0
+	for _, name := range names[:len(names)-keep] {
+		if os.Remove(filepath.Join(s.dir, "jobs", name)) == nil {
+			removed++
+		}
+	}
+	return removed
+}

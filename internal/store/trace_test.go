@@ -1,0 +1,121 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestTracePersistence(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	tr := trace.New("j000001", "job")
+	tr.Root().Child("step").End()
+	tr.Root().End()
+	data := tr.MarshalJSONL()
+
+	if err := s.PutTrace("j000001", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetTrace("j000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("trace round-trip mismatch:\n%s\nvs\n%s", got, data)
+	}
+	d, err := trace.DecodeBytes(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("stored trace invalid: %v", err)
+	}
+
+	if _, err := s.GetTrace("j999999"); err == nil {
+		t.Fatal("GetTrace of unknown id succeeded")
+	}
+	for _, bad := range []string{"", "../escape", "a/b", "x y", strings.Repeat("a", 200)} {
+		if err := s.PutTrace(bad, data); err == nil {
+			t.Fatalf("PutTrace accepted malformed id %q", bad)
+		}
+		if _, err := s.GetTrace(bad); err == nil {
+			t.Fatalf("GetTrace accepted malformed id %q", bad)
+		}
+	}
+}
+
+func TestPruneTraces(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, id := range []string{"j000001", "j000002", "j000003", "j000004"} {
+		if err := s.PutTrace(id, []byte(`{"kind":"trace"}`+"\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.PruneTraces(2); got != 2 {
+		t.Fatalf("pruned %d, want 2", got)
+	}
+	// Oldest (lexically smallest) ids go first.
+	for id, want := range map[string]bool{"j000001": false, "j000002": false, "j000003": true, "j000004": true} {
+		_, err := s.GetTrace(id)
+		if got := err == nil; got != want {
+			t.Fatalf("after prune, %s present=%v want %v", id, got, want)
+		}
+	}
+	if got := s.PruneTraces(2); got != 0 {
+		t.Fatalf("second prune removed %d, want 0", got)
+	}
+	// GC must leave trace files alone.
+	if _, err := s.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetTrace("j000004"); err != nil {
+		t.Fatalf("GC removed a live trace: %v", err)
+	}
+}
+
+func TestOpsSpans(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tr := trace.New("t", "root")
+	ops := Ops{S: s, Span: tr.Root()}
+	// A miss still records the span, with an error attribute.
+	if _, err := ops.GetProfile("sha256:"+strings.Repeat("ab", 32), 2); err == nil {
+		t.Fatal("expected miss")
+	}
+	if _, err := ops.Replay(); err != nil {
+		t.Fatal(err)
+	}
+	tr.Root().End()
+	d, err := trace.DecodeBytes(tr.MarshalJSONL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, sp := range d.Spans {
+		names[sp.Name] = true
+	}
+	if !names["store.profile_read"] || !names["store.journal_replay"] {
+		t.Fatalf("missing store spans: %v", names)
+	}
+	// The nil-span view must not record anything and still work.
+	nilOps := Ops{S: s}
+	if _, err := nilOps.Replay(); err != nil {
+		t.Fatal(err)
+	}
+}

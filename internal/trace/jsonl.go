@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteJSONL encodes the trace as JSONL: one Record per line, header
+// first, spans in id order, events in record order. The byte output is
+// stable for a given recorded history.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range t.Records() {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalJSONL returns the JSONL encoding as bytes.
+func (t *Trace) MarshalJSONL() []byte {
+	var buf bytes.Buffer
+	_ = t.WriteJSONL(&buf) // bytes.Buffer writes cannot fail
+	return buf.Bytes()
+}
+
+// Data is a decoded trace: the header fields plus the span and event
+// records, ready for validation and rendering.
+type Data struct {
+	ID            string
+	Wall          time.Time
+	DroppedSpans  int
+	DroppedEvents int
+	Spans         []Record
+	Events        []Record
+	// Skipped counts lines that were not valid records (torn tails,
+	// foreign content). The decoder is tolerant by design: it never
+	// fails on malformed input, mirroring the job-journal replay.
+	Skipped int
+}
+
+// maxLine bounds one JSONL line; far above anything the encoder
+// produces, it exists so Decode cannot be made to buffer arbitrarily.
+const maxLine = 16 << 20
+
+// Decode reads a JSONL trace. It is tolerant: unparseable lines are
+// counted in Skipped rather than failing, and arbitrary input never
+// panics (FuzzTraceDecode holds the reader to that). The only error is
+// a failed read from r.
+func Decode(r io.Reader) (*Data, error) {
+	d := &Data{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			d.Skipped++
+			continue
+		}
+		switch rec.Kind {
+		case "trace":
+			d.ID = rec.Trace
+			d.DroppedSpans = rec.DroppedSpans
+			d.DroppedEvents = rec.DroppedEvents
+			if w, err := time.Parse(time.RFC3339Nano, rec.Wall); err == nil {
+				d.Wall = w
+			}
+		case "span":
+			d.Spans = append(d.Spans, rec)
+		case "event":
+			d.Events = append(d.Events, rec)
+		default:
+			d.Skipped++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			d.Skipped++
+			return d, nil
+		}
+		return nil, err
+	}
+	return d, nil
+}
+
+// DecodeBytes decodes an in-memory JSONL trace.
+func DecodeBytes(b []byte) (*Data, error) {
+	return Decode(bytes.NewReader(b))
+}
+
+// Validate checks the span tree is well-formed: at least one span,
+// exactly one root (parent 0), unique positive span ids, every parent
+// id resolving to a recorded span (zero orphans), non-negative
+// offsets/durations, and every event owned by a recorded span. It does
+// not require children to nest inside their parent's interval — a job
+// span legitimately outlives the request span that submitted it.
+func (d *Data) Validate() error {
+	if len(d.Spans) == 0 {
+		return fmt.Errorf("trace: no spans")
+	}
+	byID := make(map[int]Record, len(d.Spans))
+	roots := 0
+	for _, s := range d.Spans {
+		if s.ID <= 0 {
+			return fmt.Errorf("trace: span %q has non-positive id %d", s.Name, s.ID)
+		}
+		if _, dup := byID[s.ID]; dup {
+			return fmt.Errorf("trace: duplicate span id %d", s.ID)
+		}
+		byID[s.ID] = s
+		if s.Parent == 0 {
+			roots++
+		}
+		if s.StartUS < 0 || s.DurUS < 0 {
+			return fmt.Errorf("trace: span %d (%s) has negative timing", s.ID, s.Name)
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("trace: %d root spans, want exactly 1", roots)
+	}
+	for _, s := range d.Spans {
+		if s.Parent == 0 {
+			continue
+		}
+		if _, ok := byID[s.Parent]; !ok {
+			return fmt.Errorf("trace: span %d (%s) has orphan parent %d", s.ID, s.Name, s.Parent)
+		}
+	}
+	for _, e := range d.Events {
+		if _, ok := byID[e.ID]; !ok {
+			return fmt.Errorf("trace: event %q owned by unknown span %d", e.Name, e.ID)
+		}
+	}
+	return nil
+}
+
+// Root returns the root span record. Call after Validate.
+func (d *Data) Root() (Record, bool) {
+	for _, s := range d.Spans {
+		if s.Parent == 0 {
+			return s, true
+		}
+	}
+	return Record{}, false
+}
+
+// Children returns the child spans of span id, in id order.
+func (d *Data) Children(id int) []Record {
+	var out []Record
+	for _, s := range d.Spans {
+		if s.Parent == id {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SpanEvents returns the events owned by span id, in record order.
+func (d *Data) SpanEvents(id int) []Record {
+	var out []Record
+	for _, e := range d.Events {
+		if e.ID == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteTimeline renders the trace as an indented text timeline: one
+// line per span with its start offset, duration, self-time (duration
+// minus the summed durations of its children) and a bar scaled to the
+// root span's duration, followed by a convergence section plotting the
+// acceptance-rate trajectory of every span that recorded "rewire"
+// events. Call Validate first; the renderer assumes a single root and
+// resolvable parents.
+func (d *Data) WriteTimeline(w io.Writer) error {
+	root, ok := d.Root()
+	if !ok {
+		return fmt.Errorf("trace: no root span")
+	}
+	fmt.Fprintf(w, "trace %s  spans=%d events=%d", d.ID, len(d.Spans), len(d.Events))
+	if d.DroppedSpans > 0 || d.DroppedEvents > 0 {
+		fmt.Fprintf(w, "  dropped(spans=%d events=%d)", d.DroppedSpans, d.DroppedEvents)
+	}
+	fmt.Fprintln(w)
+
+	total := root.DurUS
+	if total <= 0 {
+		total = 1
+	}
+	var walk func(s Record, depth int)
+	walk = func(s Record, depth int) {
+		children := d.Children(s.ID)
+		self := s.DurUS
+		for _, c := range children {
+			self -= c.DurUS
+		}
+		if self < 0 {
+			self = 0 // overlapping children (parallel replicas)
+		}
+		name := s.Name
+		if len(s.Attrs) > 0 {
+			keys := make([]string, 0, len(s.Attrs))
+			for k := range s.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, 0, len(keys))
+			for _, k := range keys {
+				parts = append(parts, k+"="+s.Attrs[k])
+			}
+			name += " {" + strings.Join(parts, " ") + "}"
+		}
+		dur := "open"
+		if !s.Open {
+			dur = fmtUS(s.DurUS)
+		}
+		fmt.Fprintf(w, "%s%-*s %10s  self %9s  +%s  %s\n",
+			strings.Repeat("  ", depth), 46-2*depth, clip(name, 46-2*depth),
+			dur, fmtUS(self), fmtUS(s.StartUS), bar(s.DurUS, total, 20))
+		for _, c := range children {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	d.writeConvergence(w)
+	return nil
+}
+
+// writeConvergence plots, per span owning "rewire" events, the window
+// acceptance rate of each convergence sample — the practical evidence
+// that an MCMC rewiring run mixed (a decaying-but-nonzero trajectory)
+// or stalled (collapse to zero).
+func (d *Data) writeConvergence(w io.Writer) {
+	type curve struct {
+		span    Record
+		samples []Record
+	}
+	var curves []curve
+	for _, s := range d.Spans {
+		var samples []Record
+		for _, e := range d.SpanEvents(s.ID) {
+			if e.Name == "rewire" {
+				samples = append(samples, e)
+			}
+		}
+		if len(samples) > 0 {
+			curves = append(curves, curve{span: s, samples: samples})
+		}
+	}
+	if len(curves) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nconvergence (window acceptance rate per sweep)\n")
+	for _, c := range curves {
+		last := c.samples[len(c.samples)-1]
+		fmt.Fprintf(w, "  span %d %s {%s}: %d samples, %d/%d accepted\n",
+			c.span.ID, c.span.Name, attrLine(c.span.Attrs), len(c.samples),
+			int(last.Fields["accepted"]), int(last.Fields["attempts"]))
+		for _, e := range c.samples {
+			rate := e.Fields["acceptance_rate"]
+			line := fmt.Sprintf("    sweep %3.0f  rate %.3f %s", e.Fields["sweep"], rate, bar(int64(rate*1000), 1000, 24))
+			if obj, ok := e.Fields["objective"]; ok {
+				line += fmt.Sprintf("  obj %+.4g", obj)
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+}
+
+func attrLine(attrs map[string]string) string {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+attrs[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+func clip(s string, n int) string {
+	if n < 4 {
+		n = 4
+	}
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func fmtUS(us int64) string {
+	return time.Duration(us * int64(time.Microsecond)).Round(time.Microsecond).String()
+}
+
+// bar renders v/total as a fixed-width block bar.
+func bar(v, total int64, width int) string {
+	if total <= 0 || v < 0 {
+		return ""
+	}
+	n := int(v * int64(width) / total)
+	if n > width {
+		n = width
+	}
+	if n == 0 && v > 0 {
+		n = 1
+	}
+	return strings.Repeat("█", n) + strings.Repeat("·", width-n)
+}

@@ -1,0 +1,283 @@
+// Package trace is a zero-dependency span/event subsystem for causal,
+// per-request timing: a Trace is a bounded in-memory tree of spans
+// (explicit parent/child ids, monotonic timings) plus a bounded buffer
+// of point-in-time events, encoded as stable JSONL for persistence
+// alongside the job journal and for the /v1/jobs/{id}/trace endpoint.
+//
+// The nil receiver is the disabled tracer: every method on a nil *Span
+// is a no-op that reads no clock and takes no lock, extending the
+// nil-observer contract of internal/pipeline to the whole span tree —
+// pkg/dk local runs pass nil spans and pay nothing.
+//
+// Timings are monotonic: the trace captures one wall-clock anchor at
+// creation and every span offset/duration derives from Go's monotonic
+// reading relative to that instant, so spans never go backwards under
+// wall-clock adjustment. Offsets are microseconds from the anchor.
+package trace
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Default buffer bounds. Spans are bounded by request shape (steps ×
+// phases × replicas); events are bounded by convergence-sample volume.
+// Both caps exist so a pathological job cannot grow a trace without
+// limit — overflow is counted, not silently lost.
+const (
+	DefaultMaxSpans  = 4096
+	DefaultMaxEvents = 8192
+)
+
+// Record is one line of an encoded trace. Kind discriminates:
+//
+//	"trace" — the header: trace id, wall-clock anchor, drop counters
+//	"span"  — one span: id, parent (0 = root), name, offsets, attrs
+//	"event" — one point event owned by span ID, with numeric fields
+//
+// Offsets are microseconds from the trace's wall-clock anchor. A span
+// with Open true was never ended (the trace was encoded mid-flight).
+type Record struct {
+	Kind string `json:"kind"`
+	// Header fields.
+	Trace         string `json:"trace,omitempty"`
+	Wall          string `json:"wall,omitempty"` // RFC3339Nano anchor
+	DroppedSpans  int    `json:"dropped_spans,omitempty"`
+	DroppedEvents int    `json:"dropped_events,omitempty"`
+	// Span/event fields. For events, ID is the owning span's id.
+	ID      int                `json:"id,omitempty"`
+	Parent  int                `json:"parent,omitempty"`
+	Name    string             `json:"name,omitempty"`
+	StartUS int64              `json:"start_us"`
+	DurUS   int64              `json:"dur_us,omitempty"`
+	Open    bool               `json:"open,omitempty"`
+	Attrs   map[string]string  `json:"attrs,omitempty"`
+	Fields  map[string]float64 `json:"fields,omitempty"`
+}
+
+// Trace is one bounded span tree. All methods are safe for concurrent
+// use: replica fan-outs record child spans and events from multiple
+// goroutines at once.
+type Trace struct {
+	mu            sync.Mutex
+	id            string
+	wall          time.Time // wall-clock anchor (also carries monotonic)
+	nextID        int
+	spans         []*Span
+	events        []Record
+	maxSpans      int
+	maxEvents     int
+	droppedSpans  int
+	droppedEvents int
+	root          *Span
+}
+
+// Span is one timed node of a trace tree. The nil *Span is the
+// disabled tracer: all methods no-op without reading the clock.
+type Span struct {
+	t      *Trace
+	id     int
+	parent int
+	name   string
+	start  time.Duration
+	dur    time.Duration
+	ended  bool
+	attrs  map[string]string
+}
+
+// New starts a trace with a single open root span. id is the trace id
+// (the service uses the request's X-Request-Id); rootName names the
+// root span; attrs are alternating key/value pairs.
+func New(id, rootName string, attrs ...string) *Trace {
+	t := &Trace{
+		id:        id,
+		wall:      time.Now(),
+		maxSpans:  DefaultMaxSpans,
+		maxEvents: DefaultMaxEvents,
+	}
+	t.root = t.newSpan(0, rootName, attrs)
+	return t
+}
+
+// SetLimits overrides the span/event buffer bounds (values <= 0 keep
+// the current bound). Call before recording.
+func (t *Trace) SetLimits(maxSpans, maxEvents int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if maxSpans > 0 {
+		t.maxSpans = maxSpans
+	}
+	if maxEvents > 0 {
+		t.maxEvents = maxEvents
+	}
+}
+
+// ID returns the trace id.
+func (t *Trace) ID() string { return t.id }
+
+// Root returns the root span.
+func (t *Trace) Root() *Span { return t.root }
+
+// newSpan allocates a span under parent id. Caller must not hold t.mu.
+func (t *Trace) newSpan(parent int, name string, attrs []string) *Span {
+	off := time.Since(t.wall)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= t.maxSpans {
+		t.droppedSpans++
+		return nil
+	}
+	t.nextID++
+	s := &Span{t: t, id: t.nextID, parent: parent, name: name, start: off, attrs: attrMap(attrs)}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+func attrMap(kv []string) map[string]string {
+	if len(kv) < 2 {
+		return nil
+	}
+	m := make(map[string]string, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	return m
+}
+
+// Trace returns the owning trace (nil on a nil span).
+func (s *Span) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.t
+}
+
+// ID returns the span id (0 on a nil span).
+func (s *Span) ID() int {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Child opens a child span. On a nil receiver it returns nil, so a
+// disabled tracer propagates through call trees for free.
+func (s *Span) Child(name string, attrs ...string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.newSpan(s.id, name, attrs)
+}
+
+// SetAttr sets one attribute on the span.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 1)
+	}
+	s.attrs[k] = v
+}
+
+// Event records a point-in-time event owned by the span, with numeric
+// fields (e.g. a rewiring convergence sample). Events beyond the
+// trace's buffer bound are dropped and counted, never reallocated.
+func (s *Span) Event(name string, fields map[string]float64) {
+	if s == nil {
+		return
+	}
+	off := time.Since(s.t.wall)
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if len(s.t.events) >= s.t.maxEvents {
+		s.t.droppedEvents++
+		return
+	}
+	s.t.events = append(s.t.events, Record{
+		Kind:    "event",
+		ID:      s.id,
+		Name:    name,
+		StartUS: off.Microseconds(),
+		Fields:  fields,
+	})
+}
+
+// End closes the span. Idempotent: only the first End sets the
+// duration, so shared-ownership handoffs (middleware vs. handler both
+// ending the root) are safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	off := time.Since(s.t.wall)
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.dur = off - s.start
+}
+
+// Records snapshots the trace as its stable encoded form: one header
+// record, then spans in id order, then events in record order. The
+// encoding is deterministic for a given recorded history (map-valued
+// attrs/fields marshal with sorted keys under encoding/json).
+func (t *Trace) Records() []Record {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Record, 0, 1+len(t.spans)+len(t.events))
+	out = append(out, Record{
+		Kind:          "trace",
+		Trace:         t.id,
+		Wall:          t.wall.Format(time.RFC3339Nano),
+		DroppedSpans:  t.droppedSpans,
+		DroppedEvents: t.droppedEvents,
+	})
+	spans := make([]*Span, len(t.spans))
+	copy(spans, t.spans)
+	sort.Slice(spans, func(i, j int) bool { return spans[i].id < spans[j].id })
+	for _, s := range spans {
+		r := Record{
+			Kind:    "span",
+			ID:      s.id,
+			Parent:  s.parent,
+			Name:    s.name,
+			StartUS: s.start.Microseconds(),
+		}
+		if s.ended {
+			r.DurUS = s.dur.Microseconds()
+		} else {
+			r.Open = true
+		}
+		if len(s.attrs) > 0 {
+			r.Attrs = make(map[string]string, len(s.attrs))
+			for k, v := range s.attrs {
+				r.Attrs[k] = v
+			}
+		}
+		out = append(out, r)
+	}
+	out = append(out, t.events...)
+	return out
+}
+
+// ctxKey keys the active span in a context.Context.
+type ctxKey struct{}
+
+// With returns ctx carrying s as the active span. A nil span is
+// carried too — FromContext then returns nil, the disabled tracer.
+func With(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the active span, or nil when none was attached.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

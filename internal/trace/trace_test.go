@@ -1,0 +1,251 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	tr := New("req-1", "request", "method", "POST", "path", "/v1/pipelines")
+	root := tr.Root()
+	job := root.Child("job", "kind", "pipeline")
+	step := job.Child("step", "id", "gen", "op", "generate")
+	phase := step.Child("construct")
+	rep := phase.Child("replica", "i", "0")
+	rep.Event("rewire", map[string]float64{"sweep": 1, "acceptance_rate": 0.5, "attempts": 100, "accepted": 50})
+	rep.Event("rewire", map[string]float64{"sweep": 2, "acceptance_rate": 0.25, "attempts": 200, "accepted": 75})
+	rep.End()
+	phase.End()
+	step.SetAttr("status", "ok")
+	step.End()
+	job.End()
+	root.End()
+
+	data := tr.MarshalJSONL()
+	d, err := DecodeBytes(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if d.ID != "req-1" {
+		t.Fatalf("trace id = %q, want req-1", d.ID)
+	}
+	if len(d.Spans) != 5 {
+		t.Fatalf("spans = %d, want 5", len(d.Spans))
+	}
+	if len(d.Events) != 2 {
+		t.Fatalf("events = %d, want 2", len(d.Events))
+	}
+	if d.Skipped != 0 {
+		t.Fatalf("skipped = %d, want 0", d.Skipped)
+	}
+	root2, ok := d.Root()
+	if !ok || root2.Name != "request" || root2.Attrs["method"] != "POST" {
+		t.Fatalf("root = %+v", root2)
+	}
+	if got := d.SpanEvents(rep.ID()); len(got) != 2 || got[1].Fields["sweep"] != 2 {
+		t.Fatalf("replica events = %+v", got)
+	}
+	// Encoding is stable: re-encoding the same trace is byte-identical.
+	if again := tr.MarshalJSONL(); !bytes.Equal(data, again) {
+		t.Fatalf("re-encode differs:\n%s\nvs\n%s", data, again)
+	}
+	// Every record round-trips through one JSON pass unchanged.
+	for _, line := range bytes.Split(bytes.TrimSpace(data), []byte("\n")) {
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("line %s: %v", line, err)
+		}
+		out, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(out) != string(line) {
+			t.Fatalf("record not stable: %s vs %s", line, out)
+		}
+	}
+}
+
+func TestNilSpanIsFree(t *testing.T) {
+	var s *Span
+	// Every method must be callable on nil without panic.
+	if c := s.Child("x"); c != nil {
+		t.Fatalf("nil.Child = %v, want nil", c)
+	}
+	s.SetAttr("k", "v")
+	s.Event("e", nil)
+	s.End()
+	if s.Trace() != nil || s.ID() != 0 {
+		t.Fatal("nil span leaked state")
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("FromContext(empty) = %v", got)
+	}
+	if got := FromContext(With(context.Background(), nil)); got != nil {
+		t.Fatalf("FromContext(with nil) = %v", got)
+	}
+}
+
+func TestBoundedBuffers(t *testing.T) {
+	tr := New("t", "root")
+	tr.SetLimits(4, 3)
+	root := tr.Root()
+	var kept []*Span
+	for i := 0; i < 10; i++ {
+		if c := root.Child("c" + strconv.Itoa(i)); c != nil {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) != 3 { // root occupies one of the 4 slots
+		t.Fatalf("kept %d children, want 3", len(kept))
+	}
+	for i := 0; i < 10; i++ {
+		root.Event("e", map[string]float64{"i": float64(i)})
+	}
+	d, err := DecodeBytes(tr.MarshalJSONL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Spans) != 4 || len(d.Events) != 3 {
+		t.Fatalf("spans=%d events=%d, want 4/3", len(d.Spans), len(d.Events))
+	}
+	if d.DroppedSpans != 7 || d.DroppedEvents != 7 {
+		t.Fatalf("dropped spans=%d events=%d, want 7/7", d.DroppedSpans, d.DroppedEvents)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("validate after drops: %v", err)
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := New("t", "root")
+	root := tr.Root()
+	root.End()
+	first := tr.Records()[1].DurUS
+	time.Sleep(2 * time.Millisecond)
+	root.End()
+	if got := tr.Records()[1].DurUS; got != first {
+		t.Fatalf("second End changed duration: %d -> %d", first, got)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New("t", "root")
+	root := tr.Root()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := root.Child("worker", "i", strconv.Itoa(i))
+			for j := 0; j < 50; j++ {
+				s.Event("tick", map[string]float64{"j": float64(j)})
+			}
+			s.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	d, err := DecodeBytes(tr.MarshalJSONL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if len(d.Spans) != 9 || len(d.Events) != 400 {
+		t.Fatalf("spans=%d events=%d, want 9/400", len(d.Spans), len(d.Events))
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no spans":      `{"kind":"trace","trace":"t","start_us":0}`,
+		"orphan parent": `{"kind":"span","id":1,"start_us":0}` + "\n" + `{"kind":"span","id":2,"parent":9,"start_us":0}`,
+		"two roots":     `{"kind":"span","id":1,"start_us":0}` + "\n" + `{"kind":"span","id":2,"start_us":0}`,
+		"dup id":        `{"kind":"span","id":1,"start_us":0}` + "\n" + `{"kind":"span","id":1,"start_us":0}`,
+		"event orphan":  `{"kind":"span","id":1,"start_us":0}` + "\n" + `{"kind":"event","id":5,"name":"e","start_us":0}`,
+	}
+	for name, in := range cases {
+		d, err := Decode(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if err := d.Validate(); err == nil {
+			t.Fatalf("%s: Validate accepted malformed trace", name)
+		}
+	}
+}
+
+func TestDecodeTolerant(t *testing.T) {
+	in := `{"kind":"span","id":1,"start_us":0,"dur_us":5}
+not json at all
+{"kind":"mystery"}
+{"kind":"event","id":1,"name":"e","start_us":1}`
+	d, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Spans) != 1 || len(d.Events) != 1 || d.Skipped != 2 {
+		t.Fatalf("spans=%d events=%d skipped=%d", len(d.Spans), len(d.Events), d.Skipped)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestTimelineRenders(t *testing.T) {
+	tr := New("req-9", "request")
+	job := tr.Root().Child("job", "kind", "pipeline")
+	rep := job.Child("replica", "i", "0")
+	rep.Event("rewire", map[string]float64{"sweep": 1, "acceptance_rate": 0.4, "attempts": 10, "accepted": 4})
+	rep.End()
+	job.End()
+	tr.Root().End()
+	d, err := DecodeBytes(tr.MarshalJSONL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := d.WriteTimeline(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"trace req-9", "request", "job", "replica", "convergence", "sweep"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func FuzzTraceDecode(f *testing.F) {
+	tr := New("seed", "root")
+	c := tr.Root().Child("child")
+	c.Event("rewire", map[string]float64{"sweep": 1})
+	c.End()
+	tr.Root().End()
+	f.Add(tr.MarshalJSONL())
+	f.Add([]byte(`{"kind":"span","id":1,"start_us":0}`))
+	f.Add([]byte("\x00\xff garbage\n{\"kind\":"))
+	f.Add([]byte(`{"kind":"trace","wall":"not-a-time","dropped_events":-3}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeBytes(data)
+		if err != nil {
+			t.Fatalf("DecodeBytes on in-memory input: %v", err)
+		}
+		// Validate and render must never panic either, whatever Decode
+		// produced from the arbitrary input.
+		if err := d.Validate(); err == nil {
+			var sb strings.Builder
+			_ = d.WriteTimeline(&sb)
+		}
+	})
+}

@@ -164,6 +164,36 @@ type GenerateOptions struct {
 	// callback may be invoked from multiple goroutines at once and in
 	// any replica order.
 	OnRewireStats func(replica int, st RewireStats)
+	// OnRewireProgress, when set, receives periodic convergence samples
+	// while a replica rewires — roughly one per sweep (M attempts) plus
+	// a final sample when the run ends. Observational only: setting it
+	// never changes the generated graphs. Same method and concurrency
+	// caveats as OnRewireStats.
+	OnRewireProgress func(replica int, p RewireProgress)
+}
+
+// RewireProgress mirrors internal/generate.RewireProgress on the public
+// surface: one convergence sample of a rewiring run. Attempts/Accepted
+// are cumulative; the Window fields and rejection counts cover only the
+// interval since the previous sample.
+type RewireProgress struct {
+	Sweep          int     // 1-based sample index
+	Attempts       int     // cumulative proposals examined
+	Accepted       int     // cumulative moves accepted
+	WindowAttempts int     // proposals examined since the previous sample
+	WindowAccepted int     // moves accepted since the previous sample
+	AcceptanceRate float64 // WindowAccepted / WindowAttempts
+	// Window rejection deltas by reason.
+	RejectedSelfLoop      int
+	RejectedDuplicateEdge int
+	RejectedJDDMismatch   int
+	RejectedCensusChanged int
+	RejectedObjective     int
+	RejectedDisconnected  int
+	// Objective is the objective's cumulative committed change since
+	// the run began; meaningful only when HasObjective.
+	Objective    float64
+	HasObjective bool
 }
 
 // RewireStats mirrors internal/generate.RewireStats on the public

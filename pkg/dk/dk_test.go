@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/parallel"
@@ -186,5 +187,72 @@ func TestGenerateFromProfile(t *testing.T) {
 	}
 	if _, err := dk.GenerateFromProfile(ext.Profile, dk.GenerateOptions{Method: "randomize"}); err == nil {
 		t.Fatal("randomize from a bare profile should be rejected")
+	}
+}
+
+// TestGenerateStreamRewireProgress: the convergence callback fires for
+// every randomizing replica with sane, monotone samples — and wiring it
+// up never changes the generated graphs.
+func TestGenerateStreamRewireProgress(t *testing.T) {
+	ctx := context.Background()
+	g, err := dk.DatasetGraph("hot", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(opts dk.GenerateOptions) map[int]string {
+		out := map[int]string{}
+		var mu sync.Mutex
+		err := dk.NewSession().GenerateStream(ctx, g, opts, func(i int, rg *dk.Graph) error {
+			var sb strings.Builder
+			if err := rg.WriteEdgeList(&sb); err != nil {
+				return err
+			}
+			mu.Lock()
+			out[i] = sb.String()
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	var mu sync.Mutex
+	samples := map[int][]dk.RewireProgress{}
+	traced := run(dk.GenerateOptions{
+		D: dkapi.Int(2), Replicas: 3, Seed: 5,
+		OnRewireProgress: func(replica int, p dk.RewireProgress) {
+			mu.Lock()
+			samples[replica] = append(samples[replica], p)
+			mu.Unlock()
+		},
+	})
+	if len(samples) != 3 {
+		t.Fatalf("progress from %d replicas, want 3", len(samples))
+	}
+	for replica, ps := range samples {
+		prev := 0
+		for _, p := range ps {
+			if p.Attempts <= prev {
+				t.Fatalf("replica %d: attempts not increasing: %v", replica, ps)
+			}
+			prev = p.Attempts
+			if p.WindowAttempts <= 0 || p.AcceptanceRate < 0 || p.AcceptanceRate > 1 {
+				t.Fatalf("replica %d: bad sample %+v", replica, p)
+			}
+			rejected := p.RejectedSelfLoop + p.RejectedDuplicateEdge + p.RejectedJDDMismatch +
+				p.RejectedCensusChanged + p.RejectedObjective + p.RejectedDisconnected
+			if p.WindowAccepted+rejected > p.WindowAttempts {
+				t.Fatalf("replica %d: window counts exceed attempts: %+v", replica, p)
+			}
+		}
+	}
+
+	plain := run(dk.GenerateOptions{D: dkapi.Int(2), Replicas: 3, Seed: 5})
+	for i := range plain {
+		if plain[i] != traced[i] {
+			t.Fatalf("replica %d differs with the progress callback attached", i)
+		}
 	}
 }

@@ -123,8 +123,28 @@ func (s *Session) GenerateStream(ctx context.Context, src *Graph, opts GenerateO
 		var out *graph.Graph
 		var err error
 		if randomize {
+			ropts := generate.RandomizeOptions{Rng: rng}
+			if opts.OnRewireProgress != nil {
+				replica := i
+				ropts.OnProgress = func(p generate.RewireProgress) {
+					opts.OnRewireProgress(replica, RewireProgress{
+						Sweep:                 p.Sweep,
+						Attempts:              p.Attempts,
+						Accepted:              p.Accepted,
+						WindowAttempts:        p.WindowAttempts,
+						WindowAccepted:        p.WindowAccepted,
+						AcceptanceRate:        p.AcceptanceRate,
+						RejectedSelfLoop:      p.Rejected.SelfLoop,
+						RejectedDuplicateEdge: p.Rejected.DuplicateEdge,
+						RejectedJDDMismatch:   p.Rejected.JDDMismatch,
+						RejectedCensusChanged: p.Rejected.CensusChanged,
+						RejectedObjective:     p.Rejected.Objective,
+						RejectedDisconnected:  p.Rejected.Disconnected,
+					})
+				}
+			}
 			var st generate.RewireStats
-			out, st, err = generate.Randomize(base, d, generate.RandomizeOptions{Rng: rng})
+			out, st, err = generate.Randomize(base, d, ropts)
 			if err == nil && opts.OnRewireStats != nil {
 				opts.OnRewireStats(i, RewireStats{
 					Attempts:              st.Attempts,

@@ -14,6 +14,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/store"
 	"repro/internal/subgraphs"
+	"repro/internal/trace"
 )
 
 // GraphRef identifies a graph in a request body, by exactly one of:
@@ -50,12 +51,15 @@ type GraphInfo struct {
 	M    int    `json:"m"`
 }
 
-// ExtractResponse is the body of a successful POST /v1/extract.
+// ExtractResponse is the body of a successful POST /v1/extract. Trace
+// carries the request's span records when the caller opted in with
+// ?trace=1 (see docs/OBSERVABILITY.md).
 type ExtractResponse struct {
 	Graph   GraphInfo        `json:"graph"`
 	Cached  bool             `json:"cached"`
 	Profile *dk.Profile      `json:"profile"`
 	Summary *metrics.Summary `json:"summary,omitempty"`
+	Trace   []TraceRecord    `json:"trace,omitempty"`
 }
 
 // GenerateRequest is the body of POST /v1/generate.
@@ -127,13 +131,16 @@ type DistanceEntry struct {
 	Value float64 `json:"value"`
 }
 
-// CompareResponse is the body of a successful POST /v1/compare.
+// CompareResponse is the body of a successful POST /v1/compare. Trace
+// carries the request's span records when the caller opted in with
+// ?trace=1.
 type CompareResponse struct {
 	A         GraphInfo       `json:"a"`
 	B         GraphInfo       `json:"b"`
 	Distances []DistanceEntry `json:"distances"`
 	SummaryA  metrics.Summary `json:"summary_a"`
 	SummaryB  metrics.Summary `json:"summary_b"`
+	Trace     []TraceRecord   `json:"trace,omitempty"`
 }
 
 // DatasetInfo describes one built-in dataset on GET /v1/datasets.
@@ -224,6 +231,7 @@ type PhaseStat struct {
 // appears once the server has executed at least one pipeline step.
 type StatsResponse struct {
 	Version       string               `json:"version"`
+	GoVersion     string               `json:"go_version"`
 	UptimeSeconds float64              `json:"uptime_seconds"`
 	Workers       int                  `json:"workers"`
 	Cache         CacheStats           `json:"cache"`
@@ -277,6 +285,12 @@ type Profile = dk.Profile
 
 // Summary is the scalar metric suite of a graph's giant component.
 type Summary = metrics.Summary
+
+// TraceRecord is one line of an encoded execution trace — the wire form
+// of GET /v1/jobs/{id}/trace and of the Trace field embedded by
+// ?trace=1 on the synchronous routes. See internal/trace for the
+// record vocabulary ("trace" header, "span", "event").
+type TraceRecord = trace.Record
 
 // Int returns a pointer to v, for the optional depth fields (D) of
 // request types: a nil depth selects the endpoint's documented default,

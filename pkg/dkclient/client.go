@@ -34,6 +34,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -46,10 +47,17 @@ type APIError struct {
 	Status int    // HTTP status code
 	Code   string // machine code ("bad_request", "not_found", …)
 	Msg    string
+	// RequestID is the X-Request-Id the client sent with the failed
+	// request — the correlation handle for server-side access logs and
+	// traces. The same id covers every retry of one logical request.
+	RequestID string
 }
 
 // Error implements error.
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("dkclient: %s (HTTP %d, code %s, request %s)", e.Msg, e.Status, e.Code, e.RequestID)
+	}
 	return fmt.Sprintf("dkclient: %s (HTTP %d, code %s)", e.Msg, e.Status, e.Code)
 }
 
@@ -154,10 +162,24 @@ func (c *Client) retryDelay(attempt int, resp *http.Response) time.Duration {
 	return d
 }
 
+// ridCounter numbers minted request ids client-process-wide.
+var ridCounter atomic.Int64
+
+// newRequestID mints an X-Request-Id for one logical request. The id is
+// unique within the process and distinguishable across processes; the
+// "c-" prefix marks it as client-minted in server logs and traces.
+func newRequestID() string {
+	return fmt.Sprintf("c-%d-%06d", time.Now().Unix(), ridCounter.Add(1))
+}
+
 // do executes one request with retries, returning the successful
 // response (body open, caller closes) or the decoded API error of the
-// final attempt. body is re-sent from bytes on every attempt.
+// final attempt. body is re-sent from bytes on every attempt. One
+// X-Request-Id is minted per logical request and re-sent verbatim on
+// every retry, so server-side access logs and traces correlate all
+// attempts — and every error path carries the id.
 func (c *Client) do(ctx context.Context, method, u string, contentType string, body []byte) (*http.Response, error) {
+	rid := newRequestID()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		var rd io.Reader
@@ -174,9 +196,10 @@ func (c *Client) do(ctx context.Context, method, u string, contentType string, b
 		if c.opts.ClientID != "" {
 			req.Header.Set("X-Client-Id", c.opts.ClientID)
 		}
+		req.Header.Set("X-Request-Id", rid)
 		resp, err := c.hc.Do(req)
 		if err != nil {
-			lastErr = err
+			lastErr = fmt.Errorf("dkclient: request %s: %w", rid, err)
 			// Transport errors (connection refused, reset) are retried
 			// only for GETs: a POST whose connection died mid-response
 			// may already have enqueued its job server-side, and
@@ -195,6 +218,7 @@ func (c *Client) do(ctx context.Context, method, u string, contentType string, b
 			return resp, nil
 		}
 		apiErr := decodeError(resp)
+		apiErr.RequestID = rid
 		resp.Body.Close()
 		lastErr = apiErr
 		if !retryable(resp.StatusCode) || attempt >= c.opts.MaxRetries {
@@ -478,6 +502,19 @@ func (c *Client) WaitJob(ctx context.Context, id string) (*dkapi.JobEnvelope, er
 			delay = c.opts.PollMax
 		}
 	}
+}
+
+// JobTrace fetches GET /v1/jobs/{id}/trace: the finished job's
+// execution trace as JSONL (one span or event record per line; see
+// internal/trace for the vocabulary). Jobs still queued or running
+// answer 409; servers with tracing disabled, 404.
+func (c *Client) JobTrace(ctx context.Context, id string) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, c.urlFor("/v1/jobs/"+url.PathEscape(id)+"/trace", nil), "", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
 }
 
 // JobResult streams GET /v1/jobs/{id}/result. The caller must close the

@@ -244,3 +244,83 @@ func TestGenerateWaitAndStream(t *testing.T) {
 		t.Fatalf("bulk result missing replica markers:\n%s", data)
 	}
 }
+
+// TestRequestIDRetryReuse: the client mints one X-Request-Id per
+// logical request, re-sends it verbatim across 429/503 retries, and a
+// fresh logical request gets a fresh id. Failed requests surface the id
+// in the error.
+func TestRequestIDRetryReuse(t *testing.T) {
+	var mu struct {
+		rids []string
+	}
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.rids = append(mu.rids, r.Header.Get("X-Request-Id"))
+		switch calls.Add(1) {
+		case 1:
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintln(w, `{"error":"job queue full","code":"queue_full"}`)
+		case 2:
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"draining","code":"unavailable"}`)
+		case 3:
+			fmt.Fprintln(w, `{"job_id":"j000001","status_url":"/v1/jobs/j000001"}`)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprintln(w, `{"error":"no such job","code":"not_found"}`)
+		}
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL, Options{RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitGenerate(context.Background(), dkapi.GenerateRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(mu.rids) != 3 {
+		t.Fatalf("server saw %d requests, want 3", len(mu.rids))
+	}
+	if mu.rids[0] == "" {
+		t.Fatal("client sent no X-Request-Id")
+	}
+	if mu.rids[0] != mu.rids[1] || mu.rids[1] != mu.rids[2] {
+		t.Fatalf("request id changed across retries: %v", mu.rids)
+	}
+
+	_, err = c.Job(context.Background(), "j999999")
+	var ae *APIError
+	if err == nil || !errorsAs(err, &ae) {
+		t.Fatalf("err = %v, want APIError", err)
+	}
+	rid2 := mu.rids[len(mu.rids)-1]
+	if ae.RequestID != rid2 {
+		t.Fatalf("APIError.RequestID = %q, want %q", ae.RequestID, rid2)
+	}
+	if !strings.Contains(err.Error(), rid2) {
+		t.Fatalf("error string %q does not surface request id %q", err, rid2)
+	}
+	if rid2 == mu.rids[0] {
+		t.Fatal("distinct logical requests shared a request id")
+	}
+}
+
+// TestJobTrace: the typed client fetches a finished job's JSONL trace.
+func TestJobTrace(t *testing.T) {
+	_, c := newServer(t)
+	ctx := context.Background()
+	_, jobID, err := c.RunPipeline(ctx, smokePipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.JobTrace(ctx, jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"kind":"trace"`) || !strings.Contains(string(data), `"name":"job"`) {
+		t.Fatalf("trace JSONL missing expected records:\n%.300s", data)
+	}
+	if _, err := c.JobTrace(ctx, "j999999"); !IsNotFound(err) {
+		t.Fatalf("unknown job trace: err = %v, want not_found", err)
+	}
+}

@@ -63,9 +63,35 @@ sed 's/"cached": [a-z]*/"cached": X/' extract-remote.json > b.json
 diff -u a.json b.json
 echo "e2e: extract agrees across modes"
 
+# Execution tracing: submit a traced pipeline job directly, fetch its
+# trace, and assert the span tree is well-formed end to end — dkctl
+# trace validates (one root, no orphan spans) and renders the timeline,
+# which must reach from the request span down to the rewiring
+# convergence events of the generate replicas.
+JOB=$(curl -fsS -H 'Content-Type: application/json' -d @p.json "${BASE}/v1/pipelines" \
+  | sed 's/.*"job_id":"\([^"]*\)".*/\1/')
+for i in $(seq 1 100); do
+  STATUS=$(curl -fsS "${BASE}/v1/jobs/${JOB}" | sed 's/.*"status":"\([^"]*\)".*/\1/')
+  if [ "${STATUS}" = "done" ]; then break; fi
+  if [ "${STATUS}" = "failed" ] || [ "$i" = 100 ]; then echo "e2e: traced job ${JOB} status ${STATUS}"; exit 1; fi
+  sleep 0.2
+done
+curl -fsS "${BASE}/v1/jobs/${JOB}/trace" > trace.jsonl
+head -1 trace.jsonl | grep -q '"kind":"trace"'
+./dkctl -server "${BASE}" trace "${JOB}" > trace.txt
+for span in request job queued step resolve construct intern replica; do
+  grep -q "${span}" trace.txt || { echo "e2e: trace timeline missing span '${span}'"; cat trace.txt; exit 1; }
+done
+grep -q "convergence" trace.txt
+grep -cq "sweep" trace.txt
+echo "e2e: traced pipeline job yields a complete span tree"
+
 # Health, stats, and graceful shutdown.
 ./dkctl -server "${BASE}" health | grep -q '"ready": true'
 ./dkctl -server "${BASE}" stats | grep -q '"POST /v1/pipelines"'
+curl -fsS "${BASE}/metrics" > metrics.txt
+grep -q 'dk_http_request_seconds_bucket' metrics.txt
+grep -q 'dk_pipeline_phase_seconds_count' metrics.txt
 kill -TERM "${SERVED_PID}"
 wait "${SERVED_PID}"
 grep -q "draining" "${WORK}/dkserved.log"

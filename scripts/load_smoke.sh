@@ -48,13 +48,36 @@ echo "load-smoke: dkserved ready on ${BASE}"
 # exits non-zero on any SLO violation.
 "${WORK}/dkload" -server "${BASE}" -concurrency 4 -gate BENCH_load.json
 
-# The scrape and limiter families are live after real traffic.
-curl -fsS "${BASE}/metrics" | grep -q '^dk_http_requests_total'
-curl -fsS "${BASE}/metrics" | grep -q '^dk_ratelimit_allowed_total'
+# The scrape and limiter families are live after real traffic. Scrape
+# to a file first: grep -q exiting early would break the curl pipe.
+curl -fsS "${BASE}/metrics" > "${WORK}/metrics.txt"
+grep -q '^dk_http_requests_total' "${WORK}/metrics.txt"
+grep -q '^dk_ratelimit_allowed_total' "${WORK}/metrics.txt"
+grep -q '^dk_http_request_seconds_bucket' "${WORK}/metrics.txt"
 echo "load-smoke: /metrics live"
 
 kill -TERM "${SERVED_PID}"
 wait "${SERVED_PID}"
 grep -q "bye" "${WORK}/dkserved.log"
+
+# Trace-overhead spot-check: the gate above ran with tracing enabled
+# (the default); the same load against -tracing=false must meet the
+# same committed SLO. Tracing is observational — if disabling it is
+# what makes the gate pass, that's a regression in the tracer.
+"${WORK}/dkserved" -addr "127.0.0.1:${PORT}" -data-dir "${WORK}/data2" \
+  -rate-limit 500 -tracing=false >"${WORK}/dkserved-notrace.log" 2>&1 &
+SERVED_PID=$!
+trap 'kill ${SERVED_PID} 2>/dev/null || true' EXIT
+for i in $(seq 1 50); do
+  if curl -fsS "${BASE}/v1/readyz" >/dev/null 2>&1; then break; fi
+  if [ "$i" = 50 ]; then echo "load-smoke: untraced dkserved never became ready"; cat "${WORK}/dkserved-notrace.log"; exit 1; fi
+  sleep 0.2
+done
+"${WORK}/dkload" -server "${BASE}" -concurrency 4 -gate BENCH_load.json
+echo "load-smoke: SLO holds with tracing on and off"
+
+kill -TERM "${SERVED_PID}"
+wait "${SERVED_PID}"
+grep -q "bye" "${WORK}/dkserved-notrace.log"
 trap - EXIT
 echo "load-smoke: PASS"
