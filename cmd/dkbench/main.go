@@ -30,6 +30,8 @@
 //	connect            Viger–Latapy connectivity repair of the
 //	                   matching output (ConnectViaSwaps)
 //	rewire_d0..d3      dK-preserving randomizing rewiring
+//	netsim_robustness  §5 percolation robustness curve (20 fractions)
+//	netsim_epidemic    §5 SI worm spread (beta 0.5)
 //	metrics            scalar metric sweep of the GCC (incl. spectral)
 //
 // Timings are mean wall-clock milliseconds over a fixed iteration
@@ -52,6 +54,7 @@ import (
 	"repro/internal/generate"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/netsim"
 	"repro/internal/parallel"
 )
 
@@ -65,6 +68,7 @@ var workloadKeys = []string{
 	"stochastic_1k", "stochastic_2k",
 	"pseudograph_2k", "matching_2k", "connect",
 	"rewire_d0", "rewire_d1", "rewire_d2", "rewire_d3",
+	"netsim_robustness", "netsim_epidemic",
 	"metrics",
 }
 
@@ -261,6 +265,26 @@ func runSize(name string, n int, seed int64) (*sizeReport, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+
+	// Scenario simulations — the per-trial hot loops of the netsim
+	// pipeline step (internal/scenario fans these out per graph × trial).
+	srcStatic := src.Static()
+	fracs := make([]float64, 20)
+	for i := range fracs {
+		fracs[i] = float64(i) / 20
+	}
+	if err := record("netsim_robustness", 3, func(rng *rand.Rand) error {
+		_, err := netsim.Robustness(srcStatic, fracs, false, rng)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := record("netsim_epidemic", 3, func(rng *rand.Rand) error {
+		_, err := netsim.WormSpread(srcStatic, 0.5, 64, rng)
+		return err
+	}); err != nil {
+		return nil, err
 	}
 
 	// The scalar metric sweep of the paper's tables, on the GCC.

@@ -9,6 +9,7 @@
 //	dkctl extract dataset:hot:7
 //	dkctl generate -d 2 -replicas 10 -seed 42 -out ens graph.txt
 //	dkctl compare -d 2 a.txt b.txt
+//	dkctl netsim -trials 4 -seed 7 graph.txt ens.0.txt ens.1.txt
 //	dkctl pipeline example > p.json
 //	dkctl pipeline run -out results/ p.json
 //	dkctl -server http://localhost:8080 pipeline run p.json
@@ -24,8 +25,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -46,6 +49,7 @@ commands:
   extract   [-d 3] [-metrics] [-spectral] [-sample N] [-seed S] <graph>
   generate  [-d 2] [-method M] [-replicas N] [-seed S] [-compare] [-out PREFIX] <graph>
   compare   [-d 3] [-spectral] [-sample N] [-seed S] <graph-a> <graph-b>
+  netsim    [-scenarios FILE] [-trials N] [-seed S] <graph> [replica ...]
   pipeline  run [-out DIR] <pipeline.json|->   execute a declarative pipeline
   pipeline  example                            print a sample pipeline spec
   datasets                                     list built-in datasets
@@ -82,6 +86,8 @@ func main() {
 		err = cmdGenerate(common, args[1:])
 	case "compare":
 		err = cmdCompare(common, args[1:])
+	case "netsim":
+		err = cmdNetsim(common, args[1:])
 	case "pipeline":
 		err = cmdPipeline(common, args[1:])
 	case "datasets":
@@ -283,6 +289,95 @@ func cmdCompare(c *cli.Common, args []string) error {
 		}
 	}
 	return cli.PrintJSON(os.Stdout, resp)
+}
+
+// cmdNetsim runs scenario simulations — percolation robustness, SI worm
+// spread, degree-greedy routing — over a measured graph and an optional
+// replica ensemble, reducing them into measured-vs-ensemble comparison
+// curves. Both modes execute the same single-step netsim pipeline, so
+// local and -server runs print byte-identical JSON.
+func cmdNetsim(c *cli.Common, args []string) error {
+	fs := flag.NewFlagSet("netsim", flag.ExitOnError)
+	specs := fs.String("scenarios", "", `JSON scenario list file ("-" = stdin; empty = default robustness+epidemic+routing set)`)
+	trials := fs.Int("trials", 1, "trials per graph for the default scenarios (ignored with -scenarios)")
+	seed := fs.Int64("seed", 0, "base seed (every scenario, graph, and trial derives an independent stream)")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		return fmt.Errorf("netsim needs a measured graph argument (ensemble graphs may follow)")
+	}
+	scenarios, err := loadScenarios(*specs, *trials)
+	if err != nil {
+		return err
+	}
+	src, err := cli.LoadGraphArg(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	ensemble := make([]dkapi.GraphRef, fs.NArg()-1)
+	for i := range ensemble {
+		if ensemble[i], err = cli.LoadGraphArg(fs.Arg(i + 1)); err != nil {
+			return err
+		}
+	}
+	req := dkapi.PipelineRequest{Steps: []dkapi.PipelineStep{{
+		ID: "netsim", Op: dkapi.OpNetsim, Source: &src,
+		Ensemble: ensemble, Scenarios: scenarios, Seed: *seed,
+	}}}
+	var res *dkapi.StepResult
+	if c.Remote() {
+		cl, err := c.Client()
+		if err != nil {
+			return err
+		}
+		if err := cli.RemotePipelineRefs(cl, &req); err != nil {
+			return err
+		}
+		st := req.Steps[0]
+		res, err = cl.Simulate(cli.Ctx(), *st.Source, st.Ensemble, st.Scenarios, st.Seed)
+		if err != nil {
+			return err
+		}
+	} else {
+		po, err := dk.RunPipeline(cli.Ctx(), req)
+		if err != nil {
+			return err
+		}
+		res = &po.Result.Steps[0]
+	}
+	return cli.PrintJSON(os.Stdout, res)
+}
+
+// loadScenarios reads a []dkapi.ScenarioSpec JSON file, or falls back to
+// the default scenario set: the paper's three behavioral probes with
+// conventional knobs.
+func loadScenarios(path string, trials int) ([]dkapi.ScenarioSpec, error) {
+	if path == "" {
+		fracs := make([]float64, 10)
+		for i := range fracs {
+			fracs[i] = float64(i) / 10
+		}
+		return []dkapi.ScenarioSpec{
+			{Kind: dkapi.ScenarioRobustness, Fracs: fracs, Trials: trials},
+			{Kind: dkapi.ScenarioRobustness, Fracs: fracs, Targeted: true, Trials: trials},
+			{Kind: dkapi.ScenarioEpidemic, Beta: 0.5, Trials: trials},
+			{Kind: dkapi.ScenarioRouting, Trials: trials},
+		}, nil
+	}
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var specs []dkapi.ScenarioSpec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return nil, fmt.Errorf("parse scenarios %s: %w", path, err)
+	}
+	return specs, nil
 }
 
 func cmdPipeline(c *cli.Common, args []string) error {

@@ -119,6 +119,13 @@ func LoadPipeline(path string) (dkapi.PipelineRequest, error) {
 			}
 			**ref = resolved
 		}
+		for j := range st.Ensemble {
+			resolved, err := LoadRef(st.Ensemble[j])
+			if err != nil {
+				return req, fmt.Errorf("step %q: ensemble[%d]: %w", st.ID, j, err)
+			}
+			st.Ensemble[j] = resolved
+		}
 	}
 	return req, nil
 }
@@ -264,6 +271,13 @@ func RemotePipelineRefs(c *dkclient.Client, req *dkapi.PipelineRequest) error {
 				return fmt.Errorf("step %q: %w", st.ID, err)
 			}
 			*ref = resolved
+		}
+		for j := range st.Ensemble {
+			resolved, err := RemoteRef(c, st.Ensemble[j])
+			if err != nil {
+				return fmt.Errorf("step %q: ensemble[%d]: %w", st.ID, j, err)
+			}
+			st.Ensemble[j] = resolved
 		}
 	}
 	return nil

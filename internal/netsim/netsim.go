@@ -8,12 +8,23 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"repro/internal/graph"
 )
+
+// ErrInvalid marks parameter-validation failures. Callers (the scenario
+// subsystem, the HTTP surface) match it with errors.Is to classify the
+// failure as a client error (400) rather than an internal fault.
+var ErrInvalid = errors.New("invalid parameter")
+
+// invalidf builds a typed validation error.
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("netsim: %s: %w", fmt.Sprintf(format, args...), ErrInvalid)
+}
 
 // RobustnessPoint is one sample of a percolation curve.
 type RobustnessPoint struct {
@@ -28,7 +39,12 @@ type RobustnessPoint struct {
 func Robustness(s *graph.Static, fracs []float64, targeted bool, rng *rand.Rand) ([]RobustnessPoint, error) {
 	n := s.N()
 	if n == 0 {
-		return nil, fmt.Errorf("netsim: empty graph")
+		return nil, invalidf("empty graph")
+	}
+	for _, frac := range fracs {
+		if frac < 0 || frac > 1 {
+			return nil, invalidf("removal fraction %v outside [0,1]", frac)
+		}
 	}
 	// Removal order: random permutation or degree-descending.
 	order := make([]int, n)
@@ -41,7 +57,7 @@ func Robustness(s *graph.Static, fracs []float64, targeted bool, rng *rand.Rand)
 		})
 	} else {
 		if rng == nil {
-			return nil, fmt.Errorf("netsim: random failures require rng")
+			return nil, invalidf("random failures require rng")
 		}
 		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 	}
@@ -118,17 +134,19 @@ func (w WormResult) RoundsTo(frac float64) int {
 // round, every infected node infects each susceptible neighbor
 // independently with probability beta. It stops when no new infections
 // occur or maxRounds is reached. This is the "speed of worms spreading"
-// experiment the paper ties to the distance distribution.
+// experiment the paper ties to the distance distribution. beta must lie
+// in (0,1]: a zero rate never spreads yet keeps every frontier node
+// "infectious", so the loop would spin until maxRounds for nothing.
 func WormSpread(s *graph.Static, beta float64, maxRounds int, rng *rand.Rand) (WormResult, error) {
 	n := s.N()
 	if n == 0 {
-		return WormResult{}, fmt.Errorf("netsim: empty graph")
+		return WormResult{}, invalidf("empty graph")
 	}
 	if rng == nil {
-		return WormResult{}, fmt.Errorf("netsim: rng required")
+		return WormResult{}, invalidf("rng required")
 	}
-	if beta < 0 || beta > 1 {
-		return WormResult{}, fmt.Errorf("netsim: beta %v outside [0,1]", beta)
+	if beta <= 0 || beta > 1 {
+		return WormResult{}, invalidf("beta %v outside (0,1]", beta)
 	}
 	if maxRounds <= 0 {
 		maxRounds = 64
@@ -182,14 +200,20 @@ type RoutingResult struct {
 // GreedyDegreeRouting measures degree-greedy routing (forward to the
 // highest-degree not-yet-visited neighbor, following the
 // high-degree-first strategies the paper's searching/routing citations
-// study) over random source–target pairs. TTL bounds each walk.
+// study) over random source–target pairs. TTL bounds each walk; ttl <= 0
+// selects the default bound of 4n hops. Graphs with fewer than two nodes
+// have no source–target pairs and yield the zero result rather than an
+// error, so degenerate ensemble members produce well-defined curves.
 func GreedyDegreeRouting(s *graph.Static, trials, ttl int, rng *rand.Rand) (RoutingResult, error) {
 	n := s.N()
+	if trials <= 0 {
+		return RoutingResult{}, invalidf("trials %d must be positive", trials)
+	}
 	if n < 2 {
-		return RoutingResult{}, fmt.Errorf("netsim: need at least 2 nodes")
+		return RoutingResult{}, nil
 	}
 	if rng == nil {
-		return RoutingResult{}, fmt.Errorf("netsim: rng required")
+		return RoutingResult{}, invalidf("rng required")
 	}
 	if ttl <= 0 {
 		ttl = 4 * n

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -95,11 +96,36 @@ func TestRobustnessRandomVsTargeted(t *testing.T) {
 }
 
 func TestRobustnessValidation(t *testing.T) {
-	if _, err := Robustness(graph.New(0).Static(), []float64{0.1}, true, nil); err == nil {
-		t.Error("empty graph accepted")
+	if _, err := Robustness(graph.New(0).Static(), []float64{0.1}, true, nil); !errors.Is(err, ErrInvalid) {
+		t.Errorf("empty graph: err = %v, want ErrInvalid", err)
 	}
-	if _, err := Robustness(star(t, 3), []float64{0.1}, false, nil); err == nil {
-		t.Error("random mode without rng accepted")
+	if _, err := Robustness(star(t, 3), []float64{0.1}, false, nil); !errors.Is(err, ErrInvalid) {
+		t.Errorf("random mode without rng: err = %v, want ErrInvalid", err)
+	}
+	for _, frac := range []float64{-0.1, 1.5} {
+		if _, err := Robustness(star(t, 3), []float64{frac}, true, nil); !errors.Is(err, ErrInvalid) {
+			t.Errorf("frac %v: err = %v, want ErrInvalid", frac, err)
+		}
+	}
+}
+
+func TestRobustnessDegenerateGraphs(t *testing.T) {
+	// Zero-edge and single-node graphs yield well-defined curves.
+	pts, err := Robustness(graph.New(1).Static(), []float64{0, 1}, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].GCCFrac != 1 || pts[1].GCCFrac != 0 {
+		t.Errorf("single node curve = %+v, want GCC 1 then 0", pts)
+	}
+	pts, err = Robustness(graph.New(5).Static(), []float64{0, 0.5}, false, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if math.IsNaN(p.GCCFrac) || p.GCCFrac < 0 || p.GCCFrac > 1 {
+			t.Errorf("zero-edge curve point %+v out of range", p)
+		}
 	}
 }
 
@@ -165,14 +191,37 @@ func TestWormSpreadMonotoneCoverageProperty(t *testing.T) {
 
 func TestWormSpreadValidation(t *testing.T) {
 	s := star(t, 3)
-	if _, err := WormSpread(s, 1.5, 10, rand.New(rand.NewSource(1))); err == nil {
-		t.Error("beta > 1 accepted")
+	for _, beta := range []float64{1.5, 0, -0.5} {
+		if _, err := WormSpread(s, beta, 10, rand.New(rand.NewSource(1))); !errors.Is(err, ErrInvalid) {
+			t.Errorf("beta %v: err = %v, want ErrInvalid", beta, err)
+		}
 	}
-	if _, err := WormSpread(s, 0.5, 10, nil); err == nil {
+	if _, err := WormSpread(s, 0.5, 10, nil); !errors.Is(err, ErrInvalid) {
 		t.Error("nil rng accepted")
 	}
-	if _, err := WormSpread(graph.New(0).Static(), 0.5, 10, rand.New(rand.NewSource(1))); err == nil {
+	if _, err := WormSpread(graph.New(0).Static(), 0.5, 10, rand.New(rand.NewSource(1))); !errors.Is(err, ErrInvalid) {
 		t.Error("empty graph accepted")
+	}
+}
+
+func TestWormSpreadDegenerateGraphs(t *testing.T) {
+	// A single node is fully covered by its own seeding; a zero-edge
+	// graph never spreads past the seed. Neither may produce NaNs.
+	res, err := WormSpread(graph.New(1).Static(), 0.5, 10, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage[0] != 1 {
+		t.Errorf("single-node coverage = %v, want [1]", res.Coverage)
+	}
+	res, err = WormSpread(graph.New(4).Static(), 0.5, 10, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Coverage {
+		if math.IsNaN(c) || c != 0.25 {
+			t.Errorf("zero-edge coverage = %v, want all 0.25", res.Coverage)
+		}
 	}
 }
 
@@ -193,11 +242,21 @@ func TestGreedyRoutingStar(t *testing.T) {
 }
 
 func TestGreedyRoutingValidation(t *testing.T) {
-	if _, err := GreedyDegreeRouting(graph.New(1).Static(), 10, 0, rand.New(rand.NewSource(1))); err == nil {
-		t.Error("single node accepted")
-	}
-	if _, err := GreedyDegreeRouting(star(t, 2), 10, 0, nil); err == nil {
+	if _, err := GreedyDegreeRouting(star(t, 2), 10, 0, nil); !errors.Is(err, ErrInvalid) {
 		t.Error("nil rng accepted")
+	}
+	for _, trials := range []int{0, -5} {
+		if _, err := GreedyDegreeRouting(star(t, 2), trials, 0, rand.New(rand.NewSource(1))); !errors.Is(err, ErrInvalid) {
+			t.Errorf("trials %d: want ErrInvalid", trials)
+		}
+	}
+	// Fewer than two nodes: no routable pairs, well-defined zero result.
+	res, err := GreedyDegreeRouting(graph.New(1).Static(), 10, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuccessRate != 0 || res.AvgStretch != 0 {
+		t.Errorf("single-node routing = %+v, want zero result", res)
 	}
 }
 

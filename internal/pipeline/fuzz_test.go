@@ -26,6 +26,15 @@ func FuzzValidate(f *testing.F) {
 	f.Add(`{"steps": [{"id": "n", "op": "extract", "d": -7, "source": {"hash": "h"}}]}`) // bad depth
 	f.Add(`{"steps": [{"id": "r", "op": "randomize", "source": {"dataset": "petersen"}, "replicas": 1000000}]}`)
 	f.Add(`{"steps": [{"id": "?", "op": "nonsense"}]}`)
+	f.Add(`{"steps": [
+		{"id": "g", "op": "generate", "source": {"dataset": "petersen"}, "replicas": 4},
+		{"id": "s", "op": "netsim", "source": {"dataset": "petersen"},
+		 "ensemble": [{"step": "g"}, {"step": "g", "replica": 3}],
+		 "scenarios": [{"kind": "robustness", "fracs": [0, 0.5], "targeted": true},
+		               {"kind": "epidemic", "beta": 0.5},
+		               {"kind": "routing", "pairs": 16}]}
+	]}`)
+	f.Add(`{"steps": [{"id": "s", "op": "netsim", "scenarios": [{"kind": "quantum", "beta": -1}]}]}`)
 	f.Add(`null`)
 	f.Add(`[]`)
 	f.Add(`{"steps": 3}`)

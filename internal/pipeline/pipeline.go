@@ -26,6 +26,8 @@ import (
 	"repro/internal/generate"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 	"repro/pkg/dkapi"
 )
@@ -69,11 +71,15 @@ type Progress func(steps []dkapi.StepStatus)
 // computation, cache hits included), "construct" (the generation /
 // rewiring replica fan-out — the paper's §4.1.4 hot path), "intern"
 // (registering generated replicas), "compare" (per-replica or pairwise
-// distance computation), and "metrics" (the scalar metric sweep).
-// Timings never enter a Result — results stay pure functions of the
-// request — they only feed operational instrumentation such as the
-// phases section of the service's /v1/stats. A nil Observer costs
-// nothing (no clock reads).
+// distance computation), "metrics" (the scalar metric sweep), and
+// "simulate" (the scenario fan-out of a netsim step). Netsim steps
+// additionally report one "scenario:<kind>" observation per scenario —
+// the service routes those into its scenarios section and the
+// dk_scenario_* metric families rather than the phase table. Timings
+// never enter a Result — results stay pure functions of the request —
+// they only feed operational instrumentation such as the phases section
+// of the service's /v1/stats. A nil Observer costs nothing (no clock
+// reads).
 type Observer func(op, phase string, d time.Duration)
 
 // StepGraphs pairs a generate/randomize step with its replica handles,
@@ -312,6 +318,8 @@ func (ex *executor) runStep(st dkapi.PipelineStep, out *Outcome) (*dkapi.StepRes
 		return ex.runCensus(st)
 	case dkapi.OpMetrics:
 		return ex.runMetrics(st)
+	case dkapi.OpNetsim:
+		return ex.runNetsim(st)
 	default:
 		return nil, fmt.Errorf("unknown op %q", st.Op)
 	}
@@ -573,4 +581,57 @@ func (ex *executor) runMetrics(st dkapi.PipelineStep) (*dkapi.StepResult, error)
 	gi := h.Info()
 	ex.outputs[st.ID] = &stepOutput{single: h}
 	return &dkapi.StepResult{ID: st.ID, Op: st.Op, Graph: &gi, Summary: &sum}, nil
+}
+
+// runNetsim resolves the measured source plus its replica ensemble and
+// runs each scenario's (graph × trial) fan-out. Per-scenario seeds
+// derive from the step seed with SubSeed, so the step's curves are a
+// pure function of the request at any worker count. Each scenario runs
+// under its own "simulate" phase span (tagged with the kind) and emits a
+// "scenario:<kind>" observation for the service's scenario telemetry.
+func (ex *executor) runNetsim(st dkapi.PipelineStep) (*dkapi.StepResult, error) {
+	h, err := ex.timedResolve(st.Op, *st.Source)
+	if err != nil {
+		return nil, err
+	}
+	done := ex.phase(st.Op, "resolve")
+	measured := h.Graph().Static()
+	ensemble := make([]*graph.Static, len(st.Ensemble))
+	for i, ref := range st.Ensemble {
+		eh, err := ex.resolve(ref)
+		if err != nil {
+			done()
+			return nil, fmt.Errorf("ensemble[%d]: %w", i, err)
+		}
+		ensemble[i] = eh.Graph().Static()
+	}
+	done()
+	seed := analysisSeed(st.Seed)
+	gi := h.Info()
+	res := &dkapi.StepResult{
+		ID: st.ID, Op: st.Op, Graph: &gi, Seed: seed,
+		EnsembleSize: len(ensemble),
+		Scenarios:    make([]dkapi.ScenarioCurves, len(st.Scenarios)),
+	}
+	for si, sp := range st.Scenarios {
+		var start time.Time
+		if ex.obs != nil {
+			start = time.Now()
+		}
+		stop := ex.phase(st.Op, "simulate")
+		if ex.cur != nil {
+			ex.cur.SetAttr("kind", sp.Kind)
+		}
+		sc, err := scenario.Run(measured, ensemble, sp, parallel.SubSeed(seed, si))
+		stop()
+		if err != nil {
+			return nil, fmt.Errorf("scenario %d (%s): %w", si, sp.Kind, err)
+		}
+		if ex.obs != nil {
+			ex.obs(st.Op, "scenario:"+sp.Kind, time.Since(start))
+		}
+		res.Scenarios[si] = sc
+	}
+	ex.outputs[st.ID] = &stepOutput{single: h}
+	return res, nil
 }

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"fmt"
 
+	"repro/internal/scenario"
 	"repro/pkg/dkapi"
 )
 
@@ -116,13 +117,31 @@ func Validate(req dkapi.PipelineRequest, limits Limits) error {
 			if err := checkRef(*st.B, seen); err != nil {
 				return fmt.Errorf("%s: b: %w", where, err)
 			}
+		case dkapi.OpNetsim:
+			if err := requireSource(st, seen); err != nil {
+				return fmt.Errorf("%s: %w", where, err)
+			}
+			if st.D != nil {
+				return fmt.Errorf("%s: netsim does not take d", where)
+			}
+			for j, ref := range st.Ensemble {
+				if err := checkRef(ref, seen); err != nil {
+					return fmt.Errorf("%s: ensemble[%d]: %w", where, j, err)
+				}
+			}
+			if err := scenario.ValidateSpecs(st.Scenarios); err != nil {
+				return fmt.Errorf("%s: %w", where, err)
+			}
 		case "":
 			return fmt.Errorf("%s: op is required", where)
 		default:
-			return fmt.Errorf("%s: unknown op %q (want extract|generate|randomize|compare|census|metrics)", where, st.Op)
+			return fmt.Errorf("%s: unknown op %q (want extract|generate|randomize|compare|census|metrics|netsim)", where, st.Op)
 		}
 		if st.Op != dkapi.OpExtract && st.Metrics {
 			return fmt.Errorf("%s: metrics is only valid on extract steps (use op metrics for a standalone summary)", where)
+		}
+		if st.Op != dkapi.OpNetsim && (len(st.Ensemble) > 0 || len(st.Scenarios) > 0) {
+			return fmt.Errorf("%s: ensemble and scenarios are only valid on netsim steps", where)
 		}
 		if d := depth(st); d < 0 || d > 3 {
 			return fmt.Errorf("%s: depth d=%d outside 0..3", where, d)

@@ -98,6 +98,33 @@ func TestValidate(t *testing.T) {
 			{ID: "cmp", Op: dkapi.OpCompare, A: ref(dkapi.GraphRef{Step: "ext"}), B: ref(dkapi.GraphRef{Step: "gen", Replica: 7})},
 			{ID: "cen", Op: dkapi.OpCensus, Source: ref(dkapi.GraphRef{Step: "gen"})},
 		}, ""},
+		{"netsim workflow", []dkapi.PipelineStep{
+			{ID: "gen", Op: dkapi.OpGenerate, Source: ds, Replicas: 2},
+			{ID: "sim", Op: dkapi.OpNetsim, Source: ds,
+				Ensemble:  []dkapi.GraphRef{{Step: "gen"}, {Step: "gen", Replica: 1}},
+				Scenarios: []dkapi.ScenarioSpec{{Kind: "routing"}}},
+		}, ""},
+		{"netsim without scenarios", []dkapi.PipelineStep{
+			{ID: "sim", Op: dkapi.OpNetsim, Source: ds},
+		}, "at least one scenario"},
+		{"netsim with d", []dkapi.PipelineStep{
+			{ID: "sim", Op: dkapi.OpNetsim, Source: ds, D: dkapi.Int(2),
+				Scenarios: []dkapi.ScenarioSpec{{Kind: "routing"}}},
+		}, "does not take d"},
+		{"netsim bad scenario", []dkapi.PipelineStep{
+			{ID: "sim", Op: dkapi.OpNetsim, Source: ds,
+				Scenarios: []dkapi.ScenarioSpec{{Kind: "quantum"}}},
+		}, "unknown kind"},
+		{"netsim ensemble replica out of range", []dkapi.PipelineStep{
+			{ID: "gen", Op: dkapi.OpGenerate, Source: ds, Replicas: 2},
+			{ID: "sim", Op: dkapi.OpNetsim, Source: ds,
+				Ensemble:  []dkapi.GraphRef{{Step: "gen", Replica: 2}},
+				Scenarios: []dkapi.ScenarioSpec{{Kind: "routing"}}},
+		}, "replica 2 does not exist"},
+		{"scenarios on extract", []dkapi.PipelineStep{
+			{ID: "e", Op: dkapi.OpExtract, Source: ds,
+				Scenarios: []dkapi.ScenarioSpec{{Kind: "routing"}}},
+		}, "only valid on netsim"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/pkg/dkapi"
+)
+
+// FuzzScenarioSpec hardens spec validation against arbitrary wire
+// bodies: whatever JSON a client sends for a netsim step's scenarios
+// array, ValidateSpecs must classify it — never panic. Accepted specs
+// must additionally survive withDefaults with their knobs still in
+// range, since Run trusts validated specs.
+func FuzzScenarioSpec(f *testing.F) {
+	f.Add(`[{"kind":"robustness","fracs":[0,0.5,1],"targeted":true}]`)
+	f.Add(`[{"kind":"epidemic","beta":0.5,"rounds":8,"trials":2}]`)
+	f.Add(`[{"kind":"routing","pairs":16,"ttl":64}]`)
+	f.Add(`[{"kind":"quantum"}]`)
+	f.Add(`[{"kind":"robustness","fracs":[1e308,-1e308]}]`)
+	f.Add(`[{"kind":"epidemic","beta":1e-300}]`)
+	f.Add(`[]`)
+	f.Add(`[{}]`)
+	f.Fuzz(func(t *testing.T, body string) {
+		var specs []dkapi.ScenarioSpec
+		if err := json.Unmarshal([]byte(body), &specs); err != nil {
+			return
+		}
+		if err := ValidateSpecs(specs); err != nil {
+			return
+		}
+		for _, sp := range specs {
+			sp = withDefaults(sp)
+			if sp.Trials < 1 || sp.Trials > MaxTrials {
+				t.Fatalf("validated spec has trials %d after defaults", sp.Trials)
+			}
+			switch sp.Kind {
+			case dkapi.ScenarioEpidemic:
+				if sp.Rounds < 1 || sp.Rounds > MaxRounds {
+					t.Fatalf("validated epidemic spec has rounds %d after defaults", sp.Rounds)
+				}
+			case dkapi.ScenarioRouting:
+				if sp.Pairs < 1 || sp.Pairs > MaxPairs {
+					t.Fatalf("validated routing spec has pairs %d after defaults", sp.Pairs)
+				}
+			}
+		}
+	})
+}

@@ -453,6 +453,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Jobs:          s.jobs.Stats(),
 		Routes:        s.routes.Snapshot(),
 		Phases:        s.phases.Snapshot(),
+		Scenarios:     s.scenarios.Snapshot(),
 	}
 	if s.limiter != nil {
 		rl := s.limiter.Stats()

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"strings"
 	"sync"
 	"time"
 
@@ -26,8 +27,12 @@ func newPhaseStats() *phaseStats {
 
 // Observe implements pipeline.Observer (modulo the method value).
 func (ps *phaseStats) Observe(op, phase string, d time.Duration) {
+	ps.ObserveKey(op+"."+phase, d)
+}
+
+// ObserveKey folds one observation into the aggregate for key.
+func (ps *phaseStats) ObserveKey(key string, d time.Duration) {
 	ms := d.Seconds() * 1000
-	key := op + "." + phase
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	st := ps.m[key]
@@ -45,7 +50,16 @@ func (ps *phaseStats) Observe(op, phase string, d time.Duration) {
 // observePhase is the pipeline.Observer every execution surface runs
 // under: it feeds both the cumulative per-phase aggregates of
 // /v1/stats and the dk_pipeline_phase_seconds histogram of /metrics.
+// Netsim steps report one synthetic "scenario:<kind>" observation per
+// scenario alongside their regular phases (see pipeline.Observer);
+// those route into the scenarios section and the dk_scenario_* families
+// instead of the phase table, keyed by the bare kind.
 func (s *Server) observePhase(op, phase string, d time.Duration) {
+	if kind, ok := strings.CutPrefix(phase, "scenario:"); ok {
+		s.scenarios.ObserveKey(kind, d)
+		s.scenHist.Observe(kind, d.Seconds())
+		return
+	}
 	s.phases.Observe(op, phase, d)
 	s.phaseHist.Observe(op+"."+phase, d.Seconds())
 }

@@ -53,6 +53,11 @@ func (s *Server) resolvePipelineRefs(req *dkapi.PipelineRequest) error {
 		if err := normalize(st.B); err != nil {
 			return fmt.Errorf("step %q: b: %w", st.ID, err)
 		}
+		for j := range st.Ensemble {
+			if err := normalize(&st.Ensemble[j]); err != nil {
+				return fmt.Errorf("step %q: ensemble[%d]: %w", st.ID, j, err)
+			}
+		}
 	}
 	return nil
 }

@@ -108,6 +108,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	labeledSeries(p, "dk_pipeline_phase_max_ms", "phase", phases, func(ps dkapi.PhaseStat) float64 { return ps.MaxMS })
 	s.phaseHist.emit(p, "dk_pipeline_phase_seconds", "Pipeline phase latency in seconds, by op.phase.", "phase")
 
+	scen := s.scenarios.Snapshot()
+	p.family("dk_scenario_runs_total", "Netsim scenario executions, by kind.", "counter")
+	labeledSeries(p, "dk_scenario_runs_total", "kind", scen, func(ps dkapi.PhaseStat) float64 { return float64(ps.Count) })
+	p.family("dk_scenario_ms_total", "Cumulative netsim scenario wall-clock milliseconds, by kind.", "counter")
+	labeledSeries(p, "dk_scenario_ms_total", "kind", scen, func(ps dkapi.PhaseStat) float64 { return ps.TotalMS })
+	p.family("dk_scenario_max_ms", "Slowest single run of each scenario kind.", "gauge")
+	labeledSeries(p, "dk_scenario_max_ms", "kind", scen, func(ps dkapi.PhaseStat) float64 { return ps.MaxMS })
+	s.scenHist.emit(p, "dk_scenario_seconds", "Netsim scenario latency in seconds, by kind.", "kind")
+
 	cs := s.cache.Stats()
 	p.family("dk_cache_entries", "Graphs resident in the memory cache tier.", "gauge")
 	p.sample("dk_cache_entries", float64(cs.Entries))

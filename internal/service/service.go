@@ -140,9 +140,11 @@ type Server struct {
 	mux       *http.ServeMux
 	routes    *routeStats
 	phases    *phaseStats
+	scenarios *phaseStats // netsim scenario timings, keyed by kind
 	traces    *traceStore
 	httpHist  *histogramVec // dk_http_request_seconds, by route
 	phaseHist *histogramVec // dk_pipeline_phase_seconds, by op.phase
+	scenHist  *histogramVec // dk_scenario_seconds, by kind
 	limiter   *rateLimiter  // nil = no rate limiting
 	started   time.Time
 	draining  atomic.Bool
@@ -223,9 +225,11 @@ func New(opts Options) *Server {
 		mux:       http.NewServeMux(),
 		routes:    newRouteStats(),
 		phases:    newPhaseStats(),
+		scenarios: newPhaseStats(),
 		traces:    newTraceStore(opts.JobRetain, traceDisk),
 		httpHist:  newHistogramVec(latencyBuckets),
 		phaseHist: newHistogramVec(latencyBuckets),
+		scenHist:  newHistogramVec(latencyBuckets),
 		started:   time.Now().UTC(),
 		dsMemo:    make(map[string]*dsEntry),
 	}

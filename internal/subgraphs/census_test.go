@@ -140,6 +140,93 @@ func TestCountMatchesBruteForceProperty(t *testing.T) {
 	}
 }
 
+// countReference is the counter Count replaced: per-center neighbor-pair
+// enumeration with a HasEdge probe per pair. It is kept as the
+// differential oracle for the class-histogram counter on graphs large
+// enough that brute-force triple enumeration is unaffordable.
+func countReference(s *graph.Static) *Census {
+	c := NewCensus()
+	n := s.N()
+	deg := make([]int, n)
+	for u := 0; u < n; u++ {
+		deg[u] = s.Degree(u)
+	}
+	for center := 0; center < n; center++ {
+		nbrs := s.Neighbors(center)
+		for i := 0; i < len(nbrs); i++ {
+			a := int(nbrs[i])
+			for j := i + 1; j < len(nbrs); j++ {
+				b := int(nbrs[j])
+				if s.HasEdge(a, b) {
+					if center < a {
+						c.Triangles[NewTriangleKey(deg[center], deg[a], deg[b])]++
+					}
+				} else {
+					c.Wedges[NewWedgeKey(deg[a], deg[center], deg[b])]++
+				}
+			}
+		}
+	}
+	return c
+}
+
+// hubGraph builds a graph whose top node degrees cross
+// DefaultBitsetThreshold, exercising the bitset probe path of Count.
+func hubGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(i, rng.Intn(i)); err != nil {
+			panic(err)
+		}
+	}
+	for v := 1; v < n/2; v++ {
+		if !g.HasEdge(0, v) {
+			if err := g.AddEdge(0, v); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for g.M() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// TestCountMatchesReferenceHubGraph pins the fast counter against the old
+// pair-enumeration counter on a hub-heavy graph (max degree well past the
+// bitset threshold) — the regime the rewrite exists for.
+func TestCountMatchesReferenceHubGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := hubGraph(rng, 400, 1400).Static()
+	if s.MaxDegree() < DefaultBitsetThreshold {
+		t.Fatalf("max degree %d below bitset threshold %d; test graph too tame", s.MaxDegree(), DefaultBitsetThreshold)
+	}
+	got, want := Count(s), countReference(s)
+	if !got.Equal(want) {
+		t.Errorf("fast census disagrees with reference: got %d wedges/%d triangles, want %d/%d",
+			got.TotalWedges(), got.TotalTriangles(), want.TotalWedges(), want.TotalTriangles())
+	}
+}
+
+// TestCountMatchesReferenceMapFallback forces the packed-key map path
+// (denseLimit exceeded) and differentially checks it too.
+func TestCountMatchesReferenceMapFallback(t *testing.T) {
+	old := denseLimit
+	denseLimit = 1
+	defer func() { denseLimit = old }()
+	rng := rand.New(rand.NewSource(7))
+	s := hubGraph(rng, 200, 700).Static()
+	if !Count(s).Equal(countReference(s)) {
+		t.Error("map-fallback census disagrees with reference")
+	}
+}
+
 // TestDeltaMatchesRecountProperty verifies the incremental delta machinery
 // against full recounts across random degree-preserving double-edge swaps:
 // the foundation of all 3K rewiring.

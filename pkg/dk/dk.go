@@ -233,6 +233,27 @@ type GenerateOutput struct {
 	Graphs []*Graph
 }
 
+// SimulateOptions configures Simulate: which scenarios to run over the
+// measured graph and its replica ensemble. See dkapi.ScenarioSpec for
+// the per-kind knobs.
+type SimulateOptions struct {
+	// Scenarios lists the simulations to run (at least one).
+	Scenarios []dkapi.ScenarioSpec
+	// Seed drives all scenario randomness (0 = 1, the analysis-step
+	// default); each (scenario, graph, trial) derives an independent
+	// stream, so curves are identical at any worker count.
+	Seed int64
+}
+
+// SimulateOutput is the result of a netsim run: the measured graph's
+// descriptor plus the per-scenario measured-vs-ensemble curves.
+type SimulateOutput struct {
+	Graph        dkapi.GraphInfo        `json:"graph"`
+	Seed         int64                  `json:"seed"`
+	EnsembleSize int                    `json:"ensemble_size"`
+	Scenarios    []dkapi.ScenarioCurves `json:"scenarios"`
+}
+
 // Extract computes the dK-profile of g (with optional metrics) in a
 // fresh Session. ctx cancels between pipeline steps.
 func Extract(ctx context.Context, g *Graph, opts ExtractOptions) (*dkapi.ExtractResponse, error) {
@@ -248,6 +269,14 @@ func Generate(ctx context.Context, g *Graph, opts GenerateOptions) (*GenerateOut
 // a fresh Session.
 func Compare(ctx context.Context, a, b *Graph, opts CompareOptions) (*dkapi.CompareResponse, error) {
 	return NewSession().Compare(ctx, a, b, opts)
+}
+
+// Simulate runs scenario simulations — percolation robustness, SI worm
+// spread, degree-greedy routing — over g and its dK-random ensemble in
+// a fresh Session, reducing them into measured-vs-ensemble comparison
+// curves (the paper's behavioral-equivalence evidence).
+func Simulate(ctx context.Context, g *Graph, ensemble []*Graph, opts SimulateOptions) (*SimulateOutput, error) {
+	return NewSession().Simulate(ctx, g, ensemble, opts)
 }
 
 // RunPipeline executes a declarative pipeline in a fresh Session. Graph

@@ -78,6 +78,52 @@ func TestGenerateWorkerInvariance(t *testing.T) {
 	}
 }
 
+// TestSimulateWorkerInvariance: scenario curves are a pure function of
+// (specs, seed) at any worker count — the netsim determinism contract,
+// checked on the serialized JSON so ordering and float formatting are
+// pinned too.
+func TestSimulateWorkerInvariance(t *testing.T) {
+	ctx := context.Background()
+	g, err := dk.DatasetGraph("hot", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := dk.Generate(ctx, g, dk.GenerateOptions{D: dkapi.Int(2), Replicas: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := dk.SimulateOptions{
+		Scenarios: []dkapi.ScenarioSpec{
+			{Kind: dkapi.ScenarioRobustness, Fracs: []float64{0, 0.2, 0.4, 0.6}, Trials: 3},
+			{Kind: dkapi.ScenarioEpidemic, Beta: 0.4, Rounds: 16, Trials: 3},
+			{Kind: dkapi.ScenarioRouting, Pairs: 16, TTL: 64, Trials: 3},
+		},
+		Seed: 11,
+	}
+	runAt := func(workers int) string {
+		parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(0)
+		out, err := dk.Simulate(ctx, g, gen.Graphs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	base := runAt(1)
+	for _, w := range []int{2, 4, 8} {
+		if got := runAt(w); got != base {
+			t.Fatalf("simulate output at %d workers differs from 1 worker:\n%s\nvs\n%s", w, got, base)
+		}
+	}
+	if !strings.Contains(base, `"divergence"`) {
+		t.Fatal("ensemble run missing divergence summary")
+	}
+}
+
 // TestPipelineStepRefs: step outputs feed later inputs, including
 // replica selection, and the result is deterministic.
 func TestPipelineStepRefs(t *testing.T) {

@@ -248,6 +248,32 @@ func (s *Session) Generate(ctx context.Context, g *Graph, opts GenerateOptions) 
 	}, nil
 }
 
+// Simulate runs scenario simulations over g and its replica ensemble —
+// the local twin of a netsim pipeline step, sharing its executor,
+// validation, and determinism contract. The ensemble may be empty
+// (measured-only curves, no band).
+func (s *Session) Simulate(ctx context.Context, g *Graph, ensemble []*Graph, opts SimulateOptions) (*SimulateOutput, error) {
+	ref := s.Add(g)
+	refs := make([]dkapi.GraphRef, len(ensemble))
+	for i, e := range ensemble {
+		refs[i] = s.Add(e)
+	}
+	res, _, err := s.runStep(ctx, dkapi.PipelineStep{
+		ID: "netsim", Op: dkapi.OpNetsim,
+		Source:    &ref,
+		Ensemble:  refs,
+		Scenarios: opts.Scenarios,
+		Seed:      opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SimulateOutput{
+		Graph: *res.Graph, Seed: res.Seed,
+		EnsembleSize: res.EnsembleSize, Scenarios: res.Scenarios,
+	}, nil
+}
+
 // Compare reports D_d for every depth up to opts.D plus both metric
 // summaries — the local twin of POST /v1/compare.
 func (s *Session) Compare(ctx context.Context, a, b *Graph, opts CompareOptions) (*dkapi.CompareResponse, error) {

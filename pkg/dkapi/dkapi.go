@@ -229,6 +229,8 @@ type PhaseStat struct {
 // mux pattern (e.g. "POST /v1/extract"); Phases is keyed by "op.phase"
 // (e.g. "generate.construct" — the §4.1.4 construction hot path) and
 // appears once the server has executed at least one pipeline step.
+// Scenarios is keyed by scenario kind (robustness, epidemic, routing)
+// and appears once a netsim step has run.
 type StatsResponse struct {
 	Version       string               `json:"version"`
 	GoVersion     string               `json:"go_version"`
@@ -238,6 +240,7 @@ type StatsResponse struct {
 	Jobs          EngineStats          `json:"jobs"`
 	Routes        map[string]RouteStat `json:"routes,omitempty"`
 	Phases        map[string]PhaseStat `json:"phases,omitempty"`
+	Scenarios     map[string]PhaseStat `json:"scenarios,omitempty"`
 	RateLimit     *RateLimitStats      `json:"rate_limit,omitempty"`
 	Store         *store.Stats         `json:"store,omitempty"`
 }

@@ -17,6 +17,7 @@ const (
 	OpCompare   = "compare"   // D_d distances + metric side-by-side
 	OpCensus    = "census"    // 3K wedge/triangle census of the source
 	OpMetrics   = "metrics"   // scalar metric summary of the source's GCC
+	OpNetsim    = "netsim"    // scenario simulations over measured graph + ensemble
 )
 
 // PipelineRequest is the body of POST /v1/pipelines: an ordered list of
@@ -36,6 +37,7 @@ type PipelineRequest struct {
 //	compare    A, B, D (default 3), Spectral, Sample, Seed
 //	census     Source
 //	metrics    Source, Spectral, Sample, Seed
+//	netsim     Source, Ensemble, Scenarios, Seed
 type PipelineStep struct {
 	// ID names the step; later steps reference its graph output as
 	// {"step": id}. Required, unique, [A-Za-z0-9_-]+.
@@ -67,6 +69,12 @@ type PipelineStep struct {
 	Spectral bool `json:"spectral,omitempty"`
 	// Sample bounds BFS sources for distance metrics (0 = exact).
 	Sample int `json:"sample,omitempty"`
+	// Ensemble lists the dK-random replicas a netsim step compares the
+	// source against, typically {"step": id, "replica": i} references
+	// into an earlier generate step. May be empty (measured-only run).
+	Ensemble []GraphRef `json:"ensemble,omitempty"`
+	// Scenarios lists the simulations a netsim step runs.
+	Scenarios []ScenarioSpec `json:"scenarios,omitempty"`
 }
 
 // Step status values, reported per step while a pipeline job runs.
@@ -124,6 +132,12 @@ type StepResult struct {
 	Method   string        `json:"method,omitempty"`
 	Seed     int64         `json:"seed,omitempty"`
 	Replicas []ReplicaInfo `json:"replicas,omitempty"`
+	// EnsembleSize is the number of replica graphs a netsim step ran
+	// against (alongside the measured source).
+	EnsembleSize int `json:"ensemble_size,omitempty"`
+	// Scenarios are the measured-vs-ensemble comparison curves of a
+	// netsim step, in request order.
+	Scenarios []ScenarioCurves `json:"scenarios,omitempty"`
 }
 
 // PipelineResult is the result summary of a finished pipeline job. The

@@ -1,0 +1,63 @@
+package dkapi
+
+// Scenario kinds runnable by a netsim pipeline step. Each kind maps to
+// one of the protocol studies of internal/netsim — the applications the
+// paper holds up as evidence that dK-random graphs reproduce measured
+// topologies behaviorally, not just structurally.
+const (
+	ScenarioRobustness = "robustness" // percolation under failure/attack
+	ScenarioEpidemic   = "epidemic"   // SI worm-spread coverage per round
+	ScenarioRouting    = "routing"    // degree-greedy routing success/stretch
+)
+
+// ScenarioSpec configures one scenario of a netsim step. Which knobs
+// apply depends on Kind:
+//
+//	robustness  Fracs (required, each in [0,1]), Targeted, Trials
+//	epidemic    Beta (required, in (0,1]), Rounds (0 = 32), Trials
+//	routing     Pairs (0 = 32), TTL (0 = 4n hops), Trials
+//
+// Knobs that do not apply to the kind must be left zero. Trials is the
+// number of independent repetitions per graph (0 = 1); per-trial
+// randomness derives from the step seed, never from worker scheduling,
+// so results are byte-identical at any worker count.
+type ScenarioSpec struct {
+	Kind     string    `json:"kind"`
+	Fracs    []float64 `json:"fracs,omitempty"`
+	Targeted bool      `json:"targeted,omitempty"`
+	Beta     float64   `json:"beta,omitempty"`
+	Rounds   int       `json:"rounds,omitempty"`
+	Pairs    int       `json:"pairs,omitempty"`
+	TTL      int       `json:"ttl,omitempty"`
+	Trials   int       `json:"trials,omitempty"`
+}
+
+// CurvePoint is one (x, y) sample of a scenario curve. The x axis is
+// kind-specific: removal fraction (robustness), round index (epidemic),
+// or metric index (routing: 0 = success rate, 1 = average stretch).
+type CurvePoint struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// BandPoint is the ensemble aggregate at one x: the mean, minimum and
+// maximum of the per-replica trial-mean curves across the dK-random
+// ensemble.
+type BandPoint struct {
+	X    float64 `json:"x"`
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// ScenarioCurves is the comparison result of one scenario: the measured
+// graph's trial-mean curve next to the ensemble band, plus the
+// divergence summary max over x of |measured − ensemble mean|. Ensemble
+// and Divergence are omitted when the step ran without replicas.
+type ScenarioCurves struct {
+	Kind       string       `json:"kind"`
+	Trials     int          `json:"trials"`
+	Measured   []CurvePoint `json:"measured"`
+	Ensemble   []BandPoint  `json:"ensemble,omitempty"`
+	Divergence *float64     `json:"divergence,omitempty"`
+}

@@ -544,6 +544,22 @@ func (c *Client) GenerateWait(ctx context.Context, req dkapi.GenerateRequest) (*
 	return &out, acc.JobID, nil
 }
 
+// Simulate submits a single netsim pipeline step — scenario simulations
+// over a measured graph and its replica ensemble — waits for it, and
+// returns the step's result (the measured-vs-ensemble comparison
+// curves). It is the wire twin of dk.Simulate: the same request run
+// locally produces byte-identical JSON.
+func (c *Client) Simulate(ctx context.Context, source dkapi.GraphRef, ensemble []dkapi.GraphRef, scenarios []dkapi.ScenarioSpec, seed int64) (*dkapi.StepResult, error) {
+	res, _, err := c.RunPipeline(ctx, dkapi.PipelineRequest{Steps: []dkapi.PipelineStep{{
+		ID: "netsim", Op: dkapi.OpNetsim, Source: &source,
+		Ensemble: ensemble, Scenarios: scenarios, Seed: seed,
+	}}})
+	if err != nil {
+		return nil, err
+	}
+	return &res.Steps[0], nil
+}
+
 // RunPipeline submits a pipeline and waits for its result. The returned
 // job id can be handed to JobResult to stream the generated ensembles.
 func (c *Client) RunPipeline(ctx context.Context, req dkapi.PipelineRequest) (*dkapi.PipelineResult, string, error) {

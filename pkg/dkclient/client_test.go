@@ -103,6 +103,75 @@ func TestPipelineLocalRemoteIdentical(t *testing.T) {
 	}
 }
 
+// netsimPipeline is the scenario workflow as one declarative request:
+// build a dK-random ensemble, then simulate the paper's three behavioral
+// probes over the measured graph and every replica.
+func netsimPipeline() dkapi.PipelineRequest {
+	src := dkapi.GraphRef{Dataset: "hot", Seed: 7}
+	ensemble := make([]dkapi.GraphRef, 8)
+	for i := range ensemble {
+		ensemble[i] = dkapi.GraphRef{Step: "gen", Replica: i}
+	}
+	return dkapi.PipelineRequest{Steps: []dkapi.PipelineStep{
+		{ID: "gen", Op: dkapi.OpGenerate, Source: &src, D: dkapi.Int(2), Replicas: 8, Seed: 42},
+		{ID: "sim", Op: dkapi.OpNetsim, Source: &src, Ensemble: ensemble,
+			Scenarios: []dkapi.ScenarioSpec{
+				{Kind: dkapi.ScenarioRobustness, Fracs: []float64{0, 0.25, 0.5, 0.75}, Targeted: true, Trials: 2},
+				{Kind: dkapi.ScenarioEpidemic, Beta: 0.5, Rounds: 12, Trials: 2},
+				{Kind: dkapi.ScenarioRouting, Pairs: 12, TTL: 64, Trials: 2},
+			},
+			Seed: 9},
+	}}
+}
+
+// TestNetsimLocalRemoteIdentical: a netsim step over a measured graph
+// plus an 8-replica dK-random ensemble returns measured-vs-ensemble
+// curves for all three scenario kinds, byte-identical between the local
+// facade and a remote server, and across repeated remote submissions.
+func TestNetsimLocalRemoteIdentical(t *testing.T) {
+	_, c := newServer(t)
+	ctx := context.Background()
+
+	remote, _, err := c.RunPipeline(ctx, netsimPipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := dk.RunPipeline(ctx, netsimPipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := json.Marshal(remote)
+	lb, _ := json.Marshal(local.Result)
+	if string(rb) != string(lb) {
+		t.Fatalf("local and remote netsim results differ:\nlocal:  %s\nremote: %s", lb, rb)
+	}
+
+	sim := remote.Steps[1]
+	if sim.EnsembleSize != 8 {
+		t.Fatalf("ensemble size = %d, want 8", sim.EnsembleSize)
+	}
+	if len(sim.Scenarios) != 3 {
+		t.Fatalf("scenario count = %d, want 3", len(sim.Scenarios))
+	}
+	for _, sc := range sim.Scenarios {
+		if len(sc.Measured) == 0 || len(sc.Ensemble) != len(sc.Measured) {
+			t.Fatalf("scenario %s: measured %d points, ensemble %d", sc.Kind, len(sc.Measured), len(sc.Ensemble))
+		}
+		if sc.Divergence == nil {
+			t.Fatalf("scenario %s: no divergence summary despite ensemble", sc.Kind)
+		}
+	}
+
+	again, _, err := c.RunPipeline(ctx, netsimPipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := json.Marshal(again)
+	if string(ab) != string(rb) {
+		t.Fatal("two identical netsim submissions produced different results")
+	}
+}
+
 // TestEnsureGraphSkipsReupload: the second EnsureGraph for the same
 // topology is a pure hash probe — no new cache entry, no upload.
 func TestEnsureGraphSkipsReupload(t *testing.T) {

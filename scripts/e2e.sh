@@ -63,6 +63,42 @@ sed 's/"cached": [a-z]*/"cached": X/' extract-remote.json > b.json
 diff -u a.json b.json
 echo "e2e: extract agrees across modes"
 
+# Scenario subsystem: an extract → generate → netsim pipeline over the
+# measured graph plus an 8-replica dK-random ensemble must produce
+# measured-vs-ensemble curves for all three scenario kinds that are
+# byte-identical across worker counts and across local/remote execution.
+cat > netsim.json <<'EOF'
+{"steps":[
+  {"id":"ext","op":"extract","source":{"dataset":"hot","seed":7},"d":2},
+  {"id":"gen","op":"generate","source":{"step":"ext"},"d":2,"replicas":8,"seed":42},
+  {"id":"sim","op":"netsim","source":{"step":"ext"},
+   "ensemble":[{"step":"gen","replica":0},{"step":"gen","replica":1},
+               {"step":"gen","replica":2},{"step":"gen","replica":3},
+               {"step":"gen","replica":4},{"step":"gen","replica":5},
+               {"step":"gen","replica":6},{"step":"gen","replica":7}],
+   "scenarios":[{"kind":"robustness","fracs":[0,0.25,0.5,0.75],"targeted":true,"trials":2},
+                {"kind":"epidemic","beta":0.5,"rounds":12,"trials":2},
+                {"kind":"routing","pairs":12,"ttl":64,"trials":2}],
+   "seed":9}
+]}
+EOF
+./dkctl -workers 1 pipeline run netsim.json > netsim-w1.json
+./dkctl -workers 4 pipeline run netsim.json > netsim-w4.json
+diff -u netsim-w1.json netsim-w4.json
+./dkctl -server "${BASE}" pipeline run netsim.json > netsim-remote.json
+diff -u netsim-w1.json netsim-remote.json
+grep -q '"divergence"' netsim-w1.json
+for kind in robustness epidemic routing; do
+  grep -q "\"kind\": \"${kind}\"" netsim-w1.json || { echo "e2e: netsim result missing ${kind} curves"; exit 1; }
+done
+echo "e2e: netsim curves worker-invariant and identical across modes"
+
+# The netsim subcommand (default scenario set) agrees across modes too.
+./dkctl netsim -trials 2 -seed 5 dataset:hot:7 > sim-local.json
+./dkctl -server "${BASE}" netsim -trials 2 -seed 5 dataset:hot:7 > sim-remote.json
+diff -u sim-local.json sim-remote.json
+echo "e2e: dkctl netsim agrees across modes"
+
 # Execution tracing: submit a traced pipeline job directly, fetch its
 # trace, and assert the span tree is well-formed end to end — dkctl
 # trace validates (one root, no orphan spans) and renders the timeline,
@@ -89,9 +125,14 @@ echo "e2e: traced pipeline job yields a complete span tree"
 # Health, stats, and graceful shutdown.
 ./dkctl -server "${BASE}" health | grep -q '"ready": true'
 ./dkctl -server "${BASE}" stats | grep -q '"POST /v1/pipelines"'
+./dkctl -server "${BASE}" stats > stats.json
+grep -q '"scenarios"' stats.json
+grep -q '"robustness"' stats.json
 curl -fsS "${BASE}/metrics" > metrics.txt
 grep -q 'dk_http_request_seconds_bucket' metrics.txt
 grep -q 'dk_pipeline_phase_seconds_count' metrics.txt
+grep -q 'dk_scenario_runs_total{kind="epidemic"}' metrics.txt
+grep -q 'dk_scenario_seconds_bucket' metrics.txt
 kill -TERM "${SERVED_PID}"
 wait "${SERVED_PID}"
 grep -q "draining" "${WORK}/dkserved.log"
