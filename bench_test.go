@@ -217,7 +217,7 @@ func BenchmarkAblationDistance(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			q, err := dk.ExtractGraph(res.FinalGraph, 2)
+			q, err := dk.Extract(res.FinalGraph, 2)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -398,7 +398,7 @@ func BenchmarkRandomizeReplicasWorkers(b *testing.B) {
 	})
 }
 
-func mustSummary(b *testing.B, g *graph.Graph) metrics.Summary {
+func mustSummary(b *testing.B, g *graph.CSR) metrics.Summary {
 	b.Helper()
 	gcc, _ := graph.GiantComponent(g)
 	s, err := metrics.Summarize(gcc.Static(), metrics.SummaryOptions{SkipS2: true})

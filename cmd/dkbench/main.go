@@ -9,7 +9,8 @@
 // version control the same way BENCH_store.json tracks the artifact
 // store (see docs/PERF.md).
 //
-//	dkbench                          # both sizes → BENCH_core.json
+//	dkbench                          # small+large → BENCH_core.json
+//	dkbench -size all                # + the million-edge huge tier
 //	dkbench -size small -out /tmp/b.json
 //	dkbench -verify BENCH_core.json  # schema/completeness check (CI)
 //	dkbench -verify fresh.json -against BENCH_core.json
@@ -34,6 +35,13 @@
 //	netsim_epidemic    §5 SI worm spread (beta 0.5)
 //	metrics            scalar metric sweep of the GCC (incl. spectral)
 //
+// The huge tier (-size huge|all) synthesizes a ~10⁶-edge topology and
+// runs the subset that exercises the million-node path — extraction at
+// all depths, 2K construction, depth-2 rewiring, and the scalar sweep
+// in sampled-metric mode — each once, recording the process peak RSS
+// alongside the timings. CI runs the small tier only; the huge baseline
+// is regenerated manually with the rest of BENCH_core.json.
+//
 // Timings are mean wall-clock milliseconds over a fixed iteration
 // count (heavy workloads run once). Rewiring uses SwapFactor 2 — the
 // report tracks per-move cost trajectory, not full mixing, which the
@@ -46,7 +54,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"syscall"
 	"time"
+
+	"math"
 
 	"repro/internal/cli"
 	"repro/internal/datasets"
@@ -56,7 +67,24 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/parallel"
+	"repro/internal/stats"
 )
+
+// hugeWorkloadKeys is the reduced vocabulary of the huge tier: the
+// paths that must stay viable at a million edges.
+var hugeWorkloadKeys = []string{
+	"extract_1k", "extract_2k", "extract_3k",
+	"pseudograph_2k", "rewire_d2",
+	"metrics_sampled",
+}
+
+// keysForSize selects the workload vocabulary a size must carry.
+func keysForSize(name string) []string {
+	if name == "huge" {
+		return hugeWorkloadKeys
+	}
+	return workloadKeys
+}
 
 // schemaVersion identifies the report layout; bump on breaking changes.
 const schemaVersion = "dkbench/v1"
@@ -83,6 +111,10 @@ type sizeReport struct {
 	N         int                 `json:"n"`
 	M         int                 `json:"m"`
 	Workloads map[string]workload `json:"workloads"`
+	// PeakRSSMB is the process high-water resident set after this size's
+	// run (sizes run smallest-first, so each value bounds its own tier).
+	// Recorded for the huge tier, where memory is the headline number.
+	PeakRSSMB float64 `json:"peak_rss_mb,omitempty"`
 }
 
 // report is the schema of BENCH_core.json.
@@ -95,9 +127,10 @@ type report struct {
 
 func main() {
 	out := flag.String("out", "BENCH_core.json", "report output path")
-	size := flag.String("size", "both", "which sizes to run: small|large|both")
+	size := flag.String("size", "both", "which sizes to run: small|large|huge|both|all")
 	smallN := flag.Int("small-n", 1000, "node count of the small topology")
 	largeN := flag.Int("large-n", 4000, "node count of the large topology")
+	hugeN := flag.Int("huge-n", 500000, "node count of the huge topology (~10⁶ edges)")
 	seed := flag.Int64("seed", 2, "synthesis and workload seed")
 	verify := flag.String("verify", "", "verify an existing report instead of benchmarking")
 	against := flag.String("against", "", "with -verify: baseline report for the per-workload regression gate")
@@ -134,19 +167,29 @@ func main() {
 		sizes["small"] = *smallN
 	case "large":
 		sizes["large"] = *largeN
+	case "huge":
+		sizes["huge"] = *hugeN
 	case "both":
 		sizes["small"], sizes["large"] = *smallN, *largeN
+	case "all":
+		sizes["small"], sizes["large"], sizes["huge"] = *smallN, *largeN, *hugeN
 	default:
-		fmt.Fprintf(os.Stderr, "dkbench: -size %q (want small|large|both)\n", *size)
+		fmt.Fprintf(os.Stderr, "dkbench: -size %q (want small|large|huge|both|all)\n", *size)
 		os.Exit(2)
 	}
 	rep := &report{Schema: schemaVersion, Seed: *seed, Workers: parallel.Workers(), Sizes: map[string]*sizeReport{}}
-	for _, name := range []string{"small", "large"} {
+	for _, name := range []string{"small", "large", "huge"} {
 		n, ok := sizes[name]
 		if !ok {
 			continue
 		}
-		sr, err := runSize(name, n, *seed)
+		var sr *sizeReport
+		var err error
+		if name == "huge" {
+			sr, err = runHuge(n, *seed)
+		} else {
+			sr, err = runSize(name, n, *seed)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dkbench: %s: %v\n", name, err)
 			os.Exit(1)
@@ -193,7 +236,7 @@ func runSize(name string, n int, seed int64) (*sizeReport, error) {
 			iters = 1
 		}
 		err := record(fmt.Sprintf("extract_%dk", d), iters, func(*rand.Rand) error {
-			p, err := dk.ExtractGraph(src, d)
+			p, err := dk.Extract(src, d)
 			if err == nil && d == 2 {
 				profile = p
 			}
@@ -226,7 +269,7 @@ func runSize(name string, n int, seed int64) (*sizeReport, error) {
 	}); err != nil {
 		return nil, err
 	}
-	var matched *graph.Graph
+	var matched *graph.CSR
 	if err := record("matching_2k", 3, func(rng *rand.Rand) error {
 		g, err := generate.Matching2K(profile.Joint, generate.Options{Rng: rng})
 		matched = g
@@ -238,7 +281,7 @@ func runSize(name string, n int, seed int64) (*sizeReport, error) {
 	// the same order as the rewritten ConnectViaSwaps, so timing it
 	// would let clone cost mask a regression in the repair itself.
 	const connectIters = 5
-	connectInputs := make([]*graph.Graph, connectIters+1) // +1 warm-up
+	connectInputs := make([]*graph.CSR, connectIters+1) // +1 warm-up
 	for i := range connectInputs {
 		connectInputs[i] = matched.Clone()
 	}
@@ -299,6 +342,121 @@ func runSize(name string, n int, seed int64) (*sizeReport, error) {
 	return sr, nil
 }
 
+// runHuge measures the huge tier: each workload once, no warm-up, on
+// the ~10⁶-edge topology. Depth-2 rewiring uses SwapFactor 1 (one
+// accepted swap per edge) so the tier bounds per-move cost without
+// waiting out a full 10×M mixing run, and the scalar sweep relies on
+// the automatic sampled-distance switch (the topology is far past
+// metrics.AutoSampleThreshold), with the spectral pair and S2 off.
+func runHuge(n int, seed int64) (*sizeReport, error) {
+	fmt.Fprintf(os.Stderr, "dkbench: huge: synthesizing power-law topology n=%d...\n", n)
+	src, err := hugeTopology(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "dkbench: huge: topology ready, n=%d m=%d\n", src.N(), src.M())
+	sr := &sizeReport{N: src.N(), M: src.M(), Workloads: map[string]workload{}}
+	record := func(key string, f func(rng *rand.Rand) error) error {
+		ms, err := timeIt(1, seed, f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", key, err)
+		}
+		sr.Workloads[key] = workload{MS: ms, Iters: 1}
+		fmt.Fprintf(os.Stderr, "dkbench: huge: %-15s %10.2f ms\n", key, ms)
+		return nil
+	}
+	var profile *dk.Profile
+	for d := 1; d <= 3; d++ {
+		d := d
+		err := record(fmt.Sprintf("extract_%dk", d), func(*rand.Rand) error {
+			p, err := dk.Extract(src, d)
+			if err == nil && d == 2 {
+				profile = p
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Construction: the §4.1.2 configuration model. The matching variant's
+	// defect-repair loop is quadratic-ish in stuck defects and does not
+	// reliably terminate at 10⁶ edges, so the huge tier tracks the
+	// pseudograph path (the one the paper itself scales).
+	if err := record("pseudograph_2k", func(rng *rand.Rand) error {
+		_, err := generate.Pseudograph2K(profile.Joint, generate.Options{Rng: rng})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := record("rewire_d2", func(rng *rand.Rand) error {
+		_, _, err := generate.Randomize(src, 2, generate.RandomizeOptions{Rng: rng, SwapFactor: 1})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	gcc, _ := graph.GiantComponent(src)
+	s := gcc.Static()
+	if err := record("metrics_sampled", func(rng *rand.Rand) error {
+		_, err := metrics.Summarize(s, metrics.SummaryOptions{SkipS2: true, Rng: rng})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	sr.PeakRSSMB = peakRSSMB()
+	fmt.Fprintf(os.Stderr, "dkbench: huge: peak RSS %.0f MB\n", sr.PeakRSSMB)
+	return sr, nil
+}
+
+// hugeTopology synthesizes the huge tier's input: the same power-law
+// family as the smaller tiers' skitter-like graph, but un-steered and
+// with the degree cutoff pinned near the structural one (k_max ≈ 3√n,
+// the scale of the measured skitter graph's maximum degree). The
+// smaller tiers use datasets.Skitter, whose assortativity/clustering
+// steering runs hundreds of millions of rewiring proposals with full
+// triangle recounts between chunks — a target-tracking workload in its
+// own right, unusable as a fixture build at 10⁶ edges. And above the
+// structural cutoff √(k̄·n) a power-law sequence forces degree
+// correlations the matching construction must then fight edge by edge.
+func hugeTopology(n int, seed int64) (*graph.CSR, error) {
+	rng := rand.New(rand.NewSource(seed))
+	kMax := int(3 * math.Sqrt(float64(n)))
+	if kMax < 3 {
+		kMax = 3
+	}
+	pl, err := stats.NewPowerLaw(2.0, 1, kMax)
+	if err != nil {
+		return nil, err
+	}
+	var seq []int
+	for attempt := 0; ; attempt++ {
+		seq = pl.DegreeSequence(rng, n)
+		if dk.Graphical(seq) {
+			break
+		}
+		if attempt > 100 {
+			return nil, fmt.Errorf("huge: could not draw a graphical power-law sequence")
+		}
+	}
+	g, err := generate.Matching1K(dk.NewDegreeDist(seq), generate.Options{Rng: rng})
+	if err != nil {
+		return nil, err
+	}
+	g, _ = graph.GiantComponent(g)
+	return g, nil
+}
+
+// peakRSSMB returns the process's high-water resident set in megabytes
+// (0 when the platform doesn't report it).
+func peakRSSMB() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	// Linux reports Maxrss in KiB.
+	return float64(ru.Maxrss) / 1024
+}
+
 // timeIt runs f once as warm-up (when iters > 1), then iters timed runs
 // with fresh identically-seeded RNGs, and returns the mean wall-clock
 // milliseconds — the same convention as `dkstore bench`.
@@ -339,7 +497,7 @@ func verifyReport(path string) error {
 		if sr == nil || sr.N <= 0 || sr.M <= 0 {
 			return fmt.Errorf("size %q: missing topology dimensions", size)
 		}
-		for _, key := range workloadKeys {
+		for _, key := range keysForSize(size) {
 			w, ok := sr.Workloads[key]
 			if !ok {
 				return fmt.Errorf("size %q: workload %q missing", size, key)
@@ -391,7 +549,7 @@ func verifyAgainst(freshPath, basePath string, factor, minMS float64) error {
 				size, fs.N, fs.M, bs.N, bs.M)
 		}
 		shared++
-		for _, key := range workloadKeys {
+		for _, key := range keysForSize(size) {
 			fw, fok := fs.Workloads[key]
 			bw, bok := bs.Workloads[key]
 			if !fok || !bok {

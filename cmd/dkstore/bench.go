@@ -54,7 +54,7 @@ func runBench(st *store.Store, n, d int, out string) error {
 	if err := graph.WriteEdgeList(&text, g); err != nil {
 		return err
 	}
-	if err := graph.WriteBinary(&bin, g, nil); err != nil {
+	if err := graph.WriteBinaryCSR(&bin, g, nil); err != nil {
 		return err
 	}
 	rep.TextBytes = text.Len()
@@ -84,7 +84,7 @@ func runBench(st *store.Store, n, d int, out string) error {
 	}
 	var profile *dk.Profile
 	rep.ExtractMs, err = timeIt(1, func() error {
-		p, err := dk.ExtractGraph(g, d)
+		p, err := dk.Extract(g, d)
 		profile = p
 		return err
 	})

@@ -201,8 +201,9 @@ func runImport(st *store.Store, path string) error {
 	if err != nil {
 		return err
 	}
-	hash := graph.ContentHash(g, labels)
-	if err := st.PutGraph(hash, g, labels); err != nil {
+	c := g.CSR()
+	hash := graph.ContentHash(c, labels)
+	if err := st.PutGraph(hash, c, labels); err != nil {
 		return err
 	}
 	fmt.Println(hash)

@@ -66,7 +66,7 @@ func main() {
 
 // generateFromJDD builds a 2K graph from a (rescaled) JDD alone, using
 // the profile-based API.
-func generateFromJDD(jdd *dk.JDD, rng *rand.Rand) (*graph.Graph, error) {
+func generateFromJDD(jdd *dk.JDD, rng *rand.Rand) (*graph.CSR, error) {
 	dd, err := jdd.DegreeDist()
 	if err != nil {
 		return nil, err

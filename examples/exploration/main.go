@@ -66,7 +66,7 @@ func main() {
 	fmt.Println("interest, move to d = 3 (the paper's Table 7 methodology).")
 }
 
-func summarize(g *graph.Graph) metrics.Summary {
+func summarize(g *graph.CSR) metrics.Summary {
 	gcc, _ := graph.GiantComponent(g)
 	sum, err := metrics.Summarize(gcc.Static(), metrics.SummaryOptions{})
 	if err != nil {

@@ -43,7 +43,7 @@ func main() {
 	fmt.Println("periphery; 3K locks the structure back in.")
 }
 
-func report(name string, g *graph.Graph) {
+func report(name string, g *graph.CSR) {
 	gcc, _ := graph.GiantComponent(g)
 	s := gcc.Static()
 	sum, err := metrics.Summarize(s, metrics.SummaryOptions{SkipS2: true})

@@ -52,7 +52,7 @@ func main() {
 	fmt.Printf("wrote 5 DOT files to %s — render with: neato -Tsvg <file>\n", *outdir)
 }
 
-func write(dir, name, title string, g *graph.Graph, hubThreshold int) error {
+func write(dir, name, title string, g *graph.CSR, hubThreshold int) error {
 	f, err := os.Create(filepath.Join(dir, name))
 	if err != nil {
 		return err

@@ -57,7 +57,7 @@ func (el *EdgeLabels) Len() int { return len(el.labels) }
 // heuristic used in AS-relationship inference: an edge whose endpoint
 // degrees differ by more than ratio is customer-provider (the smaller
 // degree is the customer), otherwise peer-peer.
-func InferASRelationships(g *graph.Graph, ratio float64) *EdgeLabels {
+func InferASRelationships(g *graph.CSR, ratio float64) *EdgeLabels {
 	el := NewEdgeLabels()
 	for _, e := range g.Edges() {
 		du, dv := float64(g.Degree(e.U)), float64(g.Degree(e.V))
@@ -96,7 +96,7 @@ type LabeledJDD struct {
 }
 
 // Extract computes the labeled JDD of g under the given labels.
-func Extract(g *graph.Graph, el *EdgeLabels) *LabeledJDD {
+func Extract(g *graph.CSR, el *EdgeLabels) *LabeledJDD {
 	out := &LabeledJDD{Count: make(map[Class]int)}
 	for _, e := range g.Edges() {
 		c := NewClass(g.Degree(e.U), g.Degree(e.V), el.Get(e.U, e.V))
@@ -147,7 +147,7 @@ type RandomizeOptions struct {
 // matching endpoint degrees, so both the JDD and the per-label class
 // counts are exactly preserved. It returns the rewired graph and its
 // updated labels.
-func Randomize(g *graph.Graph, el *EdgeLabels, opt RandomizeOptions) (*graph.Graph, *EdgeLabels, error) {
+func Randomize(g *graph.CSR, el *EdgeLabels, opt RandomizeOptions) (*graph.CSR, *EdgeLabels, error) {
 	if opt.Rng == nil {
 		return nil, nil, fmt.Errorf("annotate: Randomize requires Rng")
 	}

@@ -9,8 +9,8 @@ import (
 	"repro/internal/graph"
 )
 
-func connectedRandom(rng *rand.Rand, n, extra int) *graph.Graph {
-	g := graph.New(n)
+func connectedRandom(rng *rand.Rand, n, extra int) *graph.CSR {
+	g := graph.NewCSR(n)
 	for i := 1; i < n; i++ {
 		if err := g.AddEdge(i, rng.Intn(i)); err != nil {
 			panic(err)
@@ -52,7 +52,7 @@ func TestEdgeLabelsCanonical(t *testing.T) {
 
 func TestInferASRelationships(t *testing.T) {
 	// Star: hub degree 5 vs leaves degree 1 → all customer-provider.
-	g := graph.New(6)
+	g := graph.NewCSR(6)
 	for i := 1; i <= 5; i++ {
 		if err := g.AddEdge(0, i); err != nil {
 			t.Fatal(err)
@@ -65,7 +65,7 @@ func TestInferASRelationships(t *testing.T) {
 		}
 	}
 	// Triangle: equal degrees → all peer-peer.
-	tri := graph.New(3)
+	tri := graph.NewCSR(3)
 	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
 		if err := tri.AddEdge(e[0], e[1]); err != nil {
 			t.Fatal(err)
@@ -86,7 +86,7 @@ func TestExtractAndMarginalize(t *testing.T) {
 		t.Fatalf("labeled JDD M = %d, want %d", lj.M, g.M())
 	}
 	// Marginalizing labels must recover the plain JDD exactly.
-	p, err := dk.ExtractGraph(g, 2)
+	p, err := dk.Extract(g, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestRandomizeActuallyRewires(t *testing.T) {
 }
 
 func TestRandomizeValidation(t *testing.T) {
-	g := graph.New(3)
+	g := graph.NewCSR(3)
 	if err := g.AddEdge(0, 1); err != nil {
 		t.Fatal(err)
 	}

@@ -71,14 +71,14 @@ type Options struct {
 }
 
 // Extract computes the dK-distributions of g up to depth d (0..3).
-func Extract(g *graph.Graph, d int) (*dk.Profile, error) {
-	return dk.ExtractGraph(g, d)
+func Extract(g *graph.CSR, d int) (*dk.Profile, error) {
+	return dk.Extract(g, d)
 }
 
 // Generate constructs a random graph with property P_d of the profile,
 // using the requested method. The profile must have been extracted to
 // depth >= d.
-func Generate(p *dk.Profile, d int, method Method, opt Options) (*graph.Graph, error) {
+func Generate(p *dk.Profile, d int, method Method, opt Options) (*graph.CSR, error) {
 	if opt.Rng == nil {
 		return nil, fmt.Errorf("core: Options.Rng is required")
 	}
@@ -149,7 +149,7 @@ func Generate(p *dk.Profile, d int, method Method, opt Options) (*graph.Graph, e
 	}
 }
 
-func runTargeting(start *graph.Graph, p *dk.Profile, d int, opt Options) (*graph.Graph, error) {
+func runTargeting(start *graph.CSR, p *dk.Profile, d int, opt Options) (*graph.CSR, error) {
 	topt := opt.Target
 	topt.Rng = opt.Rng
 	topt.StopAtZero = true
@@ -163,7 +163,7 @@ func runTargeting(start *graph.Graph, p *dk.Profile, d int, opt Options) (*graph
 // Randomize returns a dK-random counterpart of g: a graph with the same
 // dK-distribution at depth d but otherwise maximally random, produced by
 // dK-preserving randomizing rewiring (the paper's default in Section 5.2).
-func Randomize(g *graph.Graph, d int, opt Options) (*graph.Graph, error) {
+func Randomize(g *graph.CSR, d int, opt Options) (*graph.CSR, error) {
 	if opt.Rng == nil {
 		return nil, fmt.Errorf("core: Options.Rng is required")
 	}
@@ -183,7 +183,7 @@ type ComparisonReport struct {
 }
 
 // Compare computes the scalar metric suite for both graphs' GCCs.
-func Compare(a, b *graph.Graph, opt Options) (*ComparisonReport, error) {
+func Compare(a, b *graph.CSR, opt Options) (*ComparisonReport, error) {
 	if opt.Rng == nil {
 		return nil, fmt.Errorf("core: Options.Rng is required")
 	}

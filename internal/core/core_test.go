@@ -13,7 +13,7 @@ import (
 
 func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
-func testGraph(t testing.TB, rng *rand.Rand, n int) *graph.Graph {
+func testGraph(t testing.TB, rng *rand.Rand, n int) *graph.CSR {
 	t.Helper()
 	pl, err := stats.NewPowerLaw(2.2, 1, n/4)
 	if err != nil {
@@ -26,7 +26,7 @@ func testGraph(t testing.TB, rng *rand.Rand, n int) *graph.Graph {
 			break
 		}
 	}
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	// Greedy Havel–Hakimi-ish seeding then randomize lightly — enough for
 	// an exercise graph; correctness of generators is tested in their own
 	// packages.

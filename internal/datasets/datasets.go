@@ -74,7 +74,7 @@ func PaperScaleSkitter(seed int64) SkitterConfig {
 // dK-machinery (S-minimizing 1K exploration, then C̄-maximizing 2K
 // exploration — which preserves the degree distribution and JDD shape
 // reached so far).
-func Skitter(cfg SkitterConfig) (*graph.Graph, error) {
+func Skitter(cfg SkitterConfig) (*graph.CSR, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	kMax := cfg.N / 4
@@ -123,7 +123,7 @@ func Skitter(cfg SkitterConfig) (*graph.Graph, error) {
 // exploreUntil runs dK-preserving exploration on g in place, in chunks of
 // proposals, until done() reports the target is reached or progress
 // stalls.
-func exploreUntil(g *graph.Graph, metric generate.ExploreMetric, maximize bool, rng *rand.Rand, done func() bool) error {
+func exploreUntil(g *graph.CSR, metric generate.ExploreMetric, maximize bool, rng *rand.Rand, done func() bool) error {
 	const chunks = 60
 	chunk := 4 * g.M()
 	prevAccepted := -1
@@ -195,14 +195,14 @@ type HOTRoles struct {
 // to access routers by a Zipf-like skewed allocation — producing the
 // HOT signature: k̄ ≈ 2, near-zero clustering, disassortative, and the
 // highest-degree nodes at the periphery.
-func HOT(cfg HOTConfig) (*graph.Graph, HOTRoles, error) {
+func HOT(cfg HOTConfig) (*graph.CSR, HOTRoles, error) {
 	cfg = cfg.withDefaults()
 	if cfg.CoreSize < 3 || cfg.Gateways < 1 || cfg.AccessRouters < 1 {
 		return nil, HOTRoles{}, fmt.Errorf("datasets: HOT config too small: %+v", cfg)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := cfg.CoreSize + cfg.Gateways + cfg.AccessRouters + cfg.Hosts
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	var roles HOTRoles
 
 	// Core ring + chords.
@@ -295,7 +295,7 @@ func PaperScaleHOT(seed int64) HOTConfig {
 	}
 }
 
-func mustEdge(g *graph.Graph, u, v int) {
+func mustEdge(g *graph.CSR, u, v int) {
 	if err := g.AddEdge(u, v); err != nil {
 		panic("datasets: " + err.Error())
 	}
@@ -303,8 +303,8 @@ func mustEdge(g *graph.Graph, u, v int) {
 
 // Paw returns the worked example graph from Section 3 of the paper: a
 // triangle {0,1,2} with a pendant node 3 attached to node 2.
-func Paw() *graph.Graph {
-	g := graph.New(4)
+func Paw() *graph.CSR {
+	g := graph.NewCSR(4)
 	mustEdge(g, 0, 1)
 	mustEdge(g, 1, 2)
 	mustEdge(g, 0, 2)
@@ -314,8 +314,8 @@ func Paw() *graph.Graph {
 
 // Petersen returns the Petersen graph (3-regular, girth 5), a standard
 // metric-validation fixture.
-func Petersen() *graph.Graph {
-	g := graph.New(10)
+func Petersen() *graph.CSR {
+	g := graph.NewCSR(10)
 	outer := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
 	inner := [][2]int{{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5}}
 	for _, e := range outer {

@@ -13,7 +13,7 @@ func TestPaw(t *testing.T) {
 	if g.N() != 4 || g.M() != 4 {
 		t.Fatalf("paw: n=%d m=%d", g.N(), g.M())
 	}
-	p, err := dk.ExtractGraph(g, 2)
+	p, err := dk.Extract(g, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

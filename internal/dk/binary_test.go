@@ -11,9 +11,9 @@ import (
 )
 
 // binTestGraph builds a reproducible random simple graph.
-func binTestGraph(n, m int, seed int64) *graph.Graph {
+func binTestGraph(n, m int, seed int64) *graph.CSR {
 	rng := rand.New(rand.NewSource(seed))
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	for g.M() < m {
 		u, v := rng.Intn(n), rng.Intn(n)
 		if u == v || g.HasEdge(u, v) {
@@ -29,7 +29,7 @@ func binTestGraph(n, m int, seed int64) *graph.Graph {
 func TestProfileBinaryRoundTrip(t *testing.T) {
 	g := binTestGraph(60, 150, 1)
 	for d := 0; d <= 3; d++ {
-		p, err := ExtractGraph(g, d)
+		p, err := Extract(g, d)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -65,7 +65,7 @@ func TestProfileBinaryCanonical(t *testing.T) {
 	g := binTestGraph(40, 90, 2)
 	var prev []byte
 	for i := 0; i < 5; i++ {
-		p, err := ExtractGraph(g, 3)
+		p, err := Extract(g, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,7 +84,7 @@ func TestProfileBinaryCanonical(t *testing.T) {
 // rejected.
 func TestProfileBinaryCorruption(t *testing.T) {
 	g := binTestGraph(30, 70, 3)
-	p, err := ExtractGraph(g, 3)
+	p, err := Extract(g, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

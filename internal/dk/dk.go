@@ -217,7 +217,9 @@ type Profile struct {
 }
 
 // Extract computes the dK-distributions of s up to depth d (0..3).
-func Extract(s *graph.Static, d int) (*Profile, error) {
+// It accepts any sorted-window adjacency (*graph.CSR or *graph.Static),
+// so extraction runs directly on the working representation.
+func Extract(s graph.Adjacency, d int) (*Profile, error) {
 	if d < 0 || d > 3 {
 		return nil, fmt.Errorf("dk: depth %d outside supported range 0..3", d)
 	}
@@ -249,11 +251,6 @@ func Extract(s *graph.Static, d int) (*Profile, error) {
 		p.Census = subgraphs.Count(s)
 	}
 	return p, nil
-}
-
-// ExtractGraph is Extract on a mutable graph.
-func ExtractGraph(g *graph.Graph, d int) (*Profile, error) {
-	return Extract(g.Static(), d)
 }
 
 // Validate checks the internal consistency of the profile: the inclusion

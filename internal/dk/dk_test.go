@@ -10,9 +10,9 @@ import (
 	"repro/internal/subgraphs"
 )
 
-func build(t *testing.T, n int, edges [][2]int) *graph.Graph {
+func build(t *testing.T, n int, edges [][2]int) *graph.CSR {
 	t.Helper()
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	for _, e := range edges {
 		if err := g.AddEdge(e[0], e[1]); err != nil {
 			t.Fatal(err)
@@ -23,12 +23,12 @@ func build(t *testing.T, n int, edges [][2]int) *graph.Graph {
 
 // paw returns the worked example from Section 3 of the paper: a triangle
 // {0,1,2} with pendant node 3 attached to node 2.
-func paw(t *testing.T) *graph.Graph {
+func paw(t *testing.T) *graph.CSR {
 	return build(t, 4, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
 }
 
-func randomGraph(rng *rand.Rand, n, m int) *graph.Graph {
-	g := graph.New(n)
+func randomGraph(rng *rand.Rand, n, m int) *graph.CSR {
+	g := graph.NewCSR(n)
 	for g.M() < m {
 		u, v := rng.Intn(n), rng.Intn(n)
 		if u == v || g.HasEdge(u, v) {
@@ -43,7 +43,7 @@ func randomGraph(rng *rand.Rand, n, m int) *graph.Graph {
 
 func TestExtractPaperExample(t *testing.T) {
 	g := paw(t)
-	p, err := ExtractGraph(g, 3)
+	p, err := Extract(g, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,24 +79,24 @@ func TestExtractPaperExample(t *testing.T) {
 
 func TestExtractDepthValidation(t *testing.T) {
 	g := paw(t)
-	if _, err := ExtractGraph(g, -1); err == nil {
+	if _, err := Extract(g, -1); err == nil {
 		t.Error("depth -1 accepted")
 	}
-	if _, err := ExtractGraph(g, 4); err == nil {
+	if _, err := Extract(g, 4); err == nil {
 		t.Error("depth 4 accepted")
 	}
 }
 
 func TestExtractShallowDepths(t *testing.T) {
 	g := paw(t)
-	p0, err := ExtractGraph(g, 0)
+	p0, err := Extract(g, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p0.Degrees != nil || p0.Joint != nil || p0.Census != nil {
 		t.Error("depth-0 profile has deeper fields populated")
 	}
-	p1, err := ExtractGraph(g, 1)
+	p1, err := Extract(g, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestValidateInclusionProperty(t *testing.T) {
 		n := 4 + rng.Intn(30)
 		m := rng.Intn(n*(n-1)/2 + 1)
 		g := randomGraph(rng, n, m)
-		p, err := ExtractGraph(g, 3)
+		p, err := Extract(g, 3)
 		if err != nil {
 			return false
 		}
@@ -137,7 +137,7 @@ func TestJDDDegreeDistErrors(t *testing.T) {
 
 func TestJDDP(t *testing.T) {
 	g := paw(t)
-	p, _ := ExtractGraph(g, 2)
+	p, _ := Extract(g, 2)
 	// P(k1,k2) sums to 1 over canonical pairs with the µ weighting folded:
 	// Σ_{k1<=k2} m·µ/(2m) = Σ m(k1,k2)/(2M)·µ; for the paw:
 	// (1·2 + 2·1 + 1·1 + ... ) — just verify a couple of point values.
@@ -154,7 +154,7 @@ func TestJDDP(t *testing.T) {
 
 func TestRestrict(t *testing.T) {
 	g := paw(t)
-	p, _ := ExtractGraph(g, 3)
+	p, _ := Extract(g, 3)
 	q, err := p.Restrict(1)
 	if err != nil {
 		t.Fatal(err)
@@ -178,8 +178,8 @@ func TestRestrict(t *testing.T) {
 func TestDistancesZeroAndPositive(t *testing.T) {
 	g := paw(t)
 	h := build(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}}) // path
-	pg, _ := ExtractGraph(g, 3)
-	ph, _ := ExtractGraph(h, 3)
+	pg, _ := Extract(g, 3)
+	ph, _ := Extract(h, 3)
 	for d := 0; d <= 3; d++ {
 		same, err := Distance(pg, pg, d)
 		if err != nil {
@@ -199,7 +199,7 @@ func TestDistancesZeroAndPositive(t *testing.T) {
 	if _, err := Distance(pg, ph, 4); err == nil {
 		t.Error("distance depth 4 accepted")
 	}
-	shallow, _ := ExtractGraph(g, 1)
+	shallow, _ := Extract(g, 1)
 	if _, err := Distance(shallow, ph, 2); err == nil {
 		t.Error("distance beyond extraction depth accepted")
 	}
@@ -211,8 +211,8 @@ func TestDistanceSymmetryProperty(t *testing.T) {
 		n := 4 + rng.Intn(20)
 		g1 := randomGraph(rng, n, rng.Intn(n*(n-1)/2+1))
 		g2 := randomGraph(rng, n, rng.Intn(n*(n-1)/2+1))
-		p1, _ := ExtractGraph(g1, 3)
-		p2, _ := ExtractGraph(g2, 3)
+		p1, _ := Extract(g1, 3)
+		p2, _ := Extract(g2, 3)
 		for d := 0; d <= 3; d++ {
 			a, _ := Distance(p1, p2, d)
 			b, _ := Distance(p2, p1, d)
@@ -266,7 +266,7 @@ func TestGraphicalMatchesRealGraphsProperty(t *testing.T) {
 
 func TestRescale1K(t *testing.T) {
 	g := randomGraph(rand.New(rand.NewSource(5)), 60, 150)
-	p, _ := ExtractGraph(g, 1)
+	p, _ := Extract(g, 1)
 	for _, newN := range []int{10, 60, 200, 999} {
 		r, err := Rescale1K(p.Degrees, newN)
 		if err != nil {
@@ -299,7 +299,7 @@ func TestRescale1K(t *testing.T) {
 
 func TestRescale2K(t *testing.T) {
 	g := randomGraph(rand.New(rand.NewSource(11)), 50, 120)
-	p, _ := ExtractGraph(g, 2)
+	p, _ := Extract(g, 2)
 	for _, newN := range []int{25, 50, 150} {
 		r, err := Rescale2K(p.Joint, newN)
 		if err != nil {
@@ -323,7 +323,7 @@ func TestRescale2KPropertyConsistent(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 10 + rng.Intn(40)
 		g := randomGraph(rng, n, n+rng.Intn(2*n))
-		p, _ := ExtractGraph(g, 2)
+		p, _ := Extract(g, 2)
 		newN := 5 + rng.Intn(300)
 		r, err := Rescale2K(p.Joint, newN)
 		if err != nil {

@@ -12,9 +12,9 @@ import (
 
 // jsonFixtureGraph builds a small irregular graph with nontrivial wedge
 // and triangle structure for codec tests.
-func jsonFixtureGraph(t *testing.T) *graph.Graph {
+func jsonFixtureGraph(t *testing.T) *graph.CSR {
 	t.Helper()
-	g := graph.New(7)
+	g := graph.NewCSR(7)
 	edges := [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 2}, {5, 6}}
 	for _, e := range edges {
 		if err := g.AddEdge(e[0], e[1]); err != nil {
@@ -27,7 +27,7 @@ func jsonFixtureGraph(t *testing.T) *graph.Graph {
 func TestProfileJSONRoundTrip(t *testing.T) {
 	g := jsonFixtureGraph(t)
 	for d := 0; d <= 3; d++ {
-		p, err := ExtractGraph(g, d)
+		p, err := Extract(g, d)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -59,7 +59,7 @@ func TestProfileJSONStable(t *testing.T) {
 	g := jsonFixtureGraph(t)
 	var prev []byte
 	for i := 0; i < 5; i++ {
-		p, err := ExtractGraph(g, 3)
+		p, err := Extract(g, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,7 +76,7 @@ func TestProfileJSONStable(t *testing.T) {
 
 func TestProfileJSONSortedClasses(t *testing.T) {
 	g := jsonFixtureGraph(t)
-	p, err := ExtractGraph(g, 3)
+	p, err := Extract(g, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestJDDJSONRecomputesTotal(t *testing.T) {
 func TestProfileJSONFromRandomGraphs(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 10; trial++ {
-		g := graph.New(20)
+		g := graph.NewCSR(20)
 		for i := 0; i < 40; i++ {
 			u, v := rng.Intn(20), rng.Intn(20)
 			if u != v && !g.HasEdge(u, v) {
@@ -141,7 +141,7 @@ func TestProfileJSONFromRandomGraphs(t *testing.T) {
 				}
 			}
 		}
-		p, err := ExtractGraph(g, 3)
+		p, err := Extract(g, 3)
 		if err != nil {
 			t.Fatal(err)
 		}

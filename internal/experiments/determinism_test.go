@@ -23,7 +23,7 @@ func withWorkers(w int, fn func()) {
 // because every seed derives its own RNG stream from (purpose, index)
 // and summaries are reduced in index order.
 func TestMeanSummaryDeterministicAcrossWorkers(t *testing.T) {
-	gen := func(rng *rand.Rand) (*graph.Graph, error) {
+	gen := func(rng *rand.Rand) (*graph.CSR, error) {
 		return generate.Stochastic0K(250, 6, generate.Options{Rng: rng})
 	}
 	run := func(workers int) metrics.Summary {

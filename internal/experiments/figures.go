@@ -15,11 +15,11 @@ import (
 // namedGraph pairs a column label with a graph variant (always the GCC).
 type namedGraph struct {
 	name string
-	g    *graph.Graph
+	g    *graph.CSR
 }
 
 // gccOf returns the giant component of g.
-func gccOf(g *graph.Graph) *graph.Graph {
+func gccOf(g *graph.CSR) *graph.CSR {
 	gcc, _ := graph.GiantComponent(g)
 	return gcc
 }
@@ -27,7 +27,7 @@ func gccOf(g *graph.Graph) *graph.Graph {
 // variants2K builds one GCC per 2K construction technique (Fig. 5a/5b).
 // The five constructions are independent (per-method RNG streams), so
 // they run concurrently on the worker pool.
-func (l *Lab) variants2K(ref *graph.Graph, p *dk.Profile, purpose int64) ([]namedGraph, error) {
+func (l *Lab) variants2K(ref *graph.CSR, p *dk.Profile, purpose int64) ([]namedGraph, error) {
 	out := make([]namedGraph, len(twoKMethods))
 	err := parallel.ForErr(len(twoKMethods), func(mi int) error {
 		method := twoKMethods[mi]
@@ -46,7 +46,7 @@ func (l *Lab) variants2K(ref *graph.Graph, p *dk.Profile, purpose int64) ([]name
 
 // variantsDK builds the 0K..3K dK-random GCCs of a reference
 // (Figs. 6, 8, 9), one rewiring run per depth, concurrently.
-func (l *Lab) variantsDK(ref *graph.Graph, purpose int64) ([]namedGraph, error) {
+func (l *Lab) variantsDK(ref *graph.CSR, purpose int64) ([]namedGraph, error) {
 	out := make([]namedGraph, 4)
 	err := parallel.ForErr(4, func(d int) error {
 		g, err := generateDKRandom(ref, d, l.Rng(purpose+int64(d)))
@@ -64,7 +64,7 @@ func (l *Lab) variantsDK(ref *graph.Graph, purpose int64) ([]namedGraph, error) 
 
 // distanceSeries renders a hop-distance PDF series for graph variants
 // plus the original — the shape plotted in Figures 5b, 5c, 6a and 8.
-func distanceSeries(id, title string, variants []namedGraph, orig *graph.Graph) *Series {
+func distanceSeries(id, title string, variants []namedGraph, orig *graph.CSR) *Series {
 	variants = append(variants, namedGraph{"original", gccOf(orig)})
 	pdfs := make([][]float64, len(variants))
 	// Per-variant all-pairs BFS sweeps are independent; fan them out on
@@ -138,7 +138,7 @@ func binnedByDegree(s *graph.Static, values []float64, restrict func(deg int) bo
 // per-node metric extractor. Variants are processed concurrently; each
 // gets its own index-derived rand.Rand (rngAt), so sampled extractors
 // like betweennessPerNode stay deterministic at any worker count.
-func perDegreeSeries(id, title, what string, variants []namedGraph, orig *graph.Graph,
+func perDegreeSeries(id, title, what string, variants []namedGraph, orig *graph.CSR,
 	perNode func(s *graph.Static, rng *rand.Rand) []float64,
 	restrict func(deg int) bool, rngAt func(i int) *rand.Rand) *Series {
 	variants = append(variants, namedGraph{"original", gccOf(orig)})
@@ -446,7 +446,7 @@ func hubPlacement(s *graph.Static) (ratio, meanEcc float64) {
 }
 
 // exploreClustering is a tiny wrapper used by Fig7 and Table7.
-func exploreClustering(g *graph.Graph, maximize bool, budget int, rng *rand.Rand) (*graph.Graph, error) {
+func exploreClustering(g *graph.CSR, maximize bool, budget int, rng *rand.Rand) (*graph.CSR, error) {
 	res, err := exploreMetricGraph(g, maximize, budget, rng)
 	if err != nil {
 		return nil, err

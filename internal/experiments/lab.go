@@ -58,16 +58,16 @@ func (c Config) withDefaults() Config {
 type Lab struct {
 	Cfg Config
 
-	skitter        func() (*graph.Graph, error)
+	skitter        func() (*graph.CSR, error)
 	skitterProfile func() (*dk.Profile, error)
-	hot            func() (*graph.Graph, error)
+	hot            func() (*graph.CSR, error)
 	hotProfile     func() (*dk.Profile, error)
 }
 
 // NewLab prepares a lazily-populated lab.
 func NewLab(cfg Config) *Lab {
 	l := &Lab{Cfg: cfg.withDefaults()}
-	l.skitter = sync.OnceValues(func() (*graph.Graph, error) {
+	l.skitter = sync.OnceValues(func() (*graph.CSR, error) {
 		cfg := datasets.SkitterConfig{Seed: l.Cfg.Seed}
 		if l.Cfg.Scale == ScalePaper {
 			cfg = datasets.PaperScaleSkitter(l.Cfg.Seed)
@@ -85,9 +85,9 @@ func NewLab(cfg Config) *Lab {
 		if err != nil {
 			return nil, err
 		}
-		return dk.ExtractGraph(g, 3)
+		return dk.Extract(g, 3)
 	})
-	l.hot = sync.OnceValues(func() (*graph.Graph, error) {
+	l.hot = sync.OnceValues(func() (*graph.CSR, error) {
 		g, _, err := datasets.HOT(datasets.PaperScaleHOT(l.Cfg.Seed))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: building HOT-like graph: %w", err)
@@ -99,7 +99,7 @@ func NewLab(cfg Config) *Lab {
 		if err != nil {
 			return nil, err
 		}
-		return dk.ExtractGraph(g, 3)
+		return dk.Extract(g, 3)
 	})
 	return l
 }
@@ -110,20 +110,20 @@ func (l *Lab) Rng(purpose int64) *rand.Rand {
 }
 
 // Skitter returns the AS-like reference graph (GCC, connected).
-func (l *Lab) Skitter() (*graph.Graph, error) { return l.skitter() }
+func (l *Lab) Skitter() (*graph.CSR, error) { return l.skitter() }
 
 // SkitterProfile returns the depth-3 dK-profile of the skitter-like graph.
 func (l *Lab) SkitterProfile() (*dk.Profile, error) { return l.skitterProfile() }
 
 // HOT returns the router-like reference graph (connected by
 // construction).
-func (l *Lab) HOT() (*graph.Graph, error) { return l.hot() }
+func (l *Lab) HOT() (*graph.CSR, error) { return l.hot() }
 
 // HOTProfile returns the depth-3 dK-profile of the HOT-like graph.
 func (l *Lab) HOTProfile() (*dk.Profile, error) { return l.hotProfile() }
 
 // summarizeGCC computes the scalar metrics of g's giant component.
-func summarizeGCC(g *graph.Graph, spectral bool, rng *rand.Rand) (metrics.Summary, error) {
+func summarizeGCC(g *graph.CSR, spectral bool, rng *rand.Rand) (metrics.Summary, error) {
 	gcc, _ := graph.GiantComponent(g)
 	return metrics.Summarize(gcc.Static(), metrics.SummaryOptions{
 		Spectral: spectral,
@@ -138,7 +138,7 @@ func summarizeGCC(g *graph.Graph, spectral bool, rng *rand.Rand) (metrics.Summar
 // in index order, making the mean identical at every worker count. gen
 // must therefore be safe for concurrent calls (every generator in
 // internal/generate is, given distinct Rngs).
-func (l *Lab) meanSummaryOver(spectral bool, purpose int64, gen func(rng *rand.Rand) (*graph.Graph, error)) (metrics.Summary, error) {
+func (l *Lab) meanSummaryOver(spectral bool, purpose int64, gen func(rng *rand.Rand) (*graph.CSR, error)) (metrics.Summary, error) {
 	sums := make([]metrics.Summary, l.Cfg.Seeds)
 	err := parallel.ForErr(l.Cfg.Seeds, func(s int) error {
 		rng := l.Rng(purpose*1000 + int64(s))

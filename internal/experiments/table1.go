@@ -14,7 +14,7 @@ import (
 
 // exploreMetricGraph runs clustering exploration and returns the final
 // graph (helper shared with figures.go).
-func exploreMetricGraph(g *graph.Graph, maximize bool, budget int, rng *rand.Rand) (*graph.Graph, error) {
+func exploreMetricGraph(g *graph.CSR, maximize bool, budget int, rng *rand.Rand) (*graph.CSR, error) {
 	res, err := generate.Explore(g, generate.MetricClustering, generate.ExploreOptions{
 		Rng:         rng,
 		Maximize:    maximize,

@@ -29,7 +29,7 @@ import (
 // spanning-tree edges, so it is never a bridge of its component, and the
 // merge bookkeeping below keeps every tracked chord cycle-closing
 // without ever recomputing bridges (see connectState.merge).
-func ConnectViaSwaps(g *graph.Graph, rng *rand.Rand) (isolated int, err error) {
+func ConnectViaSwaps(g *graph.CSR, rng *rand.Rand) (isolated int, err error) {
 	if rng == nil {
 		return 0, fmt.Errorf("generate: ConnectViaSwaps requires rng")
 	}
@@ -79,7 +79,7 @@ type connectState struct {
 // by component. The traversal walks the sorted CSR snapshot, not the
 // adjacency maps — map iteration order would leak into the tree/chord
 // split and make the same seed produce different connected graphs.
-func newConnectState(g *graph.Graph) *connectState {
+func newConnectState(g *graph.CSR) *connectState {
 	st := &connectState{}
 	s := g.Static()
 	n := s.N()
@@ -145,7 +145,7 @@ func newConnectState(g *graph.Graph) *connectState {
 //
 //	chord + chord:     both consumed, one new edge re-enters as a chord
 //	chord + tree edge: chord consumed, both new edges become tree edges
-func (st *connectState) merge(g *graph.Graph, rng *rand.Rand, hub, b *connectComp) {
+func (st *connectState) merge(g *graph.CSR, rng *rand.Rand, hub, b *connectComp) {
 	// e1 is the guaranteed chord; e2 comes from the other side.
 	var e1, e2 graph.Edge
 	bothChords := false

@@ -16,7 +16,7 @@ import (
 // oracle for the differential tests below and as the baseline of
 // BenchmarkConnectViaSwaps, which demonstrates the rewrite's near-linear
 // scaling in the component count.
-func connectViaSwapsQuadratic(g *graph.Graph, rng *rand.Rand) (isolated int, err error) {
+func connectViaSwapsQuadratic(g *graph.CSR, rng *rand.Rand) (isolated int, err error) {
 	if rng == nil {
 		return 0, fmt.Errorf("generate: ConnectViaSwaps requires rng")
 	}
@@ -71,10 +71,10 @@ func connectViaSwapsQuadratic(g *graph.Graph, rng *rand.Rand) (isolated int, err
 // (a mix of trees and trees-with-chords), each 3..10 nodes, plus a few
 // isolated nodes. It returns the graph and the number of chords added
 // (the graph's independent-cycle count), which decides feasibility.
-func connectInput(rng *rand.Rand, nc int, chordsPerComp func(i int) int) (*graph.Graph, int, int) {
+func connectInput(rng *rand.Rand, nc int, chordsPerComp func(i int) int) (*graph.CSR, int, int) {
 	const maxSize = 10
 	isolated := rng.Intn(4)
-	g := graph.New(nc*maxSize + isolated)
+	g := graph.NewCSR(nc*maxSize + isolated)
 	totalChords := 0
 	for c := 0; c < nc; c++ {
 		base := c * maxSize
@@ -110,7 +110,7 @@ func connectInput(rng *rand.Rand, nc int, chordsPerComp func(i int) int) (*graph
 }
 
 // edgeBearingComponents counts components with at least one edge.
-func edgeBearingComponents(g *graph.Graph) int {
+func edgeBearingComponents(g *graph.CSR) int {
 	_, sizes := graph.Components(g.Static())
 	n := 0
 	for _, sz := range sizes {
@@ -214,7 +214,7 @@ func TestConnectViaSwapsMatchesQuadraticSemantics(t *testing.T) {
 // one cycle-rich hub, the shape pseudograph simplification produces.
 func TestConnectViaSwapsSingleEdgeComponents(t *testing.T) {
 	rng := newRng(40)
-	g := graph.New(30)
+	g := graph.NewCSR(30)
 	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}, {1, 3}} {
 		if err := g.AddEdge(e[0], e[1]); err != nil {
 			t.Fatal(err)
@@ -247,8 +247,8 @@ func TestConnectViaSwapsSingleEdgeComponents(t *testing.T) {
 // TestConnectViaSwapsBarelyFeasible pins the boundary case: exactly c−1
 // chords for c components must succeed, one fewer must fail untouched.
 func TestConnectViaSwapsBarelyFeasible(t *testing.T) {
-	build := func(chords int) *graph.Graph {
-		g := graph.New(20)
+	build := func(chords int) *graph.CSR {
+		g := graph.NewCSR(20)
 		// Component 0: path 0-1-2-3 plus `chords` extra edges.
 		for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
 			if err := g.AddEdge(e[0], e[1]); err != nil {
@@ -311,8 +311,8 @@ func TestConnectViaSwapsDeterministic(t *testing.T) {
 // benchConnectInput builds nc ring components of ringSize nodes each —
 // every component carries exactly one chord, so connecting is feasible
 // and the work scales purely with the component count.
-func benchConnectInput(nc, ringSize int) *graph.Graph {
-	g := graph.New(nc * ringSize)
+func benchConnectInput(nc, ringSize int) *graph.CSR {
+	g := graph.NewCSR(nc * ringSize)
 	for c := 0; c < nc; c++ {
 		base := c * ringSize
 		for i := 0; i < ringSize; i++ {
@@ -334,7 +334,7 @@ func BenchmarkConnectViaSwaps(b *testing.B) {
 		ringSize := totalNodes / nc
 		for _, impl := range []struct {
 			name string
-			fn   func(*graph.Graph, *rand.Rand) (int, error)
+			fn   func(*graph.CSR, *rand.Rand) (int, error)
 		}{
 			{"new", ConnectViaSwaps},
 			{"quadratic", connectViaSwapsQuadratic},

@@ -36,7 +36,7 @@ type RewiringCount struct {
 // The enumeration is O(m²) candidate swaps with an O(d_u+d_v+d_x+d_y)
 // census check at depth 3 — exact, intended for graphs of the HOT scale
 // on which the paper reports Table 5.
-func CountInitialRewirings(g *graph.Graph, depth int) (RewiringCount, error) {
+func CountInitialRewirings(g *graph.CSR, depth int) (RewiringCount, error) {
 	if depth < 0 || depth > 3 {
 		return RewiringCount{}, fmt.Errorf("generate: depth %d outside 0..3", depth)
 	}

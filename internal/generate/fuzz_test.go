@@ -12,7 +12,7 @@ import (
 // jddMultiset returns the joint degree distribution of g as a sorted
 // list of canonical (min-degree, max-degree) pairs, one per edge —
 // a comparable fingerprint of the paper's 2K-distribution.
-func jddMultiset(g *graph.Graph) [][2]int {
+func jddMultiset(g *graph.CSR) [][2]int {
 	deg := g.DegreeSequence()
 	out := make([][2]int, 0, g.M())
 	for _, e := range g.Edges() {
@@ -49,7 +49,7 @@ func FuzzRewireMoves(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed int64, depth, steps uint8, data []byte) {
 		d := int(depth % 4)
 		n := 4 + len(data)%13
-		g := graph.New(n)
+		g := graph.NewCSR(n)
 		for i := 0; i+1 < len(data); i += 2 {
 			u, v := int(data[i])%n, int(data[i+1])%n
 			if u != v {

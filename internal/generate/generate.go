@@ -104,7 +104,7 @@ func unrankSamePair(idx int64, n int) (int, int) {
 
 // Stochastic0K builds a classical Erdős–Rényi G(n,p) graph with
 // p = k̄/n, reproducing the target average degree in expectation.
-func Stochastic0K(n int, avgDegree float64, opt Options) (*graph.Graph, error) {
+func Stochastic0K(n int, avgDegree float64, opt Options) (*graph.CSR, error) {
 	rng, err := opt.rng()
 	if err != nil {
 		return nil, err
@@ -116,7 +116,7 @@ func Stochastic0K(n int, avgDegree float64, opt Options) (*graph.Graph, error) {
 	if p > 1 {
 		p = 1
 	}
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	total := int64(n) * int64(n-1) / 2
 	blockSample(rng, total, p,
 		func(idx int64) (int, int) { return unrankSamePair(idx, n) },

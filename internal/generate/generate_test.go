@@ -13,8 +13,8 @@ import (
 
 func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
-func connectedRandom(rng *rand.Rand, n, extra int) *graph.Graph {
-	g := graph.New(n)
+func connectedRandom(rng *rand.Rand, n, extra int) *graph.CSR {
+	g := graph.NewCSR(n)
 	for i := 1; i < n; i++ {
 		if err := g.AddEdge(i, rng.Intn(i)); err != nil {
 			panic(err)
@@ -37,7 +37,7 @@ func connectedRandom(rng *rand.Rand, n, extra int) *graph.Graph {
 }
 
 // powerLawGraph builds a connected power-law-ish test graph via matching.
-func powerLawGraph(t testing.TB, rng *rand.Rand, n int) *graph.Graph {
+func powerLawGraph(t testing.TB, rng *rand.Rand, n int) *graph.CSR {
 	t.Helper()
 	pl, err := stats.NewPowerLaw(2.2, 1, n/4)
 	if err != nil {
@@ -215,7 +215,7 @@ func TestStochasticDenseClassClamp(t *testing.T) {
 func TestStochastic2KReproducesJDDInExpectation(t *testing.T) {
 	rng := newRng(5)
 	src := powerLawGraph(t, rng, 600)
-	p, err := dk.ExtractGraph(src, 2)
+	p, err := dk.Extract(src, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +293,7 @@ func TestPseudograph1K(t *testing.T) {
 func TestPseudograph2K(t *testing.T) {
 	rng := newRng(7)
 	src := powerLawGraph(t, rng, 400)
-	p, err := dk.ExtractGraph(src, 2)
+	p, err := dk.Extract(src, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +373,7 @@ func TestMatching2KExactJDD(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := newRng(seed)
 		src := connectedRandom(rng, 30+rng.Intn(80), 60+rng.Intn(100))
-		p, err := dk.ExtractGraph(src, 2)
+		p, err := dk.Extract(src, 2)
 		if err != nil {
 			return false
 		}
@@ -383,7 +383,7 @@ func TestMatching2KExactJDD(t *testing.T) {
 			// rare failures but not systematically.
 			return true
 		}
-		q, err := dk.ExtractGraph(g, 2)
+		q, err := dk.Extract(g, 2)
 		if err != nil {
 			return false
 		}
@@ -399,7 +399,7 @@ func TestRewirePreservesInvariantsProperty(t *testing.T) {
 		rng := newRng(seed)
 		g := connectedRandom(rng, 15+rng.Intn(40), 20+rng.Intn(80))
 		for depth := 0; depth <= 3; depth++ {
-			before, err := dk.ExtractGraph(g, 3)
+			before, err := dk.Extract(g, 3)
 			if err != nil {
 				return false
 			}
@@ -407,7 +407,7 @@ func TestRewirePreservesInvariantsProperty(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			after, err := dk.ExtractGraph(out, 3)
+			after, err := dk.Extract(out, 3)
 			if err != nil {
 				return false
 			}
@@ -477,7 +477,7 @@ func TestJDDObjectiveTracksD2Property(t *testing.T) {
 		rng := newRng(seed)
 		g := connectedRandom(rng, 20+rng.Intn(30), 30+rng.Intn(60))
 		tgtGraph := connectedRandom(rng, g.N(), g.M()-g.N()+1)
-		tgt, err := dk.ExtractGraph(tgtGraph, 2)
+		tgt, err := dk.Extract(tgtGraph, 2)
 		if err != nil {
 			return false
 		}
@@ -495,7 +495,7 @@ func TestJDDObjectiveTracksD2Property(t *testing.T) {
 			return false
 		}
 		// Incremental state must match recomputation from scratch.
-		now, err := dk.ExtractGraph(g, 2)
+		now, err := dk.Extract(g, 2)
 		if err != nil {
 			return false
 		}
@@ -511,7 +511,7 @@ func TestCensusObjectiveTracksD3Property(t *testing.T) {
 		rng := newRng(seed)
 		g := connectedRandom(rng, 15+rng.Intn(25), 25+rng.Intn(50))
 		tgtGraph := connectedRandom(rng, g.N(), g.M()-g.N()+1)
-		tgt, err := dk.ExtractGraph(tgtGraph, 3)
+		tgt, err := dk.Extract(tgtGraph, 3)
 		if err != nil {
 			return false
 		}
@@ -528,7 +528,7 @@ func TestCensusObjectiveTracksD3Property(t *testing.T) {
 		if _, err := r.Run(30, 5000, 0); err != nil {
 			return false
 		}
-		now, err := dk.ExtractGraph(g, 3)
+		now, err := dk.Extract(g, 3)
 		if err != nil {
 			return false
 		}
@@ -544,7 +544,7 @@ func TestDegreeDistObjectiveTracksD1Property(t *testing.T) {
 		rng := newRng(seed)
 		g := connectedRandom(rng, 20+rng.Intn(30), 30+rng.Intn(40))
 		tgtGraph := connectedRandom(rng, g.N(), g.M()-g.N()+1)
-		tgt, err := dk.ExtractGraph(tgtGraph, 1)
+		tgt, err := dk.Extract(tgtGraph, 1)
 		if err != nil {
 			return false
 		}
@@ -561,7 +561,7 @@ func TestDegreeDistObjectiveTracksD1Property(t *testing.T) {
 		if _, err := r.Run(50, 5000, 0); err != nil {
 			return false
 		}
-		now, err := dk.ExtractGraph(g, 1)
+		now, err := dk.Extract(g, 1)
 		if err != nil {
 			return false
 		}
@@ -575,12 +575,12 @@ func TestDegreeDistObjectiveTracksD1Property(t *testing.T) {
 func TestTargetRewire2KConverges(t *testing.T) {
 	rng := newRng(11)
 	src := powerLawGraph(t, rng, 300)
-	tgt, err := dk.ExtractGraph(src, 2)
+	tgt, err := dk.Extract(src, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Start from a 1K-random graph with the same degree distribution.
-	p1, err := dk.ExtractGraph(src, 1)
+	p1, err := dk.Extract(src, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -603,7 +603,7 @@ func TestTargetRewire2KConverges(t *testing.T) {
 func TestTargetRewire3KImproves(t *testing.T) {
 	rng := newRng(12)
 	src := connectedRandom(rng, 80, 160)
-	tgt, err := dk.ExtractGraph(src, 3)
+	tgt, err := dk.Extract(src, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -619,7 +619,7 @@ func TestTargetRewire3KImproves(t *testing.T) {
 		t.Errorf("D3 did not decrease: %v → %v", res.InitialD, res.FinalD)
 	}
 	// 2K must be preserved along the way.
-	q, err := dk.ExtractGraph(res.FinalGraph, 2)
+	q, err := dk.Extract(res.FinalGraph, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -631,7 +631,7 @@ func TestTargetRewire3KImproves(t *testing.T) {
 func TestTargetRewire1KConverges(t *testing.T) {
 	rng := newRng(13)
 	src := powerLawGraph(t, rng, 200)
-	tgt, err := dk.ExtractGraph(src, 1)
+	tgt, err := dk.Extract(src, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -651,7 +651,7 @@ func TestTargetRewire1KConverges(t *testing.T) {
 func TestTargetRewireValidation(t *testing.T) {
 	rng := newRng(14)
 	g := connectedRandom(rng, 20, 30)
-	p1, _ := dk.ExtractGraph(g, 1)
+	p1, _ := dk.Extract(g, 1)
 	if _, err := TargetRewire(g, p1, 2, TargetOptions{Rng: rng}); err == nil {
 		t.Error("depth beyond target profile accepted")
 	}
@@ -669,7 +669,7 @@ func TestTargetRewireAnnealedBeatsOrMatchesGreedy(t *testing.T) {
 	// itself lives in the benchmark harness.
 	rng := newRng(15)
 	src := connectedRandom(rng, 60, 120)
-	tgt, _ := dk.ExtractGraph(src, 2)
+	tgt, _ := dk.Extract(src, 2)
 	start, _, err := Randomize(src, 1, RandomizeOptions{Rng: rng})
 	if err != nil {
 		t.Fatal(err)
@@ -708,14 +708,14 @@ func TestExploreLikelihood(t *testing.T) {
 		t.Errorf("S-minimization failed: %v → %v", sBefore, sDown)
 	}
 	// Degree distribution preserved.
-	a, _ := dk.ExtractGraph(g, 1)
-	b, _ := dk.ExtractGraph(up.FinalGraph, 1)
+	a, _ := dk.Extract(g, 1)
+	b, _ := dk.Extract(up.FinalGraph, 1)
 	if d := dk.D1(a.Degrees, b.Degrees); d != 0 {
 		t.Errorf("exploration broke the degree distribution: D1 = %v", d)
 	}
 }
 
-func likelihoodOf(g *graph.Graph) float64 {
+func likelihoodOf(g *graph.CSR) float64 {
 	var s float64
 	for _, e := range g.Edges() {
 		s += float64(g.Degree(e.U)) * float64(g.Degree(e.V))
@@ -726,12 +726,12 @@ func likelihoodOf(g *graph.Graph) float64 {
 func TestExploreClustering(t *testing.T) {
 	rng := newRng(17)
 	g := connectedRandom(rng, 120, 360)
-	before, _ := dk.ExtractGraph(g, 3)
+	before, _ := dk.Extract(g, 3)
 	up, err := Explore(g, MetricClustering, ExploreOptions{Rng: rng, Maximize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	after, _ := dk.ExtractGraph(up.FinalGraph, 3)
+	after, _ := dk.Extract(up.FinalGraph, 3)
 	if after.Census.TotalTriangles() <= before.Census.TotalTriangles() {
 		t.Errorf("clustering maximization did not add triangles: %d → %d",
 			before.Census.TotalTriangles(), after.Census.TotalTriangles())
@@ -752,8 +752,8 @@ func TestExploreS2(t *testing.T) {
 	if up.Stats.Accepted == 0 {
 		t.Error("S2 exploration accepted nothing")
 	}
-	before, _ := dk.ExtractGraph(g, 2)
-	after, _ := dk.ExtractGraph(up.FinalGraph, 2)
+	before, _ := dk.Extract(g, 2)
+	after, _ := dk.Extract(up.FinalGraph, 2)
 	if d := dk.D2(before.Joint, after.Joint); d != 0 {
 		t.Errorf("S2 exploration broke the JDD: D2 = %v", d)
 	}
@@ -762,7 +762,7 @@ func TestExploreS2(t *testing.T) {
 func TestCountInitialRewiringsSmall(t *testing.T) {
 	// Path 0-1-2: no valid double-edge swaps (shared node), one free slot
 	// for the 0K move of each edge.
-	p3 := graph.New(3)
+	p3 := graph.NewCSR(3)
 	if err := p3.AddEdge(0, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -785,7 +785,7 @@ func TestCountInitialRewiringsSmall(t *testing.T) {
 	}
 	// Two disjoint edges: both orientations valid, both obvious
 	// isomorphisms (all degree-1).
-	two := graph.New(4)
+	two := graph.NewCSR(4)
 	if err := two.AddEdge(0, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -847,7 +847,7 @@ func TestCountDepth3LeavesGraphIntact(t *testing.T) {
 func TestConnectViaSwaps(t *testing.T) {
 	rng := newRng(30)
 	// Three separate cycles plus isolated nodes.
-	g := graph.New(16)
+	g := graph.NewCSR(16)
 	cycle := func(nodes []int) {
 		for i := range nodes {
 			if err := g.AddEdge(nodes[i], nodes[(i+1)%len(nodes)]); err != nil {
@@ -897,7 +897,7 @@ func TestConnectViaSwapsProperty(t *testing.T) {
 		rng := newRng(seed)
 		// Random components, each a tree plus enough chords that the
 		// whole graph satisfies the m >= n-1 feasibility condition.
-		g := graph.New(40)
+		g := graph.NewCSR(40)
 		for c := 0; c < 5; c++ {
 			base := c * 8
 			size := 4 + rng.Intn(4)
@@ -941,7 +941,7 @@ func TestConnectViaSwapsForestInfeasible(t *testing.T) {
 	rng := newRng(33)
 	// Two disjoint trees: degree-preserving connection is impossible
 	// (m = n − 2 < n − 1).
-	g := graph.New(8)
+	g := graph.NewCSR(8)
 	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6}, {6, 7}} {
 		if err := g.AddEdge(e[0], e[1]); err != nil {
 			t.Fatal(err)

@@ -17,7 +17,7 @@ import (
 // by those two edges. The result is a simple graph realizing the degree
 // sequence exactly (when the sequence is graphical and resolution
 // succeeds).
-func Matching1K(dd *dk.DegreeDist, opt Options) (*graph.Graph, error) {
+func Matching1K(dd *dk.DegreeDist, opt Options) (*graph.CSR, error) {
 	rng, err := opt.rng()
 	if err != nil {
 		return nil, err
@@ -41,7 +41,7 @@ func Matching1K(dd *dk.DegreeDist, opt Options) (*graph.Graph, error) {
 		}
 	}
 	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
-	g := graph.New(cls.n)
+	g := graph.NewCSR(cls.n)
 
 	maxAttempts := opt.MaxAttempts
 	if maxAttempts == 0 {
@@ -82,23 +82,43 @@ func Matching1K(dd *dk.DegreeDist, opt Options) (*graph.Graph, error) {
 
 // rebreak resolves a blocked stub pair (u,v) by splitting an existing edge
 // (a,b): remove (a,b), add (u,a) and (v,b). Degrees of a and b are
-// unchanged and both blocked stubs are consumed.
-func rebreak(g *graph.Graph, rng randIntn, u, v int, maxAttempts int) error {
-	for attempt := 0; attempt < maxAttempts; attempt++ {
+// unchanged and both blocked stubs are consumed. Random probing is tried
+// first; when every probe collides — on large hub-heavy sequences the
+// pairing tail is dominated by one hub adjacent to a large fraction of
+// the graph — a deterministic scan over the edge list finds a legal
+// split if one exists, mirroring repairDefect in the 2K path.
+func rebreak(g *graph.CSR, rng randIntn, u, v int, maxAttempts int) error {
+	legal := func(a, b int) bool {
+		return a != u && b != v && !g.HasEdge(u, a) && !g.HasEdge(v, b)
+	}
+	split := func(eu, ev, a, b int) {
+		// The special case u == v (two stubs on one node) is fine as long
+		// as both new edges are legal, which the caller's checks ensure.
+		g.RemoveEdge(eu, ev)
+		mustAdd(g, u, a)
+		mustAdd(g, v, b)
+	}
+	for attempt := 0; attempt < maxAttempts && g.M() > 0; attempt++ {
 		e := g.EdgeAt(rng.Intn(g.M()))
 		a, b := e.U, e.V
 		if rng.Intn(2) == 0 {
 			a, b = b, a
 		}
-		if a == u || b == v || g.HasEdge(u, a) || g.HasEdge(v, b) {
+		if !legal(a, b) {
 			continue
 		}
-		// The special case u == v (two stubs on one node) is fine as long
-		// as both new edges are legal, which the checks above ensure.
-		g.RemoveEdge(e.U, e.V)
-		mustAdd(g, u, a)
-		mustAdd(g, v, b)
+		split(e.U, e.V, a, b)
 		return nil
+	}
+	for _, e := range g.Edges() {
+		if legal(e.U, e.V) {
+			split(e.U, e.V, e.U, e.V)
+			return nil
+		}
+		if legal(e.V, e.U) {
+			split(e.U, e.V, e.V, e.U)
+			return nil
+		}
 	}
 	return fmt.Errorf("generate: matching deadlock unresolved after %d attempts", maxAttempts)
 }
@@ -113,7 +133,7 @@ type randIntn interface{ Intn(int) int }
 // against a random legal partner edge (the "additional techniques" of
 // Section 4.1.3). Deadlocked repairs trigger a full restart with a fresh
 // shuffle; node degrees and the JDD match the target exactly on success.
-func Matching2K(jdd *dk.JDD, opt Options) (*graph.Graph, error) {
+func Matching2K(jdd *dk.JDD, opt Options) (*graph.CSR, error) {
 	rng, err := opt.rng()
 	if err != nil {
 		return nil, err
@@ -130,7 +150,7 @@ func Matching2K(jdd *dk.JDD, opt Options) (*graph.Graph, error) {
 	return nil, lastErr
 }
 
-func matching2KOnce(jdd *dk.JDD, rng *rand.Rand, maxAttempts int) (*graph.Graph, error) {
+func matching2KOnce(jdd *dk.JDD, rng *rand.Rand, maxAttempts int) (*graph.CSR, error) {
 	if maxAttempts == 0 {
 		maxAttempts = 400
 	}
@@ -138,7 +158,7 @@ func matching2KOnce(jdd *dk.JDD, rng *rand.Rand, maxAttempts int) (*graph.Graph,
 	if err != nil {
 		return nil, err
 	}
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	// Lay down the clean edges; queue loops and duplicates as defects.
 	var defects [][2]int
 	for _, ep := range endpoints {
@@ -179,7 +199,7 @@ func matching2KOnce(jdd *dk.JDD, rng *rand.Rand, maxAttempts int) (*graph.Graph,
 // repairDefect inserts the stub pair (u,v) by splitting an existing edge
 // (a,b): remove (a,b), add (u,b) and (a,v). It tries random partner
 // edges first and falls back to an exhaustive scan.
-func repairDefect(g *graph.Graph, rng randIntn, labels []int, u, v, maxAttempts int) bool {
+func repairDefect(g *graph.CSR, rng randIntn, labels []int, u, v, maxAttempts int) bool {
 	ku, kv := labels[u], labels[v]
 	try := func(a, b int) bool {
 		// Orientation (a,b): requires label match for JDD preservation.
@@ -226,7 +246,7 @@ func sortPairs(ps []dk.DegPair) {
 	}
 }
 
-func mustAdd(g *graph.Graph, u, v int) {
+func mustAdd(g *graph.CSR, u, v int) {
 	if err := g.AddEdge(u, v); err != nil {
 		panic("generate: internal invariant violated: " + err.Error())
 	}

@@ -15,10 +15,10 @@ import (
 // Rolls back. Objectives must be cheap: they are evaluated once per
 // proposal.
 type Objective interface {
-	Init(g *graph.Graph) error
+	Init(g *graph.CSR) error
 	Begin()
-	WillRemove(g *graph.Graph, u, v int)
-	WillAdd(g *graph.Graph, u, v int)
+	WillRemove(g *graph.CSR, u, v int)
+	WillAdd(g *graph.CSR, u, v int)
 	Delta() float64
 	Commit()
 	Rollback()
@@ -41,7 +41,7 @@ func NewDegreeDistObjective(target *dk.DegreeDist) *DegreeDistObjective {
 }
 
 // Init snapshots g's degree distribution.
-func (o *DegreeDistObjective) Init(g *graph.Graph) error {
+func (o *DegreeDistObjective) Init(g *graph.CSR) error {
 	o.current = make(map[int]int)
 	for u := 0; u < g.N(); u++ {
 		o.current[g.Degree(u)]++
@@ -72,14 +72,14 @@ func (o *DegreeDistObjective) bump(k, s int) {
 }
 
 // WillRemove lowers both endpoint degrees by one.
-func (o *DegreeDistObjective) WillRemove(g *graph.Graph, u, v int) {
+func (o *DegreeDistObjective) WillRemove(g *graph.CSR, u, v int) {
 	du, dv := g.Degree(u), g.Degree(v)
 	o.moveNode(du, du-1)
 	o.moveNode(dv, dv-1)
 }
 
 // WillAdd raises both endpoint degrees by one.
-func (o *DegreeDistObjective) WillAdd(g *graph.Graph, u, v int) {
+func (o *DegreeDistObjective) WillAdd(g *graph.CSR, u, v int) {
 	du, dv := g.Degree(u), g.Degree(v)
 	o.moveNode(du, du+1)
 	o.moveNode(dv, dv+1)
@@ -133,8 +133,8 @@ func NewJDDObjective(target *dk.JDD) *JDDObjective {
 }
 
 // Init snapshots g's JDD and degree sequence.
-func (o *JDDObjective) Init(g *graph.Graph) error {
-	p, err := dk.ExtractGraph(g, 2)
+func (o *JDDObjective) Init(g *graph.CSR) error {
+	p, err := dk.Extract(g, 2)
 	if err != nil {
 		return err
 	}
@@ -159,10 +159,10 @@ func (o *JDDObjective) bump(u, v, s int) {
 }
 
 // WillRemove decrements the edge's degree-pair class.
-func (o *JDDObjective) WillRemove(g *graph.Graph, u, v int) { o.bump(u, v, -1) }
+func (o *JDDObjective) WillRemove(g *graph.CSR, u, v int) { o.bump(u, v, -1) }
 
 // WillAdd increments the edge's degree-pair class.
-func (o *JDDObjective) WillAdd(g *graph.Graph, u, v int) { o.bump(u, v, +1) }
+func (o *JDDObjective) WillAdd(g *graph.CSR, u, v int) { o.bump(u, v, +1) }
 
 // Delta returns the candidate's D2 change.
 func (o *JDDObjective) Delta() float64 { return o.delta }
@@ -212,8 +212,8 @@ func NewCensusObjective(target *subgraphs.Census) *CensusObjective {
 }
 
 // Init counts g's census.
-func (o *CensusObjective) Init(g *graph.Graph) error {
-	o.current = subgraphs.Count(g.Static())
+func (o *CensusObjective) Init(g *graph.CSR) error {
+	o.current = subgraphs.Count(g)
 	o.pend = subgraphs.NewDelta()
 	o.deg = g.DegreeSequence()
 	return nil
@@ -223,12 +223,12 @@ func (o *CensusObjective) Init(g *graph.Graph) error {
 func (o *CensusObjective) Begin() { o.pend.Reset() }
 
 // WillRemove accumulates the census change of deleting (u,v).
-func (o *CensusObjective) WillRemove(g *graph.Graph, u, v int) {
+func (o *CensusObjective) WillRemove(g *graph.CSR, u, v int) {
 	o.pend.RemoveEdge(g, o.deg, u, v)
 }
 
 // WillAdd accumulates the census change of inserting (u,v).
-func (o *CensusObjective) WillAdd(g *graph.Graph, u, v int) {
+func (o *CensusObjective) WillAdd(g *graph.CSR, u, v int) {
 	o.pend.AddEdge(g, o.deg, u, v)
 }
 
@@ -272,7 +272,7 @@ type LikelihoodObjective struct {
 }
 
 // Init caches the degree sequence.
-func (o *LikelihoodObjective) Init(g *graph.Graph) error {
+func (o *LikelihoodObjective) Init(g *graph.CSR) error {
 	o.deg = g.DegreeSequence()
 	return nil
 }
@@ -281,12 +281,12 @@ func (o *LikelihoodObjective) Init(g *graph.Graph) error {
 func (o *LikelihoodObjective) Begin() { o.delta = 0 }
 
 // WillRemove subtracts the removed edge's degree product.
-func (o *LikelihoodObjective) WillRemove(g *graph.Graph, u, v int) {
+func (o *LikelihoodObjective) WillRemove(g *graph.CSR, u, v int) {
 	o.delta -= float64(o.deg[u]) * float64(o.deg[v])
 }
 
 // WillAdd adds the inserted edge's degree product.
-func (o *LikelihoodObjective) WillAdd(g *graph.Graph, u, v int) {
+func (o *LikelihoodObjective) WillAdd(g *graph.CSR, u, v int) {
 	o.delta += float64(o.deg[u]) * float64(o.deg[v])
 }
 
@@ -308,7 +308,7 @@ type S2Objective struct {
 }
 
 // Init prepares the delta accumulator.
-func (o *S2Objective) Init(g *graph.Graph) error {
+func (o *S2Objective) Init(g *graph.CSR) error {
 	o.pend = subgraphs.NewDelta()
 	o.deg = g.DegreeSequence()
 	return nil
@@ -318,12 +318,12 @@ func (o *S2Objective) Init(g *graph.Graph) error {
 func (o *S2Objective) Begin() { o.pend.Reset() }
 
 // WillRemove accumulates the census change of deleting (u,v).
-func (o *S2Objective) WillRemove(g *graph.Graph, u, v int) {
+func (o *S2Objective) WillRemove(g *graph.CSR, u, v int) {
 	o.pend.RemoveEdge(g, o.deg, u, v)
 }
 
 // WillAdd accumulates the census change of inserting (u,v).
-func (o *S2Objective) WillAdd(g *graph.Graph, u, v int) {
+func (o *S2Objective) WillAdd(g *graph.CSR, u, v int) {
 	o.pend.AddEdge(g, o.deg, u, v)
 }
 
@@ -356,8 +356,7 @@ type ClusteringObjective struct {
 }
 
 // Init counts triangles per node.
-func (o *ClusteringObjective) Init(g *graph.Graph) error {
-	s := g.Static()
+func (o *ClusteringObjective) Init(g *graph.CSR) error {
 	o.deg = g.DegreeSequence()
 	o.tri = make([]int64, g.N())
 	o.invPair = make([]float64, g.N())
@@ -373,22 +372,22 @@ func (o *ClusteringObjective) Init(g *graph.Graph) error {
 		return fmt.Errorf("generate: clustering objective needs a node of degree >= 2")
 	}
 	// One triangle pass.
-	for u := 0; u < s.N(); u++ {
-		for _, v32 := range s.Neighbors(u) {
+	for u := 0; u < g.N(); u++ {
+		for _, v32 := range g.Neighbors(u) {
 			v := int(v32)
 			if v <= u {
 				continue
 			}
 			a, b := u, v
-			if s.Degree(a) > s.Degree(b) {
+			if g.Degree(a) > g.Degree(b) {
 				a, b = b, a
 			}
-			for _, w32 := range s.Neighbors(a) {
+			for _, w32 := range g.Neighbors(a) {
 				w := int(w32)
 				if w <= v {
 					continue
 				}
-				if s.HasEdge(b, w) {
+				if g.HasEdge(b, w) {
 					o.tri[u]++
 					o.tri[v]++
 					o.tri[w]++
@@ -402,7 +401,7 @@ func (o *ClusteringObjective) Init(g *graph.Graph) error {
 // Begin resets the candidate accumulator.
 func (o *ClusteringObjective) Begin() { clear(o.pending) }
 
-func (o *ClusteringObjective) edgeChange(g *graph.Graph, u, v int, sign int64) {
+func (o *ClusteringObjective) edgeChange(g *graph.CSR, u, v int, sign int64) {
 	small, large := u, v
 	if g.Degree(small) > g.Degree(large) {
 		small, large = large, small
@@ -418,12 +417,12 @@ func (o *ClusteringObjective) edgeChange(g *graph.Graph, u, v int, sign int64) {
 }
 
 // WillRemove accumulates triangle losses through common neighbors.
-func (o *ClusteringObjective) WillRemove(g *graph.Graph, u, v int) {
+func (o *ClusteringObjective) WillRemove(g *graph.CSR, u, v int) {
 	o.edgeChange(g, u, v, -1)
 }
 
 // WillAdd accumulates triangle gains through common neighbors.
-func (o *ClusteringObjective) WillAdd(g *graph.Graph, u, v int) {
+func (o *ClusteringObjective) WillAdd(g *graph.CSR, u, v int) {
 	o.edgeChange(g, u, v, +1)
 }
 

@@ -13,10 +13,10 @@ import (
 type PseudographResult struct {
 	// Full is the raw pseudograph after loop/multi-edge removal, with all
 	// nodes retained.
-	Full *graph.Graph
+	Full *graph.CSR
 	// GCC is the giant connected component, the graph the paper's
 	// pipeline continues with.
-	GCC *graph.Graph
+	GCC *graph.CSR
 	// NewToOld maps GCC node ids back to Full node ids.
 	NewToOld []int
 	// Badness counts discarded self-loops, parallel edges and

@@ -17,8 +17,8 @@ import (
 // Rewirer is not concurrency-safe); the parallelism is across replicas.
 //
 // On failure the error of the lowest-indexed failing replica is returned.
-func Replicas(n int, baseSeed int64, build func(i int, rng *rand.Rand) (*graph.Graph, error)) ([]*graph.Graph, error) {
-	out := make([]*graph.Graph, n)
+func Replicas(n int, baseSeed int64, build func(i int, rng *rand.Rand) (*graph.CSR, error)) ([]*graph.CSR, error) {
+	out := make([]*graph.CSR, n)
 	err := parallel.ForErr(n, func(i int) error {
 		g, err := build(i, rand.New(rand.NewSource(parallel.SubSeed(baseSeed, i))))
 		if err != nil {
@@ -38,9 +38,9 @@ func Replicas(n int, baseSeed int64, build func(i int, rng *rand.Rand) (*graph.G
 // fanned out over the worker pool. opt.Rng is ignored; every replica gets
 // its own stream derived from baseSeed. Stats are returned per replica in
 // the same order as the graphs.
-func RandomizeReplicas(g *graph.Graph, depth, n int, baseSeed int64, opt RandomizeOptions) ([]*graph.Graph, []RewireStats, error) {
+func RandomizeReplicas(g *graph.CSR, depth, n int, baseSeed int64, opt RandomizeOptions) ([]*graph.CSR, []RewireStats, error) {
 	stats := make([]RewireStats, n)
-	graphs, err := Replicas(n, baseSeed, func(i int, rng *rand.Rand) (*graph.Graph, error) {
+	graphs, err := Replicas(n, baseSeed, func(i int, rng *rand.Rand) (*graph.CSR, error) {
 		o := opt
 		o.Rng = rng
 		out, st, err := Randomize(g, depth, o)

@@ -10,10 +10,10 @@ import (
 )
 
 // replicaTestGraph builds a small connected graph (ring plus chords).
-func replicaTestGraph(t *testing.T) *graph.Graph {
+func replicaTestGraph(t *testing.T) *graph.CSR {
 	t.Helper()
 	const n = 60
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	for i := 0; i < n; i++ {
 		if err := g.AddEdge(i, (i+1)%n); err != nil {
 			t.Fatal(err)
@@ -39,7 +39,7 @@ func replicaTestGraph(t *testing.T) *graph.Graph {
 func TestRandomizeReplicasDeterministicAcrossWorkers(t *testing.T) {
 	g := replicaTestGraph(t)
 	const reps = 6
-	run := func(workers int) []*graph.Graph {
+	run := func(workers int) []*graph.CSR {
 		parallel.SetWorkers(workers)
 		defer parallel.SetWorkers(0)
 		out, stats, err := RandomizeReplicas(g, 1, reps, 123, RandomizeOptions{SwapFactor: 3})
@@ -87,11 +87,11 @@ func TestRandomizeReplicasDeterministicAcrossWorkers(t *testing.T) {
 
 // TestReplicasErrorIsLowestIndex: failure reporting is deterministic.
 func TestReplicasErrorIsLowestIndex(t *testing.T) {
-	_, err := Replicas(10, 1, func(i int, rng *rand.Rand) (*graph.Graph, error) {
+	_, err := Replicas(10, 1, func(i int, rng *rand.Rand) (*graph.CSR, error) {
 		if i >= 4 {
 			return nil, errAt(i)
 		}
-		return graph.New(1), nil
+		return graph.NewCSR(1), nil
 	})
 	if err == nil || err.Error() != "replica 4 failed" {
 		t.Fatalf("got %v, want replica 4 failed", err)

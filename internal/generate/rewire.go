@@ -120,7 +120,7 @@ type intner interface{ Intn(n int) int }
 // deciding from the objective delta. A nil objective with the default
 // policy yields pure dK-randomizing rewiring.
 type Rewirer struct {
-	G     *graph.Graph
+	G     *graph.CSR
 	Depth int // preserved depth d: 0, 1, 2 or 3
 	Rng   *rand.Rand
 	// Obj scores candidate moves; nil accepts unconditionally (subject to
@@ -209,7 +209,7 @@ func PolicyMetropolis(T float64) Policy {
 }
 
 // NewRewirer validates and prepares a rewiring run over g.
-func NewRewirer(g *graph.Graph, depth int, rng *rand.Rand) (*Rewirer, error) {
+func NewRewirer(g *graph.CSR, depth int, rng *rand.Rand) (*Rewirer, error) {
 	if depth < 0 || depth > 3 {
 		return nil, fmt.Errorf("generate: rewiring depth %d outside 0..3", depth)
 	}
@@ -615,7 +615,7 @@ type RandomizeOptions struct {
 
 // Randomize applies dK-preserving randomizing rewiring (Section 4.1.4) to
 // a copy of g, returning the rewired graph. The input graph is unchanged.
-func Randomize(g *graph.Graph, depth int, opt RandomizeOptions) (*graph.Graph, RewireStats, error) {
+func Randomize(g *graph.CSR, depth int, opt RandomizeOptions) (*graph.CSR, RewireStats, error) {
 	if opt.Rng == nil {
 		return nil, RewireStats{}, fmt.Errorf("generate: Randomize requires Rng")
 	}

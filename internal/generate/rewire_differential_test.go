@@ -16,13 +16,13 @@ import (
 // small graph (duplicate-edge rejections dominate).
 var diffFamilies = []struct {
 	name  string
-	build func(rng *rand.Rand) *graph.Graph
+	build func(rng *rand.Rand) *graph.CSR
 }{
-	{"sparse", func(rng *rand.Rand) *graph.Graph { return connectedRandom(rng, 40, 30) }},
-	{"leafy-tree", func(rng *rand.Rand) *graph.Graph { return connectedRandom(rng, 50, 3) }},
-	{"dense-core", func(rng *rand.Rand) *graph.Graph {
+	{"sparse", func(rng *rand.Rand) *graph.CSR { return connectedRandom(rng, 40, 30) }},
+	{"leafy-tree", func(rng *rand.Rand) *graph.CSR { return connectedRandom(rng, 50, 3) }},
+	{"dense-core", func(rng *rand.Rand) *graph.CSR {
 		// K10 core plus a 20-node sparse periphery hanging off it.
-		g := graph.New(30)
+		g := graph.NewCSR(30)
 		for i := 0; i < 10; i++ {
 			for j := i + 1; j < 10; j++ {
 				if err := g.AddEdge(i, j); err != nil {
@@ -37,7 +37,7 @@ var diffFamilies = []struct {
 		}
 		return g
 	}},
-	{"near-complete", func(rng *rand.Rand) *graph.Graph {
+	{"near-complete", func(rng *rand.Rand) *graph.CSR {
 		g := connectedRandom(rng, 12, 40)
 		return g
 	}},

@@ -9,9 +9,9 @@ import (
 
 // progressGraph builds a modest random-ish graph with enough edges for
 // the rewiring loop to accept plenty of moves.
-func progressGraph(t *testing.T) *graph.Graph {
+func progressGraph(t *testing.T) *graph.CSR {
 	t.Helper()
-	g := graph.New(40)
+	g := graph.NewCSR(40)
 	rng := rand.New(rand.NewSource(7))
 	for g.M() < 120 {
 		u, v := rng.Intn(40), rng.Intn(40)

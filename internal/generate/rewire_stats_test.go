@@ -8,9 +8,9 @@ import (
 )
 
 // mustComplete builds the complete graph on n nodes.
-func complete(t *testing.T, n int) *graph.Graph {
+func complete(t *testing.T, n int) *graph.CSR {
 	t.Helper()
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if err := g.AddEdge(i, j); err != nil {
@@ -57,7 +57,7 @@ func TestRewireStatsBreakdown(t *testing.T) {
 
 	t.Run("star-self-loops", func(t *testing.T) {
 		// K1,6: every edge contains the hub, so every edge pair shares it.
-		g := graph.New(7)
+		g := graph.NewCSR(7)
 		for leaf := 1; leaf < 7; leaf++ {
 			if err := g.AddEdge(0, leaf); err != nil {
 				t.Fatal(err)
@@ -142,7 +142,7 @@ func TestRewireStatsBreakdown(t *testing.T) {
 	t.Run("disconnected", func(t *testing.T) {
 		// C12: some swaps split the cycle into two smaller cycles; with
 		// connectivity preservation those must be counted and reverted.
-		g := graph.New(12)
+		g := graph.NewCSR(12)
 		for i := 0; i < 12; i++ {
 			if err := g.AddEdge(i, (i+1)%12); err != nil {
 				t.Fatal(err)

@@ -41,7 +41,7 @@ func classesFromDist(dd *dk.DegreeDist) classes {
 // (i,j) is connected with probability p = min(1, q_i·q_j/(n·q̄)). The
 // degree distribution is reproduced in expectation; the paper's §4.1.1
 // discussion of its high variance is reproduced by the experiments.
-func Stochastic1K(dd *dk.DegreeDist, opt Options) (*graph.Graph, error) {
+func Stochastic1K(dd *dk.DegreeDist, opt Options) (*graph.CSR, error) {
 	rng, err := opt.rng()
 	if err != nil {
 		return nil, err
@@ -52,9 +52,9 @@ func Stochastic1K(dd *dk.DegreeDist, opt Options) (*graph.Graph, error) {
 	}
 	sumQ := float64(dd.TotalDegree()) // n·q̄
 	if sumQ == 0 {
-		return graph.New(cls.n), nil
+		return graph.NewCSR(cls.n), nil
 	}
-	g := graph.New(cls.n)
+	g := graph.NewCSR(cls.n)
 	add := func(u, v int) {
 		if err := g.AddEdge(u, v); err != nil {
 			panic("generate: stochastic1K duplicate: " + err.Error())
@@ -75,7 +75,7 @@ func Stochastic1K(dd *dk.DegreeDist, opt Options) (*graph.Graph, error) {
 // with probability m(k1,k2)/n(k1)·n(k2) (within-class: m(k,k)/C(n(k),2)).
 // This matches the paper's p_2K(q1,q2) = (q̄/n)·P(q1,q2)/(P(q1)P(q2)) in
 // count form.
-func Stochastic2K(jdd *dk.JDD, opt Options) (*graph.Graph, error) {
+func Stochastic2K(jdd *dk.JDD, opt Options) (*graph.CSR, error) {
 	rng, err := opt.rng()
 	if err != nil {
 		return nil, err
@@ -92,7 +92,7 @@ func Stochastic2K(jdd *dk.JDD, opt Options) (*graph.Graph, error) {
 	for i, k := range cls.degrees {
 		classIdx[k] = i
 	}
-	g := graph.New(cls.n)
+	g := graph.NewCSR(cls.n)
 	add := func(u, v int) {
 		if err := g.AddEdge(u, v); err != nil {
 			panic("generate: stochastic2K duplicate: " + err.Error())

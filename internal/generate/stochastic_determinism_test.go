@@ -16,7 +16,7 @@ func TestStochastic2KDeterministic(t *testing.T) {
 	// Extract a real JDD with enough distinct classes that map iteration
 	// order varies from run to run.
 	g := replicaTestGraph(t)
-	p, err := dk.ExtractGraph(g, 2)
+	p, err := dk.Extract(g, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

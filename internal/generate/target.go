@@ -35,7 +35,7 @@ type TargetResult struct {
 	Stats         RewireStats
 	InitialD      float64
 	FinalD        float64
-	FinalGraph    *graph.Graph
+	FinalGraph    *graph.CSR
 	TemperatureAt float64 // temperature when the run stopped
 }
 
@@ -44,7 +44,7 @@ type TargetResult struct {
 // (the paper's combinations: 1K-targeting 0K-preserving, 2K-targeting
 // 1K-preserving, 3K-targeting 2K-preserving). The distance driven to zero
 // is the corresponding D_d.
-func TargetRewire(g *graph.Graph, target *dk.Profile, d int, opt TargetOptions) (*TargetResult, error) {
+func TargetRewire(g *graph.CSR, target *dk.Profile, d int, opt TargetOptions) (*TargetResult, error) {
 	if opt.Rng == nil {
 		return nil, fmt.Errorf("generate: TargetRewire requires Rng")
 	}
@@ -158,14 +158,14 @@ type ExploreOptions struct {
 // ExploreResult reports an exploration run.
 type ExploreResult struct {
 	Stats      RewireStats
-	FinalGraph *graph.Graph
+	FinalGraph *graph.CSR
 }
 
 // Explore performs the paper's dK-space exploration on a copy of g:
 // dK-preserving rewiring accepting only moves that push the chosen scalar
 // metric in the requested direction, producing extreme (non-random)
 // dK-graphs.
-func Explore(g *graph.Graph, metric ExploreMetric, opt ExploreOptions) (*ExploreResult, error) {
+func Explore(g *graph.CSR, metric ExploreMetric, opt ExploreOptions) (*ExploreResult, error) {
 	if opt.Rng == nil {
 		return nil, fmt.Errorf("generate: Explore requires Rng")
 	}

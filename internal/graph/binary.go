@@ -104,6 +104,60 @@ func WriteBinary(w io.Writer, g *Graph, labels []int) error {
 	return bw.Flush()
 }
 
+// WriteBinaryCSR writes c in the binary graph format. It produces
+// byte-identical output to WriteBinary on the same edge set: the
+// encoding is canonical, and CSR windows are already sorted so the
+// forward-neighbor runs stream straight out of the arena with no
+// per-node sort or allocation.
+func WriteBinaryCSR(w io.Writer, c *CSR, labels []int) error {
+	if labels != nil && len(labels) != c.N() {
+		return fmt.Errorf("graph: label table has %d entries for %d nodes", len(labels), c.N())
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(binaryVersion); err != nil {
+		return err
+	}
+	cw := &crcWriter{w: bw}
+	var flags byte
+	if labels != nil {
+		flags |= labelFlag
+	}
+	cw.writeByte(flags)
+	cw.writeUvarint(uint64(c.N()))
+	cw.writeUvarint(uint64(c.M()))
+	for u := 0; u < c.N(); u++ {
+		// The forward neighbors v > u are the window suffix past u's
+		// would-be position in its own sorted window.
+		cut, _ := c.find(u, u)
+		fwd := c.window(u)[cut:]
+		cw.writeUvarint(uint64(len(fwd)))
+		prev := u
+		for _, v := range fwd {
+			cw.writeUvarint(uint64(int(v) - prev))
+			prev = int(v)
+		}
+	}
+	if labels != nil {
+		prev := 0
+		for _, l := range labels {
+			cw.writeVarint(int64(l) - int64(prev))
+			prev = l
+		}
+	}
+	if cw.err != nil {
+		return cw.err
+	}
+	var trailer [4]byte
+	binary.BigEndian.PutUint32(trailer[:], cw.crc)
+	if _, err := bw.Write(trailer[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
 // ReadBinary decodes a binary graph written by WriteBinary, returning the
 // graph and its label table (nil if none was stored).
 func ReadBinary(r io.Reader) (*Graph, []int, error) {
@@ -145,105 +199,14 @@ func ReadBinaryInfo(r io.Reader) (BinaryInfo, error) {
 // of any limit, decoder allocations are proportional to the bytes
 // consumed, never to header-claimed sizes.
 func ReadBinaryLimit(r io.Reader, lim ReadLimits) (*Graph, []int, error) {
-	cr := &countingReader{r: r}
-	if lim.MaxBytes > 0 {
-		cr.r = io.LimitReader(r, lim.MaxBytes+1)
-	}
-	g, labels, err := readBinaryBody(cr, lim)
-	if lim.MaxBytes > 0 && cr.n > lim.MaxBytes {
-		// The budget was crossed; whatever decode error the truncation
-		// produced, the limit is the root cause to report.
-		return nil, nil, fmt.Errorf("graph: %w: more than %d bytes", ErrLimit, lim.MaxBytes)
-	}
-	return g, labels, err
-}
-
-// readBinaryBody decodes the container after byte-budget wrapping.
-func readBinaryBody(cr io.Reader, lim ReadLimits) (*Graph, []int, error) {
-	if err := readMagic(cr); err != nil {
-		return nil, nil, err
-	}
-	c := &crcReader{r: cr}
-	flags, err := c.ReadByte()
-	if err != nil {
-		return nil, nil, corruptf("header: %v", err)
-	}
-	if flags&^byte(labelFlag) != 0 {
-		return nil, nil, corruptf("unknown flags %#x", flags)
-	}
-	n, err := readCount(c, "node count")
+	edges, n, labels, err := readBinaryEdges(r, lim)
 	if err != nil {
 		return nil, nil, err
-	}
-	m, err := readCount(c, "edge count")
-	if err != nil {
-		return nil, nil, err
-	}
-	if lim.MaxNodes > 0 && n > lim.MaxNodes {
-		return nil, nil, fmt.Errorf("graph: %w: more than %d nodes", ErrLimit, lim.MaxNodes)
-	}
-	if lim.MaxEdges > 0 && m > lim.MaxEdges {
-		return nil, nil, fmt.Errorf("graph: %w: more than %d edges", ErrLimit, lim.MaxEdges)
-	}
-	// Decoded edges arrive in sorted canonical order; the slice grows with
-	// the input, so a forged M cannot force a huge allocation up front.
-	edges := make([]Edge, 0, min(m, 1<<20))
-	for u := 0; u < n; u++ {
-		f, err := readCount(c, "forward degree")
-		if err != nil {
-			return nil, nil, err
-		}
-		if len(edges)+f > m {
-			return nil, nil, corruptf("node %d: forward degrees exceed edge count %d", u, m)
-		}
-		prev := u
-		for i := 0; i < f; i++ {
-			gap, err := c.uvarint()
-			if err != nil {
-				return nil, nil, corruptf("node %d: neighbor gap: %v", u, err)
-			}
-			// Compare against the remaining headroom rather than adding:
-			// prev+gap could wrap uint64 and sneak a backward edge past
-			// the bound. prev < n always holds here, so n-1-prev is safe.
-			if gap == 0 || gap > uint64(n-1-prev) {
-				return nil, nil, corruptf("node %d: neighbor gap %d out of range", u, gap)
-			}
-			v := prev + int(gap)
-			edges = append(edges, Edge{u, v})
-			prev = v
-		}
-	}
-	if len(edges) != m {
-		return nil, nil, corruptf("decoded %d edges, header claims %d", len(edges), m)
-	}
-	var labels []int
-	if flags&labelFlag != 0 {
-		labels = make([]int, 0, min(n, 1<<20))
-		prev := int64(0)
-		for u := 0; u < n; u++ {
-			d, err := c.varint()
-			if err != nil {
-				return nil, nil, corruptf("label %d: %v", u, err)
-			}
-			prev += d
-			if prev < 0 {
-				return nil, nil, corruptf("label %d is negative", u)
-			}
-			labels = append(labels, int(prev))
-		}
-	}
-	sum := c.finish()
-	var trailer [4]byte
-	if err := c.readRaw(trailer[:]); err != nil {
-		return nil, nil, corruptf("checksum trailer: %v", err)
-	}
-	if got := binary.BigEndian.Uint32(trailer[:]); got != sum {
-		return nil, nil, corruptf("checksum mismatch: payload %08x, trailer %08x", sum, got)
 	}
 	// The gap encoding guarantees u < v < n with strictly increasing v per
 	// node, so edges are simple and duplicate-free by construction; the
 	// adjacency index can be built with presized maps and no membership
-	// checks — the hot path that makes binary decode beat text parsing.
+	// checks.
 	deg := make([]int, n)
 	for _, e := range edges {
 		deg[e.U]++
@@ -260,6 +223,125 @@ func readBinaryBody(cr io.Reader, lim ReadLimits) (*Graph, []int, error) {
 		g.adj[e.V][e.U] = i
 	}
 	return g, labels, nil
+}
+
+// ReadBinaryCSR decodes a binary graph straight into the CSR working
+// representation — no map adjacency is ever built. Because decoded
+// edges arrive in sorted canonical order, the windows fill already
+// sorted and the whole materialization is O(n+m).
+func ReadBinaryCSR(r io.Reader) (*CSR, []int, error) {
+	return ReadBinaryCSRLimit(r, ReadLimits{})
+}
+
+// ReadBinaryCSRLimit is ReadBinaryCSR with resource bounds.
+func ReadBinaryCSRLimit(r io.Reader, lim ReadLimits) (*CSR, []int, error) {
+	edges, n, labels, err := readBinaryEdges(r, lim)
+	if err != nil {
+		return nil, nil, err
+	}
+	return csrFromCanonicalEdges(n, edges), labels, nil
+}
+
+// readBinaryEdges decodes the container into its canonical-order edge
+// list, applying the byte budget; representation-specific
+// materialization happens in the callers.
+func readBinaryEdges(r io.Reader, lim ReadLimits) ([]Edge, int, []int, error) {
+	cr := &countingReader{r: r}
+	if lim.MaxBytes > 0 {
+		cr.r = io.LimitReader(r, lim.MaxBytes+1)
+	}
+	edges, n, labels, err := readBinaryBody(cr, lim)
+	if lim.MaxBytes > 0 && cr.n > lim.MaxBytes {
+		// The budget was crossed; whatever decode error the truncation
+		// produced, the limit is the root cause to report.
+		return nil, 0, nil, fmt.Errorf("graph: %w: more than %d bytes", ErrLimit, lim.MaxBytes)
+	}
+	return edges, n, labels, err
+}
+
+// readBinaryBody decodes the container after byte-budget wrapping.
+func readBinaryBody(cr io.Reader, lim ReadLimits) ([]Edge, int, []int, error) {
+	if err := readMagic(cr); err != nil {
+		return nil, 0, nil, err
+	}
+	c := &crcReader{r: cr}
+	flags, err := c.ReadByte()
+	if err != nil {
+		return nil, 0, nil, corruptf("header: %v", err)
+	}
+	if flags&^byte(labelFlag) != 0 {
+		return nil, 0, nil, corruptf("unknown flags %#x", flags)
+	}
+	n, err := readCount(c, "node count")
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	m, err := readCount(c, "edge count")
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if lim.MaxNodes > 0 && n > lim.MaxNodes {
+		return nil, 0, nil, fmt.Errorf("graph: %w: more than %d nodes", ErrLimit, lim.MaxNodes)
+	}
+	if lim.MaxEdges > 0 && m > lim.MaxEdges {
+		return nil, 0, nil, fmt.Errorf("graph: %w: more than %d edges", ErrLimit, lim.MaxEdges)
+	}
+	// Decoded edges arrive in sorted canonical order; the slice grows with
+	// the input, so a forged M cannot force a huge allocation up front.
+	edges := make([]Edge, 0, min(m, 1<<20))
+	for u := 0; u < n; u++ {
+		f, err := readCount(c, "forward degree")
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		if len(edges)+f > m {
+			return nil, 0, nil, corruptf("node %d: forward degrees exceed edge count %d", u, m)
+		}
+		prev := u
+		for i := 0; i < f; i++ {
+			gap, err := c.uvarint()
+			if err != nil {
+				return nil, 0, nil, corruptf("node %d: neighbor gap: %v", u, err)
+			}
+			// Compare against the remaining headroom rather than adding:
+			// prev+gap could wrap uint64 and sneak a backward edge past
+			// the bound. prev < n always holds here, so n-1-prev is safe.
+			if gap == 0 || gap > uint64(n-1-prev) {
+				return nil, 0, nil, corruptf("node %d: neighbor gap %d out of range", u, gap)
+			}
+			v := prev + int(gap)
+			edges = append(edges, Edge{u, v})
+			prev = v
+		}
+	}
+	if len(edges) != m {
+		return nil, 0, nil, corruptf("decoded %d edges, header claims %d", len(edges), m)
+	}
+	var labels []int
+	if flags&labelFlag != 0 {
+		labels = make([]int, 0, min(n, 1<<20))
+		prev := int64(0)
+		for u := 0; u < n; u++ {
+			d, err := c.varint()
+			if err != nil {
+				return nil, 0, nil, corruptf("label %d: %v", u, err)
+			}
+			prev += d
+			if prev < 0 {
+				return nil, 0, nil, corruptf("label %d is negative", u)
+			}
+			labels = append(labels, int(prev))
+		}
+	}
+	sum := c.finish()
+	var trailer [4]byte
+	if err := c.readRaw(trailer[:]); err != nil {
+		return nil, 0, nil, corruptf("checksum trailer: %v", err)
+	}
+	if got := binary.BigEndian.Uint32(trailer[:]); got != sum {
+		return nil, 0, nil, corruptf("checksum mismatch: payload %08x, trailer %08x", sum, got)
+	}
+	return edges, n, labels, nil
 }
 
 // readMagic consumes and checks the 5-byte magic/version prefix. It runs

@@ -47,14 +47,13 @@ func IsConnected(s *Static) bool {
 }
 
 // GiantComponent returns the subgraph induced by the largest connected
-// component of g, together with a mapping from new node ids to the
+// component of c, together with a mapping from new node ids to the
 // original ids. Ties are broken by the smallest original root node, which
 // makes the result deterministic.
-func GiantComponent(g *Graph) (*Graph, []int) {
-	s := g.Static()
-	comp, sizes := Components(s)
+func GiantComponent(c *CSR) (*CSR, []int) {
+	comp, sizes := Components(c.Static())
 	if len(sizes) == 0 {
-		return New(0), nil
+		return NewCSR(0), nil
 	}
 	best := 0
 	for id, sz := range sizes {
@@ -62,20 +61,28 @@ func GiantComponent(g *Graph) (*Graph, []int) {
 			best = id
 		}
 	}
-	return inducedSubgraph(g, comp, int32(best), sizes[best])
+	nodes := make([]int, 0, sizes[best])
+	for u, cc := range comp {
+		if cc == int32(best) {
+			nodes = append(nodes, u)
+		}
+	}
+	return Subgraph(c, nodes)
 }
 
 // Subgraph returns the subgraph induced by the given node set and the
 // new→old node id mapping. Nodes outside the set and edges with an
-// endpoint outside the set are dropped.
-func Subgraph(g *Graph, nodes []int) (*Graph, []int) {
-	mark := make([]bool, g.N())
+// endpoint outside the set are dropped; surviving edges keep their
+// relative edge-list order, so downstream index-addressed edge draws
+// are a pure function of (input order, node set).
+func Subgraph(c *CSR, nodes []int) (*CSR, []int) {
+	mark := make([]bool, c.N())
 	for _, u := range nodes {
 		mark[u] = true
 	}
-	oldToNew := make([]int, g.N())
+	oldToNew := make([]int, c.N())
 	newToOld := make([]int, 0, len(nodes))
-	for u := 0; u < g.N(); u++ {
+	for u := 0; u < c.N(); u++ {
 		if mark[u] {
 			oldToNew[u] = len(newToOld)
 			newToOld = append(newToOld, u)
@@ -83,35 +90,23 @@ func Subgraph(g *Graph, nodes []int) (*Graph, []int) {
 			oldToNew[u] = -1
 		}
 	}
-	sub := New(len(newToOld))
-	for _, e := range g.edges {
+	kept := make([]Edge, 0, len(c.edges))
+	for _, e := range c.edges {
 		if mark[e.U] && mark[e.V] {
-			if err := sub.AddEdge(oldToNew[e.U], oldToNew[e.V]); err != nil {
-				panic("graph: corrupt edge list: " + err.Error())
-			}
+			kept = append(kept, Edge{oldToNew[e.U], oldToNew[e.V]}.Canon())
 		}
 	}
-	return sub, newToOld
-}
-
-func inducedSubgraph(g *Graph, comp []int32, id int32, size int) (*Graph, []int) {
-	nodes := make([]int, 0, size)
-	for u, c := range comp {
-		if c == id {
-			nodes = append(nodes, u)
-		}
-	}
-	return Subgraph(g, nodes)
+	return newCSRPreservingOrder(len(newToOld), kept), newToOld
 }
 
 // DropIsolated returns the subgraph with all degree-0 nodes removed and the
 // new→old node id mapping.
-func DropIsolated(g *Graph) (*Graph, []int) {
-	nodes := make([]int, 0, g.N())
-	for u := 0; u < g.N(); u++ {
-		if g.Degree(u) > 0 {
+func DropIsolated(c *CSR) (*CSR, []int) {
+	nodes := make([]int, 0, c.N())
+	for u := 0; u < c.N(); u++ {
+		if c.Degree(u) > 0 {
 			nodes = append(nodes, u)
 		}
 	}
-	return Subgraph(g, nodes)
+	return Subgraph(c, nodes)
 }

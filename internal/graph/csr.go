@@ -1,0 +1,573 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is the mutable working representation of an undirected simple
+// graph: compressed-sparse-row adjacency with int32 node ids, sorted
+// neighbor windows, and an edge-index overlay that makes edge removal
+// O(deg) instead of O(m).
+//
+// It replaces the map-adjacency Graph everywhere past the ingestion
+// boundary. Compared to Graph's ~50+ bytes per directed adjacency entry
+// (map bucket + pointer overhead), CSR spends 8 bytes (neighbor id +
+// edge index) plus amortized slack, which is what opens the
+// million-node path.
+//
+// Layout: node u's live neighbor window is
+// neigh[start[u] : start[u]+deg[u]], sorted ascending, with capacity
+// wcap[u]. epos runs parallel to neigh: epos[i] is the index in edges
+// of the edge between the window's owner and neigh[i]. edges is the
+// flat edge list in canonical orientation (U < V) with the exact
+// append / swap-remove semantics of Graph, so index-addressed edge
+// draws (EdgeAt(rng.Intn(M()))) consume identical RNG streams on
+// either representation.
+//
+// When an insert finds its window full, the window relocates to the
+// tail of neigh with fresh slack (per-node free-slot relocation); the
+// abandoned capacity is reclaimed by a full compaction once dead space
+// exceeds half the arena. Depth>=1 rewiring is degree-preserving and
+// therefore never relocates.
+//
+// CSR is not safe for concurrent mutation; concurrent reads are safe.
+type CSR struct {
+	start []int32 // window start of node u in neigh/epos
+	deg   []int32 // live degree of node u
+	wcap  []int32 // window capacity of node u
+	neigh []int32 // neighbor arena; windows sorted ascending
+	epos  []int32 // parallel to neigh: index into edges
+	edges []Edge  // flat edge list, canonical orientation, swap-remove order
+	dead  int     // abandoned window capacity awaiting compaction
+}
+
+// NewCSR returns an empty graph with n isolated nodes.
+func NewCSR(n int) *CSR {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &CSR{
+		start: make([]int32, n),
+		deg:   make([]int32, n),
+		wcap:  make([]int32, n),
+	}
+}
+
+// NewCSRFromEdges builds a graph with n nodes and the given edges.
+// It returns an error if any edge is a self-loop, a duplicate, or refers
+// to a node outside [0, n).
+func NewCSRFromEdges(n int, edges []Edge) (*CSR, error) {
+	c := NewCSR(n)
+	c.reserve(edges)
+	for _, e := range edges {
+		if err := c.AddEdge(e.U, e.V); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// reserve pre-sizes the windows for a known upcoming edge list so the
+// AddEdge loop never relocates. Harmless if some edges later fail
+// validation — slack is just slack.
+func (c *CSR) reserve(edges []Edge) {
+	n := len(c.deg)
+	if n == 0 || len(edges) == 0 {
+		return
+	}
+	need := make([]int32, n)
+	copy(need, c.deg)
+	for _, e := range edges {
+		if e.U >= 0 && e.U < n {
+			need[e.U]++
+		}
+		if e.V >= 0 && e.V < n {
+			need[e.V]++
+		}
+	}
+	total := 0
+	for _, d := range need {
+		total += int(d)
+	}
+	neigh := make([]int32, total)
+	eposArr := make([]int32, total)
+	var off int32
+	for u := 0; u < n; u++ {
+		d := c.deg[u]
+		copy(neigh[off:off+d], c.window(u))
+		copy(eposArr[off:off+d], c.ewindow(u))
+		c.start[u] = off
+		c.wcap[u] = need[u]
+		off += need[u]
+	}
+	c.neigh, c.epos, c.dead = neigh, eposArr, 0
+}
+
+// csrFromCanonicalEdges builds a CSR from an edge list that is already
+// simple, in-range, and sorted in canonical order (U < V, sorted by
+// (U, V)). Because the list is sorted, each node's window fills in
+// ascending neighbor order — backward neighbors (from edges where the
+// node is V) arrive before forward ones, both runs ascending — so no
+// per-window sort is needed: the whole build is O(n + m). The binary
+// decoder and CanonicalClone use this.
+func csrFromCanonicalEdges(n int, edges []Edge) *CSR {
+	c := &CSR{
+		start: make([]int32, n),
+		deg:   make([]int32, n),
+		wcap:  make([]int32, n),
+		neigh: make([]int32, 2*len(edges)),
+		epos:  make([]int32, 2*len(edges)),
+		edges: edges,
+	}
+	for _, e := range edges {
+		c.wcap[e.U]++
+		c.wcap[e.V]++
+	}
+	var off int32
+	for u := 0; u < n; u++ {
+		c.start[u] = off
+		off += c.wcap[u]
+	}
+	fill := make([]int32, n)
+	copy(fill, c.start)
+	for i, e := range edges {
+		c.neigh[fill[e.U]] = int32(e.V)
+		c.epos[fill[e.U]] = int32(i)
+		fill[e.U]++
+		c.neigh[fill[e.V]] = int32(e.U)
+		c.epos[fill[e.V]] = int32(i)
+		fill[e.V]++
+	}
+	copy(c.deg, c.wcap)
+	return c
+}
+
+// CSR builds the CSR working representation of g, preserving g's edge
+// list order exactly so EdgeAt draws are unchanged by the conversion.
+func (g *Graph) CSR() *CSR {
+	edges := make([]Edge, len(g.edges))
+	copy(edges, g.edges)
+	return newCSRPreservingOrder(g.N(), edges)
+}
+
+// newCSRPreservingOrder builds a CSR from a simple, in-range edge list
+// in arbitrary order, taking ownership of edges and keeping it as the
+// edge list verbatim. Windows are sorted after a counting fill; the
+// edge-index overlay is laid down by binary search, O(m log d) total.
+func newCSRPreservingOrder(n int, edges []Edge) *CSR {
+	c := &CSR{
+		start: make([]int32, n),
+		deg:   make([]int32, n),
+		wcap:  make([]int32, n),
+		neigh: make([]int32, 2*len(edges)),
+		epos:  make([]int32, 2*len(edges)),
+		edges: edges,
+	}
+	for _, e := range edges {
+		c.wcap[e.U]++
+		c.wcap[e.V]++
+	}
+	var off int32
+	for u := 0; u < n; u++ {
+		c.start[u] = off
+		off += c.wcap[u]
+	}
+	fill := make([]int32, n)
+	copy(fill, c.start)
+	for _, e := range edges {
+		c.neigh[fill[e.U]] = int32(e.V)
+		fill[e.U]++
+		c.neigh[fill[e.V]] = int32(e.U)
+		fill[e.V]++
+	}
+	copy(c.deg, c.wcap)
+	for u := 0; u < n; u++ {
+		sortInt32(c.window(u))
+	}
+	// With windows sorted, locate each edge's two slots by binary search
+	// to lay down the edge-index overlay: O(m log d).
+	for i, e := range edges {
+		pu, _ := c.find(e.U, e.V)
+		c.epos[c.start[e.U]+int32(pu)] = int32(i)
+		pv, _ := c.find(e.V, e.U)
+		c.epos[c.start[e.V]+int32(pv)] = int32(i)
+	}
+	return c
+}
+
+// Graph converts back to the map-adjacency builder representation,
+// preserving edge list order. Only ingestion-boundary and differential
+// test code should need this.
+func (c *CSR) Graph() *Graph {
+	g := &Graph{
+		adj:   make([]map[int]int, c.N()),
+		edges: make([]Edge, len(c.edges)),
+	}
+	copy(g.edges, c.edges)
+	for u := range g.adj {
+		if d := c.deg[u]; d > 0 {
+			g.adj[u] = make(map[int]int, d)
+		}
+	}
+	for i, e := range g.edges {
+		g.adj[e.U][e.V] = i
+		g.adj[e.V][e.U] = i
+	}
+	return g
+}
+
+// window returns u's live neighbor window.
+func (c *CSR) window(u int) []int32 {
+	s := c.start[u]
+	return c.neigh[s : s+c.deg[u]]
+}
+
+// ewindow returns u's live edge-index window (parallel to window).
+func (c *CSR) ewindow(u int) []int32 {
+	s := c.start[u]
+	return c.epos[s : s+c.deg[u]]
+}
+
+// find binary-searches v in u's sorted window and returns the position
+// it holds (or would hold) and whether it is present.
+func (c *CSR) find(u, v int) (int, bool) {
+	w := c.window(u)
+	lo, hi := 0, len(w)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(w[mid]) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(w) && int(w[lo]) == v
+}
+
+// N returns the number of nodes.
+func (c *CSR) N() int { return len(c.deg) }
+
+// M returns the number of edges.
+func (c *CSR) M() int { return len(c.edges) }
+
+// AddNode appends a new isolated node and returns its identifier.
+func (c *CSR) AddNode() int {
+	c.start = append(c.start, int32(len(c.neigh)))
+	c.deg = append(c.deg, 0)
+	c.wcap = append(c.wcap, 0)
+	return len(c.deg) - 1
+}
+
+// Degree returns the degree of node u.
+func (c *CSR) Degree(u int) int { return int(c.deg[u]) }
+
+// HasEdge reports whether the edge (u,v) exists. Out-of-range arguments
+// report false rather than panicking, which simplifies rewiring loops
+// that probe speculative endpoints.
+func (c *CSR) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= len(c.deg) || v >= len(c.deg) {
+		return false
+	}
+	_, ok := c.find(u, v)
+	return ok
+}
+
+// AddEdge inserts the undirected edge (u,v). It returns an error for
+// self-loops, duplicate edges, and out-of-range endpoints — the same
+// contract (and error text) as Graph.AddEdge.
+func (c *CSR) AddEdge(u, v int) error {
+	switch {
+	case u < 0 || u >= len(c.deg) || v < 0 || v >= len(c.deg):
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, len(c.deg))
+	case u == v:
+		return fmt.Errorf("graph: self-loop at node %d", u)
+	}
+	pu, ok := c.find(u, v)
+	if ok {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	idx := int32(len(c.edges))
+	c.edges = append(c.edges, Edge{u, v}.Canon())
+	c.insertAt(u, pu, int32(v), idx)
+	pv, _ := c.find(v, u)
+	c.insertAt(v, pv, int32(u), idx)
+	return nil
+}
+
+// insertAt places neighbor w with edge index eidx at position pos of
+// u's window, relocating the window first if it is full.
+func (c *CSR) insertAt(u, pos int, w, eidx int32) {
+	if c.deg[u] == c.wcap[u] {
+		c.relocate(u)
+	}
+	s, d := int(c.start[u]), int(c.deg[u])
+	copy(c.neigh[s+pos+1:s+d+1], c.neigh[s+pos:s+d])
+	copy(c.epos[s+pos+1:s+d+1], c.epos[s+pos:s+d])
+	c.neigh[s+pos] = w
+	c.epos[s+pos] = eidx
+	c.deg[u]++
+}
+
+// relocate moves u's full window to the tail of the arena with fresh
+// slack, leaving the old slots dead until the next compaction. The
+// compaction check runs first so it can never strip the slack this
+// call is about to add.
+func (c *CSR) relocate(u int) {
+	if c.dead > len(c.neigh)/2 && c.dead > 4096 {
+		c.compact()
+	}
+	d := int(c.deg[u])
+	newCap := d + d/2 + 4
+	s := int(c.start[u])
+	c.dead += int(c.wcap[u])
+	ns := len(c.neigh)
+	c.neigh = append(c.neigh, c.neigh[s:s+d]...)
+	c.neigh = append(c.neigh, make([]int32, newCap-d)...)
+	c.epos = append(c.epos, c.epos[s:s+d]...)
+	c.epos = append(c.epos, make([]int32, newCap-d)...)
+	c.start[u] = int32(ns)
+	c.wcap[u] = int32(newCap)
+}
+
+// compact rebuilds the arena contiguously, dropping dead slots and
+// abandoning per-node slack (relocation re-adds slack on demand).
+func (c *CSR) compact() {
+	total := 0
+	for u := range c.deg {
+		total += int(c.deg[u])
+	}
+	neigh := make([]int32, total)
+	eposArr := make([]int32, total)
+	var off int32
+	for u := range c.deg {
+		d := c.deg[u]
+		copy(neigh[off:off+d], c.window(u))
+		copy(eposArr[off:off+d], c.ewindow(u))
+		c.start[u] = off
+		c.wcap[u] = d
+		off += d
+	}
+	c.neigh, c.epos, c.dead = neigh, eposArr, 0
+}
+
+// RemoveEdge deletes the undirected edge (u,v) and reports whether it
+// was present. The deleted edge is swapped with the last entry of the
+// edge list — the same index permutation Graph.RemoveEdge applies, so
+// EdgeAt streams match across representations.
+func (c *CSR) RemoveEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= len(c.deg) || v >= len(c.deg) {
+		return false
+	}
+	pu, ok := c.find(u, v)
+	if !ok {
+		return false
+	}
+	eidx := int(c.epos[int(c.start[u])+pu])
+	c.deleteAt(u, pu)
+	pv, _ := c.find(v, u)
+	c.deleteAt(v, pv)
+	last := len(c.edges) - 1
+	if eidx != last {
+		moved := c.edges[last]
+		c.edges[eidx] = moved
+		p, _ := c.find(moved.U, moved.V)
+		c.epos[int(c.start[moved.U])+p] = int32(eidx)
+		p, _ = c.find(moved.V, moved.U)
+		c.epos[int(c.start[moved.V])+p] = int32(eidx)
+	}
+	c.edges = c.edges[:last]
+	return true
+}
+
+// deleteAt removes position pos from u's window, shifting the suffix
+// left.
+func (c *CSR) deleteAt(u, pos int) {
+	s, d := int(c.start[u]), int(c.deg[u])
+	copy(c.neigh[s+pos:s+d-1], c.neigh[s+pos+1:s+d])
+	copy(c.epos[s+pos:s+d-1], c.epos[s+pos+1:s+d])
+	c.deg[u]--
+}
+
+// EdgeAt returns the i'th edge of the internal edge list. Indices are
+// only stable between mutations; the intended use is uniform random
+// edge selection via EdgeAt(rng.Intn(c.M())).
+func (c *CSR) EdgeAt(i int) Edge { return c.edges[i] }
+
+// Edges returns a copy of the edge list in canonical orientation.
+func (c *CSR) Edges() []Edge {
+	out := make([]Edge, len(c.edges))
+	copy(out, c.edges)
+	return out
+}
+
+// SortedEdges returns the edge list sorted lexicographically.
+func (c *CSR) SortedEdges() []Edge {
+	out := c.Edges()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// EdgesCanonicallyOrdered reports whether the internal edge list is in
+// sorted canonical order — the order EdgeAt exposes.
+func (c *CSR) EdgesCanonicallyOrdered() bool {
+	for i := 1; i < len(c.edges); i++ {
+		a, b := c.edges[i-1], c.edges[i]
+		if a.U > b.U || (a.U == b.U && a.V >= b.V) {
+			return false
+		}
+	}
+	return true
+}
+
+// CanonicalClone returns a copy of c whose edge list is in sorted
+// canonical order, so index-addressed edge draws are a pure function of
+// the edge set rather than of construction order.
+func (c *CSR) CanonicalClone() *CSR {
+	return csrFromCanonicalEdges(c.N(), c.SortedEdges())
+}
+
+// VisitNeighbors calls f for every neighbor of u, in ascending order,
+// until f returns false.
+func (c *CSR) VisitNeighbors(u int, f func(v int) bool) {
+	for _, v := range c.window(u) {
+		if !f(int(v)) {
+			return
+		}
+	}
+}
+
+// Neighbors returns the sorted neighbor window of u as a shared
+// subslice. It is valid only until the next mutation of c; callers must
+// not modify or retain it across mutations.
+func (c *CSR) Neighbors(u int) []int32 { return c.window(u) }
+
+// AppendNeighbors appends the neighbors of u to dst, in ascending
+// order, and returns the extended slice.
+func (c *CSR) AppendNeighbors(dst []int, u int) []int {
+	for _, v := range c.window(u) {
+		dst = append(dst, int(v))
+	}
+	return dst
+}
+
+// DegreeSequence returns the degree of every node, indexed by node.
+func (c *CSR) DegreeSequence() []int {
+	out := make([]int, len(c.deg))
+	for u, d := range c.deg {
+		out[u] = int(d)
+	}
+	return out
+}
+
+// MaxDegree returns the largest node degree, or 0 for an empty graph.
+func (c *CSR) MaxDegree() int {
+	max := 0
+	for _, d := range c.deg {
+		if int(d) > max {
+			max = int(d)
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the average node degree 2m/n, or 0 for an empty
+// graph.
+func (c *CSR) AvgDegree() float64 {
+	if len(c.deg) == 0 {
+		return 0
+	}
+	return 2 * float64(len(c.edges)) / float64(len(c.deg))
+}
+
+// CommonNeighborCount returns the number of nodes adjacent to both u
+// and v, by merging the two sorted windows.
+func (c *CSR) CommonNeighborCount(u, v int) int {
+	a, b := c.window(u), c.window(v)
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of c with the arena compacted.
+func (c *CSR) Clone() *CSR {
+	n := c.N()
+	total := 0
+	for u := 0; u < n; u++ {
+		total += int(c.deg[u])
+	}
+	cl := &CSR{
+		start: make([]int32, n),
+		deg:   make([]int32, n),
+		wcap:  make([]int32, n),
+		neigh: make([]int32, total),
+		epos:  make([]int32, total),
+		edges: make([]Edge, len(c.edges)),
+	}
+	copy(cl.deg, c.deg)
+	copy(cl.edges, c.edges)
+	var off int32
+	for u := 0; u < n; u++ {
+		d := c.deg[u]
+		copy(cl.neigh[off:off+d], c.window(u))
+		copy(cl.epos[off:off+d], c.ewindow(u))
+		cl.start[u] = off
+		cl.wcap[u] = d
+		off += d
+	}
+	return cl
+}
+
+// Equal reports whether c and h have identical node counts and edge
+// sets.
+func (c *CSR) Equal(h *CSR) bool {
+	if c.N() != h.N() || c.M() != h.M() {
+		return false
+	}
+	for _, e := range c.edges {
+		if !h.HasEdge(e.U, e.V) {
+			return false
+		}
+	}
+	return true
+}
+
+// Static builds an immutable CSR snapshot. The snapshot never aliases
+// c's arena, so mutating c afterwards does not affect it.
+func (c *CSR) Static() *Static {
+	n := c.N()
+	s := &Static{
+		offsets: make([]int32, n+1),
+		neigh:   make([]int32, 2*len(c.edges)),
+		m:       len(c.edges),
+	}
+	for u := 0; u < n; u++ {
+		s.offsets[u+1] = s.offsets[u] + c.deg[u]
+	}
+	for u := 0; u < n; u++ {
+		copy(s.neigh[s.offsets[u]:s.offsets[u+1]], c.window(u))
+	}
+	return s
+}
+
+// CSR converts the snapshot into a mutable CSR whose edge list is in
+// canonical sorted order (the only order a Static can produce).
+func (s *Static) CSR() *CSR {
+	return csrFromCanonicalEdges(s.N(), s.Edges())
+}

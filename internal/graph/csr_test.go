@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// checkMirror verifies every invariant that ties a CSR to its reference
+// Graph: node/edge counts, edge-list order (the RNG-stream contract),
+// sorted windows, the edge-index overlay, and HasEdge agreement.
+func checkMirror(t *testing.T, c *CSR, g *Graph) {
+	t.Helper()
+	if c.N() != g.N() || c.M() != g.M() {
+		t.Fatalf("size mismatch: CSR %d/%d vs Graph %d/%d", c.N(), c.M(), g.N(), g.M())
+	}
+	for i := 0; i < g.M(); i++ {
+		if c.EdgeAt(i) != g.EdgeAt(i) {
+			t.Fatalf("edge %d: CSR %v vs Graph %v", i, c.EdgeAt(i), g.EdgeAt(i))
+		}
+	}
+	for u := 0; u < g.N(); u++ {
+		if c.Degree(u) != g.Degree(u) {
+			t.Fatalf("degree(%d): CSR %d vs Graph %d", u, c.Degree(u), g.Degree(u))
+		}
+		w := c.Neighbors(u)
+		ew := c.ewindow(u)
+		for i, v := range w {
+			if i > 0 && w[i-1] >= v {
+				t.Fatalf("node %d: window not strictly sorted: %v", u, w)
+			}
+			if !g.HasEdge(u, int(v)) {
+				t.Fatalf("node %d: CSR has neighbor %d, Graph does not", u, v)
+			}
+			e := c.edges[ew[i]]
+			if (Edge{u, int(v)}.Canon()) != e {
+				t.Fatalf("node %d: epos points at %v, want (%d,%d)", u, e, u, v)
+			}
+		}
+		for _, v := range g.Neighbors(u) {
+			if !c.HasEdge(u, v) {
+				t.Fatalf("node %d: Graph has neighbor %d, CSR does not", u, v)
+			}
+		}
+	}
+}
+
+// TestCSRMirrorsGraph drives an identical random mutation sequence
+// through both representations and checks they stay in lockstep,
+// including the swap-remove edge index permutation.
+func TestCSRMirrorsGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 40
+	g := New(n)
+	c := NewCSR(n)
+	for step := 0; step < 5000; step++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0, 1: // add
+			errG := g.AddEdge(u, v)
+			errC := c.AddEdge(u, v)
+			if (errG == nil) != (errC == nil) {
+				t.Fatalf("AddEdge(%d,%d): Graph err %v, CSR err %v", u, v, errG, errC)
+			}
+			if errG != nil && errG.Error() != errC.Error() {
+				t.Fatalf("AddEdge(%d,%d) error text: %q vs %q", u, v, errG, errC)
+			}
+		case 2: // remove (sometimes a random existing edge, exercising swaps)
+			if g.M() > 0 && rng.Intn(2) == 0 {
+				e := g.EdgeAt(rng.Intn(g.M()))
+				u, v = e.U, e.V
+			}
+			okG := g.RemoveEdge(u, v)
+			okC := c.RemoveEdge(u, v)
+			if okG != okC {
+				t.Fatalf("RemoveEdge(%d,%d): Graph %v, CSR %v", u, v, okG, okC)
+			}
+		}
+		if step%500 == 0 {
+			checkMirror(t, c, g)
+		}
+	}
+	checkMirror(t, c, g)
+
+	// Conversions round-trip and preserve edge order.
+	checkMirror(t, g.CSR(), g)
+	checkMirror(t, c, c.Graph())
+	if h := ContentHash(c, nil); h != ContentHash(g, nil) {
+		t.Fatalf("ContentHash differs across representations")
+	}
+	sc, sg := c.Static(), g.Static()
+	for u := 0; u < n; u++ {
+		a, b := sc.Neighbors(u), sg.Neighbors(u)
+		if len(a) != len(b) {
+			t.Fatalf("Static degree(%d) mismatch", u)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("Static window %d mismatch: %v vs %v", u, a, b)
+			}
+		}
+	}
+
+	// Clone and CanonicalClone preserve the respective contracts.
+	cl := c.Clone()
+	checkMirror(t, cl, g)
+	cc := c.CanonicalClone()
+	if !cc.EdgesCanonicallyOrdered() {
+		t.Fatalf("CanonicalClone not canonically ordered")
+	}
+	if !cc.Equal(c) {
+		t.Fatalf("CanonicalClone changed the edge set")
+	}
+	checkMirror(t, cc, g.CanonicalClone())
+}
+
+// TestCSRRelocation grows one hub far past every window's initial
+// capacity so insertion exercises relocation and compaction.
+func TestCSRRelocation(t *testing.T) {
+	const n = 3000
+	c := NewCSR(n)
+	g := New(n)
+	for v := 1; v < n; v++ {
+		if err := c.AddEdge(0, v); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+		if err := g.AddEdge(0, v); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+		// Sprinkle some non-hub edges to mix window sizes.
+		if v%7 == 0 && v+1 < n {
+			_ = c.AddEdge(v, v+1)
+			_ = g.AddEdge(v, v+1)
+		}
+	}
+	checkMirror(t, c, g)
+	// Tear half of it back down through the overlay.
+	for v := 1; v < n; v += 2 {
+		if !c.RemoveEdge(v, 0) {
+			t.Fatalf("RemoveEdge(0,%d) missing", v)
+		}
+		g.RemoveEdge(v, 0)
+	}
+	checkMirror(t, c, g)
+}
+
+// TestCSRBinaryRoundTrip checks the direct CSR codec against the Graph
+// codec byte-for-byte, and that decode-to-CSR reproduces the graph.
+func TestCSRBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := New(200)
+	for i := 0; i < 900; i++ {
+		_ = g.AddEdge(rng.Intn(200), rng.Intn(200))
+	}
+	labels := make([]int, 200)
+	for i := range labels {
+		labels[i] = 1000 + i*3
+	}
+	c := g.CSR()
+
+	var bg, bc bytes.Buffer
+	if err := WriteBinary(&bg, g, labels); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	if err := WriteBinaryCSR(&bc, c, labels); err != nil {
+		t.Fatalf("WriteBinaryCSR: %v", err)
+	}
+	if !bytes.Equal(bg.Bytes(), bc.Bytes()) {
+		t.Fatalf("CSR and Graph writers disagree on the wire bytes")
+	}
+
+	dec, gotLabels, err := ReadBinaryCSR(bytes.NewReader(bc.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBinaryCSR: %v", err)
+	}
+	if !dec.Equal(c) {
+		t.Fatalf("decoded CSR differs from source")
+	}
+	if !dec.EdgesCanonicallyOrdered() {
+		t.Fatalf("decoded CSR edge list not canonical")
+	}
+	for i, l := range gotLabels {
+		if l != labels[i] {
+			t.Fatalf("label %d: got %d want %d", i, l, labels[i])
+		}
+	}
+	// Decoded-from-binary matches the map path's canonical order exactly.
+	gDec, _, err := ReadBinary(bytes.NewReader(bg.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	checkMirror(t, dec, gDec)
+}

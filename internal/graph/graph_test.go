@@ -242,7 +242,7 @@ func TestGiantComponent(t *testing.T) {
 	mustEdge(t, g, 1, 2)
 	mustEdge(t, g, 2, 3)
 	mustEdge(t, g, 4, 5)
-	gcc, newToOld := GiantComponent(g)
+	gcc, newToOld := GiantComponent(g.CSR())
 	if gcc.N() != 4 || gcc.M() != 3 {
 		t.Fatalf("GCC has n=%d m=%d, want 4,3", gcc.N(), gcc.M())
 	}
@@ -258,7 +258,7 @@ func TestGiantComponent(t *testing.T) {
 }
 
 func TestGiantComponentEmpty(t *testing.T) {
-	gcc, _ := GiantComponent(New(0))
+	gcc, _ := GiantComponent(NewCSR(0))
 	if gcc.N() != 0 {
 		t.Errorf("GCC of empty graph has %d nodes", gcc.N())
 	}
@@ -334,7 +334,7 @@ func TestReadWriteEdgeListRoundTrip(t *testing.T) {
 	}
 	// Node 3 is isolated so it does not survive the round trip; compare
 	// against the graph with isolated nodes dropped.
-	gd, _ := DropIsolated(g)
+	gd, _ := DropIsolated(g.CSR())
 	if h.N() != gd.N() || h.M() != gd.M() {
 		t.Fatalf("round trip: n=%d m=%d, want n=%d m=%d", h.N(), h.M(), gd.N(), gd.M())
 	}
@@ -440,7 +440,7 @@ func TestSubgraph(t *testing.T) {
 	mustEdge(t, g, 1, 2)
 	mustEdge(t, g, 2, 3)
 	mustEdge(t, g, 3, 4)
-	sub, newToOld := Subgraph(g, []int{1, 2, 3})
+	sub, newToOld := Subgraph(g.CSR(), []int{1, 2, 3})
 	if sub.N() != 3 || sub.M() != 2 {
 		t.Fatalf("subgraph n=%d m=%d, want 3,2", sub.N(), sub.M())
 	}

@@ -10,13 +10,23 @@ import (
 	"strconv"
 )
 
+// EdgeLister is the minimal read surface shared by every graph
+// representation (Graph, CSR, Static): node/edge counts plus the
+// canonical-orientation edge list. Content addressing is defined over
+// it so all representations of one edge set hash identically.
+type EdgeLister interface {
+	N() int
+	M() int
+	Edges() []Edge
+}
+
 // canonicalPairs returns g's edges as label pairs in canonical form:
 // each pair ordered a <= b, the list sorted lexicographically. This is
 // THE canonical edge list — ContentHash hashes exactly these lines and
 // WriteCanonicalEdgeList emits them, so the two can never drift apart.
-func canonicalPairs(g *Graph, labels []int) [][2]int {
+func canonicalPairs(g EdgeLister, labels []int) [][2]int {
 	pairs := make([][2]int, 0, g.M())
-	for _, e := range g.edges {
+	for _, e := range g.Edges() {
 		a, b := e.U, e.V
 		if labels != nil {
 			a, b = labels[a], labels[b]
@@ -46,7 +56,7 @@ func canonicalPairs(g *Graph, labels []int) [][2]int {
 // The HTTP service keys its profile cache by this address, and the
 // persistent artifact store (internal/store) uses it as the on-disk name
 // of every graph and profile artifact.
-func ContentHash(g *Graph, labels []int) string {
+func ContentHash(g EdgeLister, labels []int) string {
 	h := sha256.New()
 	var buf [32]byte
 	for _, p := range canonicalPairs(g, labels) {
@@ -65,7 +75,7 @@ func ContentHash(g *Graph, labels []int) string {
 // the lines ContentHash hashes. Re-parsing the output therefore
 // reproduces the same content address — the round trip `dkstore export`
 // then `import` relies on.
-func WriteCanonicalEdgeList(w io.Writer, g *Graph, labels []int) error {
+func WriteCanonicalEdgeList(w io.Writer, g EdgeLister, labels []int) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "# nodes=%d edges=%d\n", g.N(), g.M()); err != nil {
 		return err

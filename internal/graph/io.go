@@ -127,9 +127,17 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// Listable is the minimal view the text writers need; both the Graph
+// builder and the working CSR satisfy it.
+type Listable interface {
+	EdgeLister
+	Degree(u int) int
+	SortedEdges() []Edge
+}
+
 // WriteEdgeList writes the graph as a sorted "u v" edge list, suitable for
 // ReadEdgeList round-tripping.
-func WriteEdgeList(w io.Writer, g *Graph) error {
+func WriteEdgeList(w io.Writer, g Listable) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "# nodes=%d edges=%d\n", g.N(), g.M()); err != nil {
 		return err
@@ -146,7 +154,7 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 // or above hubThreshold are drawn filled so the core-vs-periphery hub
 // placement that Figure 3 of the paper is read for stands out; pass 0 to
 // disable highlighting.
-func WriteDOT(w io.Writer, g *Graph, name string, hubThreshold int) error {
+func WriteDOT(w io.Writer, g Listable, name string, hubThreshold int) error {
 	bw := bufio.NewWriter(w)
 	if name == "" {
 		name = "G"

@@ -44,32 +44,35 @@ type Badness struct {
 
 // Simplify removes self-loops and collapses parallel edges, returning the
 // resulting simple graph (all nodes retained, including isolated ones) and
-// the defect counts. Small-component fields of Badness are filled in only
-// by SimplifyToGCC.
-func (mg *Multigraph) Simplify() (*Graph, Badness) {
+// the defect counts. Duplicates keep their first occurrence, so the
+// result's edge-list order — and with it every downstream
+// index-addressed edge draw — is a pure function of the input order.
+// Small-component fields of Badness are filled in only by SimplifyToGCC.
+func (mg *Multigraph) Simplify() (*CSR, Badness) {
 	var bad Badness
-	g := New(mg.n)
+	c := NewCSR(mg.n)
+	c.reserve(mg.edges)
 	for _, e := range mg.edges {
 		if e.U == e.V {
 			bad.SelfLoops++
 			continue
 		}
-		if g.HasEdge(e.U, e.V) {
+		if c.HasEdge(e.U, e.V) {
 			bad.MultiEdges++
 			continue
 		}
-		if err := g.AddEdge(e.U, e.V); err != nil {
+		if err := c.AddEdge(e.U, e.V); err != nil {
 			panic("graph: multigraph simplify: " + err.Error())
 		}
 	}
-	return g, bad
+	return c, bad
 }
 
 // SimplifyToGCC simplifies and then extracts the giant connected
 // component, per the paper's pseudograph recipe ("remove all loops and
 // extract the largest connected component"). It returns the GCC, the
 // new→old node mapping, and full defect accounting.
-func (mg *Multigraph) SimplifyToGCC() (*Graph, []int, Badness) {
+func (mg *Multigraph) SimplifyToGCC() (*CSR, []int, Badness) {
 	simple, bad := mg.Simplify()
 	// Isolated nodes are counted as small components of size 1.
 	_, sizes := Components(simple.Static())

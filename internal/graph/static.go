@@ -165,3 +165,18 @@ func siftDownInt32(a []int32, root, end int) {
 		root = child
 	}
 }
+
+// Adjacency is the read-only sorted-window view shared by CSR and
+// Static: everything extraction and the subgraph census need. Both
+// representations satisfy it, so analysis code runs directly on the
+// working CSR with no snapshot copy.
+type Adjacency interface {
+	N() int
+	M() int
+	Degree(u int) int
+	// Neighbors returns u's neighbors in strictly ascending order. The
+	// slice aliases internal storage and is valid only until the next
+	// mutation of the underlying graph.
+	Neighbors(u int) []int32
+	AvgDegree() float64
+}

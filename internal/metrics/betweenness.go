@@ -187,3 +187,13 @@ func MeanByDegree(s *graph.Static, values []float64) map[int]float64 {
 	}
 	return out
 }
+
+// AutoBetweenness is the size-adaptive entry point: exact Brandes up to
+// AutoSampleThreshold nodes, SampledBetweenness with AutoSampleSources
+// sources above it. With a nil rng the exact pass always runs.
+func AutoBetweenness(s *graph.Static, rng *rand.Rand) []float64 {
+	if s.N() > AutoSampleThreshold && rng != nil {
+		return SampledBetweenness(s, AutoSampleSources, rng)
+	}
+	return Betweenness(s)
+}

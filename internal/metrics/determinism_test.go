@@ -12,7 +12,7 @@ import (
 // connectivity) plus random chords. Deterministic for a given seed.
 func testGraph(t *testing.T, n, chords int, seed int64) *graph.Static {
 	t.Helper()
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	for i := 0; i < n; i++ {
 		if err := g.AddEdge(i, (i+1)%n); err != nil {
 			t.Fatal(err)

@@ -11,7 +11,7 @@ import (
 
 func build(t testing.TB, n int, edges [][2]int) *graph.Static {
 	t.Helper()
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	for _, e := range edges {
 		if err := g.AddEdge(e[0], e[1]); err != nil {
 			t.Fatal(err)
@@ -26,7 +26,7 @@ func paw(t testing.TB) *graph.Static {
 }
 
 func star(t testing.TB, leaves int) *graph.Static {
-	g := graph.New(leaves + 1)
+	g := graph.NewCSR(leaves + 1)
 	for i := 1; i <= leaves; i++ {
 		if err := g.AddEdge(0, i); err != nil {
 			t.Fatal(err)
@@ -46,7 +46,7 @@ func petersen(t testing.TB) *graph.Static {
 }
 
 func connectedRandom(rng *rand.Rand, n, extra int) *graph.Static {
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	for i := 1; i < n; i++ {
 		if err := g.AddEdge(i, rng.Intn(i)); err != nil {
 			panic(err)
@@ -143,7 +143,7 @@ func TestAssortativityRegular(t *testing.T) {
 	if got := Assortativity(petersen(t)); got != 0 {
 		t.Errorf("Petersen r = %v, want 0", got)
 	}
-	if got := Assortativity(graph.New(5).Static()); got != 0 {
+	if got := Assortativity(graph.NewCSR(5).Static()); got != 0 {
 		t.Errorf("empty r = %v, want 0", got)
 	}
 }

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSummarizeAutoSampleBoundary pins the automatic exact→sampled
+// distance switch exactly at AutoSampleThreshold: at or below the
+// threshold Summarize stays exact, above it (with an Rng) it produces
+// the same estimate as an explicit SampledDistances call with the
+// automatic source budget, and every opt-out keeps the exact pass.
+func TestSummarizeAutoSampleBoundary(t *testing.T) {
+	old := AutoSampleThreshold
+	AutoSampleThreshold = 60
+	defer func() { AutoSampleThreshold = old }()
+
+	rng := rand.New(rand.NewSource(5))
+	below := connectedRandom(rand.New(rand.NewSource(1)), 60, 30) // N == threshold
+	above := connectedRandom(rand.New(rand.NewSource(1)), 61, 30) // N == threshold+1
+
+	exactBelow := Distances(below).Mean()
+	exactAbove := Distances(above).Mean()
+
+	// At the threshold: exact, Rng or not.
+	got, err := Summarize(below, SummaryOptions{Rng: rand.New(rand.NewSource(5))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DBar != exactBelow {
+		t.Fatalf("N == threshold: DBar %v, want exact %v", got.DBar, exactBelow)
+	}
+
+	// One past the threshold with an Rng: sampled, reproducing an explicit
+	// SampledDistances call with the automatic budget and the same seed.
+	got, err = Summarize(above, SummaryOptions{Rng: rand.New(rand.NewSource(5))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SampledDistances(above, AutoSampleSources, rand.New(rand.NewSource(5))).Mean()
+	if got.DBar != want {
+		t.Fatalf("N > threshold: DBar %v, want sampled %v", got.DBar, want)
+	}
+
+	// Opt-outs: ExactDistances, a negative DistanceSources, and a missing
+	// Rng all keep the exact pass above the threshold.
+	for name, opt := range map[string]SummaryOptions{
+		"ExactDistances":  {ExactDistances: true, Rng: rng},
+		"negative source": {DistanceSources: -1, Rng: rng},
+		"nil rng":         {},
+	} {
+		got, err = Summarize(above, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.DBar != exactAbove {
+			t.Fatalf("%s: DBar %v, want exact %v", name, got.DBar, exactAbove)
+		}
+	}
+
+	// Explicit DistanceSources still means exactly that many sources.
+	got, err = Summarize(above, SummaryOptions{DistanceSources: 7, Rng: rand.New(rand.NewSource(9))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = SampledDistances(above, 7, rand.New(rand.NewSource(9))).Mean()
+	if got.DBar != want {
+		t.Fatalf("explicit sources: DBar %v, want %v", got.DBar, want)
+	}
+
+	// AutoBetweenness switches on the same boundary.
+	bcAuto := AutoBetweenness(above, rand.New(rand.NewSource(3)))
+	bcWant := SampledBetweenness(above, AutoSampleSources, rand.New(rand.NewSource(3)))
+	for i := range bcAuto {
+		if bcAuto[i] != bcWant[i] {
+			t.Fatalf("AutoBetweenness[%d] = %v, want sampled %v", i, bcAuto[i], bcWant[i])
+		}
+	}
+	if bc := AutoBetweenness(below, rand.New(rand.NewSource(3)))[0]; bc != Betweenness(below)[0] {
+		t.Fatalf("AutoBetweenness below threshold should be exact")
+	}
+}

@@ -12,7 +12,7 @@ import (
 
 func build(t testing.TB, n int, edges [][2]int) *graph.Static {
 	t.Helper()
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	for _, e := range edges {
 		if err := g.AddEdge(e[0], e[1]); err != nil {
 			t.Fatal(err)
@@ -22,7 +22,7 @@ func build(t testing.TB, n int, edges [][2]int) *graph.Static {
 }
 
 func star(t testing.TB, leaves int) *graph.Static {
-	g := graph.New(leaves + 1)
+	g := graph.NewCSR(leaves + 1)
 	for i := 1; i <= leaves; i++ {
 		if err := g.AddEdge(0, i); err != nil {
 			t.Fatal(err)
@@ -32,7 +32,7 @@ func star(t testing.TB, leaves int) *graph.Static {
 }
 
 func complete(t testing.TB, n int) *graph.Static {
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if err := g.AddEdge(i, j); err != nil {
@@ -64,7 +64,7 @@ func TestRobustnessRandomVsTargeted(t *testing.T) {
 	// On a hub-dominated graph, targeted attack must hurt at least as
 	// much as random failure at the same fraction.
 	rng := rand.New(rand.NewSource(1))
-	g := graph.New(200)
+	g := graph.NewCSR(200)
 	for i := 1; i < 200; i++ {
 		hub := (i % 5)
 		if i > 4 {
@@ -96,7 +96,7 @@ func TestRobustnessRandomVsTargeted(t *testing.T) {
 }
 
 func TestRobustnessValidation(t *testing.T) {
-	if _, err := Robustness(graph.New(0).Static(), []float64{0.1}, true, nil); !errors.Is(err, ErrInvalid) {
+	if _, err := Robustness(graph.NewCSR(0).Static(), []float64{0.1}, true, nil); !errors.Is(err, ErrInvalid) {
 		t.Errorf("empty graph: err = %v, want ErrInvalid", err)
 	}
 	if _, err := Robustness(star(t, 3), []float64{0.1}, false, nil); !errors.Is(err, ErrInvalid) {
@@ -111,14 +111,14 @@ func TestRobustnessValidation(t *testing.T) {
 
 func TestRobustnessDegenerateGraphs(t *testing.T) {
 	// Zero-edge and single-node graphs yield well-defined curves.
-	pts, err := Robustness(graph.New(1).Static(), []float64{0, 1}, true, nil)
+	pts, err := Robustness(graph.NewCSR(1).Static(), []float64{0, 1}, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if pts[0].GCCFrac != 1 || pts[1].GCCFrac != 0 {
 		t.Errorf("single node curve = %+v, want GCC 1 then 0", pts)
 	}
-	pts, err = Robustness(graph.New(5).Static(), []float64{0, 0.5}, false, rand.New(rand.NewSource(1)))
+	pts, err = Robustness(graph.NewCSR(5).Static(), []float64{0, 0.5}, false, rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestWormSpreadPathIsSlow(t *testing.T) {
 	// On a path, beta = 1 spreads one hop per round from the seed: the
 	// number of rounds to full coverage is the seed's eccentricity.
 	n := 30
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	for i := 0; i+1 < n; i++ {
 		if err := g.AddEdge(i, i+1); err != nil {
 			t.Fatal(err)
@@ -165,7 +165,7 @@ func TestWormSpreadMonotoneCoverageProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 5 + rng.Intn(60)
-		g := graph.New(n)
+		g := graph.NewCSR(n)
 		for i := 1; i < n; i++ {
 			if err := g.AddEdge(i, rng.Intn(i)); err != nil {
 				return false
@@ -199,7 +199,7 @@ func TestWormSpreadValidation(t *testing.T) {
 	if _, err := WormSpread(s, 0.5, 10, nil); !errors.Is(err, ErrInvalid) {
 		t.Error("nil rng accepted")
 	}
-	if _, err := WormSpread(graph.New(0).Static(), 0.5, 10, rand.New(rand.NewSource(1))); !errors.Is(err, ErrInvalid) {
+	if _, err := WormSpread(graph.NewCSR(0).Static(), 0.5, 10, rand.New(rand.NewSource(1))); !errors.Is(err, ErrInvalid) {
 		t.Error("empty graph accepted")
 	}
 }
@@ -207,14 +207,14 @@ func TestWormSpreadValidation(t *testing.T) {
 func TestWormSpreadDegenerateGraphs(t *testing.T) {
 	// A single node is fully covered by its own seeding; a zero-edge
 	// graph never spreads past the seed. Neither may produce NaNs.
-	res, err := WormSpread(graph.New(1).Static(), 0.5, 10, rand.New(rand.NewSource(1)))
+	res, err := WormSpread(graph.NewCSR(1).Static(), 0.5, 10, rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Coverage[0] != 1 {
 		t.Errorf("single-node coverage = %v, want [1]", res.Coverage)
 	}
-	res, err = WormSpread(graph.New(4).Static(), 0.5, 10, rand.New(rand.NewSource(1)))
+	res, err = WormSpread(graph.NewCSR(4).Static(), 0.5, 10, rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestGreedyRoutingValidation(t *testing.T) {
 		}
 	}
 	// Fewer than two nodes: no routable pairs, well-defined zero result.
-	res, err := GreedyDegreeRouting(graph.New(1).Static(), 10, 0, rand.New(rand.NewSource(1)))
+	res, err := GreedyDegreeRouting(graph.NewCSR(1).Static(), 10, 0, rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +264,7 @@ func TestGreedyRoutingStretchAtLeastOneProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 4 + rng.Intn(50)
-		g := graph.New(n)
+		g := graph.NewCSR(n)
 		for i := 1; i < n; i++ {
 			if err := g.AddEdge(i, rng.Intn(i)); err != nil {
 				return false

@@ -38,7 +38,7 @@ import (
 // index-addressed edge draws are a pure function of (edge set, seed).
 type Handle interface {
 	// Graph returns the parsed graph; callers treat it as read-only.
-	Graph() *graph.Graph
+	Graph() *graph.CSR
 	// Info returns the graph's content address and size.
 	Info() dkapi.GraphInfo
 	// Profile returns the dK-profile at depth d. The boolean reports
@@ -59,7 +59,7 @@ type Backend interface {
 	// resolves those against its own outputs.
 	Resolve(ref dkapi.GraphRef) (Handle, error)
 	// Intern registers a generated graph and returns its Handle.
-	Intern(g *graph.Graph) Handle
+	Intern(g *graph.CSR) Handle
 }
 
 // Progress receives per-step status snapshots as the pipeline executes.
@@ -412,7 +412,7 @@ func (ex *executor) runGenerate(st dkapi.PipelineStep, out *Outcome) (*dkapi.Ste
 	// replica fan-out runs concurrently, so each goroutine gets its own
 	// child rather than touching the executor's span cursor.
 	constructSpan := ex.cur
-	graphs, err := generate.Replicas(replicas, st.Seed, func(i int, rng *rand.Rand) (*graph.Graph, error) {
+	graphs, err := generate.Replicas(replicas, st.Seed, func(i int, rng *rand.Rand) (*graph.CSR, error) {
 		var rsp *trace.Span
 		if constructSpan != nil {
 			rsp = constructSpan.Child("replica", "i", strconv.Itoa(i))

@@ -16,7 +16,7 @@ import (
 func testGraph(t testing.TB, n int, seed int64) *graph.Static {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	for i := 1; i < n; i++ {
 		if err := g.AddEdge(i, rng.Intn(i)); err != nil {
 			t.Fatal(err)
@@ -169,8 +169,8 @@ func TestRunEpidemicFixedGrid(t *testing.T) {
 func TestRunDegenerateGraphs(t *testing.T) {
 	// Single-node measured graph and zero-edge replicas produce finite,
 	// well-defined curves for every kind.
-	single := graph.New(1).Static()
-	zeroEdge := graph.New(5).Static()
+	single := graph.NewCSR(1).Static()
+	zeroEdge := graph.NewCSR(5).Static()
 	for _, sp := range []dkapi.ScenarioSpec{
 		{Kind: dkapi.ScenarioRobustness, Fracs: []float64{0, 1}, Targeted: true},
 		{Kind: dkapi.ScenarioEpidemic, Beta: 0.5, Rounds: 4},

@@ -33,7 +33,7 @@ func (b svcBackend) Resolve(ref dkapi.GraphRef) (pipeline.Handle, error) {
 // pipeline via step references and streamed in bulk results; interning
 // a 128-replica ensemble into the shared LRU would churn every
 // uploaded topology out of it.
-func (b svcBackend) Intern(g *graph.Graph) pipeline.Handle {
+func (b svcBackend) Intern(g *graph.CSR) pipeline.Handle {
 	return svcHandle{e: NewDetachedEntry(g)}
 }
 
@@ -58,7 +58,7 @@ func (h svcHandle) span() *trace.Span {
 	return h.tb.cur
 }
 
-func (h svcHandle) Graph() *graph.Graph { return h.e.Graph() }
+func (h svcHandle) Graph() *graph.CSR { return h.e.Graph() }
 
 func (h svcHandle) Info() dkapi.GraphInfo { return info(h.e) }
 

@@ -26,7 +26,7 @@ type Hash string
 // cache address the same topology identically. labels maps the graph's
 // dense node ids back to the labels of the original input; pass nil to
 // use the dense ids themselves.
-func CanonicalHash(g *graph.Graph, labels []int) Hash {
+func CanonicalHash(g *graph.CSR, labels []int) Hash {
 	return Hash(graph.ContentHash(g, labels))
 }
 
@@ -47,7 +47,7 @@ type Entry struct {
 	cache *Cache // owning cache; carries the optional disk tier
 
 	mu        sync.Mutex
-	g         *graph.Graph
+	g         *graph.CSR
 	static    *graph.Static
 	gcc       *graph.Static
 	profile   *dk.Profile // deepest extraction so far
@@ -60,7 +60,7 @@ func (e *Entry) Hash() Hash { return e.hash }
 // Graph returns the parsed graph. Callers must treat it as read-only:
 // every rewiring entry point in internal/generate works on a copy, so
 // passing it straight to Randomize or TargetRewire is safe.
-func (e *Entry) Graph() *graph.Graph { return e.g }
+func (e *Entry) Graph() *graph.CSR { return e.g }
 
 // Size returns the graph's node and edge counts.
 func (e *Entry) Size() (n, m int) { return e.g.N(), e.g.M() }
@@ -115,7 +115,7 @@ func (e *Entry) ProfileSpan(d int, sp *trace.Span) (*dk.Profile, bool, error) {
 		}
 		e.cache.diskMisses.Add(1)
 	}
-	p, err := dk.ExtractGraph(e.g, d)
+	p, err := dk.Extract(e.g, d)
 	if err != nil {
 		return nil, false, err
 	}
@@ -213,7 +213,7 @@ var detachedCache = NewCache(1)
 // cached graph, so a later dK-randomization of a replica is a pure
 // function of (edge set, seed) and streamed edge lists are identical
 // across local and remote execution.
-func NewDetachedEntry(g *graph.Graph) *Entry {
+func NewDetachedEntry(g *graph.CSR) *Entry {
 	if !g.EdgesCanonicallyOrdered() {
 		g = g.CanonicalClone()
 	}
@@ -246,7 +246,7 @@ func (c *Cache) diskTier() *store.Store { return c.disk }
 // Binary-decoded graphs are already canonical; others are normalized
 // through a clone, which also keeps shared dataset-memo graphs
 // untouched.
-func (c *Cache) Intern(g *graph.Graph, labels []int) (*Entry, bool) {
+func (c *Cache) Intern(g *graph.CSR, labels []int) (*Entry, bool) {
 	if !g.EdgesCanonicallyOrdered() {
 		g = g.CanonicalClone()
 	}
@@ -267,7 +267,7 @@ func (c *Cache) Intern(g *graph.Graph, labels []int) (*Entry, bool) {
 // counters move (Intern counts; disk promotions do not double-count).
 // The dense-id→label table is not retained: the hash already encodes it,
 // and the disk artifact is the durable copy.
-func (c *Cache) intern(h Hash, g *graph.Graph, count bool) (*Entry, bool) {
+func (c *Cache) intern(h Hash, g *graph.CSR, count bool) (*Entry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byHash[h]; ok {

@@ -7,13 +7,13 @@ import (
 	"repro/internal/graph"
 )
 
-func mustParse(t *testing.T, s string) (*graph.Graph, []int) {
+func mustParse(t *testing.T, s string) (*graph.CSR, []int) {
 	t.Helper()
 	g, labels, err := graph.ReadEdgeList(strings.NewReader(s))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return g, labels
+	return g.CSR(), labels
 }
 
 func TestCanonicalHashInvariance(t *testing.T) {

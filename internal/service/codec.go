@@ -137,7 +137,7 @@ func (s *Server) resolveRef(ref GraphRef) (*Entry, error) {
 		if err != nil {
 			return nil, classifyGraphError(err)
 		}
-		e, _ := s.cache.Intern(g, labels)
+		e, _ := s.cache.Intern(g.CSR(), labels)
 		return e, nil
 	default:
 		g, err := s.datasetGraph(ref.Dataset, ref.Seed, ref.N)

@@ -224,7 +224,7 @@ func TestRestartGenerateDeterminism(t *testing.T) {
 	// A random graph uploaded in scrambled, partly reversed line order —
 	// nothing like the canonical order the binary artifact decodes to.
 	rng := rand.New(rand.NewSource(3))
-	g := graph.New(30)
+	g := graph.NewCSR(30)
 	for g.M() < 60 {
 		u, v := rng.Intn(30), rng.Intn(30)
 		if u != v && !g.HasEdge(u, v) {

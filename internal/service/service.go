@@ -160,7 +160,7 @@ type Server struct {
 // skitter build does not block requests for other datasets.
 type dsEntry struct {
 	once sync.Once
-	g    *graph.Graph
+	g    *graph.CSR
 	err  error
 }
 
@@ -393,7 +393,7 @@ func CheckDataset(name string, n int) error {
 // the same registry, parameter bounds, and synthesis code the service's
 // /v1/datasets endpoints use, exported so the local facade (pkg/dk)
 // resolves dataset references identically to a remote server.
-func SynthesizeDataset(name string, seed int64, n int) (*graph.Graph, error) {
+func SynthesizeDataset(name string, seed int64, n int) (*graph.CSR, error) {
 	if err := CheckDataset(name, n); err != nil {
 		return nil, err
 	}
@@ -416,7 +416,7 @@ func SynthesizeDataset(name string, seed int64, n int) (*graph.Graph, error) {
 // bounded (dsMemoMax, oldest-first eviction). Errors come back
 // pre-classified: unknown names are 404, parameter-limit violations are
 // 413, synthesis failures are 500.
-func (s *Server) datasetGraph(name string, seed int64, n int) (*graph.Graph, error) {
+func (s *Server) datasetGraph(name string, seed int64, n int) (*graph.CSR, error) {
 	// Reject unknown names and bad parameters before touching the memo
 	// so garbage requests cannot churn real entries out of it.
 	if err := CheckDataset(name, n); err != nil {

@@ -422,8 +422,8 @@ func TestCompareDepth3Distances(t *testing.T) {
 	// Ground truth via direct extraction.
 	ga, _, _ := graph.ReadEdgeList(strings.NewReader(pawEdges))
 	gb, _, _ := graph.ReadEdgeList(strings.NewReader(path))
-	pa, _ := dk.ExtractGraph(ga, 3)
-	pb, _ := dk.ExtractGraph(gb, 3)
+	pa, _ := dk.Extract(ga.CSR(), 3)
+	pb, _ := dk.Extract(gb.CSR(), 3)
 	for _, de := range cmp.Distances {
 		want, err := dk.Distance(pa, pb, de.D)
 		if err != nil {

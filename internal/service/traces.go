@@ -191,7 +191,7 @@ func (b *tracedBackend) Resolve(ref dkapi.GraphRef) (pipeline.Handle, error) {
 	return svcHandle{e: e, s: b.s, tb: b}, nil
 }
 
-func (b *tracedBackend) Intern(g *graph.Graph) pipeline.Handle {
+func (b *tracedBackend) Intern(g *graph.CSR) pipeline.Handle {
 	return svcHandle{e: NewDetachedEntry(g), tb: b}
 }
 

@@ -11,7 +11,7 @@ import (
 
 func build(t testing.TB, n int, edges [][2]int) *graph.Static {
 	t.Helper()
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	for _, e := range edges {
 		if err := g.AddEdge(e[0], e[1]); err != nil {
 			t.Fatal(err)
@@ -21,7 +21,7 @@ func build(t testing.TB, n int, edges [][2]int) *graph.Static {
 }
 
 func complete(t testing.TB, n int) *graph.Static {
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if err := g.AddEdge(i, j); err != nil {
@@ -33,7 +33,7 @@ func complete(t testing.TB, n int) *graph.Static {
 }
 
 func cycle(t testing.TB, n int) *graph.Static {
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	for i := 0; i < n; i++ {
 		if err := g.AddEdge(i, (i+1)%n); err != nil {
 			t.Fatal(err)
@@ -43,7 +43,7 @@ func cycle(t testing.TB, n int) *graph.Static {
 }
 
 func connectedRandom(rng *rand.Rand, n, extra int) *graph.Static {
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	for i := 1; i < n; i++ {
 		if err := g.AddEdge(i, rng.Intn(i)); err != nil {
 			panic(err)
@@ -167,7 +167,7 @@ func TestExtremesCycle(t *testing.T) {
 // n−2), and 2.
 func TestExtremesStar(t *testing.T) {
 	n := 50
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	for i := 1; i < n; i++ {
 		if err := g.AddEdge(0, i); err != nil {
 			t.Fatal(err)
@@ -215,7 +215,7 @@ func TestExtremesLargePath(t *testing.T) {
 	// tiny spectral gap: λ1 of the path P_n is ≈ (π/n)²·(1/2)... just
 	// check bounds and ordering rather than the closed form.
 	n := 500
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	for i := 0; i+1 < n; i++ {
 		if err := g.AddEdge(i, i+1); err != nil {
 			t.Fatal(err)
@@ -234,10 +234,10 @@ func TestExtremesLargePath(t *testing.T) {
 }
 
 func TestLaplacianValidation(t *testing.T) {
-	if _, err := NewLaplacian(graph.New(0).Static()); err == nil {
+	if _, err := NewLaplacian(graph.NewCSR(0).Static()); err == nil {
 		t.Error("empty graph accepted")
 	}
-	g := graph.New(3)
+	g := graph.NewCSR(3)
 	if err := g.AddEdge(0, 1); err != nil {
 		t.Fatal(err)
 	}

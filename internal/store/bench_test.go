@@ -18,7 +18,7 @@ import (
 
 // benchTopology is a shared mid-size random graph (the go benches favor
 // quick iteration; dkstore bench runs the paper-scale version).
-func benchTopology() *graph.Graph {
+func benchTopology() *graph.CSR {
 	return testGraph(3000, 9000, 42)
 }
 
@@ -41,14 +41,14 @@ func BenchmarkGraphDecodeText(b *testing.B) {
 func BenchmarkGraphDecodeBinary(b *testing.B) {
 	g := benchTopology()
 	var buf bytes.Buffer
-	if err := graph.WriteBinary(&buf, g, nil); err != nil {
+	if err := graph.WriteBinaryCSR(&buf, g, nil); err != nil {
 		b.Fatal(err)
 	}
 	data := buf.Bytes()
 	b.SetBytes(int64(len(data)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := graph.ReadBinary(bytes.NewReader(data)); err != nil {
+		if _, _, err := graph.ReadBinaryCSR(bytes.NewReader(data)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -60,7 +60,7 @@ func BenchmarkProfileFetchCold(b *testing.B) {
 	g := benchTopology()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := dk.ExtractGraph(g, 2); err != nil {
+		if _, err := dk.Extract(g, 2); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -76,7 +76,7 @@ func BenchmarkProfileFetchWarm(b *testing.B) {
 	defer st.Close()
 	g := benchTopology()
 	hash := graph.ContentHash(g, nil)
-	p, err := dk.ExtractGraph(g, 2)
+	p, err := dk.Extract(g, 2)
 	if err != nil {
 		b.Fatal(err)
 	}

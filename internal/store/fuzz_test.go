@@ -15,19 +15,19 @@ import (
 // artifact).
 func FuzzStoreDecode(f *testing.F) {
 	// Valid artifacts of both kinds as seeds, plus structured garbage.
-	g := graph.New(4)
+	g := graph.NewCSR(4)
 	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}} {
 		if err := g.AddEdge(e[0], e[1]); err != nil {
 			f.Fatal(err)
 		}
 	}
 	var gb bytes.Buffer
-	if err := graph.WriteBinary(&gb, g, []int{10, 20, 30, 40}); err != nil {
+	if err := graph.WriteBinaryCSR(&gb, g, []int{10, 20, 30, 40}); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(gb.Bytes())
 	for d := 0; d <= 3; d++ {
-		p, err := dk.ExtractGraph(g, d)
+		p, err := dk.Extract(g, d)
 		if err != nil {
 			f.Fatal(err)
 		}
@@ -44,12 +44,12 @@ func FuzzStoreDecode(f *testing.F) {
 
 	lim := graph.ReadLimits{MaxBytes: 1 << 16, MaxNodes: 1 << 12, MaxEdges: 1 << 14}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		if g, labels, err := graph.ReadBinaryLimit(bytes.NewReader(data), lim); err == nil {
+		if g, labels, err := graph.ReadBinaryCSRLimit(bytes.NewReader(data), lim); err == nil {
 			var re bytes.Buffer
-			if err := graph.WriteBinary(&re, g, labels); err != nil {
+			if err := graph.WriteBinaryCSR(&re, g, labels); err != nil {
 				t.Fatalf("re-encode of decoded graph: %v", err)
 			}
-			g2, labels2, err := graph.ReadBinary(bytes.NewReader(re.Bytes()))
+			g2, labels2, err := graph.ReadBinaryCSR(bytes.NewReader(re.Bytes()))
 			if err != nil {
 				t.Fatalf("decode of own encoding: %v", err)
 			}

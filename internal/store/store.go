@@ -179,7 +179,7 @@ func atomicWrite(path string, fill func(w io.Writer) error) error {
 // PutGraph stores g under its content address. Content-addressed
 // artifacts are immutable, so an existing file is left untouched (the
 // bytes would be identical) and the write is skipped.
-func (s *Store) PutGraph(hash string, g *graph.Graph, labels []int) error {
+func (s *Store) PutGraph(hash string, g *graph.CSR, labels []int) error {
 	hex, err := hashHex(hash)
 	if err != nil {
 		return err
@@ -189,7 +189,7 @@ func (s *Store) PutGraph(hash string, g *graph.Graph, labels []int) error {
 		return nil
 	}
 	if err := atomicWrite(path, func(w io.Writer) error {
-		return graph.WriteBinary(w, g, labels)
+		return graph.WriteBinaryCSR(w, g, labels)
 	}); err != nil {
 		return err
 	}
@@ -210,7 +210,7 @@ func (s *Store) HasGraph(hash string) bool {
 // GetGraph loads the graph stored under hash, verifying its checksum.
 // lim bounds the decode; pass graph.ReadLimits{} for a trusted store.
 // Returns ErrNotFound if no artifact exists.
-func (s *Store) GetGraph(hash string, lim graph.ReadLimits) (*graph.Graph, []int, error) {
+func (s *Store) GetGraph(hash string, lim graph.ReadLimits) (*graph.CSR, []int, error) {
 	hex, err := hashHex(hash)
 	if err != nil {
 		return nil, nil, err
@@ -223,7 +223,7 @@ func (s *Store) GetGraph(hash string, lim graph.ReadLimits) (*graph.Graph, []int
 		return nil, nil, fmt.Errorf("store: %w", err)
 	}
 	defer f.Close()
-	g, labels, err := graph.ReadBinaryLimit(f, lim)
+	g, labels, err := graph.ReadBinaryCSRLimit(f, lim)
 	if err != nil {
 		s.readErrors.Add(1)
 		return nil, nil, fmt.Errorf("store: graph %s: %w", hash, err)
@@ -468,7 +468,7 @@ func (s *Store) GC() (GCReport, error) {
 		if err != nil {
 			return false, nil
 		}
-		_, _, err = graph.ReadBinary(f)
+		_, _, err = graph.ReadBinaryCSR(f)
 		f.Close()
 		return err != nil, &rep.CorruptGraphs
 	})

@@ -14,9 +14,9 @@ import (
 )
 
 // testGraph builds a reproducible random simple graph.
-func testGraph(n, m int, seed int64) *graph.Graph {
+func testGraph(n, m int, seed int64) *graph.CSR {
 	rng := rand.New(rand.NewSource(seed))
-	g := graph.New(n)
+	g := graph.NewCSR(n)
 	for g.M() < m {
 		u, v := rng.Intn(n), rng.Intn(n)
 		if u == v || g.HasEdge(u, v) {
@@ -96,7 +96,7 @@ func TestProfileDepthSelection(t *testing.T) {
 	st := openTestStore(t)
 	g := testGraph(40, 90, 2)
 	hash := graph.ContentHash(g, nil)
-	p2, err := dk.ExtractGraph(g, 2)
+	p2, err := dk.Extract(g, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestProfileDepthSelection(t *testing.T) {
 		t.Fatalf("d=3: err=%v, want ErrNotFound", err)
 	}
 	// After storing d=3, the deeper artifact wins.
-	p3, err := dk.ExtractGraph(g, 3)
+	p3, err := dk.Extract(g, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestListGraphsAndStats(t *testing.T) {
 			t.Fatal(err)
 		}
 		if seed == 1 {
-			p, _ := dk.ExtractGraph(g, 1)
+			p, _ := dk.Extract(g, 1)
 			if err := st.PutProfile(hash, p); err != nil {
 				t.Fatal(err)
 			}
@@ -186,7 +186,7 @@ func TestGC(t *testing.T) {
 	if err := st.PutGraph(hash, g, nil); err != nil {
 		t.Fatal(err)
 	}
-	p, _ := dk.ExtractGraph(g, 2)
+	p, _ := dk.Extract(g, 2)
 	if err := st.PutProfile(hash, p); err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestGC(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Its profile becomes an orphan once GC removes the corrupt graph.
-	p2, _ := dk.ExtractGraph(g2, 1)
+	p2, _ := dk.Extract(g2, 1)
 	if err := st.PutProfile(hash2, p2); err != nil {
 		t.Fatal(err)
 	}

@@ -33,7 +33,7 @@ func shortHash(hash string) string {
 }
 
 // GetGraph is Store.GetGraph under a "store.graph_read" span.
-func (o Ops) GetGraph(hash string, lim graph.ReadLimits) (*graph.Graph, []int, error) {
+func (o Ops) GetGraph(hash string, lim graph.ReadLimits) (*graph.CSR, []int, error) {
 	sp := o.Span.Child("store.graph_read", "hash", shortHash(hash))
 	g, labels, err := o.S.GetGraph(hash, lim)
 	if err != nil {
@@ -44,7 +44,7 @@ func (o Ops) GetGraph(hash string, lim graph.ReadLimits) (*graph.Graph, []int, e
 }
 
 // PutGraph is Store.PutGraph under a "store.graph_write" span.
-func (o Ops) PutGraph(hash string, g *graph.Graph, labels []int) error {
+func (o Ops) PutGraph(hash string, g *graph.CSR, labels []int) error {
 	sp := o.Span.Child("store.graph_write", "hash", shortHash(hash))
 	err := o.S.PutGraph(hash, g, labels)
 	if err != nil {

@@ -132,7 +132,7 @@ func equalCounts[K comparable](a, b map[K]int64) bool {
 // (open two-path) convention. Compared to the per-center pair enumeration
 // it replaces, this eliminates the deg² HasEdge binary searches that made
 // hub-heavy power-law graphs fall off a cliff at d=3 extraction.
-func Count(s *graph.Static) *Census {
+func Count(s graph.Adjacency) *Census {
 	n := s.N()
 	deg := make([]int, n)
 	maxDeg := 0
@@ -445,17 +445,26 @@ func (d *Delta) addTriangle(a, b, c int, sign int64) {
 	}
 }
 
+// AdjGraph is the read surface Delta needs from a mutable graph:
+// neighbor iteration and membership probes. Both the map-adjacency
+// graph.Graph (the retained differential-test reference) and the CSR
+// working representation satisfy it.
+type AdjGraph interface {
+	VisitNeighbors(u int, f func(v int) bool)
+	HasEdge(u, v int) bool
+}
+
 // RemoveEdge records the census change caused by deleting edge (u,v) from
 // g. It must be called while the edge is still present; the caller then
 // performs g.RemoveEdge(u, v).
-func (d *Delta) RemoveEdge(g *graph.Graph, deg []int, u, v int) {
+func (d *Delta) RemoveEdge(g AdjGraph, deg []int, u, v int) {
 	d.edgeChange(g, deg, u, v, -1)
 }
 
 // AddEdge records the census change caused by inserting edge (u,v) into g.
 // It must be called while the edge is still absent; the caller then
 // performs g.AddEdge(u, v).
-func (d *Delta) AddEdge(g *graph.Graph, deg []int, u, v int) {
+func (d *Delta) AddEdge(g AdjGraph, deg []int, u, v int) {
 	d.edgeChange(g, deg, u, v, +1)
 }
 
@@ -463,7 +472,7 @@ func (d *Delta) AddEdge(g *graph.Graph, deg []int, u, v int) {
 // with edge (u,v): triangles through each common neighbor w (which trade
 // places with the u–w–v wedge centered at w), wedges centered at u ending
 // at v, and wedges centered at v ending at u.
-func (d *Delta) edgeChange(g *graph.Graph, deg []int, u, v int, sign int64) {
+func (d *Delta) edgeChange(g AdjGraph, deg []int, u, v int, sign int64) {
 	du, dv := deg[u], deg[v]
 	g.VisitNeighbors(u, func(w int) bool {
 		if w == v {

@@ -7,8 +7,10 @@
 // replacement: degrees are interned into a compact class table once, count
 // changes accumulate in degree-class-indexed arrays (maps appear only at
 // the Census boundary, in Drain), and common-neighbor classification runs
-// on a sorted-adjacency mirror — a linear merge for ordinary nodes, O(1)
-// bitset probes for nodes above a degree threshold.
+// directly on the CSR's sorted neighbor windows — a linear merge for
+// ordinary nodes, O(1) bitset probes for nodes above a degree threshold.
+// The CSR working representation IS the tracker's sorted adjacency; no
+// second mirror copy is maintained.
 //
 // Because SwapDelta is read-only (edge toggles are virtualized instead of
 // applied), many candidate swaps can be evaluated concurrently against one
@@ -17,39 +19,45 @@
 package subgraphs
 
 import (
-	"sort"
-
 	"repro/internal/graph"
 )
 
-// DefaultBitsetThreshold is the fixed degree at or above which a node's
-// mirror adjacency additionally keeps a bitset for O(1) membership
-// probes. Below it, sorted-merge and binary search win on cache locality.
+// DefaultBitsetThreshold is the fixed degree at or above which a node
+// additionally keeps a bitset for O(1) membership probes. Below it,
+// sorted-merge and binary search win on cache locality.
 const DefaultBitsetThreshold = 64
 
-// denseLimit bounds the class-indexed array size nc³ (entries per shape).
-// Above it — graphs with extreme degree diversity — TrackerDelta falls
-// back to packed-key maps, trading speed for bounded memory. Variable so
+// denseLimit bounds the class-indexed accumulator size (entries per
+// shape) and the ordered class-pair lookup table (nc² entries). Dense
+// accumulators are sized by *observed* adjacent class pairs — npairs·nc
+// entries, not nc³ — so even graphs with hundreds of degree classes
+// stay on the dense path; genuinely extreme degree diversity falls back
+// to packed-key maps, trading speed for bounded memory. Variable so
 // tests can force the fallback path.
 var denseLimit = 1 << 20
 
 // Tracker holds the shared, read-only-during-evaluation state for dense
 // census deltas over a graph with a fixed degree sequence: the degree
-// class table and a sorted-adjacency mirror of the graph. The degree
-// sequence must be constant across all tracked mutations (true for
-// double-edge swaps, the only moves evaluated at depth 3), because census
-// keys of intermediate states use the fixed degrees — the same convention
-// as Delta.
+// class table, the observed class-pair index, and per-hub bitsets. The
+// degree sequence must be constant across all tracked mutations (true
+// for double-edge swaps, the only moves evaluated at depth 3), because
+// census keys of intermediate states use the fixed degrees — the same
+// convention as Delta.
 //
-// The mirror is maintained by Add/Remove/ApplySwap; every mutation of the
-// underlying graph must be paired with the matching mirror update, or
-// subsequent deltas are computed against a stale adjacency.
+// Adjacency reads go straight to the CSR's sorted windows, so the graph
+// itself is the mirror. The bitsets are the only derived adjacency
+// state: every mutation of the underlying CSR must be paired with the
+// matching Add/Remove/ApplySwap call to keep them coherent.
 type Tracker struct {
-	nc        int     // degree class count
-	dense     bool    // nc³ <= denseLimit: dense arrays, else map fallback
-	cls       []int32 // node -> degree class (ascending in degree)
-	classDeg  []int   // degree class -> degree
-	adj       [][]int32
+	g         *graph.CSR
+	nc        int        // degree class count
+	dense     bool       // pair-sized arrays fit denseLimit, else map fallback
+	cls       []int32    // node -> degree class (ascending in degree)
+	classDeg  []int      // degree class -> degree
+	pid       []int32    // ordered class pair (a*nc+b) -> dense pair id, -1 unobserved
+	pairA     []int32    // pair id -> first class of the ordered pair
+	pairB     []int32    // pair id -> second class of the ordered pair
+	npairs    int        // ordered observed pair count
 	bits      [][]uint64 // per-node bitset for threshold-degree nodes, else nil
 	words     int        // bitset length in uint64 words
 	threshold int
@@ -57,13 +65,13 @@ type Tracker struct {
 
 // NewTracker builds a Tracker over g with the fixed degree sequence deg
 // (which must equal g.DegreeSequence()) and the default bitset threshold.
-func NewTracker(g *graph.Graph, deg []int) *Tracker {
+func NewTracker(g *graph.CSR, deg []int) *Tracker {
 	return NewTrackerThreshold(g, deg, DefaultBitsetThreshold)
 }
 
 // NewTrackerThreshold is NewTracker with an explicit bitset degree
 // threshold (0 or negative gives every non-isolated node a bitset).
-func NewTrackerThreshold(g *graph.Graph, deg []int, threshold int) *Tracker {
+func NewTrackerThreshold(g *graph.CSR, deg []int, threshold int) *Tracker {
 	n := g.N()
 	maxDeg := 0
 	for _, d := range deg {
@@ -87,36 +95,68 @@ func NewTrackerThreshold(g *graph.Graph, deg []int, threshold int) *Tracker {
 	}
 	nc := len(classDeg)
 	t := &Tracker{
+		g:         g,
 		nc:        nc,
-		dense:     nc*nc*nc <= denseLimit,
 		cls:       make([]int32, n),
 		classDeg:  classDeg,
-		adj:       make([][]int32, n),
 		bits:      make([][]uint64, n),
 		words:     (n + 63) / 64,
 		threshold: threshold,
 	}
 	for u := 0; u < n; u++ {
 		t.cls[u] = classOf[deg[u]]
-		nbrs := g.Neighbors(u)
-		a := make([]int32, len(nbrs))
-		for i, v := range nbrs {
-			a[i] = int32(v)
-		}
-		t.adj[u] = a
 		if deg[u] >= threshold {
 			bs := make([]uint64, t.words)
-			for _, v := range nbrs {
+			for _, v := range g.Neighbors(u) {
 				bs[uint(v)>>6] |= 1 << (uint(v) & 63)
 			}
 			t.bits[u] = bs
 		}
 	}
+	// Index the observed adjacent class pairs, both orders. JDD-preserving
+	// swaps can only ever create edges whose class pair is already
+	// observed, so the dense accumulators need npairs·nc entries instead
+	// of nc³; anything that does introduce a fresh pair (general swaps,
+	// Add) routes through the per-delta overflow map.
+	if nc*nc <= denseLimit {
+		t.pid = make([]int32, nc*nc)
+		for i := range t.pid {
+			t.pid[i] = -1
+		}
+		for u := 0; u < n; u++ {
+			cu := t.cls[u]
+			for _, v := range g.Neighbors(u) {
+				if int(v) < u {
+					continue
+				}
+				cv := t.cls[v]
+				t.observePair(cu, cv)
+				if cu != cv {
+					t.observePair(cv, cu)
+				}
+			}
+		}
+		t.dense = t.npairs*nc <= denseLimit
+	}
 	return t
 }
 
-// has reports mirror adjacency, preferring a bitset probe from either
-// side and falling back to binary search in the shorter sorted list.
+// observePair registers the ordered class pair (a,b) if unseen.
+func (t *Tracker) observePair(a, b int32) {
+	k := int(a)*t.nc + int(b)
+	if t.pid[k] < 0 {
+		t.pid[k] = int32(t.npairs)
+		t.pairA = append(t.pairA, a)
+		t.pairB = append(t.pairB, b)
+		t.npairs++
+	}
+}
+
+// adj returns u's sorted neighbor window — the CSR arena itself.
+func (t *Tracker) adj(u int) []int32 { return t.g.Neighbors(u) }
+
+// has reports adjacency, preferring a bitset probe from either side and
+// falling back to binary search in the shorter sorted window.
 func (t *Tracker) has(a, b int) bool {
 	if bs := t.bits[b]; bs != nil {
 		return bs[uint(a)>>6]&(1<<(uint(a)&63)) != 0
@@ -124,8 +164,8 @@ func (t *Tracker) has(a, b int) bool {
 	if bs := t.bits[a]; bs != nil {
 		return bs[uint(b)>>6]&(1<<(uint(b)&63)) != 0
 	}
-	s, x := t.adj[a], int32(b)
-	if sb := t.adj[b]; len(sb) < len(s) {
+	s, x := t.adj(a), int32(b)
+	if sb := t.adj(b); len(sb) < len(s) {
 		s, x = sb, int32(a)
 	}
 	lo, hi := 0, len(s)
@@ -140,11 +180,10 @@ func (t *Tracker) has(a, b int) bool {
 	return lo < len(s) && s[lo] == x
 }
 
-// Add inserts edge (u,v) into the mirror. The caller performs (or has
-// performed) the matching graph mutation.
+// Add syncs the bitsets with an insertion of edge (u,v) into the CSR.
+// The caller performs (or has performed) the matching graph mutation —
+// the windows themselves are the graph's.
 func (t *Tracker) Add(u, v int) {
-	t.adj[u] = insertSorted(t.adj[u], int32(v))
-	t.adj[v] = insertSorted(t.adj[v], int32(u))
 	if bs := t.bits[u]; bs != nil {
 		bs[uint(v)>>6] |= 1 << (uint(v) & 63)
 	}
@@ -153,10 +192,8 @@ func (t *Tracker) Add(u, v int) {
 	}
 }
 
-// Remove deletes edge (u,v) from the mirror.
+// Remove syncs the bitsets with a deletion of edge (u,v) from the CSR.
 func (t *Tracker) Remove(u, v int) {
-	t.adj[u] = deleteSorted(t.adj[u], int32(v))
-	t.adj[v] = deleteSorted(t.adj[v], int32(u))
 	if bs := t.bits[u]; bs != nil {
 		bs[uint(v)>>6] &^= 1 << (uint(v) & 63)
 	}
@@ -166,29 +203,12 @@ func (t *Tracker) Remove(u, v int) {
 }
 
 // ApplySwap commits the double-edge swap (u,v),(x,y) → (u,y),(x,v) to
-// the mirror after the caller accepted it.
+// the bitsets after the caller accepted it (and applied it to the CSR).
 func (t *Tracker) ApplySwap(u, v, x, y int) {
 	t.Remove(u, v)
 	t.Remove(x, y)
 	t.Add(u, y)
 	t.Add(x, v)
-}
-
-func insertSorted(s []int32, v int32) []int32 {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
-	s = append(s, 0)
-	copy(s[i+1:], s[i:])
-	s[i] = v
-	return s
-}
-
-func deleteSorted(s []int32, v int32) []int32 {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
-	if i < len(s) && s[i] == v {
-		copy(s[i:], s[i+1:])
-		s = s[:len(s)-1]
-	}
-	return s
 }
 
 // TrackerDelta accumulates signed census count changes in degree-class
@@ -197,21 +217,25 @@ func deleteSorted(s []int32, v int32) []int32 {
 // TrackerDelta per goroutine, all sharing the same Tracker.
 type TrackerDelta struct {
 	t *Tracker
-	// Dense path: class-indexed arrays plus touched-index lists so Reset
-	// and IsZero cost O(touched), not O(nc³). An index may appear in the
-	// list more than once (a count that cancels to zero and is touched
-	// again re-registers); IsZero and Reset tolerate that, and Drain
-	// consumes entries destructively so duplicates cannot double-count.
+	// Dense path: accumulators indexed by (observed ordered class pair,
+	// third class) — npairs·nc entries — plus touched-index lists so
+	// Reset and IsZero cost O(touched), not O(size). An index may appear
+	// in the list more than once (a count that cancels to zero and is
+	// touched again re-registers); IsZero and Reset tolerate that, and
+	// Drain consumes entries destructively so duplicates cannot
+	// double-count. Classes whose pair is not in the observed-pair index
+	// overflow into lazily allocated packed-key maps, so generality is
+	// kept without paying nc³ memory.
 	wedges, tris   []int64
 	wTouch, tTouch []int32
-	mWedges, mTris map[uint64]int64 // fallback when !t.dense
+	mWedges, mTris map[uint64]int64 // fallback when !t.dense, overflow when dense
 }
 
 // NewDelta returns an empty accumulator bound to t.
 func (t *Tracker) NewDelta() *TrackerDelta {
 	d := &TrackerDelta{t: t}
 	if t.dense {
-		size := t.nc * t.nc * t.nc
+		size := t.npairs * t.nc
 		d.wedges = make([]int64, size)
 		d.tris = make([]int64, size)
 	} else {
@@ -232,10 +256,13 @@ func (d *TrackerDelta) Reset() {
 		}
 		d.wTouch = d.wTouch[:0]
 		d.tTouch = d.tTouch[:0]
-		return
 	}
-	clear(d.mWedges)
-	clear(d.mTris)
+	if d.mWedges != nil {
+		clear(d.mWedges)
+	}
+	if d.mTris != nil {
+		clear(d.mTris)
+	}
 }
 
 // IsZero reports whether every accumulated count change is zero — i.e.
@@ -252,7 +279,6 @@ func (d *TrackerDelta) IsZero() bool {
 				return false
 			}
 		}
-		return true
 	}
 	return len(d.mWedges) == 0 && len(d.mTris) == 0
 }
@@ -272,8 +298,8 @@ func (d *TrackerDelta) Drain(c *Census) {
 			}
 			d.wedges[i] = 0
 			hi := int(i) % nc
-			lo := int(i) / nc % nc
-			cc := int(i) / (nc * nc)
+			p := int(i) / nc
+			cc, lo := t.pairA[p], t.pairB[p]
 			k := WedgeKey{t.classDeg[lo], t.classDeg[cc], t.classDeg[hi]}
 			if nv := c.Wedges[k] + v; nv == 0 {
 				delete(c.Wedges, k)
@@ -288,8 +314,8 @@ func (d *TrackerDelta) Drain(c *Census) {
 			}
 			d.tris[i] = 0
 			c3 := int(i) % nc
-			c2 := int(i) / nc % nc
-			c1 := int(i) / (nc * nc)
+			p := int(i) / nc
+			c1, c2 := t.pairA[p], t.pairB[p]
 			k := TriangleKey{t.classDeg[c1], t.classDeg[c2], t.classDeg[c3]}
 			if nv := c.Triangles[k] + v; nv == 0 {
 				delete(c.Triangles, k)
@@ -299,7 +325,6 @@ func (d *TrackerDelta) Drain(c *Census) {
 		}
 		d.wTouch = d.wTouch[:0]
 		d.tTouch = d.tTouch[:0]
-		return
 	}
 	for key, v := range d.mWedges {
 		k := WedgeKey{t.classDeg[key>>42], t.classDeg[key>>21&packMask], t.classDeg[key&packMask]}
@@ -317,26 +342,39 @@ func (d *TrackerDelta) Drain(c *Census) {
 			c.Triangles[k] = nv
 		}
 	}
-	clear(d.mWedges)
-	clear(d.mTris)
+	if d.mWedges != nil {
+		clear(d.mWedges)
+	}
+	if d.mTris != nil {
+		clear(d.mTris)
+	}
 }
 
 const packMask = 1<<21 - 1
 
 // addWedge accumulates a wedge class change: ends e1, e2 (canonicalized;
-// classDeg is ascending so class order is degree order), center cc.
+// classDeg is ascending so class order is degree order), center cc. On
+// the dense path the slot is indexed by the observed ordered pair
+// (center, low end) — both of the wedge's edges have observed class
+// pairs, so the lookup only misses when an edge change introduced a
+// class pair absent from the initial graph; those overflow to the map.
 func (d *TrackerDelta) addWedge(e1, cc, e2 int32, sign int64) {
 	lo, hi := e1, e2
 	if lo > hi {
 		lo, hi = hi, lo
 	}
 	if d.t.dense {
-		idx := (int32(d.t.nc)*cc+lo)*int32(d.t.nc) + hi
-		if d.wedges[idx] == 0 {
-			d.wTouch = append(d.wTouch, idx)
+		if p := d.t.pid[int(cc)*d.t.nc+int(lo)]; p >= 0 {
+			idx := p*int32(d.t.nc) + hi
+			if d.wedges[idx] == 0 {
+				d.wTouch = append(d.wTouch, idx)
+			}
+			d.wedges[idx] += sign
+			return
 		}
-		d.wedges[idx] += sign
-		return
+		if d.mWedges == nil {
+			d.mWedges = make(map[uint64]int64)
+		}
 	}
 	key := uint64(lo)<<42 | uint64(cc)<<21 | uint64(hi)
 	if v := d.mWedges[key] + sign; v == 0 {
@@ -347,6 +385,9 @@ func (d *TrackerDelta) addWedge(e1, cc, e2 int32, sign int64) {
 }
 
 // addTriangle accumulates a triangle class change for corners a, b, c.
+// Dense slots are indexed by the observed ordered pair (a,b) of the
+// sorted corner classes; a triangle's corners are pairwise adjacent, so
+// the pair is observed unless an edge change introduced a new pair.
 func (d *TrackerDelta) addTriangle(a, b, c int32, sign int64) {
 	if a > b {
 		a, b = b, a
@@ -358,12 +399,17 @@ func (d *TrackerDelta) addTriangle(a, b, c int32, sign int64) {
 		a, b = b, a
 	}
 	if d.t.dense {
-		idx := (int32(d.t.nc)*a+b)*int32(d.t.nc) + c
-		if d.tris[idx] == 0 {
-			d.tTouch = append(d.tTouch, idx)
+		if p := d.t.pid[int(a)*d.t.nc+int(b)]; p >= 0 {
+			idx := p*int32(d.t.nc) + c
+			if d.tris[idx] == 0 {
+				d.tTouch = append(d.tTouch, idx)
+			}
+			d.tris[idx] += sign
+			return
 		}
-		d.tris[idx] += sign
-		return
+		if d.mTris == nil {
+			d.mTris = make(map[uint64]int64)
+		}
 	}
 	key := uint64(a)<<42 | uint64(b)<<21 | uint64(c)
 	if v := d.mTris[key] + sign; v == 0 {
@@ -374,21 +420,21 @@ func (d *TrackerDelta) addTriangle(a, b, c int32, sign int64) {
 }
 
 // AddEdgeDelta accumulates the census change of inserting edge (u,v)
-// into the mirror's current state ((u,v) must be absent). It does not
+// into the graph's current state ((u,v) must be absent). It does not
 // reset d first, so single-edge deltas compose by telescoping.
 func (t *Tracker) AddEdgeDelta(d *TrackerDelta, u, v int) {
 	t.edgeChange(d, u, v, +1, -1, -1)
 }
 
 // RemoveEdgeDelta accumulates the census change of deleting edge (u,v)
-// ((u,v) must be present in the mirror).
+// ((u,v) must be present in the graph).
 func (t *Tracker) RemoveEdgeDelta(d *TrackerDelta, u, v int) {
 	t.edgeChange(d, u, v, -1, -1, -1)
 }
 
 // SwapDelta resets d and accumulates the exact census change of the
 // double-edge swap (u,v),(x,y) → (u,y),(x,v), read-only: the four edge
-// toggles are virtualized against the mirror instead of applied, so
+// toggles are virtualized against the graph instead of applied, so
 // concurrent SwapDelta calls on one Tracker are safe (one TrackerDelta
 // per goroutine). Preconditions (the structural validity the rewiring
 // proposal already checks): u,v,x,y distinct, (u,v) and (x,y) present,
@@ -396,9 +442,9 @@ func (t *Tracker) RemoveEdgeDelta(d *TrackerDelta, u, v int) {
 func (t *Tracker) SwapDelta(d *TrackerDelta, u, v, x, y int) {
 	d.Reset()
 	// Telescoped single-edge changes; each op's virtual state differs
-	// from the mirror only on swap pairs, and only pairs touching the
+	// from the graph only on swap pairs, and only pairs touching the
 	// op's own endpoints matter, giving one excluded neighbor per side:
-	//   remove (u,v): mirror state exactly.
+	//   remove (u,v): graph state exactly.
 	//   remove (x,y): (u,v) gone, but it touches neither x nor y.
 	//   add (u,y):    (u,v),(x,y) gone → v not a neighbor of u, x not of y.
 	//   add (x,v):    likewise y not a neighbor of x, u not of v;
@@ -424,7 +470,7 @@ func (t *Tracker) SwapDelta(d *TrackerDelta, u, v, x, y int) {
 func (t *Tracker) SwapDeltaJDD(d *TrackerDelta, u, v, x, y int) {
 	d.Reset()
 	a, b, c := t.cls[u], t.cls[v], t.cls[x]
-	V, Y := t.adj[v], t.adj[y]
+	V, Y := t.adj(v), t.adj(y)
 	i, j := 0, 0
 	for i < len(V) || j < len(Y) {
 		var w int32
@@ -471,11 +517,11 @@ func (t *Tracker) SwapDeltaJDD(d *TrackerDelta, u, v, x, y int) {
 	}
 }
 
-// Has reports whether edge (a,b) is present in the mirror — an O(1)
-// bitset probe when either endpoint is above the degree threshold, a
-// binary search in the shorter sorted list otherwise. It mirrors
-// graph.HasEdge exactly as long as every graph mutation was paired with
-// the matching mirror update.
+// Has reports whether edge (a,b) is present — an O(1) bitset probe when
+// either endpoint is above the degree threshold, a binary search in the
+// shorter sorted window otherwise. It mirrors graph.HasEdge exactly as
+// long as every graph mutation was paired with the matching bitset
+// update.
 func (t *Tracker) Has(a, b int) bool {
 	return t.has(a, b)
 }
@@ -486,14 +532,14 @@ func (t *Tracker) Has(a, b int) bool {
 // the wedge centered at the common neighbor), and wedges centered at a
 // and at b through exclusive neighbors. exA/exB (-1 = none) name one
 // node virtually not adjacent to a (resp. b), which is how SwapDelta
-// expresses intermediate states without mutating the mirror.
+// expresses intermediate states without mutating the graph.
 func (t *Tracker) edgeChange(d *TrackerDelta, a, b int, sign int64, exA, exB int) {
 	if t.bits[a] == nil && t.bits[b] == nil {
 		t.mergeChange(d, a, b, sign, exA, exB)
 		return
 	}
 	ca, cb := t.cls[a], t.cls[b]
-	for _, w32 := range t.adj[a] {
+	for _, w32 := range t.adj(a) {
 		w := int(w32)
 		if w == b || w == exA {
 			continue
@@ -505,7 +551,7 @@ func (t *Tracker) edgeChange(d *TrackerDelta, a, b int, sign int64, exA, exB int
 			d.addWedge(cb, ca, t.cls[w], sign)
 		}
 	}
-	for _, w32 := range t.adj[b] {
+	for _, w32 := range t.adj(b) {
 		w := int(w32)
 		if w == a || w == exB {
 			continue
@@ -518,11 +564,11 @@ func (t *Tracker) edgeChange(d *TrackerDelta, a, b int, sign int64, exA, exB int
 }
 
 // mergeChange is edgeChange as a single linear merge of the two sorted
-// neighbor lists — the ordinary-degree path, with no membership probes
+// neighbor windows — the ordinary-degree path, with no membership probes
 // at all.
 func (t *Tracker) mergeChange(d *TrackerDelta, a, b int, sign int64, exA, exB int) {
 	ca, cb := t.cls[a], t.cls[b]
-	A, B := t.adj[a], t.adj[b]
+	A, B := t.adj(a), t.adj(b)
 	i, j := 0, 0
 	for i < len(A) && j < len(B) {
 		wa, wb := int(A[i]), int(B[j])
@@ -537,7 +583,7 @@ func (t *Tracker) mergeChange(d *TrackerDelta, a, b int, sign int64, exA, exB in
 			if wb != a && wb != exB {
 				d.addWedge(ca, cb, t.cls[wb], sign)
 			}
-		default: // common neighbor in the mirror
+		default: // common neighbor
 			i++
 			j++
 			w := wa

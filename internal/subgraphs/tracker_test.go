@@ -75,11 +75,12 @@ func TestTrackerSwapDeltaMatchesDelta(t *testing.T) {
 		g := randomGraph(rng, n, m)
 		deg := g.DegreeSequence()
 
+		cg := g.CSR()
 		denseLimit = oldLimit
-		trMerge := NewTracker(g, deg)
-		trBits := NewTrackerThreshold(g, deg, 1)
+		trMerge := NewTracker(cg, deg)
+		trBits := NewTrackerThreshold(cg, deg, 1)
 		denseLimit = 0
-		trMap := NewTracker(g, deg)
+		trMap := NewTracker(cg, deg)
 		denseLimit = oldLimit
 		if trMap.dense || !trMerge.dense {
 			t.Fatalf("dense-path selection broken: map=%v merge=%v", trMap.dense, trMerge.dense)
@@ -132,11 +133,12 @@ func TestTrackerSwapDeltaJDDMatchesSwapDelta(t *testing.T) {
 		g := randomGraph(rng, n, m)
 		deg := g.DegreeSequence()
 
+		cg := g.CSR()
 		denseLimit = oldLimit
-		trMerge := NewTracker(g, deg)
-		trBits := NewTrackerThreshold(g, deg, 1)
+		trMerge := NewTracker(cg, deg)
+		trBits := NewTrackerThreshold(cg, deg, 1)
 		denseLimit = 0
-		trMap := NewTracker(g, deg)
+		trMap := NewTracker(cg, deg)
 		denseLimit = oldLimit
 		trackers := []*Tracker{trMerge, trBits, trMap}
 		generic := trMerge.NewDelta()
@@ -182,7 +184,8 @@ func TestTrackerSwapDeltaMatchesComposedOps(t *testing.T) {
 		m := 5 + rng.Intn(n*(n-1)/2-4)
 		g := randomGraph(rng, n, m)
 		deg := g.DegreeSequence()
-		tr := NewTracker(g, deg)
+		cg := g.CSR()
+		tr := NewTracker(cg, deg)
 		td := tr.NewDelta()
 		for tries := 0; tries < 20; tries++ {
 			u, v, x, y, ok := randomValidSwap(rng, g)
@@ -194,15 +197,23 @@ func TestTrackerSwapDeltaMatchesComposedOps(t *testing.T) {
 
 			td.Reset()
 			tr.RemoveEdgeDelta(td, u, v)
+			cg.RemoveEdge(u, v)
 			tr.Remove(u, v)
 			tr.RemoveEdgeDelta(td, x, y)
+			cg.RemoveEdge(x, y)
 			tr.Remove(x, y)
 			tr.AddEdgeDelta(td, u, y)
+			mustAddCSR(t, cg, u, y)
 			tr.Add(u, y)
 			tr.AddEdgeDelta(td, x, v)
+			mustAddCSR(t, cg, x, v)
 			tr.Add(x, v)
 			want := drain(tr, td)
-			// Restore the mirror for the next iteration.
+			// Restore the graph and bitsets for the next iteration.
+			cg.RemoveEdge(u, y)
+			cg.RemoveEdge(x, v)
+			mustAddCSR(t, cg, u, v)
+			mustAddCSR(t, cg, x, y)
 			tr.ApplySwap(u, y, x, v)
 
 			if !got.Equal(want) {
@@ -223,7 +234,8 @@ func TestTrackerApplySwapMaintainsMirror(t *testing.T) {
 		n, m := 24, 60
 		g := randomGraph(rng, n, m)
 		deg := g.DegreeSequence()
-		tr := NewTrackerThreshold(g, deg, threshold)
+		cg := g.CSR()
+		tr := NewTrackerThreshold(cg, deg, threshold)
 		td := tr.NewDelta()
 		accepted := 0
 		for tries := 0; tries < 500 && accepted < 50; tries++ {
@@ -244,6 +256,10 @@ func TestTrackerApplySwapMaintainsMirror(t *testing.T) {
 			if err := g.AddEdge(x, v); err != nil {
 				t.Fatal(err)
 			}
+			cg.RemoveEdge(u, v)
+			cg.RemoveEdge(x, y)
+			mustAddCSR(t, cg, u, y)
+			mustAddCSR(t, cg, x, v)
 			tr.ApplySwap(u, v, x, y)
 			accepted++
 		}
@@ -267,7 +283,7 @@ func TestTrackerApplySwapMaintainsMirror(t *testing.T) {
 func TestTrackerDeltaResetAndZero(t *testing.T) {
 	g := build(t, 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
 	deg := g.DegreeSequence()
-	tr := NewTracker(g, deg)
+	tr := NewTracker(g.CSR(), deg)
 	td := tr.NewDelta()
 	if !td.IsZero() {
 		t.Fatal("fresh delta not zero")
@@ -295,5 +311,76 @@ func TestTrackerDeltaResetAndZero(t *testing.T) {
 	td.Drain(c2)
 	if len(c2.Wedges) != 0 || len(c2.Triangles) != 0 {
 		t.Fatal("second Drain produced counts")
+	}
+}
+
+// mustAddCSR inserts an edge that is known to be absent.
+func mustAddCSR(t *testing.T, c *graph.CSR, u, v int) {
+	t.Helper()
+	if err := c.AddEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrackerObservedPairSizingStaysDense builds a graph whose degree
+// class count is far too high for the old nc³ accumulator sizing
+// (nc³ > denseLimit) but whose observed class-pair structure is sparse,
+// and checks the tracker still takes the dense path — then verifies
+// SwapDelta correctness on it against the map-keyed reference, so the
+// pair-indexed slots (and the overflow map for pairs a general swap
+// introduces) are exercised, not just selected.
+func TestTrackerObservedPairSizingStaysDense(t *testing.T) {
+	// A chain of stars with strictly increasing arm counts: every hub is
+	// its own degree class, leaves add one more, so nc ≈ #stars while
+	// each class is adjacent to only a handful of classes.
+	const stars = 110
+	n := 0
+	hubs := make([]int, stars)
+	type e = [2]int
+	var edges []e
+	for i := 0; i < stars; i++ {
+		hub := n
+		hubs[i] = hub
+		n++
+		for a := 0; a < i+2; a++ {
+			edges = append(edges, e{hub, n})
+			n++
+		}
+		if i > 0 {
+			edges = append(edges, e{hubs[i-1], hub})
+		}
+	}
+	g := build(t, n, edges)
+	deg := g.DegreeSequence()
+	cg := g.CSR()
+	tr := NewTracker(cg, deg)
+	if nc := tr.nc; nc*nc*nc <= denseLimit {
+		t.Fatalf("test graph too tame: nc=%d, nc³=%d <= denseLimit=%d", nc, nc*nc*nc, denseLimit)
+	}
+	if !tr.dense {
+		t.Fatalf("tracker fell back to packed maps: nc=%d npairs=%d limit=%d",
+			tr.nc, tr.npairs, denseLimit)
+	}
+	if tr.npairs*tr.nc > denseLimit {
+		t.Fatalf("pair-sized accumulators exceed the limit: npairs=%d nc=%d", tr.npairs, tr.nc)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	td := tr.NewDelta()
+	checked := 0
+	for tries := 0; tries < 400 && checked < 60; tries++ {
+		u, v, x, y, ok := randomValidSwap(rng, g)
+		if !ok {
+			continue
+		}
+		want := mapDeltaOfSwap(g, deg, u, v, x, y)
+		tr.SwapDelta(td, u, v, x, y)
+		if !drain(tr, td).Equal(want) {
+			t.Fatalf("SwapDelta mismatch on pair-indexed path: swap (%d,%d)(%d,%d)", u, v, x, y)
+		}
+		checked++
+	}
+	if checked < 30 {
+		t.Fatalf("only %d swaps checked — vacuous", checked)
 	}
 }

@@ -37,7 +37,7 @@ import (
 // immutable once constructed; every generation entry point works on
 // copies.
 type Graph struct {
-	g      *graph.Graph
+	g      *graph.CSR
 	labels []int
 	hash   string
 }
@@ -45,7 +45,7 @@ type Graph struct {
 // wrap canonicalizes and addresses a raw graph. Canonical edge order
 // makes index-addressed edge draws — the randomizing rewiring loop — a
 // pure function of (edge set, seed), exactly like the service cache.
-func wrap(g *graph.Graph, labels []int) *Graph {
+func wrap(g *graph.CSR, labels []int) *Graph {
 	if !g.EdgesCanonicallyOrdered() {
 		g = g.CanonicalClone()
 	}
@@ -59,7 +59,7 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return wrap(g, labels), nil
+	return wrap(g.CSR(), labels), nil
 }
 
 // ReadGraphFile reads an edge-list file; "-" means stdin.
@@ -288,6 +288,6 @@ func RunPipeline(ctx context.Context, req dkapi.PipelineRequest) (*PipelineOutpu
 
 // datasetGraph synthesizes a built-in dataset with the same names,
 // bounds, and error classification as the service's dataset registry.
-func datasetGraph(name string, seed int64, n int) (*graph.Graph, error) {
+func datasetGraph(name string, seed int64, n int) (*graph.CSR, error) {
 	return service.SynthesizeDataset(name, seed, n)
 }

@@ -42,7 +42,7 @@ func GenerateFromProfile(p *Profile, opts GenerateOptions) ([]*Graph, error) {
 	if replicas == 0 {
 		replicas = 1
 	}
-	graphs, err := generate.Replicas(replicas, opts.Seed, func(i int, rng *rand.Rand) (*graph.Graph, error) {
+	graphs, err := generate.Replicas(replicas, opts.Seed, func(i int, rng *rand.Rand) (*graph.CSR, error) {
 		return core.Generate(p, d, method, core.Options{Rng: rng})
 	})
 	if err != nil {
@@ -120,7 +120,7 @@ func (s *Session) GenerateStream(ctx context.Context, src *Graph, opts GenerateO
 			return err
 		}
 		rng := rand.New(rand.NewSource(parallel.SubSeed(opts.Seed, i)))
-		var out *graph.Graph
+		var out *graph.CSR
 		var err error
 		if randomize {
 			ropts := generate.RandomizeOptions{Rng: rng}

@@ -99,7 +99,7 @@ func (b backend) Resolve(ref dkapi.GraphRef) (pipeline.Handle, error) {
 	}
 }
 
-func (b backend) Intern(g *graph.Graph) pipeline.Handle {
+func (b backend) Intern(g *graph.CSR) pipeline.Handle {
 	// Detached, exactly like the server backend: registering a replica
 	// ensemble in the bounded session LRU could evict the source graphs
 	// later steps still reference by hash — a pipeline would then fail
@@ -110,7 +110,7 @@ func (b backend) Intern(g *graph.Graph) pipeline.Handle {
 // handle is a cache entry viewed through the executor interface.
 type handle struct{ e *service.Entry }
 
-func (h handle) Graph() *graph.Graph { return h.e.Graph() }
+func (h handle) Graph() *graph.CSR { return h.e.Graph() }
 
 func (h handle) Info() dkapi.GraphInfo {
 	n, m := h.e.Size()
